@@ -1,0 +1,56 @@
+// Command jsdeobfuscate statically reverses common obfuscation techniques:
+// string-expression folding, global string-array resolution, control-flow
+// unflattening, dead-branch pruning, bracket-to-dot normalization, and
+// hex-identifier renaming.
+//
+// Usage:
+//
+//	jsdeobfuscate [flags] [file.js]     # stdin when no file given
+//	jsdeobfuscate -report file.js       # print the pass summary to stderr
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/deobfuscate"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	report := flag.Bool("report", false, "print a pass summary to stderr")
+	skipRename := flag.Bool("keep-names", false, "do not rename hex identifiers")
+	skipDots := flag.Bool("keep-brackets", false, "do not rewrite bracket accesses to dot notation")
+	flag.Parse()
+
+	var src []byte
+	var err error
+	if path := flag.Arg(0); path != "" && path != "-" {
+		src, err = os.ReadFile(path)
+	} else {
+		src, err = io.ReadAll(os.Stdin)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "jsdeobfuscate: %v\n", err)
+		return 1
+	}
+
+	out, rep, err := deobfuscate.Source(string(src), deobfuscate.Options{
+		SkipRename:     *skipRename,
+		SkipDotRewrite: *skipDots,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "jsdeobfuscate: %v\n", err)
+		return 1
+	}
+	fmt.Println(out)
+	if *report {
+		fmt.Fprintf(os.Stderr, "jsdeobfuscate: %s\n", rep)
+	}
+	return 0
+}

@@ -1,0 +1,186 @@
+// Command jsdetect classifies JavaScript files with the two-level detector:
+// level 1 reports regular vs minified vs obfuscated; level 2 names the
+// transformation techniques of transformed files (top-k with the paper's
+// 10% confidence floor).
+//
+// Usage:
+//
+//	jsdetect -models models/ file.js dir/ ...   # files and directories
+//	cat file.js | jsdetect -models models/
+//	jsdetect -models models/ -html page.html    # classify inline scripts
+//	jsdetect -models models/ -json file.js      # machine-readable output
+//
+// Models come from the trainer command; -dims must match training.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/features"
+	"repro/internal/htmlext"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+// options bundles the CLI configuration.
+type options struct {
+	topK      int
+	threshold float64
+	html      bool
+	jsonOut   bool
+}
+
+func run() int {
+	models := flag.String("models", "models", "directory containing level1.model and level2.model")
+	dims := flag.Int("dims", 1024, "hashed 4-gram dimensions (must match training)")
+	opts := options{}
+	flag.IntVar(&opts.topK, "k", 4, "maximum number of techniques to report")
+	flag.Float64Var(&opts.threshold, "threshold", core.DefaultThreshold, "confidence floor for technique reporting")
+	flag.BoolVar(&opts.html, "html", false, "treat inputs as HTML and classify the extracted inline scripts")
+	flag.BoolVar(&opts.jsonOut, "json", false, "emit one JSON object per input")
+	flag.Parse()
+
+	featOpts := features.Options{NGramDims: *dims}
+	l1, err := core.LoadFile(filepath.Join(*models, "level1.model"), featOpts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "jsdetect: load level 1: %v\n", err)
+		return 1
+	}
+	l2, err := core.LoadFile(filepath.Join(*models, "level2.model"), featOpts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "jsdetect: load level 2: %v\n", err)
+		return 1
+	}
+
+	paths, err := expandPaths(flag.Args())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "jsdetect: %v\n", err)
+		return 1
+	}
+	exit := 0
+	for _, path := range paths {
+		if err := classify(l1, l2, path, opts); err != nil {
+			fmt.Fprintf(os.Stderr, "jsdetect: %s: %v\n", path, err)
+			exit = 1
+		}
+	}
+	return exit
+}
+
+// expandPaths walks directory arguments into their .js files; "-" and
+// plain files pass through.
+func expandPaths(args []string) ([]string, error) {
+	if len(args) == 0 {
+		return []string{"-"}, nil
+	}
+	var out []string
+	for _, arg := range args {
+		info, err := os.Stat(arg)
+		if arg == "-" || err != nil || !info.IsDir() {
+			out = append(out, arg)
+			continue
+		}
+		err = filepath.WalkDir(arg, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() && strings.HasSuffix(strings.ToLower(d.Name()), ".js") {
+				out = append(out, path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// report is the JSON output shape.
+type report struct {
+	Path        string            `json:"path"`
+	Transformed bool              `json:"transformed"`
+	Regular     float64           `json:"regular"`
+	Minified    float64           `json:"minified"`
+	Obfuscated  float64           `json:"obfuscated"`
+	Techniques  []techniqueReport `json:"techniques,omitempty"`
+	HTMLScripts int               `json:"htmlScripts,omitempty"`
+}
+
+type techniqueReport struct {
+	Technique   string  `json:"technique"`
+	Probability float64 `json:"probability"`
+}
+
+func classify(l1, l2 *core.Detector, path string, opts options) error {
+	var src []byte
+	var err error
+	if path == "-" {
+		src, err = io.ReadAll(os.Stdin)
+	} else {
+		src, err = os.ReadFile(path)
+	}
+	if err != nil {
+		return err
+	}
+
+	code := string(src)
+	rep := report{Path: path}
+	if opts.html {
+		scripts := htmlext.Extract(code)
+		joined := htmlext.JoinInline(scripts)
+		if strings.TrimSpace(joined) == "" {
+			if opts.jsonOut {
+				return json.NewEncoder(os.Stdout).Encode(rep)
+			}
+			fmt.Printf("%s: no inline scripts\n", path)
+			return nil
+		}
+		rep.HTMLScripts = len(scripts)
+		code = joined
+	}
+
+	res, err := l1.ClassifyLevel1(code)
+	if err != nil {
+		return err
+	}
+	rep.Transformed = res.IsTransformed()
+	rep.Regular, rep.Minified, rep.Obfuscated = res.Regular, res.Minified, res.Obfuscated
+
+	if res.IsTransformed() {
+		l2res, err := l2.ClassifyLevel2(code)
+		if err != nil {
+			return err
+		}
+		for _, p := range l2res.TopK(opts.topK, opts.threshold) {
+			rep.Techniques = append(rep.Techniques, techniqueReport{
+				Technique:   p.Technique.String(),
+				Probability: p.Probability,
+			})
+		}
+	}
+
+	if opts.jsonOut {
+		return json.NewEncoder(os.Stdout).Encode(rep)
+	}
+	verdict := "regular"
+	if rep.Transformed {
+		verdict = "transformed"
+	}
+	fmt.Printf("%s: %s (regular %.2f, minified %.2f, obfuscated %.2f)\n",
+		path, verdict, rep.Regular, rep.Minified, rep.Obfuscated)
+	for _, t := range rep.Techniques {
+		fmt.Printf("  %-26s %.2f\n", t.Technique, t.Probability)
+	}
+	return nil
+}

@@ -1,0 +1,155 @@
+// Command study reruns the paper's experiments and prints every table and
+// figure: detector accuracy (Section III-E, Figure 1), the wild analysis of
+// Alexa-like, npm-like, and malicious collections (Figures 2-5, Table I),
+// and the 65-month longitudinal series (Figures 6-8).
+//
+// Usage:
+//
+//	study                    # everything, quick scale
+//	study -scale 3           # bigger corpora (closer to the paper)
+//	study -experiment alexa  # one experiment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/study"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	scale := flag.Int("scale", 1, "corpus scale multiplier")
+	seed := flag.Int64("seed", 42, "study seed")
+	experiment := flag.String("experiment", "all",
+		"one of: all, tableI, level1, level2, figure1, packer, alexa, npm, malicious, longitudinal, unmonitored, importance, ablation")
+	flag.Parse()
+
+	start := time.Now()
+	fmt.Fprintf(os.Stderr, "study: training detectors (scale %d)...\n", *scale)
+	runner, err := study.NewRunner(study.Config{Scale: *scale, Seed: *seed})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "study: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "study: detectors ready after %v\n", time.Since(start).Round(time.Second))
+
+	run := func(name string, f func() error) int {
+		if *experiment != "all" && *experiment != name {
+			return 0
+		}
+		expStart := time.Now()
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "study: %s: %v\n", name, err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "study: %s finished in %v\n\n", name, time.Since(expStart).Round(time.Second))
+		return 0
+	}
+
+	exit := 0
+	exit |= run("tableI", func() error {
+		t, err := runner.RunTableI()
+		if err != nil {
+			return err
+		}
+		t.Print(os.Stdout)
+		return nil
+	})
+	exit |= run("level1", func() error {
+		a, err := runner.RunLevel1Accuracy()
+		if err != nil {
+			return err
+		}
+		a.Print(os.Stdout)
+		return nil
+	})
+	exit |= run("level2", func() error {
+		a, err := runner.RunLevel2Accuracy()
+		if err != nil {
+			return err
+		}
+		a.Print(os.Stdout)
+		return nil
+	})
+	exit |= run("figure1", func() error {
+		f, err := runner.RunFigure1(150 * *scale)
+		if err != nil {
+			return err
+		}
+		f.Print(os.Stdout)
+		return nil
+	})
+	exit |= run("packer", func() error {
+		p, err := runner.RunPacker(100 * *scale)
+		if err != nil {
+			return err
+		}
+		p.Print(os.Stdout)
+		return nil
+	})
+	exit |= run("alexa", func() error {
+		s, err := runner.RunAlexa()
+		if err != nil {
+			return err
+		}
+		s.Print(os.Stdout)
+		return nil
+	})
+	exit |= run("npm", func() error {
+		s, err := runner.RunNpm()
+		if err != nil {
+			return err
+		}
+		s.Print(os.Stdout)
+		return nil
+	})
+	exit |= run("malicious", func() error {
+		ms, err := runner.RunMalicious()
+		if err != nil {
+			return err
+		}
+		study.PrintMalicious(os.Stdout, ms)
+		return nil
+	})
+	exit |= run("longitudinal", func() error {
+		for _, origin := range []string{"alexa", "npm"} {
+			l, err := runner.RunLongitudinal(origin)
+			if err != nil {
+				return err
+			}
+			l.Print(os.Stdout)
+		}
+		return nil
+	})
+	exit |= run("unmonitored", func() error {
+		u, err := runner.RunUnmonitored(60 * *scale)
+		if err != nil {
+			return err
+		}
+		u.Print(os.Stdout)
+		return nil
+	})
+	exit |= run("importance", func() error {
+		rankings, err := runner.RunFeatureImportance(8)
+		if err != nil {
+			return err
+		}
+		study.PrintFeatureImportance(os.Stdout, rankings)
+		return nil
+	})
+	exit |= run("ablation", func() error {
+		c, err := runner.RunChainAblation()
+		if err != nil {
+			return err
+		}
+		c.Print(os.Stdout)
+		return nil
+	})
+	return exit
+}

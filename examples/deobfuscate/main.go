@@ -1,0 +1,74 @@
+// Deobfuscation walkthrough: obfuscate a script with the library's own
+// transformation tools (global string array + string obfuscation + dead
+// code + control-flow flattening), detect what was done, then statically
+// reverse it and diff the round trip.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	transformdetect "repro"
+)
+
+const original = `
+function buildGreeting(name, hour) {
+  var part = "day";
+  if (hour < 12) {
+    part = "morning";
+  }
+  if (hour >= 18) {
+    part = "evening";
+  }
+  var message = "Good " + part + ", " + name + "!";
+  return message;
+}
+console.log(buildGreeting("Ada", 9));
+console.log(buildGreeting("Grace", 20));
+`
+
+func main() {
+	obfuscated, err := transformdetect.Transform(original, 31,
+		transformdetect.StringObfuscation,
+		transformdetect.GlobalArray,
+		transformdetect.DeadCodeInjection,
+		transformdetect.ControlFlowFlattening,
+	)
+	if err != nil {
+		log.Fatalf("obfuscate: %v", err)
+	}
+
+	fmt.Printf("original: %d bytes\nobfuscated: %d bytes\n\n", len(original), len(obfuscated))
+	fmt.Println("--- obfuscated (first lines) ---")
+	printHead(obfuscated, 12)
+
+	clear, report, err := transformdetect.Deobfuscate(obfuscated)
+	if err != nil {
+		log.Fatalf("deobfuscate: %v", err)
+	}
+	fmt.Println("\n--- deobfuscated ---")
+	printHead(clear, 25)
+	fmt.Printf("\npasses: %s\n", report)
+
+	for _, needle := range []string{"Good ", "morning", "evening", "Ada"} {
+		state := "recovered"
+		if !strings.Contains(clear, needle) {
+			state = "NOT recovered"
+		}
+		fmt.Printf("  %-12q %s\n", needle, state)
+	}
+}
+
+func printHead(src string, lines int) {
+	for i, line := range strings.Split(src, "\n") {
+		if i >= lines {
+			fmt.Println("  ...")
+			return
+		}
+		if len(line) > 100 {
+			line = line[:100] + "..."
+		}
+		fmt.Println("  " + line)
+	}
+}

@@ -1,0 +1,97 @@
+// Longitudinal trend analysis: the Section IV-D workflow. Monthly snapshots
+// of a script collection (synthesized with the paper's observed drift) are
+// classified month by month, and the report plots transformed-code
+// prevalence plus the leading technique shares over time — Figures 6 and 7
+// as an ASCII chart.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"strings"
+
+	transformdetect "repro"
+	"repro/internal/corpus"
+	"repro/internal/transform"
+)
+
+func main() {
+	fmt.Println("training detectors...")
+	analyzer, err := transformdetect.TrainDefault(3)
+	if err != nil {
+		log.Fatalf("train: %v", err)
+	}
+
+	series, err := corpus.BuildLongitudinal(corpus.LongitudinalConfig{
+		ScriptsPerMonth: 6,
+		Origin:          "alexa",
+	}, rand.New(rand.NewSource(11)))
+	if err != nil {
+		log.Fatalf("build series: %v", err)
+	}
+	fmt.Printf("classifying %d scripts across %d months...\n\n", len(series), corpus.LongitudinalMonths)
+
+	months := make([]month, corpus.LongitudinalMonths)
+	for _, f := range series {
+		res, err := analyzer.AnalyzeSource(f.Source)
+		if err != nil {
+			log.Fatalf("analyze %s: %v", f.Name, err)
+		}
+		m := &months[f.Month]
+		m.total++
+		if !res.Transformed {
+			continue
+		}
+		m.transformed++
+		for _, p := range res.AllTechniques {
+			switch p.Technique {
+			case transform.MinifySimple:
+				m.minSimple += p.Probability
+			case transform.MinifyAdvanced:
+				m.minAdvanced += p.Probability
+			}
+		}
+	}
+
+	fmt.Println("transformed-script rate per quarter (Figure 6):")
+	for q := 0; q < corpus.LongitudinalMonths; q += 3 {
+		total, transformed := 0, 0
+		for m := q; m < q+3 && m < corpus.LongitudinalMonths; m++ {
+			total += months[m].total
+			transformed += months[m].transformed
+		}
+		rate := float64(transformed) / float64(total)
+		bar := strings.Repeat("#", int(rate*40))
+		fmt.Printf("  %s  %5.1f%% %s\n", corpus.MonthLabel(q), rate*100, bar)
+	}
+
+	firstHalf, secondHalf := halves(months)
+	fmt.Printf("\nmean transformed rate: first half %.1f%%, second half %.1f%%\n",
+		firstHalf*100, secondHalf*100)
+	fmt.Println("(the paper observes a steady rise — web developers minify more over time)")
+}
+
+// month aggregates one calendar month of the series.
+type month struct {
+	total       int
+	transformed int
+	minSimple   float64
+	minAdvanced float64
+}
+
+func halves(months []month) (float64, float64) {
+	half := len(months) / 2
+	rate := func(ms []month) float64 {
+		total, transformed := 0, 0
+		for _, m := range ms {
+			total += m.total
+			transformed += m.transformed
+		}
+		if total == 0 {
+			return 0
+		}
+		return float64(transformed) / float64(total)
+	}
+	return rate(months[:half]), rate(months[half:])
+}

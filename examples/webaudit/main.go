@@ -1,0 +1,84 @@
+// Web audit: the Section IV-B1 workflow as a reusable report. A "crawl" of
+// ranked sites (synthesized here; swap in real scraped scripts the same
+// way) is audited site by site: which sites ship transformed code, what the
+// per-site technique profile looks like, and how transformation rate tracks
+// popularity rank.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sort"
+
+	transformdetect "repro"
+	"repro/internal/corpus"
+)
+
+func main() {
+	fmt.Println("training detectors...")
+	analyzer, err := transformdetect.TrainDefault(21)
+	if err != nil {
+		log.Fatalf("train: %v", err)
+	}
+
+	const sites = 25
+	crawl, err := corpus.BuildRanked(corpus.AlexaConfig(sites), rand.New(rand.NewSource(5)))
+	if err != nil {
+		log.Fatalf("build crawl: %v", err)
+	}
+	fmt.Printf("auditing %d scripts from %d sites...\n\n", len(crawl), sites)
+
+	type siteReport struct {
+		rank        int
+		scripts     int
+		transformed int
+		minified    int
+		obfuscated  int
+	}
+	reports := make(map[int]*siteReport)
+	for _, f := range crawl {
+		rep := reports[f.Rank]
+		if rep == nil {
+			rep = &siteReport{rank: f.Rank}
+			reports[f.Rank] = rep
+		}
+		rep.scripts++
+		res, err := analyzer.AnalyzeSource(f.Source)
+		if err != nil {
+			log.Fatalf("analyze %s: %v", f.Name, err)
+		}
+		if res.Transformed {
+			rep.transformed++
+		}
+		if res.Minified >= 0.5 {
+			rep.minified++
+		}
+		if res.Obfuscated >= 0.5 {
+			rep.obfuscated++
+		}
+	}
+
+	ranks := make([]int, 0, len(reports))
+	for r := range reports {
+		ranks = append(ranks, r)
+	}
+	sort.Ints(ranks)
+
+	fmt.Printf("%5s %8s %12s %9s %11s\n", "rank", "scripts", "transformed", "minified", "obfuscated")
+	sitesWithTransformed := 0
+	totalScripts, totalTransformed := 0, 0
+	for _, r := range ranks {
+		rep := reports[r]
+		fmt.Printf("%5d %8d %12d %9d %11d\n", rep.rank, rep.scripts, rep.transformed, rep.minified, rep.obfuscated)
+		if rep.transformed > 0 {
+			sitesWithTransformed++
+		}
+		totalScripts += rep.scripts
+		totalTransformed += rep.transformed
+	}
+	fmt.Printf("\n%d/%d sites ship at least one transformed script (paper: 89.4%% of Alexa Top 10k)\n",
+		sitesWithTransformed, sites)
+	fmt.Printf("%.1f%% of scripts transformed overall (paper: 68.60%%)\n",
+		100*float64(totalTransformed)/float64(totalScripts))
+}

@@ -1,0 +1,201 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/corpus"
+	"repro/internal/transform"
+)
+
+// TrainConfig sizes the end-to-end training pipeline of Section III-D,
+// scaled down from the paper's 21,000 base scripts to laptop sizes. All
+// counts refer to base scripts; transformed pools derive from them.
+type TrainConfig struct {
+	// NumRegular is the number of base regular scripts (the paper's
+	// 21,000). Zero means 240.
+	NumRegular int
+	// TrainFraction of base scripts feeds training; the rest is held out
+	// for testing (kept disjoint at base-script level). Zero means 0.6.
+	TrainFraction float64
+	// Level1PerClass is the number of samples per level 1 class (the
+	// paper's 8,000). Zero derives it from the training pool size.
+	Level1PerClass int
+	// Level2PerTechnique is the number of samples per technique for
+	// level 2 (the paper's 2,000). Zero derives it from the pool.
+	Level2PerTechnique int
+	// Options configures features and forests for both detectors.
+	Options Options
+}
+
+func (c TrainConfig) numRegular() int {
+	if c.NumRegular <= 0 {
+		return 240
+	}
+	return c.NumRegular
+}
+
+func (c TrainConfig) trainFraction() float64 {
+	if c.TrainFraction <= 0 || c.TrainFraction >= 1 {
+		return 0.6
+	}
+	return c.TrainFraction
+}
+
+// Trained bundles both detectors with the held-out material every
+// experiment reuses.
+type Trained struct {
+	Level1 *Detector
+	Level2 *Detector
+
+	// TestRegular holds held-out regular files.
+	TestRegular []corpus.File
+	// TestPool holds held-out single-technique transformed files.
+	TestPool map[transform.Technique][]corpus.File
+	// TestBases holds the held-out base files (for building mixed and
+	// packer test sets on unseen scripts).
+	TestBases []corpus.File
+
+	// Config echoes the effective configuration.
+	Config TrainConfig
+}
+
+// Train generates the corpus, builds the paper's training sets, and fits
+// both detectors (Sections III-D1 through III-D2).
+func Train(cfg TrainConfig) (*Trained, error) {
+	rng := rand.New(rand.NewSource(cfg.Options.Seed + 1))
+
+	// Section III-D1: regular file collection with corpus filters applied.
+	regular := corpus.RegularSet(cfg.numRegular(), rng)
+
+	// Split base scripts into train/test before transforming, so held-out
+	// evaluations never see a variant of a training script.
+	cut := int(float64(len(regular)) * cfg.trainFraction())
+	if cut < 1 || cut >= len(regular) {
+		return nil, fmt.Errorf("core: training split %d/%d is degenerate", cut, len(regular))
+	}
+	trainBases, testBases := regular[:cut], regular[cut:]
+
+	// Section III-D2: transform every base once per technique.
+	trainPool, err := corpus.TransformPool(trainBases, rng)
+	if err != nil {
+		return nil, fmt.Errorf("core: build training pool: %w", err)
+	}
+	testPool, err := corpus.TransformPool(testBases, rng)
+	if err != nil {
+		return nil, fmt.Errorf("core: build test pool: %w", err)
+	}
+
+	// Level 1 training set: equal thirds regular / minified / obfuscated;
+	// minified drawn equally from the 2 minification techniques, obfuscated
+	// equally from the 8 obfuscation techniques.
+	perClass := cfg.Level1PerClass
+	if perClass <= 0 || perClass > len(trainBases) {
+		perClass = len(trainBases)
+	}
+	var l1Files []corpus.File
+	l1Files = append(l1Files, trainBases[:perClass]...)
+	l1Files = append(l1Files, drawPool(trainPool, transform.MinifySimple, perClass/2, rng)...)
+	l1Files = append(l1Files, drawPool(trainPool, transform.MinifyAdvanced, perClass-perClass/2, rng)...)
+	obfTechs := obfuscationTechniques()
+	for i, t := range obfTechs {
+		share := perClass / len(obfTechs)
+		if i < perClass%len(obfTechs) {
+			share++
+		}
+		l1Files = append(l1Files, drawPool(trainPool, t, share, rng)...)
+	}
+
+	l1, err := TrainLevel1(l1Files, cfg.Options)
+	if err != nil {
+		return nil, fmt.Errorf("core: train level 1: %w", err)
+	}
+
+	// Level 2 training set: a fixed number of samples per technique.
+	perTech := cfg.Level2PerTechnique
+	if perTech <= 0 || perTech > len(trainBases) {
+		perTech = len(trainBases)
+	}
+	var l2Files []corpus.File
+	for _, t := range transform.Techniques {
+		l2Files = append(l2Files, drawPool(trainPool, t, perTech, rng)...)
+	}
+	l2, err := TrainLevel2(l2Files, cfg.Options)
+	if err != nil {
+		return nil, fmt.Errorf("core: train level 2: %w", err)
+	}
+
+	return &Trained{
+		Level1:      l1,
+		Level2:      l2,
+		TestRegular: testBases,
+		TestPool:    testPool,
+		TestBases:   testBases,
+		Config:      cfg,
+	}, nil
+}
+
+// drawPool samples n files (without replacement) from one technique pool.
+func drawPool(pool map[transform.Technique][]corpus.File, t transform.Technique, n int, rng *rand.Rand) []corpus.File {
+	files := pool[t]
+	if n >= len(files) {
+		return files
+	}
+	perm := rng.Perm(len(files))
+	out := make([]corpus.File, 0, n)
+	for _, i := range perm[:n] {
+		out = append(out, files[i])
+	}
+	return out
+}
+
+func obfuscationTechniques() []transform.Technique {
+	var out []transform.Technique
+	for _, t := range transform.Techniques {
+		if !t.IsMinification() {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// MixedTestSet builds the multi-technique test files of Section III-E2 on
+// held-out bases: each file combines 1-7 techniques.
+func (tr *Trained) MixedTestSet(n int, rng *rand.Rand) ([]corpus.File, error) {
+	if len(tr.TestBases) == 0 {
+		return nil, fmt.Errorf("core: no held-out bases")
+	}
+	files := make([]corpus.File, 0, n)
+	for i := 0; i < n; i++ {
+		base := tr.TestBases[rng.Intn(len(tr.TestBases))]
+		size := 1 + rng.Intn(7)
+		combo := corpus.RandomCombo(rng, size)
+		tf, err := corpus.Apply(base, rng, combo...)
+		if err != nil {
+			return nil, err
+		}
+		tf.Name = fmt.Sprintf("mixed_%05d.js", i)
+		files = append(files, tf)
+	}
+	return files, nil
+}
+
+// PackerTestSet builds the held-out-tool test files of Section III-E3: base
+// scripts packed with the Dean Edwards-style packer, which never appears in
+// training.
+func (tr *Trained) PackerTestSet(n int, rng *rand.Rand) ([]corpus.File, error) {
+	if len(tr.TestBases) == 0 {
+		return nil, fmt.Errorf("core: no held-out bases")
+	}
+	files := make([]corpus.File, 0, n)
+	for i := 0; i < n; i++ {
+		base := tr.TestBases[rng.Intn(len(tr.TestBases))]
+		tf, err := corpus.Apply(base, rng, transform.Packer)
+		if err != nil {
+			return nil, err
+		}
+		tf.Name = fmt.Sprintf("packed_%05d.js", i)
+		files = append(files, tf)
+	}
+	return files, nil
+}

@@ -1,0 +1,523 @@
+// Package corpus synthesizes the datasets of the paper's study: regular
+// JavaScript in the styles of GitHub projects and popular libraries
+// (Section III-D1), Alexa-like client-side collections, npm-like package
+// collections, malicious JavaScript in the styles of the DNC, Hynek, and
+// BSI feeds (Section IV-A), and the 65-month longitudinal series
+// (Section IV-D). Everything is generated from a seed, so every experiment
+// is reproducible offline.
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// jsgen generates one regular JavaScript file.
+type jsgen struct {
+	rng *rand.Rand
+	sb  strings.Builder
+	// declared tracks top-level names to avoid redeclaration clashes;
+	// declOrder keeps them in declaration order for deterministic output.
+	declared  map[string]bool
+	declOrder []string
+}
+
+var identWords = []string{
+	"data", "value", "result", "index", "item", "user", "config", "options",
+	"count", "total", "list", "name", "key", "node", "element", "callback",
+	"handler", "response", "request", "cache", "buffer", "state", "event",
+	"target", "query", "entry", "record", "field", "label", "token", "group",
+	"page", "view", "model", "store", "price", "amount", "order", "status",
+	"message", "error", "info", "detail", "content", "body", "header", "row",
+	"column", "cell", "width", "height", "offset", "limit", "start", "end",
+	"source", "dest", "input", "output", "temp", "flag", "mode", "level",
+}
+
+var verbWords = []string{
+	"get", "set", "update", "render", "fetch", "load", "save", "parse",
+	"format", "build", "create", "remove", "delete", "add", "insert", "find",
+	"filter", "map", "reduce", "sort", "merge", "clone", "validate", "check",
+	"handle", "process", "compute", "calc", "init", "setup", "reset", "clear",
+	"apply", "bind", "wrap", "unwrap", "encode", "decode", "normalize", "toggle",
+}
+
+var stringPool = []string{
+	"click", "change", "submit", "load", "error", "success", "warning",
+	"active", "hidden", "disabled", "selected", "container", "wrapper",
+	"content", "header", "footer", "main", "sidebar", "button", "input",
+	"utf-8", "application/json", "text/html", "GET", "POST", "PUT",
+	"missing value", "invalid input", "not found", "timeout", "ready",
+	"complete", "pending", "failed", "ok", "January", "February", "Monday",
+	"user-id", "session", "api/v1/items", "api/v1/users", "/static/img",
+	"en-US", "de-DE", "true", "false", "null", "undefined behavior",
+}
+
+func (g *jsgen) word(list []string) string { return list[g.rng.Intn(len(list))] }
+
+// ident makes a plausible identifier like updateUserCount or itemList.
+func (g *jsgen) ident() string {
+	switch g.rng.Intn(4) {
+	case 0:
+		return g.word(identWords)
+	case 1:
+		return g.word(identWords) + title(g.word(identWords))
+	case 2:
+		return g.word(verbWords) + title(g.word(identWords))
+	default:
+		return g.word(verbWords) + title(g.word(identWords)) + title(g.word(identWords))
+	}
+}
+
+// freshIdent returns an identifier unused at top level.
+func (g *jsgen) freshIdent() string {
+	for i := 0; i < 40; i++ {
+		name := g.ident()
+		if !g.declared[name] {
+			g.declared[name] = true
+			g.declOrder = append(g.declOrder, name)
+			return name
+		}
+	}
+	name := fmt.Sprintf("%s%d", g.ident(), g.rng.Intn(1000))
+	g.declared[name] = true
+	g.declOrder = append(g.declOrder, name)
+	return name
+}
+
+func title(s string) string {
+	if s == "" {
+		return s
+	}
+	return strings.ToUpper(s[:1]) + s[1:]
+}
+
+func (g *jsgen) str() string         { return g.word(stringPool) }
+func (g *jsgen) num() int            { return g.rng.Intn(200) }
+func (g *jsgen) small() int          { return 1 + g.rng.Intn(10) }
+func (g *jsgen) prob(p float64) bool { return g.rng.Float64() < p }
+
+func (g *jsgen) line(format string, args ...any) {
+	fmt.Fprintf(&g.sb, format, args...)
+	g.sb.WriteByte('\n')
+}
+
+// comment writes a plausible source comment.
+func (g *jsgen) comment() {
+	switch g.rng.Intn(4) {
+	case 0:
+		g.line("// %s the %s %s", title(g.word(verbWords)), g.word(identWords), g.word(identWords))
+	case 1:
+		g.line("/* %s helper for %s handling */", title(g.word(identWords)), g.word(identWords))
+	case 2:
+		g.line("// TODO: %s %s edge cases", g.word(verbWords), g.word(identWords))
+	default:
+		g.line("/**\n * %s a %s from the given %s.\n * @param {Object} %s\n */",
+			title(g.word(verbWords)), g.word(identWords), g.word(identWords), g.word(identWords))
+	}
+}
+
+// GenerateRegular produces one regular JavaScript file of a random flavor.
+func GenerateRegular(rng *rand.Rand) string {
+	g := &jsgen{rng: rng, declared: make(map[string]bool)}
+	flavors := []func(){
+		g.utilityModule, g.browserScript, g.nodeModule,
+		g.dataProcessing, g.classComponent, g.asyncClient, g.pluginModule,
+		g.modernModule,
+	}
+	flavors[rng.Intn(len(flavors))]()
+	return g.sb.String()
+}
+
+// fragments emits n random statement-level fragments from the given set.
+func (g *jsgen) fragments(n int, set []func()) {
+	for i := 0; i < n; i++ {
+		if g.prob(0.4) {
+			g.comment()
+		}
+		set[g.rng.Intn(len(set))]()
+		g.sb.WriteByte('\n')
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Flavors
+// ---------------------------------------------------------------------------
+
+func (g *jsgen) utilityModule() {
+	if g.prob(0.5) {
+		g.line("\"use strict\";")
+		g.sb.WriteByte('\n')
+	}
+	g.fragments(4+g.rng.Intn(7), []func(){
+		g.helperFunction, g.loopFunction, g.constTable, g.switchFunction,
+		g.recursiveFunction, g.stringHelper, g.guardedCall, g.mathHelper,
+	})
+}
+
+func (g *jsgen) browserScript() {
+	g.fragments(4+g.rng.Intn(6), []func(){
+		g.domHandler, g.domQueryLoop, g.helperFunction, g.guardedCall,
+		g.timerBlock, g.formValidator, g.constTable,
+	})
+}
+
+func (g *jsgen) nodeModule() {
+	reqs := 1 + g.rng.Intn(3)
+	mods := []string{"fs", "path", "util", "events", "crypto", "http", "url", "os"}
+	for i := 0; i < reqs; i++ {
+		m := mods[g.rng.Intn(len(mods))]
+		g.line("var %s = require(%q);", m, m)
+	}
+	g.sb.WriteByte('\n')
+	g.fragments(3+g.rng.Intn(6), []func(){
+		g.helperFunction, g.loopFunction, g.constTable, g.errorFirstCallback,
+		g.stringHelper, g.switchFunction,
+	})
+	g.line("module.exports = {")
+	names := g.declOrder
+	if len(names) > 3 {
+		names = names[:3]
+	}
+	for i, n := range names {
+		comma := ","
+		if i == len(names)-1 {
+			comma = ""
+		}
+		g.line("  %s: %s%s", n, n, comma)
+	}
+	g.line("};")
+}
+
+func (g *jsgen) dataProcessing() {
+	table := g.freshIdent()
+	g.line("var %s = [", table)
+	rows := 3 + g.rng.Intn(6)
+	for i := 0; i < rows; i++ {
+		g.line("  {id: %d, %s: %q, %s: %d},", i+1, g.word(identWords), g.str(), g.word(identWords), g.num())
+	}
+	g.line("];")
+	g.sb.WriteByte('\n')
+	g.fragments(3+g.rng.Intn(5), []func(){
+		func() { g.arrayPipeline(table) }, g.helperFunction, g.loopFunction,
+		g.constTable, g.stringHelper,
+	})
+}
+
+func (g *jsgen) classComponent() {
+	cls := title(g.freshIdent())
+	g.line("class %s {", cls)
+	g.line("  constructor(%s) {", g.word(identWords))
+	g.line("    this.%s = %s || {};", g.word(identWords), g.word(identWords))
+	g.line("    this.%s = %d;", g.word(identWords), g.num())
+	g.line("  }")
+	methods := 2 + g.rng.Intn(4)
+	for i := 0; i < methods; i++ {
+		m := g.word(verbWords) + title(g.word(identWords))
+		arg := g.word(identWords)
+		g.line("  %s(%s) {", m, arg)
+		g.line("    if (!%s) { return null; }", arg)
+		g.line("    return this.%s ? %s.%s : %d;", g.word(identWords), arg, g.word(identWords), g.num())
+		g.line("  }")
+	}
+	g.line("}")
+	g.sb.WriteByte('\n')
+	g.fragments(2+g.rng.Intn(3), []func(){
+		func() {
+			inst := g.freshIdent()
+			g.line("var %s = new %s({%s: %d});", inst, cls, g.word(identWords), g.num())
+			g.line("console.log(%s.%s(%q));", inst, g.word(verbWords)+title(g.word(identWords)), g.str())
+		},
+		g.helperFunction, g.constTable,
+	})
+}
+
+func (g *jsgen) asyncClient() {
+	g.fragments(3+g.rng.Intn(4), []func(){
+		g.fetchBlock, g.promiseChain, g.helperFunction, g.timerBlock,
+		g.errorFirstCallback, g.guardedCall,
+	})
+}
+
+func (g *jsgen) pluginModule() {
+	g.line("(function (root, factory) {")
+	g.line("  if (typeof module === \"object\" && module.exports) {")
+	g.line("    module.exports = factory();")
+	g.line("  } else {")
+	g.line("    root.%s = factory();", title(g.freshIdent()))
+	g.line("  }")
+	g.line("}(this, function () {")
+	g.line("  var api = {};")
+	inner := &jsgen{rng: g.rng, declared: make(map[string]bool)}
+	inner.fragments(3+g.rng.Intn(4), []func(){
+		inner.helperFunction, inner.loopFunction, inner.stringHelper, inner.constTable,
+	})
+	for _, ln := range strings.Split(inner.sb.String(), "\n") {
+		if ln != "" {
+			g.line("  %s", ln)
+		} else {
+			g.sb.WriteByte('\n')
+		}
+	}
+	g.line("  return api;")
+	g.line("}));")
+}
+
+func (g *jsgen) modernModule() {
+	g.fragments(4+g.rng.Intn(5), []func(){
+		g.arrowHelpers, g.destructuringBlock, g.templateHelper,
+		g.classComponentFragment, g.helperFunction, g.constTable,
+	})
+}
+
+func (g *jsgen) arrowHelpers() {
+	name := g.freshIdent()
+	a, b := g.word(identWords), g.word(identWords)
+	if a == b {
+		b += "Extra"
+	}
+	switch g.rng.Intn(3) {
+	case 0:
+		g.line("const %s = (%s, %s) => %s + %s * %d;", name, a, b, a, b, g.small())
+	case 1:
+		g.line("const %s = %s => {", name, a)
+		g.line("  if (!%s) { return []; }", a)
+		g.line("  return %s.map(x => x.%s).filter(Boolean);", a, g.word(identWords))
+		g.line("};")
+	default:
+		g.line("const %s = () => ({%s: %d, %s: %q});", name, a, g.num(), b, g.str())
+	}
+}
+
+func (g *jsgen) destructuringBlock() {
+	a, b, c := g.word(identWords), g.word(identWords), g.word(identWords)
+	if b == a {
+		b += "Alt"
+	}
+	if c == a || c == b {
+		c += "More"
+	}
+	src := g.freshIdent()
+	g.line("const %s = {%s: %d, %s: %q, %s: [%d, %d]};", src, a, g.num(), b, g.str(), c, g.num(), g.num())
+	g.line("const {%s, %s = %d} = %s;", a, b, g.num(), src)
+	g.line("const [%sFirst, %sSecond] = %s.%s || [];", c, c, src, c)
+	g.line("console.log(%s, %s, %sFirst, %sSecond);", a, b, c, c)
+}
+
+func (g *jsgen) templateHelper() {
+	name := g.freshIdent()
+	arg := g.word(identWords)
+	g.line("function %s(%s) {", name, arg)
+	g.line("  return `%s: ${%s} (%s=${%s.length})`;", g.word(identWords), arg, g.word(identWords), arg)
+	g.line("}")
+}
+
+func (g *jsgen) classComponentFragment() {
+	cls := title(g.freshIdent())
+	g.line("class %s {", cls)
+	if g.prob(0.5) {
+		g.line("  %s = %d;", g.word(identWords), g.num())
+		g.line("  static %s = %q;", g.word(identWords), g.str())
+	}
+	g.line("  constructor() { this.%s = new Map(); }", g.word(identWords))
+	g.line("  get size() { return this.%s.size; }", g.word(identWords))
+	g.line("  add(key, value) {")
+	g.line("    this.%s.set(key, value);", g.word(identWords))
+	g.line("    return this;")
+	g.line("  }")
+	g.line("}")
+}
+
+// ---------------------------------------------------------------------------
+// Fragments
+// ---------------------------------------------------------------------------
+
+func (g *jsgen) helperFunction() {
+	name := g.freshIdent()
+	a, b := g.word(identWords), g.word(identWords)
+	if a == b {
+		b = b + "Value"
+	}
+	g.line("function %s(%s, %s) {", name, a, b)
+	if g.prob(0.5) {
+		g.line("  if (%s === undefined) { %s = %d; }", b, b, g.num())
+	}
+	switch g.rng.Intn(3) {
+	case 0:
+		g.line("  return %s + %s * %d;", a, b, g.small())
+	case 1:
+		g.line("  var %s = %s ? %s : %q;", g.word(identWords), a, b, g.str())
+		g.line("  return %s;", a)
+	default:
+		g.line("  return {%s: %s, %s: %s};", a, a, b, b)
+	}
+	g.line("}")
+}
+
+func (g *jsgen) loopFunction() {
+	name := g.freshIdent()
+	arr := g.word(identWords) + "List"
+	g.line("function %s(%s) {", name, arr)
+	g.line("  var total = 0;")
+	g.line("  for (var i = 0; i < %s.length; i++) {", arr)
+	g.line("    var %s = %s[i];", g.word(identWords), arr)
+	g.line("    if (%s && %s.%s > %d) {", g.word(identWords), g.word(identWords), g.word(identWords), g.num())
+	g.line("      total += %d;", g.small())
+	g.line("    }")
+	g.line("  }")
+	g.line("  return total;")
+	g.line("}")
+}
+
+func (g *jsgen) constTable() {
+	name := strings.ToUpper(g.freshIdent())
+	g.line("var %s = {", name)
+	entries := 2 + g.rng.Intn(5)
+	for i := 0; i < entries; i++ {
+		if g.prob(0.5) {
+			g.line("  %s: %q,", g.word(identWords), g.str())
+		} else {
+			g.line("  %s: %d,", g.word(identWords), g.num())
+		}
+	}
+	g.line("};")
+}
+
+func (g *jsgen) switchFunction() {
+	name := g.freshIdent()
+	arg := g.word(identWords)
+	g.line("function %s(%s) {", name, arg)
+	g.line("  switch (%s) {", arg)
+	cases := 2 + g.rng.Intn(4)
+	for i := 0; i < cases; i++ {
+		g.line("    case %q:", g.str())
+		g.line("      return %d;", g.num())
+	}
+	g.line("    default:")
+	g.line("      return null;")
+	g.line("  }")
+	g.line("}")
+}
+
+func (g *jsgen) recursiveFunction() {
+	name := g.freshIdent()
+	g.line("function %s(n) {", name)
+	g.line("  if (n <= 1) { return 1; }")
+	g.line("  return n * %s(n - 1);", name)
+	g.line("}")
+}
+
+func (g *jsgen) stringHelper() {
+	name := g.freshIdent()
+	arg := "text"
+	switch g.rng.Intn(3) {
+	case 0:
+		g.line("function %s(%s) {", name, arg)
+		g.line("  return %s.split(%q).map(function (part) {", arg, " ")
+		g.line("    return part.charAt(0).toUpperCase() + part.slice(1);")
+		g.line("  }).join(%q);", " ")
+		g.line("}")
+	case 1:
+		g.line("function %s(%s) {", name, arg)
+		g.line("  return String(%s).replace(/\\s+/g, %q).trim();", arg, " ")
+		g.line("}")
+	default:
+		g.line("function %s(%s, maxLen) {", name, arg)
+		g.line("  if (%s.length <= maxLen) { return %s; }", arg, arg)
+		g.line("  return %s.substring(0, maxLen - 3) + %q;", arg, "...")
+		g.line("}")
+	}
+}
+
+func (g *jsgen) mathHelper() {
+	name := g.freshIdent()
+	g.line("function %s(values) {", name)
+	g.line("  var sum = values.reduce(function (acc, v) { return acc + v; }, 0);")
+	g.line("  return Math.round(sum / Math.max(values.length, 1) * 100) / 100;")
+	g.line("}")
+}
+
+func (g *jsgen) guardedCall() {
+	g.line("try {")
+	g.line("  %s(%q, %d);", g.ident(), g.str(), g.num())
+	g.line("} catch (err) {")
+	g.line("  console.error(%q, err);", g.str())
+	g.line("}")
+}
+
+func (g *jsgen) domHandler() {
+	sel := "." + g.word(stringPool)
+	g.line("document.addEventListener(%q, function (event) {", g.word([]string{"click", "change", "submit", "input"}))
+	g.line("  var target = event.target.closest(%q);", sel)
+	g.line("  if (!target) { return; }")
+	g.line("  target.classList.toggle(%q);", g.word([]string{"active", "hidden", "selected"}))
+	if g.prob(0.5) {
+		g.line("  event.preventDefault();")
+	}
+	g.line("});")
+}
+
+func (g *jsgen) domQueryLoop() {
+	list := g.freshIdent()
+	g.line("var %s = document.querySelectorAll(%q);", list, "."+g.word(stringPool))
+	g.line("for (var i = 0; i < %s.length; i++) {", list)
+	g.line("  %s[i].setAttribute(%q, %q);", list, "data-"+g.word(identWords), g.str())
+	g.line("}")
+}
+
+func (g *jsgen) timerBlock() {
+	g.line("setTimeout(function () {")
+	g.line("  var %s = Date.now() %% %d;", g.word(identWords), 1000+g.num())
+	g.line("  console.log(%q, %s);", g.str(), g.word(identWords))
+	g.line("}, %d);", 100*g.small())
+}
+
+func (g *jsgen) formValidator() {
+	name := g.freshIdent()
+	g.line("function %s(form) {", name)
+	g.line("  var value = form.querySelector(%q).value;", "input[name="+g.word(identWords)+"]")
+	g.line("  if (!value || value.length < %d) {", g.small())
+	g.line("    return {valid: false, message: %q};", g.str())
+	g.line("  }")
+	g.line("  return {valid: true, value: value.trim()};")
+	g.line("}")
+}
+
+func (g *jsgen) errorFirstCallback() {
+	name := g.freshIdent()
+	g.line("function %s(path, done) {", name)
+	g.line("  fs.readFile(path, %q, function (err, content) {", "utf-8")
+	g.line("    if (err) { return done(err); }")
+	g.line("    done(null, content.split(%q).length);", "\\n")
+	g.line("  });")
+	g.line("}")
+}
+
+func (g *jsgen) fetchBlock() {
+	g.line("fetch(%q, {method: %q})", "/"+g.word(stringPool), g.word([]string{"GET", "POST"}))
+	g.line("  .then(function (res) { return res.json(); })")
+	g.line("  .then(function (payload) {")
+	g.line("    console.log(payload.%s);", g.word(identWords))
+	g.line("  })")
+	g.line("  .catch(function (err) { console.error(err); });")
+}
+
+func (g *jsgen) promiseChain() {
+	name := g.freshIdent()
+	g.line("function %s(input) {", name)
+	g.line("  return new Promise(function (resolve, reject) {")
+	g.line("    if (!input) { reject(new Error(%q)); return; }", g.str())
+	g.line("    resolve({%s: input, at: Date.now()});", g.word(identWords))
+	g.line("  });")
+	g.line("}")
+}
+
+func (g *jsgen) arrayPipeline(table string) {
+	out := g.freshIdent()
+	field := g.word(identWords)
+	g.line("var %s = %s", out, table)
+	g.line("  .filter(function (row) { return row.id %% %d !== 0; })", 2+g.rng.Intn(3))
+	g.line("  .map(function (row) { return row.%s; })", field)
+	g.line("  .reduce(function (acc, v) { return acc + (typeof v === %q ? v : 0); }, 0);", "number")
+	g.line("console.log(%q, %s);", g.str(), out)
+}

@@ -1,0 +1,73 @@
+package corpus
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// LoadStats summarizes what a directory load kept and dropped, mirroring
+// the paper's corpus-filter accounting.
+type LoadStats struct {
+	Accepted   int
+	TooSmall   int
+	TooLarge   int
+	NoCode     int
+	Unparsable int
+	Skipped    int // non-.js entries
+}
+
+// String renders the stats.
+func (s LoadStats) String() string {
+	return fmt.Sprintf("accepted %d (too small %d, too large %d, no code %d, unparsable %d, skipped %d)",
+		s.Accepted, s.TooSmall, s.TooLarge, s.NoCode, s.Unparsable, s.Skipped)
+}
+
+// LoadDir reads every .js file under dir (recursively) and applies the
+// paper's corpus filters. It is the entry point for running the detector on
+// real collections instead of the synthesized ones.
+func LoadDir(dir string) ([]File, LoadStats, error) {
+	var files []File
+	var stats LoadStats
+	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			return nil
+		}
+		if !strings.HasSuffix(strings.ToLower(d.Name()), ".js") {
+			stats.Skipped++
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return fmt.Errorf("read %s: %w", path, err)
+		}
+		src := string(data)
+		switch Filter(src) {
+		case FilterAccepted:
+			stats.Accepted++
+			rel, relErr := filepath.Rel(dir, path)
+			if relErr != nil {
+				rel = path
+			}
+			files = append(files, File{Name: rel, Source: src})
+		case FilterTooSmall:
+			stats.TooSmall++
+		case FilterTooLarge:
+			stats.TooLarge++
+		case FilterNoCode:
+			stats.NoCode++
+		case FilterUnparsable:
+			stats.Unparsable++
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, stats, err
+	}
+	return files, stats, nil
+}

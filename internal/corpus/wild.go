@@ -1,0 +1,483 @@
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/transform"
+)
+
+// TechniqueMix describes how transformed files of a collection draw their
+// technique sets: one primary technique by weight, plus independent
+// secondary probabilities. It encodes the ground-truth mixtures the paper
+// measured in the wild (Figures 2, 3, and 5), so the study harness can
+// verify that the detector recovers them.
+type TechniqueMix struct {
+	// Primary maps techniques to their weight for the main draw.
+	Primary map[transform.Technique]float64
+	// Secondary maps techniques to an independent chance of being added on
+	// top of the primary.
+	Secondary map[transform.Technique]float64
+}
+
+// Draw samples one technique set.
+func (m TechniqueMix) Draw(rng *rand.Rand) []transform.Technique {
+	total := 0.0
+	for _, w := range m.Primary {
+		total += w
+	}
+	var primary transform.Technique
+	r := rng.Float64() * total
+	for _, t := range transform.Techniques {
+		w, ok := m.Primary[t]
+		if !ok {
+			continue
+		}
+		if r < w {
+			primary = t
+			break
+		}
+		r -= w
+	}
+	if primary == 0 {
+		primary = transform.MinifySimple
+	}
+	set := []transform.Technique{primary}
+	for _, t := range transform.Techniques {
+		p, ok := m.Secondary[t]
+		if !ok || t == primary {
+			continue
+		}
+		if rng.Float64() < p {
+			set = append(set, t)
+		}
+	}
+	return set
+}
+
+// AlexaMix is the benign client-side mixture (Figure 2): basic minification
+// 45.96%, advanced minification 40.24%, identifier obfuscation 5.72%, every
+// other technique below 1.94%.
+var AlexaMix = TechniqueMix{
+	Primary: map[transform.Technique]float64{
+		transform.MinifySimple:          0.50,
+		transform.MinifyAdvanced:        0.44,
+		transform.IdentifierObfuscation: 0.045,
+		transform.StringObfuscation:     0.010,
+		transform.GlobalArray:           0.005,
+	},
+	Secondary: map[transform.Technique]float64{
+		transform.IdentifierObfuscation: 0.02,
+		transform.StringObfuscation:     0.01,
+	},
+}
+
+// NpmMix is the benign library mixture (Figure 3): basic minification
+// 58.34%, advanced 36.57%, a bit more identifier obfuscation than Alexa.
+var NpmMix = TechniqueMix{
+	Primary: map[transform.Technique]float64{
+		transform.MinifySimple:          0.59,
+		transform.MinifyAdvanced:        0.35,
+		transform.IdentifierObfuscation: 0.045,
+		transform.StringObfuscation:     0.010,
+		transform.GlobalArray:           0.005,
+	},
+	Secondary: map[transform.Technique]float64{
+		transform.IdentifierObfuscation: 0.05,
+	},
+}
+
+// MaliciousMixes maps each malware source to its technique mixture
+// (Figure 5): identifier obfuscation leads (25-37%), string obfuscation and
+// aggressive minification follow (17-21%), dead-code injection,
+// control-flow flattening, and global array appear 5-10% of the time.
+var MaliciousMixes = map[string]TechniqueMix{
+	"dnc": {
+		Primary: map[transform.Technique]float64{
+			transform.IdentifierObfuscation: 0.30,
+			transform.StringObfuscation:     0.18,
+			transform.MinifyAdvanced:        0.17,
+			transform.MinifySimple:          0.22,
+			transform.GlobalArray:           0.05,
+			transform.DeadCodeInjection:     0.04,
+			transform.ControlFlowFlattening: 0.04,
+		},
+		Secondary: map[transform.Technique]float64{
+			transform.IdentifierObfuscation: 0.25,
+			transform.StringObfuscation:     0.10,
+			transform.DeadCodeInjection:     0.05,
+		},
+	},
+	"hynek": {
+		Primary: map[transform.Technique]float64{
+			transform.IdentifierObfuscation: 0.34,
+			transform.StringObfuscation:     0.20,
+			transform.MinifyAdvanced:        0.20,
+			transform.MinifySimple:          0.08,
+			transform.GlobalArray:           0.07,
+			transform.DeadCodeInjection:     0.06,
+			transform.ControlFlowFlattening: 0.05,
+		},
+		Secondary: map[transform.Technique]float64{
+			transform.IdentifierObfuscation: 0.30,
+			transform.StringObfuscation:     0.12,
+			transform.GlobalArray:           0.05,
+		},
+	},
+	"bsi": {
+		Primary: map[transform.Technique]float64{
+			transform.IdentifierObfuscation: 0.37,
+			transform.StringObfuscation:     0.21,
+			transform.MinifyAdvanced:        0.18,
+			transform.MinifySimple:          0.05,
+			transform.GlobalArray:           0.08,
+			transform.DeadCodeInjection:     0.06,
+			transform.ControlFlowFlattening: 0.05,
+		},
+		Secondary: map[transform.Technique]float64{
+			transform.IdentifierObfuscation: 0.28,
+			transform.StringObfuscation:     0.15,
+			transform.DeadCodeInjection:     0.06,
+		},
+	},
+}
+
+// ---------------------------------------------------------------------------
+// Alexa-like collection (Section IV-B1)
+// ---------------------------------------------------------------------------
+
+// WildConfig sizes a ranked collection.
+type WildConfig struct {
+	// Units is the number of sites or packages.
+	Units int
+	// MaxScriptsPerUnit bounds the scripts per site / files per package.
+	MaxScriptsPerUnit int
+	// TransformedRate is the base probability that a script is transformed
+	// (rank-adjusted for Alexa-like collections).
+	TransformedRate float64
+	// Mix draws technique sets for transformed scripts.
+	Mix TechniqueMix
+	// Origin tag for the files.
+	Origin string
+	// RankEffect scales the transformed rate from top rank (1 +
+	// RankEffect/2) down to bottom rank (1 - RankEffect/2); zero disables
+	// the gradient.
+	RankEffect float64
+}
+
+// BuildRanked generates a ranked collection of scripts: each unit (site or
+// package) owns several scripts, each independently transformed per the
+// configured rate and mixture.
+func BuildRanked(cfg WildConfig, rng *rand.Rand) ([]File, error) {
+	var files []File
+	for rank := 1; rank <= cfg.Units; rank++ {
+		scripts := 1 + rng.Intn(cfg.MaxScriptsPerUnit)
+		rate := cfg.TransformedRate
+		if cfg.RankEffect > 0 && cfg.Units > 1 {
+			// Linear gradient: most popular units are the most transformed,
+			// matching the rank link observed in Section IV-B.
+			frac := float64(rank-1) / float64(cfg.Units-1)
+			rate *= 1 + cfg.RankEffect*(0.5-frac)
+			if rate > 0.98 {
+				rate = 0.98
+			}
+		}
+		for s := 0; s < scripts; s++ {
+			base := File{
+				Name:   fmt.Sprintf("%s_r%05d_s%02d.js", cfg.Origin, rank, s),
+				Source: GenerateRegular(rng),
+				Rank:   rank,
+				Origin: cfg.Origin,
+			}
+			for len(base.Source) < MinSize {
+				base.Source += "\n" + GenerateRegular(rng)
+			}
+			if rng.Float64() < rate {
+				tf, err := Apply(base, rng, cfg.Mix.Draw(rng)...)
+				if err != nil {
+					return nil, err
+				}
+				files = append(files, tf)
+			} else {
+				files = append(files, base)
+			}
+		}
+	}
+	return files, nil
+}
+
+// AlexaConfig returns the Alexa-like collection configuration: 68.60% of
+// scripts transformed overall with a popularity gradient (80% in the top
+// 1k, ~64% by rank 100k), minification-dominated.
+func AlexaConfig(units int) WildConfig {
+	return WildConfig{
+		Units:             units,
+		MaxScriptsPerUnit: 8,
+		TransformedRate:   0.686,
+		Mix:               AlexaMix,
+		Origin:            "alexa",
+		RankEffect:        0.25,
+	}
+}
+
+// NpmConfig returns the npm-like collection configuration: 8.7% of scripts
+// transformed, inverse popularity gradient (top packages are 2.4-4.4 times
+// LESS likely to ship transformed code, Figure 4).
+func NpmConfig(units int) WildConfig {
+	return WildConfig{
+		Units:             units,
+		MaxScriptsPerUnit: 8,
+		TransformedRate:   0.087,
+		Mix:               NpmMix,
+		Origin:            "npm",
+		RankEffect:        -1, // see BuildRanked: negative handled below
+	}
+}
+
+// BuildNpm generates the npm-like collection, applying the inverse rank
+// gradient (top-1k packages less transformed).
+func BuildNpm(cfg WildConfig, rng *rand.Rand) ([]File, error) {
+	var files []File
+	for rank := 1; rank <= cfg.Units; rank++ {
+		scripts := 1 + rng.Intn(cfg.MaxScriptsPerUnit)
+		frac := 0.0
+		if cfg.Units > 1 {
+			frac = float64(rank-1) / float64(cfg.Units-1)
+		}
+		// Top packages ~3x less likely to contain transformed code.
+		rate := cfg.TransformedRate * (0.4 + 1.2*frac)
+		for s := 0; s < scripts; s++ {
+			base := File{
+				Name:   fmt.Sprintf("%s_r%05d_s%02d.js", cfg.Origin, rank, s),
+				Source: GenerateRegular(rng),
+				Rank:   rank,
+				Origin: cfg.Origin,
+			}
+			for len(base.Source) < MinSize {
+				base.Source += "\n" + GenerateRegular(rng)
+			}
+			if rng.Float64() < rate {
+				tf, err := Apply(base, rng, cfg.Mix.Draw(rng)...)
+				if err != nil {
+					return nil, err
+				}
+				files = append(files, tf)
+			} else {
+				files = append(files, base)
+			}
+		}
+	}
+	return files, nil
+}
+
+// ---------------------------------------------------------------------------
+// Malicious collections (Section IV-C)
+// ---------------------------------------------------------------------------
+
+// MaliciousConfig sizes one malware feed.
+type MaliciousConfig struct {
+	// Source is "dnc", "hynek", or "bsi".
+	Source string
+	// Count is the number of samples.
+	Count int
+	// TransformedRate is the fraction of samples that are transformed
+	// (28.93% BSI, 65.94% DNC, 73.07% Hynek).
+	TransformedRate float64
+	// WaveSize > 1 emits waves of syntactically identical but
+	// identifier-randomized clones, mirroring the per-victim wave broadcast
+	// the paper describes.
+	WaveSize int
+	// Months spreads samples over a collection window for the per-month
+	// breakdown of Figure 5.
+	Months int
+}
+
+// DefaultMaliciousConfigs mirrors Table I rates at a configurable scale.
+func DefaultMaliciousConfigs(scale int) []MaliciousConfig {
+	if scale < 1 {
+		scale = 1
+	}
+	return []MaliciousConfig{
+		{Source: "dnc", Count: 45 * scale, TransformedRate: 0.6594, WaveSize: 3, Months: 10},
+		{Source: "hynek", Count: 100 * scale, TransformedRate: 0.7307, WaveSize: 4, Months: 10},
+		{Source: "bsi", Count: 120 * scale, TransformedRate: 0.2893, WaveSize: 5, Months: 6},
+	}
+}
+
+func familyOf(source string, rng *rand.Rand) MaliciousFamily {
+	switch source {
+	case "dnc":
+		return FamilyExploitKit
+	case "bsi":
+		return FamilyLoader
+	default:
+		fams := []MaliciousFamily{FamilyDropper, FamilyLoader, FamilyExploitKit}
+		return fams[rng.Intn(len(fams))]
+	}
+}
+
+// BuildMalicious generates one malware feed.
+func BuildMalicious(cfg MaliciousConfig, rng *rand.Rand) ([]File, error) {
+	mix, ok := MaliciousMixes[cfg.Source]
+	if !ok {
+		return nil, fmt.Errorf("unknown malware source %q", cfg.Source)
+	}
+	months := cfg.Months
+	if months < 1 {
+		months = 1
+	}
+	var files []File
+	for len(files) < cfg.Count {
+		month := rng.Intn(months)
+		base := File{
+			Source: GenerateMalicious(rng, familyOf(cfg.Source, rng)),
+			Origin: cfg.Source,
+			Month:  month,
+		}
+		for len(base.Source) < MinSize {
+			base.Source += "\n" + GenerateMalicious(rng, familyOf(cfg.Source, rng))
+		}
+		wave := 1
+		if cfg.WaveSize > 1 && rng.Float64() < 0.4 {
+			wave = 1 + rng.Intn(cfg.WaveSize)
+		}
+		transformed := rng.Float64() < cfg.TransformedRate
+		var techs []transform.Technique
+		if transformed {
+			techs = mix.Draw(rng)
+		}
+		for w := 0; w < wave && len(files) < cfg.Count; w++ {
+			f := base
+			f.Name = fmt.Sprintf("%s_m%02d_%05d.js", cfg.Source, month, len(files))
+			if transformed {
+				// Waves rename identifiers per victim: re-apply with a fresh
+				// rng state so each clone is SHA-unique but syntactically
+				// identical in structure.
+				tf, err := Apply(f, rng, techs...)
+				if err != nil {
+					return nil, err
+				}
+				f = tf
+			}
+			files = append(files, f)
+		}
+	}
+	return files, nil
+}
+
+// ---------------------------------------------------------------------------
+// Longitudinal collections (Section IV-D)
+// ---------------------------------------------------------------------------
+
+// LongitudinalMonths is the paper's window: 2015-05 through 2020-09.
+const LongitudinalMonths = 65
+
+// MonthLabel renders a month index as the calendar month it models.
+func MonthLabel(i int) string {
+	year := 2015 + (i+4)/12
+	month := (i+4)%12 + 1
+	return fmt.Sprintf("%04d-%02d", year, month)
+}
+
+// AlexaMonthRate models Figure 6's steady rise of transformed client-side
+// code across the 65 months.
+func AlexaMonthRate(month int) float64 {
+	return 0.55 + 0.15*float64(month)/float64(LongitudinalMonths-1)
+}
+
+// NpmMonthRate models the three npm phases the paper observed: ~7.4% with
+// high variance (2015-05..2016-04), ~17.95% (2016-05..2019-05), ~15.17%
+// (2019-06..2020-09).
+func NpmMonthRate(month int, rng *rand.Rand) float64 {
+	switch {
+	case month < 12:
+		return 0.074 * (1 + 0.2422*rng.NormFloat64())
+	case month < 49:
+		return 0.1795 * (1 + 0.059*rng.NormFloat64())
+	default:
+		return 0.1517 * (1 + 0.06*rng.NormFloat64())
+	}
+}
+
+// AlexaMonthMix drifts the Alexa technique mixture over time: basic
+// minification rises from 38.74% to 47.02% while advanced minification
+// drifts from 43.77% down to 40% and identifier obfuscation from 8.23% to
+// 6.21% (Figure 7).
+func AlexaMonthMix(month int) TechniqueMix {
+	frac := float64(month) / float64(LongitudinalMonths-1)
+	lerp := func(a, b float64) float64 { return a + (b-a)*frac }
+	return TechniqueMix{
+		Primary: map[transform.Technique]float64{
+			transform.MinifySimple:          lerp(0.3874, 0.4702),
+			transform.MinifyAdvanced:        lerp(0.4377, 0.40),
+			transform.IdentifierObfuscation: lerp(0.0823, 0.0621),
+			transform.StringObfuscation:     0.02,
+			transform.GlobalArray:           0.01,
+		},
+	}
+}
+
+// NpmMonthMix keeps the npm mixture constant (Figure 8: minification simple
+// ~58.62%, advanced ~34.28%, identifier obfuscation ~9.71%).
+func NpmMonthMix(int) TechniqueMix {
+	return TechniqueMix{
+		Primary: map[transform.Technique]float64{
+			transform.MinifySimple:          0.55,
+			transform.MinifyAdvanced:        0.33,
+			transform.IdentifierObfuscation: 0.09,
+			transform.StringObfuscation:     0.02,
+			transform.GlobalArray:           0.01,
+		},
+	}
+}
+
+// LongitudinalConfig sizes the monthly crawls.
+type LongitudinalConfig struct {
+	// ScriptsPerMonth is the number of scripts sampled per month.
+	ScriptsPerMonth int
+	// Origin is "alexa" or "npm".
+	Origin string
+}
+
+// BuildLongitudinal generates the 65-month series for one origin.
+func BuildLongitudinal(cfg LongitudinalConfig, rng *rand.Rand) ([]File, error) {
+	var files []File
+	for month := 0; month < LongitudinalMonths; month++ {
+		var rate float64
+		var mix TechniqueMix
+		switch cfg.Origin {
+		case "alexa":
+			rate = AlexaMonthRate(month)
+			mix = AlexaMonthMix(month)
+		case "npm":
+			rate = NpmMonthRate(month, rng)
+			mix = NpmMonthMix(month)
+		default:
+			return nil, fmt.Errorf("unknown longitudinal origin %q", cfg.Origin)
+		}
+		if rate < 0.01 {
+			rate = 0.01
+		}
+		for s := 0; s < cfg.ScriptsPerMonth; s++ {
+			base := File{
+				Name:   fmt.Sprintf("%s_long_m%02d_%04d.js", cfg.Origin, month, s),
+				Source: GenerateRegular(rng),
+				Origin: cfg.Origin,
+				Month:  month,
+			}
+			for len(base.Source) < MinSize {
+				base.Source += "\n" + GenerateRegular(rng)
+			}
+			if rng.Float64() < rate {
+				tf, err := Apply(base, rng, mix.Draw(rng)...)
+				if err != nil {
+					return nil, err
+				}
+				files = append(files, tf)
+			} else {
+				files = append(files, base)
+			}
+		}
+	}
+	return files, nil
+}

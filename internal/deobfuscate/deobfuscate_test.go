@@ -1,0 +1,281 @@
+package deobfuscate
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/js/parser"
+	"repro/internal/transform"
+)
+
+func deob(t *testing.T, src string) (string, Report) {
+	t.Helper()
+	out, report, err := Source(src, Options{})
+	if err != nil {
+		t.Fatalf("deobfuscate: %v", err)
+	}
+	if _, err := parser.ParseProgram(out); err != nil {
+		t.Fatalf("output does not reparse: %v\n%s", err, out)
+	}
+	return out, report
+}
+
+func TestFoldConcatenation(t *testing.T) {
+	out, rep := deob(t, `var msg = "he" + "llo" + " " + "world";`)
+	if !strings.Contains(out, `"hello world"`) {
+		t.Fatalf("concatenation not folded:\n%s", out)
+	}
+	if rep.FoldedStrings == 0 {
+		t.Fatal("report must count folds")
+	}
+}
+
+func TestFoldFromCharCode(t *testing.T) {
+	out, _ := deob(t, `var s = String.fromCharCode(104, 105);`)
+	if !strings.Contains(out, `"hi"`) {
+		t.Fatalf("fromCharCode not folded:\n%s", out)
+	}
+}
+
+func TestFoldAtob(t *testing.T) {
+	out, _ := deob(t, `var s = atob("aGVsbG8=");`)
+	if !strings.Contains(out, `"hello"`) {
+		t.Fatalf("atob not folded:\n%s", out)
+	}
+}
+
+func TestFoldPercentDecode(t *testing.T) {
+	out, _ := deob(t, `var s = decodeURIComponent("%68%69");`)
+	if !strings.Contains(out, `"hi"`) {
+		t.Fatalf("percent decoding not folded:\n%s", out)
+	}
+}
+
+func TestFoldReverseChain(t *testing.T) {
+	out, _ := deob(t, `var s = "olleh".split("").reverse().join("");`)
+	if !strings.Contains(out, `"hello"`) {
+		t.Fatalf("reverse chain not folded:\n%s", out)
+	}
+}
+
+func TestResolveGlobalArray(t *testing.T) {
+	src := `
+var _0x1a2b = ["log", "hello"];
+function _0xf(i) { return _0x1a2b[i - 100]; }
+console[_0xf(100)](_0xf(101));
+`
+	out, rep := deob(t, src)
+	if !strings.Contains(out, `"hello"`) {
+		t.Fatalf("array reference not resolved:\n%s", out)
+	}
+	if strings.Contains(out, "_0x1a2b") {
+		t.Fatalf("resolved table must be removed:\n%s", out)
+	}
+	if rep.ResolvedArrayRefs != 2 || rep.RemovedArrays != 1 {
+		t.Fatalf("report = %+v", rep)
+	}
+	// With the dot rewrite, console["log"] becomes console.log.
+	if !strings.Contains(out, "console.log") {
+		t.Fatalf("expected dot access after cleanup:\n%s", out)
+	}
+}
+
+func TestResolveDirectIndexing(t *testing.T) {
+	src := `var table = ["a", "b", "c"]; use(table[1]);`
+	out, _ := deob(t, src)
+	if !strings.Contains(out, `use("b")`) {
+		t.Fatalf("direct indexing not resolved:\n%s", out)
+	}
+}
+
+func TestKeepArrayWithDynamicAccess(t *testing.T) {
+	src := `var table = ["a", "b"]; use(table[i]);`
+	out, _ := deob(t, src)
+	if !strings.Contains(out, "table") {
+		t.Fatalf("table with dynamic access must survive:\n%s", out)
+	}
+}
+
+func TestUnflatten(t *testing.T) {
+	src := `
+var _0xa = "1|2|0".split("|"), _0xb = 0;
+while (true) {
+  switch (_0xa[_0xb++]) {
+  case "0":
+    third();
+    continue;
+  case "1":
+    first();
+    continue;
+  case "2":
+    second();
+    continue;
+  }
+  break;
+}
+`
+	out, rep := deob(t, src)
+	if rep.UnflattenedBlocks != 1 {
+		t.Fatalf("report = %+v\n%s", rep, out)
+	}
+	iFirst := strings.Index(out, "first()")
+	iSecond := strings.Index(out, "second()")
+	iThird := strings.Index(out, "third()")
+	if iFirst < 0 || iSecond < 0 || iThird < 0 || !(iFirst < iSecond && iSecond < iThird) {
+		t.Fatalf("statements not restored in execution order:\n%s", out)
+	}
+	if strings.Contains(out, "while") || strings.Contains(out, "switch") {
+		t.Fatalf("dispatcher must be gone:\n%s", out)
+	}
+}
+
+func TestPruneOpaquePredicates(t *testing.T) {
+	src := `
+if (171 === 203) { junk = 1; }
+if ("xk" == "xq") { other = 2; } else { keepMe(); }
+while (5 * 5 < 5) { dead(); }
+real();
+`
+	out, rep := deob(t, src)
+	if strings.Contains(out, "junk") || strings.Contains(out, "dead") {
+		t.Fatalf("dead branches must be pruned:\n%s", out)
+	}
+	if !strings.Contains(out, "keepMe") || !strings.Contains(out, "real()") {
+		t.Fatalf("live code must survive:\n%s", out)
+	}
+	if rep.PrunedBranches < 3 {
+		t.Fatalf("report = %+v", rep)
+	}
+}
+
+func TestBracketToDot(t *testing.T) {
+	out, rep := deob(t, `obj["method"](data["key"]); obj["not-ident"] = 1; obj["class"] = 2;`)
+	if !strings.Contains(out, "obj.method(data.key)") {
+		t.Fatalf("bracket access not dotted:\n%s", out)
+	}
+	if !strings.Contains(out, `obj["not-ident"]`) {
+		t.Fatalf("invalid identifier must stay bracketed:\n%s", out)
+	}
+	if !strings.Contains(out, `obj["class"]`) {
+		t.Fatalf("reserved word must stay bracketed:\n%s", out)
+	}
+	if rep.DottedAccesses != 2 {
+		t.Fatalf("report = %+v", rep)
+	}
+}
+
+func TestRenameHexIdentifiers(t *testing.T) {
+	src := `var _0x3fa2c1 = 1; function _0xabc(_0xdef) { return _0xdef + _0x3fa2c1; } _0xabc(2);`
+	out, rep := deob(t, src)
+	if strings.Contains(out, "_0x") {
+		t.Fatalf("hex identifiers must be renamed:\n%s", out)
+	}
+	if rep.RenamedIdents != 3 {
+		t.Fatalf("renamed = %d, want 3", rep.RenamedIdents)
+	}
+	if !strings.Contains(out, "v1") {
+		t.Fatalf("expected sequential names:\n%s", out)
+	}
+}
+
+func TestEndToEndAgainstTransformers(t *testing.T) {
+	src := `
+function greet(name) {
+  if (!name) { return "hello stranger"; }
+  return "hello " + name;
+}
+console.log(greet("world"));
+console.log(greet(""));
+`
+	rng := rand.New(rand.NewSource(5))
+	obfuscated, err := transform.Transform(src, rng,
+		transform.StringObfuscation, transform.GlobalArray, transform.DeadCodeInjection)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, rep := deob(t, obfuscated)
+	if rep.Total() == 0 {
+		t.Fatalf("no rewrites applied to obfuscated input:\n%s", obfuscated)
+	}
+	// The original strings must be back in the clear.
+	if !strings.Contains(out, "hello") {
+		t.Fatalf("strings not recovered:\n%s", out)
+	}
+}
+
+func TestUnflattenRoundTrip(t *testing.T) {
+	src := `
+function run() {
+  setup();
+  compute();
+  finish();
+  report();
+}
+run();
+`
+	rng := rand.New(rand.NewSource(9))
+	flattened, err := transform.Transform(src, rng, transform.ControlFlowFlattening)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(flattened, "switch") {
+		t.Fatalf("input was not flattened:\n%s", flattened)
+	}
+	out, rep := deob(t, flattened)
+	if rep.UnflattenedBlocks == 0 {
+		t.Fatalf("flattening not reversed:\n%s", out)
+	}
+	iSetup := strings.Index(out, "setup()")
+	iCompute := strings.Index(out, "compute()")
+	iFinish := strings.Index(out, "finish()")
+	iReport := strings.Index(out, "report()")
+	if !(iSetup >= 0 && iSetup < iCompute && iCompute < iFinish && iFinish < iReport) {
+		t.Fatalf("execution order not restored:\n%s", out)
+	}
+}
+
+func TestOptionsSkipPasses(t *testing.T) {
+	src := `var s = "a" + "b"; obj["k"] = 1;`
+	out, rep, err := Source(src, Options{SkipStringFolding: true, SkipDotRewrite: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FoldedStrings != 0 || rep.DottedAccesses != 0 {
+		t.Fatalf("skipped passes ran: %+v", rep)
+	}
+	if !strings.Contains(out, `"a" + "b"`) {
+		t.Fatalf("concatenation must survive when skipped:\n%s", out)
+	}
+}
+
+func TestParseErrorPropagates(t *testing.T) {
+	if _, _, err := Source("var = ;;;", Options{}); err == nil {
+		t.Fatal("expected parse error")
+	}
+}
+
+func TestReportString(t *testing.T) {
+	r := Report{FoldedStrings: 2, Iterations: 1}
+	if !strings.Contains(r.String(), "folded 2 strings") {
+		t.Fatalf("report string = %q", r.String())
+	}
+}
+
+func TestKeepAccessorWhenAliased(t *testing.T) {
+	src := `
+var table = ["a", "b"];
+function acc(i) { return table[i]; }
+var alias = acc;
+use(alias(0), acc(1));
+`
+	out, _ := deob(t, src)
+	// acc(1) resolves, but alias(0) cannot; the table and accessor must
+	// survive for the alias to keep working.
+	if !strings.Contains(out, "function") || !strings.Contains(out, "alias") {
+		t.Fatalf("aliased accessor must survive:\n%s", out)
+	}
+	if !strings.Contains(out, "table") {
+		t.Fatalf("table must survive while the accessor lives:\n%s", out)
+	}
+}

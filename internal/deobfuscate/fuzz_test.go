@@ -1,0 +1,32 @@
+package deobfuscate
+
+import (
+	"testing"
+
+	"repro/internal/js/parser"
+)
+
+// FuzzDeobfuscate checks that the deobfuscator never panics and that its
+// output always reparses.
+func FuzzDeobfuscate(f *testing.F) {
+	seeds := []string{
+		`var s = "a" + "b" + String.fromCharCode(99);`,
+		`var t = ["x", "y"]; function a(i) { return t[i]; } use(a(0));`,
+		`var o = "1|0".split("|"), i = 0; while (true) { switch (o[i++]) { case "0": b(); continue; case "1": a(); continue; } break; }`,
+		`if (1 === 2) { dead(); } else { live(); }`,
+		`obj["key"]["other"] = atob("aGk=");`,
+		`var _0xab = 1; use(_0xab);`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		out, _, err := Source(src, Options{})
+		if err != nil {
+			return
+		}
+		if _, err := parser.ParseProgram(out); err != nil {
+			t.Fatalf("deobfuscated output does not reparse: %v\ninput: %q\noutput: %q", err, src, out)
+		}
+	})
+}

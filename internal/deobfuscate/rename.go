@@ -1,0 +1,44 @@
+package deobfuscate
+
+import (
+	"fmt"
+
+	"repro/internal/js/ast"
+	"repro/internal/js/scope"
+)
+
+// renameMatching renames every binding whose name matches pred to a fresh
+// sequential readable name (v1, v2, ...), updating all references. It
+// returns the number of bindings renamed.
+func renameMatching(prog *ast.Program, pred func(string) bool) int {
+	info := scope.Analyze(prog)
+	taken := make(map[string]bool)
+	for _, b := range info.Bindings {
+		taken[b.Name] = true
+	}
+	for _, id := range info.Unresolved {
+		taken[id.Name] = true
+	}
+	renamed := 0
+	counter := 0
+	for _, b := range info.Bindings {
+		if b.Decl == nil || !pred(b.Name) {
+			continue
+		}
+		var name string
+		for {
+			counter++
+			name = fmt.Sprintf("v%d", counter)
+			if !taken[name] {
+				break
+			}
+		}
+		taken[name] = true
+		b.Decl.Name = name
+		for _, ref := range b.Refs {
+			ref.Name = name
+		}
+		renamed++
+	}
+	return renamed
+}

@@ -1,0 +1,43 @@
+package features
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/transform"
+)
+
+func BenchmarkExtractRegular(b *testing.B) {
+	src := corpus.GenerateRegular(rand.New(rand.NewSource(1)))
+	for len(src) < 2048 {
+		src += corpus.GenerateRegular(rand.New(rand.NewSource(int64(len(src)))))
+	}
+	e := NewExtractor(Options{})
+	b.SetBytes(int64(len(src)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Extract(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExtractMinified(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	src := corpus.GenerateRegular(rng)
+	min, err := transform.Transform(src, rng, transform.MinifySimple)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e := NewExtractor(Options{})
+	b.SetBytes(int64(len(min)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Extract(min); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,390 @@
+// Package features turns a JavaScript file into the fixed-dimension feature
+// vector the detectors consume (Section III-B): hashed 4-gram frequencies
+// over the AST's syntactic units, plus hand-picked features derived from an
+// in-depth study of each transformation technique's syntactic trace.
+package features
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"strings"
+	"time"
+
+	"repro/internal/flow"
+	"repro/internal/js/ast"
+	"repro/internal/js/lexer"
+	"repro/internal/js/parser"
+	"repro/internal/js/walker"
+)
+
+// Options configures extraction.
+type Options struct {
+	// NGramDims is the size of the hashed 4-gram bucket space. Zero means
+	// the default of 1024.
+	NGramDims int
+	// NGramLen is the n-gram window length; zero means the paper's 4.
+	NGramLen int
+	// DataFlowDeadline bounds data-flow construction (paper: two minutes).
+	DataFlowDeadline time.Duration
+}
+
+func (o Options) dims() int {
+	if o.NGramDims <= 0 {
+		return 1024
+	}
+	return o.NGramDims
+}
+
+func (o Options) ngramLen() int {
+	if o.NGramLen <= 0 {
+		return 4
+	}
+	return o.NGramLen
+}
+
+// Vector is a dense feature vector.
+type Vector []float64
+
+// Extractor extracts feature vectors with a fixed layout.
+type Extractor struct {
+	opts Options
+}
+
+// NewExtractor builds an extractor.
+func NewExtractor(opts Options) *Extractor {
+	return &Extractor{opts: opts}
+}
+
+// Dim returns the total vector dimension.
+func (e *Extractor) Dim() int { return e.opts.dims() + numHandPicked }
+
+// Names returns human-readable names for every dimension.
+func (e *Extractor) Names() []string {
+	names := make([]string, 0, e.Dim())
+	for i := 0; i < e.opts.dims(); i++ {
+		names = append(names, fmt.Sprintf("ngram_bucket_%d", i))
+	}
+	return append(names, handPickedNames[:]...)
+}
+
+// Extract parses src and computes its feature vector.
+func (e *Extractor) Extract(src string) (Vector, error) {
+	res, err := parser.ParseNoTokens(src)
+	if err != nil {
+		return nil, fmt.Errorf("parse: %w", err)
+	}
+	return e.ExtractParsed(src, res), nil
+}
+
+// ExtractParsed computes the feature vector from an already-parsed file.
+func (e *Extractor) ExtractParsed(src string, res *parser.Result) Vector {
+	vec := make(Vector, e.Dim())
+	e.ngramFeatures(res.Program, vec[:e.opts.dims()])
+	g := flow.Build(res.Program, flow.Options{DataFlowDeadline: e.opts.DataFlowDeadline})
+	handPicked(src, res, g, vec[e.opts.dims():])
+	return vec
+}
+
+// ngramFeatures hashes sliding windows over the pre-order sequence of AST
+// node types into the bucket space and stores normalized frequencies.
+func (e *Extractor) ngramFeatures(prog *ast.Program, out []float64) {
+	var seq []string
+	walker.Walk(prog, func(n ast.Node, _ int) bool {
+		seq = append(seq, n.Type())
+		return true
+	})
+	n := e.opts.ngramLen()
+	if len(seq) < n {
+		return
+	}
+	total := 0
+	for i := 0; i+n <= len(seq); i++ {
+		h := fnv.New32a()
+		for j := 0; j < n; j++ {
+			h.Write([]byte(seq[i+j]))
+			h.Write([]byte{0})
+		}
+		out[int(h.Sum32())%len(out)]++
+		total++
+	}
+	if total > 0 {
+		for i := range out {
+			out[i] /= float64(total)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Hand-picked features
+// ---------------------------------------------------------------------------
+
+// handPickedNames documents every hand-picked dimension, in vector order.
+var handPickedNames = [...]string{
+	"ast_depth_per_line",
+	"ast_breadth_per_line",
+	"member_per_unique_identifier",
+	"prop_call_expression",
+	"prop_literal",
+	"prop_identifier",
+	"has_eval",
+	"has_from_char_code",
+	"has_atob_btoa",
+	"has_escape_unescape",
+	"has_decode_uri",
+	"has_function_ctor",
+	"has_set_interval_timeout",
+	"debugger_count_norm",
+	"string_op_per_call",
+	"avg_identifier_length",
+	"avg_chars_per_line",
+	"max_chars_per_line_capped",
+	"prop_ternary",
+	"bracket_member_ratio",
+	"avg_array_size",
+	"prop_vars_fetched_from_arrays",
+	"comment_char_ratio",
+	"whitespace_ratio",
+	"newline_per_byte",
+	"avg_string_length",
+	"string_char_ratio",
+	"identifier_entropy",
+	"hex_identifier_ratio",
+	"short_identifier_ratio",
+	"string_entropy",
+	"encoded_string_ratio",
+	"numeric_literal_ratio",
+	"string_concat_chain_ratio",
+	"avg_switch_cases",
+	"while_true_switch",
+	"pipe_split_strings",
+	"debugger_string_count",
+	"regex_literal_ratio",
+	"control_edges_per_node",
+	"data_edges_per_node",
+	"function_density",
+	"empty_catch_count",
+	"alnum_char_ratio",
+	"jsfuck_char_ratio",
+	"max_expression_nesting",
+	"largest_string_array",
+	"indexed_accessor_call_ratio",
+	"base64_string_ratio",
+	"token_per_byte",
+}
+
+const numHandPicked = len(handPickedNames)
+
+// handPicked fills out with the hand-picked feature block.
+func handPicked(src string, res *parser.Result, g *flow.Graph, out []float64) {
+	prog := res.Program
+	set := func(name string, v float64) {
+		for i, n := range handPickedNames {
+			if n == name {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					v = 0
+				}
+				out[i] = v
+				return
+			}
+		}
+		panic("unknown hand-picked feature " + name)
+	}
+
+	lines := 1 + strings.Count(src, "\n")
+	bytes := len(src)
+	if bytes == 0 {
+		bytes = 1
+	}
+
+	st := collectStats(prog)
+
+	set("ast_depth_per_line", float64(st.depth)/float64(lines))
+	set("ast_breadth_per_line", float64(st.breadth)/float64(lines))
+	if st.uniqueIdents > 0 {
+		set("member_per_unique_identifier", float64(st.memberCount)/float64(st.uniqueIdents))
+	}
+	nodes := float64(st.nodes)
+	if nodes == 0 {
+		nodes = 1
+	}
+	set("prop_call_expression", float64(st.callCount)/nodes)
+	set("prop_literal", float64(st.literalCount)/nodes)
+	set("prop_identifier", float64(st.identCount)/nodes)
+	set("has_eval", b2f(st.builtins["eval"]))
+	set("has_from_char_code", b2f(st.builtins["fromCharCode"]))
+	set("has_atob_btoa", b2f(st.builtins["atob"] || st.builtins["btoa"]))
+	set("has_escape_unescape", b2f(st.builtins["escape"] || st.builtins["unescape"]))
+	set("has_decode_uri", b2f(st.builtins["decodeURIComponent"] || st.builtins["decodeURI"]))
+	set("has_function_ctor", b2f(st.functionCtor > 0))
+	set("has_set_interval_timeout", b2f(st.builtins["setInterval"] || st.builtins["setTimeout"]))
+	set("debugger_count_norm", capAt(float64(st.debuggerCount)/10, 1))
+	if st.callCount > 0 {
+		set("string_op_per_call", float64(st.stringOps)/float64(st.callCount))
+	}
+	if st.identCount > 0 {
+		set("avg_identifier_length", float64(st.identChars)/float64(st.identCount))
+	}
+	set("avg_chars_per_line", capAt(float64(bytes)/float64(lines)/500, 1))
+	set("max_chars_per_line_capped", capAt(maxLineLen(src)/2000, 1))
+	set("prop_ternary", float64(st.ternaryCount)/nodes)
+	if st.memberCount > 0 {
+		set("bracket_member_ratio", float64(st.bracketMember)/float64(st.memberCount))
+	}
+	if st.arrayCount > 0 {
+		set("avg_array_size", capAt(float64(st.arrayElems)/float64(st.arrayCount)/50, 1))
+	}
+	set("prop_vars_fetched_from_arrays", arrayFetchRatio(g))
+	set("comment_char_ratio", commentRatio(res.Comments, bytes))
+	set("whitespace_ratio", whitespaceRatio(src))
+	set("newline_per_byte", float64(strings.Count(src, "\n"))/float64(bytes))
+	if st.stringCount > 0 {
+		set("avg_string_length", capAt(float64(st.stringChars)/float64(st.stringCount)/100, 1))
+	}
+	set("string_char_ratio", capAt(float64(st.stringChars)/float64(bytes), 1))
+	set("identifier_entropy", st.identEntropy())
+	if st.identCount > 0 {
+		set("hex_identifier_ratio", float64(st.hexIdents)/float64(st.identCount))
+		set("short_identifier_ratio", float64(st.shortIdents)/float64(st.identCount))
+	}
+	set("string_entropy", st.stringEntropy())
+	if st.stringCount > 0 {
+		set("encoded_string_ratio", float64(st.encodedStrings)/float64(st.stringCount))
+		set("base64_string_ratio", float64(st.base64Strings)/float64(st.stringCount))
+	}
+	set("numeric_literal_ratio", float64(st.numberCount)/nodes)
+	if st.binaryCount > 0 {
+		set("string_concat_chain_ratio", float64(st.strConcat)/float64(st.binaryCount))
+	}
+	if st.switchCount > 0 {
+		set("avg_switch_cases", capAt(float64(st.caseCount)/float64(st.switchCount)/20, 1))
+	}
+	set("while_true_switch", b2f(st.whileTrueSwitch > 0))
+	set("pipe_split_strings", b2f(st.pipeSplit > 0))
+	set("debugger_string_count", capAt(float64(st.debuggerStrings)/4, 1))
+	set("regex_literal_ratio", float64(st.regexCount)/nodes)
+	set("control_edges_per_node", float64(len(g.Control))/nodes)
+	set("data_edges_per_node", float64(len(g.Data))/nodes)
+	set("function_density", float64(st.funcCount)/nodes)
+	set("empty_catch_count", capAt(float64(st.emptyCatch)/4, 1))
+	alnum, jsfuck := charClassRatios(src)
+	set("alnum_char_ratio", alnum)
+	set("jsfuck_char_ratio", jsfuck)
+	set("max_expression_nesting", capAt(float64(st.maxExprNesting)/64, 1))
+	set("largest_string_array", capAt(float64(st.largestStrArray)/64, 1))
+	if st.callCount > 0 {
+		set("indexed_accessor_call_ratio", float64(st.numericArgCalls)/float64(st.callCount))
+	}
+	set("token_per_byte", float64(res.NumTokens)/float64(bytes))
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func capAt(v, limit float64) float64 {
+	if v > limit {
+		return limit
+	}
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+func maxLineLen(src string) float64 {
+	maxLen, cur := 0, 0
+	for i := 0; i < len(src); i++ {
+		if src[i] == '\n' {
+			if cur > maxLen {
+				maxLen = cur
+			}
+			cur = 0
+		} else {
+			cur++
+		}
+	}
+	if cur > maxLen {
+		maxLen = cur
+	}
+	return float64(maxLen)
+}
+
+func commentRatio(comments []lexer.Comment, bytes int) float64 {
+	total := 0
+	for _, c := range comments {
+		total += len(c.Text)
+	}
+	return capAt(float64(total)/float64(bytes), 1)
+}
+
+func whitespaceRatio(src string) float64 {
+	ws := 0
+	for i := 0; i < len(src); i++ {
+		switch src[i] {
+		case ' ', '\t', '\n', '\r':
+			ws++
+		}
+	}
+	if len(src) == 0 {
+		return 0
+	}
+	return float64(ws) / float64(len(src))
+}
+
+func charClassRatios(src string) (alnum, jsfuck float64) {
+	if len(src) == 0 {
+		return 0, 0
+	}
+	a, j := 0, 0
+	for i := 0; i < len(src); i++ {
+		c := src[i]
+		if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' {
+			a++
+		}
+		switch c {
+		case '[', ']', '(', ')', '!', '+':
+			j++
+		}
+	}
+	return float64(a) / float64(len(src)), float64(j) / float64(len(src))
+}
+
+// arrayFetchRatio uses the data flow to estimate the fraction of variables
+// that are fetched from array/dictionary structures: bindings initialized
+// with an array or object literal whose references occur as the object of a
+// computed member access.
+func arrayFetchRatio(g *flow.Graph) float64 {
+	if g.Scopes == nil || len(g.Scopes.Bindings) == 0 {
+		return 0
+	}
+	// Build the set of identifiers appearing as computed-access objects.
+	objects := make(map[*ast.Identifier]bool)
+	walker.Walk(g.Root, func(n ast.Node, _ int) bool {
+		if m, ok := n.(*ast.MemberExpression); ok && m.Computed {
+			if id, ok := m.Object.(*ast.Identifier); ok {
+				objects[id] = true
+			}
+		}
+		return true
+	})
+	fetched, total := 0, 0
+	for _, b := range g.Scopes.Bindings {
+		total++
+		switch b.Init.(type) {
+		case *ast.ArrayExpression, *ast.ObjectExpression:
+		default:
+			continue
+		}
+		for _, ref := range b.Refs {
+			if objects[ref] {
+				fetched++
+				break
+			}
+		}
+	}
+	return float64(fetched) / float64(total)
+}

@@ -1,0 +1,334 @@
+package features
+
+import (
+	"math"
+	"strings"
+
+	"repro/internal/js/ast"
+)
+
+// stats aggregates the raw AST counts the hand-picked features are computed
+// from.
+type stats struct {
+	nodes   int
+	depth   int
+	breadth int
+
+	identCount    int
+	identChars    int
+	uniqueIdents  int
+	hexIdents     int
+	shortIdents   int
+	identCharHist [128]int
+
+	literalCount   int
+	stringCount    int
+	stringChars    int
+	numberCount    int
+	regexCount     int
+	stringCharHist [128]int
+	encodedStrings int
+	base64Strings  int
+
+	callCount       int
+	memberCount     int
+	bracketMember   int
+	ternaryCount    int
+	binaryCount     int
+	strConcat       int
+	arrayCount      int
+	arrayElems      int
+	switchCount     int
+	caseCount       int
+	whileTrueSwitch int
+	pipeSplit       int
+	debuggerCount   int
+	debuggerStrings int
+	emptyCatch      int
+	funcCount       int
+	functionCtor    int
+	stringOps       int
+	numericArgCalls int
+	maxExprNesting  int
+	largestStrArray int
+
+	builtins map[string]bool
+}
+
+var stringOpNames = map[string]bool{
+	"split": true, "join": true, "reverse": true, "concat": true,
+	"replace": true, "charCodeAt": true, "charAt": true, "substring": true,
+	"substr": true, "slice": true, "indexOf": true, "fromCharCode": true,
+	"toString": true, "trim": true, "toLowerCase": true, "toUpperCase": true,
+}
+
+var builtinNames = map[string]bool{
+	"eval": true, "atob": true, "btoa": true, "escape": true, "unescape": true,
+	"decodeURIComponent": true, "decodeURI": true, "encodeURIComponent": true,
+	"setInterval": true, "setTimeout": true, "Function": true,
+	"parseInt": true, "parseFloat": true,
+}
+
+func collectStats(prog *ast.Program) *stats {
+	st := &stats{builtins: make(map[string]bool)}
+	names := make(map[string]bool)
+	levelCounts := make(map[int]int)
+	exprNesting := 0
+
+	var visit func(n ast.Node, depth int)
+	visit = func(n ast.Node, depth int) {
+		st.nodes++
+		levelCounts[depth]++
+		if depth > st.depth {
+			st.depth = depth
+		}
+
+		isExpr := !ast.IsStatement(n)
+		if isExpr {
+			exprNesting++
+			if exprNesting > st.maxExprNesting {
+				st.maxExprNesting = exprNesting
+			}
+		}
+
+		switch v := n.(type) {
+		case *ast.Identifier:
+			st.identCount++
+			st.identChars += len(v.Name)
+			names[v.Name] = true
+			if strings.HasPrefix(v.Name, "_0x") {
+				st.hexIdents++
+			}
+			if len(v.Name) <= 2 {
+				st.shortIdents++
+			}
+			for i := 0; i < len(v.Name); i++ {
+				if v.Name[i] < 128 {
+					st.identCharHist[v.Name[i]]++
+				}
+			}
+			if builtinNames[v.Name] {
+				st.builtins[v.Name] = true
+			}
+			if v.Name == "Function" {
+				st.functionCtor++
+			}
+		case *ast.Literal:
+			st.literalCount++
+			switch v.Kind {
+			case ast.LiteralString:
+				st.stringCount++
+				st.stringChars += len(v.String)
+				for i := 0; i < len(v.String); i++ {
+					if v.String[i] < 128 {
+						st.stringCharHist[v.String[i]]++
+					}
+				}
+				if looksEncoded(v.String) {
+					st.encodedStrings++
+				}
+				if looksBase64(v.String) {
+					st.base64Strings++
+				}
+				if v.String == "debugger" {
+					st.debuggerStrings++
+				}
+			case ast.LiteralNumber:
+				st.numberCount++
+			case ast.LiteralRegExp:
+				st.regexCount++
+			}
+		case *ast.CallExpression:
+			st.callCount++
+			if m, ok := v.Callee.(*ast.MemberExpression); ok && !m.Computed {
+				if id, ok := m.Property.(*ast.Identifier); ok {
+					if stringOpNames[id.Name] {
+						st.stringOps++
+					}
+					if id.Name == "fromCharCode" {
+						st.builtins["fromCharCode"] = true
+					}
+					if id.Name == "split" && len(v.Arguments) == 1 {
+						if lit, ok := v.Arguments[0].(*ast.Literal); ok && lit.Kind == ast.LiteralString && lit.String == "|" {
+							st.pipeSplit++
+						}
+					}
+					if id.Name == "constructor" {
+						st.functionCtor++
+					}
+				}
+			}
+			if len(v.Arguments) == 1 {
+				if lit, ok := v.Arguments[0].(*ast.Literal); ok && lit.Kind == ast.LiteralNumber {
+					if _, isID := v.Callee.(*ast.Identifier); isID {
+						st.numericArgCalls++
+					}
+				}
+			}
+		case *ast.MemberExpression:
+			st.memberCount++
+			if v.Computed {
+				st.bracketMember++
+			}
+			if id, ok := v.Property.(*ast.Identifier); ok && !v.Computed && id.Name == "constructor" {
+				st.functionCtor++
+			}
+		case *ast.ConditionalExpression:
+			st.ternaryCount++
+		case *ast.BinaryExpression:
+			st.binaryCount++
+			if v.Operator == "+" {
+				if isStringLit(v.Left) || isStringLit(v.Right) {
+					st.strConcat++
+				}
+			}
+		case *ast.ArrayExpression:
+			st.arrayCount++
+			st.arrayElems += len(v.Elements)
+			strElems := 0
+			for _, el := range v.Elements {
+				if isStringLit(el) {
+					strElems++
+				}
+			}
+			if strElems > st.largestStrArray {
+				st.largestStrArray = strElems
+			}
+		case *ast.SwitchStatement:
+			st.switchCount++
+			st.caseCount += len(v.Cases)
+		case *ast.WhileStatement:
+			if lit, ok := v.Test.(*ast.Literal); ok && lit.Kind == ast.LiteralBoolean && lit.Bool {
+				if blk, ok := v.Body.(*ast.BlockStatement); ok {
+					for _, s := range blk.Body {
+						if _, ok := s.(*ast.SwitchStatement); ok {
+							st.whileTrueSwitch++
+						}
+					}
+				}
+			}
+		case *ast.DebuggerStatement:
+			st.debuggerCount++
+		case *ast.TryStatement:
+			if v.Handler != nil && v.Handler.Body != nil && len(v.Handler.Body.Body) == 0 {
+				st.emptyCatch++
+			}
+		case *ast.FunctionDeclaration, *ast.FunctionExpression, *ast.ArrowFunctionExpression:
+			st.funcCount++
+		case *ast.NewExpression:
+			if id, ok := v.Callee.(*ast.Identifier); ok && id.Name == "Function" {
+				st.functionCtor++
+			}
+		}
+
+		for _, c := range ast.Children(n) {
+			visit(c, depth+1)
+		}
+		if isExpr {
+			exprNesting--
+		}
+	}
+	visit(prog, 0)
+
+	st.uniqueIdents = len(names)
+	for _, c := range levelCounts {
+		if c > st.breadth {
+			st.breadth = c
+		}
+	}
+	return st
+}
+
+func isStringLit(n ast.Node) bool {
+	lit, ok := n.(*ast.Literal)
+	return ok && lit.Kind == ast.LiteralString
+}
+
+// looksEncoded reports percent-encoded, hex-escaped, or unicode-escaped
+// payload strings.
+func looksEncoded(s string) bool {
+	if len(s) < 6 {
+		return false
+	}
+	enc := 0
+	for i := 0; i+2 < len(s); i++ {
+		if s[i] == '%' && isHex(s[i+1]) && isHex(s[i+2]) {
+			enc++
+		}
+		if s[i] == '\\' && (s[i+1] == 'x' || s[i+1] == 'u') {
+			enc++
+		}
+	}
+	return enc*3 >= len(s)/2
+}
+
+func isHex(b byte) bool {
+	return b >= '0' && b <= '9' || b >= 'a' && b <= 'f' || b >= 'A' && b <= 'F'
+}
+
+// looksBase64 reports strings that look like base64 payloads.
+func looksBase64(s string) bool {
+	if len(s) < 12 || len(s)%4 != 0 {
+		return false
+	}
+	letters, digits := 0, 0
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z':
+			letters++
+		case c >= '0' && c <= '9':
+			digits++
+		case c == '+' || c == '/':
+		case c == '=' && i >= len(s)-2:
+		default:
+			return false
+		}
+	}
+	// Require case mixing typical of base64 rather than a plain word.
+	return letters > 0 && (digits > 0 || mixedCase(s))
+}
+
+func mixedCase(s string) bool {
+	hasUpper, hasLower := false, false
+	for i := 0; i < len(s); i++ {
+		if s[i] >= 'A' && s[i] <= 'Z' {
+			hasUpper = true
+		}
+		if s[i] >= 'a' && s[i] <= 'z' {
+			hasLower = true
+		}
+	}
+	return hasUpper && hasLower
+}
+
+// identEntropy is the Shannon entropy of the identifier character
+// distribution, normalized to [0, 1].
+func (st *stats) identEntropy() float64 {
+	return entropy(st.identCharHist[:])
+}
+
+// stringEntropy is the Shannon entropy of string literal characters,
+// normalized to [0, 1].
+func (st *stats) stringEntropy() float64 {
+	return entropy(st.stringCharHist[:])
+}
+
+func entropy(hist []int) float64 {
+	total := 0
+	for _, c := range hist {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	h := 0.0
+	for _, c := range hist {
+		if c == 0 {
+			continue
+		}
+		p := float64(c) / float64(total)
+		h -= p * math.Log2(p)
+	}
+	return h / 7 // log2(128) = 7 normalizes to [0, 1]
+}

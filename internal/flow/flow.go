@@ -1,0 +1,259 @@
+// Package flow enhances the AST with control-flow and data-flow edges,
+// mirroring the JStap-style graph the paper builds on top of Esprima. Per
+// the paper's adjustments, control flow is restricted to nodes that have an
+// impact on execution paths — statement nodes, CatchClause, and
+// ConditionalExpression — and data-flow edges connect Identifier nodes only:
+// there is an edge from a definition site to each use site of the same
+// binding. Data-flow construction honors a configurable deadline (the paper
+// uses two minutes); on timeout the graph falls back to control flow only.
+package flow
+
+import (
+	"time"
+
+	"repro/internal/js/ast"
+	"repro/internal/js/scope"
+	"repro/internal/js/walker"
+)
+
+// Edge is a directed edge between two AST nodes.
+type Edge struct {
+	From ast.Node
+	To   ast.Node
+}
+
+// Graph is the AST enhanced with control and data flows.
+type Graph struct {
+	Root *ast.Program
+	// Control edges between control-flow-relevant nodes.
+	Control []Edge
+	// Data edges from definition Identifiers to use Identifiers.
+	Data []Edge
+	// Scopes is the scope analysis the data flow was derived from.
+	Scopes *scope.Info
+	// DataFlowTimedOut reports that the data-flow pass hit its deadline and
+	// the graph contains control flow only.
+	DataFlowTimedOut bool
+}
+
+// Options configures graph construction.
+type Options struct {
+	// DataFlowDeadline bounds data-flow construction; zero means the
+	// paper's default of two minutes.
+	DataFlowDeadline time.Duration
+	// SkipDataFlow builds a control-flow-only graph.
+	SkipDataFlow bool
+}
+
+// DefaultDataFlowDeadline matches the two-minute timeout from the paper.
+const DefaultDataFlowDeadline = 2 * time.Minute
+
+// Build constructs the enhanced graph for a program.
+func Build(prog *ast.Program, opts Options) *Graph {
+	g := &Graph{Root: prog}
+	g.Control = controlEdges(prog)
+	if opts.SkipDataFlow {
+		return g
+	}
+	deadline := opts.DataFlowDeadline
+	if deadline <= 0 {
+		deadline = DefaultDataFlowDeadline
+	}
+	start := time.Now()
+	info := scope.Analyze(prog)
+	g.Scopes = info
+	for _, b := range info.Bindings {
+		if b.Decl == nil {
+			continue
+		}
+		for _, ref := range b.Refs {
+			g.Data = append(g.Data, Edge{From: b.Decl, To: ref})
+		}
+		if len(g.Data)%4096 == 0 && time.Since(start) > deadline {
+			g.Data = nil
+			g.DataFlowTimedOut = true
+			return g
+		}
+	}
+	return g
+}
+
+// controlEdges builds intra-procedural control-flow edges over statement
+// nodes, CatchClause, and ConditionalExpression.
+func controlEdges(prog *ast.Program) []Edge {
+	b := &cfgBuilder{}
+	b.stmtList(prog, prog.Body)
+	// ConditionalExpression nodes participate in control flow: add an edge
+	// from each ternary to its consequent/alternate roots.
+	walker.Walk(prog, func(n ast.Node, _ int) bool {
+		if cond, ok := n.(*ast.ConditionalExpression); ok {
+			b.edges = append(b.edges,
+				Edge{From: cond, To: cond.Consequent},
+				Edge{From: cond, To: cond.Alternate})
+		}
+		return true
+	})
+	return b.edges
+}
+
+type cfgBuilder struct {
+	edges []Edge
+}
+
+func (b *cfgBuilder) edge(from, to ast.Node) {
+	if from == nil || to == nil {
+		return
+	}
+	b.edges = append(b.edges, Edge{From: from, To: to})
+}
+
+// stmtList wires parent→first, sequential, and structural edges for a
+// statement list owned by parent.
+func (b *cfgBuilder) stmtList(parent ast.Node, stmts []ast.Node) {
+	var prev ast.Node
+	for _, s := range stmts {
+		if prev == nil {
+			b.edge(parent, s)
+		} else {
+			b.edge(prev, s)
+		}
+		b.stmt(s)
+		if terminates(s) {
+			prev = nil
+		} else {
+			prev = s
+		}
+	}
+}
+
+// terminates reports whether control cannot fall through s.
+func terminates(s ast.Node) bool {
+	switch v := s.(type) {
+	case *ast.ReturnStatement, *ast.ThrowStatement, *ast.BreakStatement, *ast.ContinueStatement:
+		return true
+	case *ast.BlockStatement:
+		if len(v.Body) == 0 {
+			return false
+		}
+		return terminates(v.Body[len(v.Body)-1])
+	default:
+		return false
+	}
+}
+
+// stmt adds the internal control edges of one statement.
+func (b *cfgBuilder) stmt(n ast.Node) {
+	switch v := n.(type) {
+	case *ast.BlockStatement:
+		b.stmtList(v, v.Body)
+	case *ast.IfStatement:
+		b.funcBodies(v.Test)
+		b.edge(v, v.Consequent)
+		b.stmt(v.Consequent)
+		if v.Alternate != nil {
+			b.edge(v, v.Alternate)
+			b.stmt(v.Alternate)
+		}
+	case *ast.WhileStatement:
+		b.funcBodies(v.Test)
+		b.edge(v, v.Body)
+		b.stmt(v.Body)
+		b.edge(v.Body, v) // back edge
+	case *ast.DoWhileStatement:
+		b.edge(v, v.Body)
+		b.stmt(v.Body)
+		b.edge(v.Body, v)
+	case *ast.ForStatement:
+		b.funcBodies(v.Init)
+		b.funcBodies(v.Test)
+		b.funcBodies(v.Update)
+		b.edge(v, v.Body)
+		b.stmt(v.Body)
+		b.edge(v.Body, v)
+	case *ast.ForInStatement:
+		b.edge(v, v.Body)
+		b.stmt(v.Body)
+		b.edge(v.Body, v)
+	case *ast.ForOfStatement:
+		b.edge(v, v.Body)
+		b.stmt(v.Body)
+		b.edge(v.Body, v)
+	case *ast.SwitchStatement:
+		b.funcBodies(v.Discriminant)
+		for _, c := range v.Cases {
+			b.edge(v, c)
+			b.stmtList(c, c.Consequent)
+		}
+	case *ast.TryStatement:
+		b.edge(v, v.Block)
+		b.stmt(v.Block)
+		if v.Handler != nil {
+			b.edge(v, v.Handler)
+			if v.Handler.Body != nil {
+				b.edge(v.Handler, v.Handler.Body)
+				b.stmt(v.Handler.Body)
+			}
+		}
+		if v.Finalizer != nil {
+			b.edge(v, v.Finalizer)
+			b.stmt(v.Finalizer)
+		}
+	case *ast.LabeledStatement:
+		b.edge(v, v.Body)
+		b.stmt(v.Body)
+	case *ast.WithStatement:
+		b.edge(v, v.Body)
+		b.stmt(v.Body)
+	case *ast.FunctionDeclaration:
+		if v.Body != nil {
+			b.edge(v, v.Body)
+			b.stmt(v.Body)
+		}
+	case *ast.ExpressionStatement:
+		b.funcBodies(v.Expression)
+	case *ast.VariableDeclaration:
+		for _, d := range v.Declarations {
+			if d.Init != nil {
+				b.funcBodies(d.Init)
+			}
+		}
+	case *ast.ReturnStatement:
+		if v.Argument != nil {
+			b.funcBodies(v.Argument)
+		}
+	case *ast.ExportNamedDeclaration:
+		if v.Declaration != nil {
+			b.stmt(v.Declaration)
+		}
+	case *ast.ExportDefaultDeclaration:
+		b.funcBodies(v.Declaration)
+	}
+}
+
+// funcBodies descends into function expressions nested in an expression and
+// wires their bodies (each function body is its own control-flow region).
+func (b *cfgBuilder) funcBodies(expr ast.Node) {
+	walker.Walk(expr, func(n ast.Node, _ int) bool {
+		switch v := n.(type) {
+		case *ast.FunctionExpression:
+			if v.Body != nil {
+				b.edge(v, v.Body)
+				b.stmtList(v.Body, v.Body.Body)
+			}
+			return false
+		case *ast.ArrowFunctionExpression:
+			if blk, ok := v.Body.(*ast.BlockStatement); ok {
+				b.edge(v, blk)
+				b.stmtList(blk, blk.Body)
+			}
+			return false
+		case *ast.FunctionDeclaration:
+			if v.Body != nil {
+				b.edge(v, v.Body)
+				b.stmtList(v.Body, v.Body.Body)
+			}
+			return false
+		}
+		return true
+	})
+}

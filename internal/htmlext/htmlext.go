@@ -1,0 +1,246 @@
+// Package htmlext statically extracts JavaScript from HTML documents, the
+// way the paper's crawl extracted scripts from web pages (Section IV-A):
+// inline <script> bodies, event-handler attributes, and javascript: URLs.
+// It also surfaces the "environment interactions" obfuscation signal from
+// Section II-A — payloads scattered across many small script blocks.
+package htmlext
+
+import (
+	"strings"
+)
+
+// Script is one extracted JavaScript fragment.
+type Script struct {
+	// Source is the JavaScript text.
+	Source string
+	// Kind describes where the fragment came from.
+	Kind ScriptKind
+	// Src is the src attribute for external scripts (Source empty).
+	Src string
+	// Offset is the byte offset of the fragment in the HTML document.
+	Offset int
+}
+
+// ScriptKind classifies extraction sites.
+type ScriptKind int
+
+// Extraction sites.
+const (
+	InlineScript ScriptKind = iota + 1
+	ExternalScript
+	EventHandler
+	JavascriptURL
+)
+
+// String names the kind.
+func (k ScriptKind) String() string {
+	switch k {
+	case InlineScript:
+		return "inline"
+	case ExternalScript:
+		return "external"
+	case EventHandler:
+		return "event-handler"
+	case JavascriptURL:
+		return "javascript-url"
+	default:
+		return "unknown"
+	}
+}
+
+// Extract pulls every JavaScript fragment out of an HTML document using a
+// small forgiving scanner (real-world HTML is rarely well-formed).
+func Extract(html string) []Script {
+	var out []Script
+	lower := strings.ToLower(html)
+	i := 0
+	for i < len(html) {
+		open := strings.Index(lower[i:], "<script")
+		if open < 0 {
+			break
+		}
+		open += i
+		tagEnd := strings.IndexByte(html[open:], '>')
+		if tagEnd < 0 {
+			break
+		}
+		tagEnd += open
+		attrs := html[open+len("<script") : tagEnd]
+
+		if src, ok := attrValue(attrs, "src"); ok {
+			out = append(out, Script{Kind: ExternalScript, Src: src, Offset: open})
+			i = tagEnd + 1
+			continue
+		}
+		// Non-JS types (JSON payloads, templates) are skipped.
+		if typ, ok := attrValue(attrs, "type"); ok && !isJavaScriptType(typ) {
+			i = tagEnd + 1
+			continue
+		}
+		closeIdx := strings.Index(lower[tagEnd:], "</script")
+		if closeIdx < 0 {
+			break
+		}
+		closeIdx += tagEnd
+		body := html[tagEnd+1 : closeIdx]
+		if strings.TrimSpace(body) != "" {
+			out = append(out, Script{Kind: InlineScript, Source: body, Offset: tagEnd + 1})
+		}
+		i = closeIdx + 1
+	}
+
+	out = append(out, extractEventHandlers(html)...)
+	return out
+}
+
+// isJavaScriptType accepts the type attribute values that denote JS.
+func isJavaScriptType(t string) bool {
+	switch strings.ToLower(strings.TrimSpace(t)) {
+	case "", "text/javascript", "application/javascript", "module",
+		"application/ecmascript", "text/ecmascript":
+		return true
+	}
+	return false
+}
+
+// attrValue finds attr="value" (or single-quoted/bare) in a tag attribute
+// string.
+func attrValue(attrs, name string) (string, bool) {
+	lower := strings.ToLower(attrs)
+	idx := 0
+	for {
+		pos := strings.Index(lower[idx:], name)
+		if pos < 0 {
+			return "", false
+		}
+		pos += idx
+		// Must be a word boundary.
+		if pos > 0 && isWordByte(lower[pos-1]) {
+			idx = pos + len(name)
+			continue
+		}
+		rest := pos + len(name)
+		for rest < len(attrs) && (attrs[rest] == ' ' || attrs[rest] == '\t') {
+			rest++
+		}
+		if rest >= len(attrs) || attrs[rest] != '=' {
+			idx = pos + len(name)
+			continue
+		}
+		rest++
+		for rest < len(attrs) && (attrs[rest] == ' ' || attrs[rest] == '\t') {
+			rest++
+		}
+		if rest >= len(attrs) {
+			return "", false
+		}
+		switch attrs[rest] {
+		case '"', '\'':
+			quote := attrs[rest]
+			end := strings.IndexByte(attrs[rest+1:], quote)
+			if end < 0 {
+				return "", false
+			}
+			return attrs[rest+1 : rest+1+end], true
+		default:
+			end := rest
+			for end < len(attrs) && !isSpaceByte(attrs[end]) {
+				end++
+			}
+			return attrs[rest:end], true
+		}
+	}
+}
+
+func isWordByte(b byte) bool {
+	return b >= 'a' && b <= 'z' || b >= 'A' && b <= 'Z' || b >= '0' && b <= '9' || b == '-' || b == '_'
+}
+
+func isSpaceByte(b byte) bool {
+	return b == ' ' || b == '\t' || b == '\n' || b == '\r' || b == '>'
+}
+
+// eventAttrs lists the common inline handler attributes.
+var eventAttrs = []string{
+	"onclick", "onload", "onerror", "onsubmit", "onchange", "onmouseover",
+	"onmouseout", "onkeydown", "onkeyup", "onfocus", "onblur", "oninput",
+}
+
+// extractEventHandlers pulls JS out of on* attributes and javascript: URLs.
+func extractEventHandlers(html string) []Script {
+	var out []Script
+	lower := strings.ToLower(html)
+	for _, attr := range eventAttrs {
+		idx := 0
+		for {
+			pos := strings.Index(lower[idx:], attr+"=")
+			if pos < 0 {
+				break
+			}
+			pos += idx
+			idx = pos + len(attr) + 1
+			if pos > 0 && isWordByte(lower[pos-1]) {
+				continue
+			}
+			val, ok := quotedValueAt(html, pos+len(attr)+1)
+			if ok && strings.TrimSpace(val) != "" {
+				out = append(out, Script{Kind: EventHandler, Source: val, Offset: pos})
+			}
+		}
+	}
+	// href="javascript:..."
+	idx := 0
+	for {
+		pos := strings.Index(lower[idx:], "javascript:")
+		if pos < 0 {
+			break
+		}
+		pos += idx
+		idx = pos + len("javascript:")
+		end := pos + len("javascript:")
+		stop := end
+		for stop < len(html) && html[stop] != '"' && html[stop] != '\'' && html[stop] != '>' {
+			stop++
+		}
+		code := html[end:stop]
+		if strings.TrimSpace(code) != "" {
+			out = append(out, Script{Kind: JavascriptURL, Source: code, Offset: end})
+		}
+	}
+	return out
+}
+
+// quotedValueAt reads a quoted attribute value starting at i (the character
+// right after '=').
+func quotedValueAt(html string, i int) (string, bool) {
+	if i >= len(html) {
+		return "", false
+	}
+	quote := html[i]
+	if quote != '"' && quote != '\'' {
+		return "", false
+	}
+	end := strings.IndexByte(html[i+1:], quote)
+	if end < 0 {
+		return "", false
+	}
+	return html[i+1 : i+1+end], true
+}
+
+// JoinInline concatenates all inline fragments into one analyzable unit —
+// the counter to the "scattering across script blocks" obfuscation: the
+// detector sees the combined payload.
+func JoinInline(scripts []Script) string {
+	var sb strings.Builder
+	for _, s := range scripts {
+		if s.Kind == ExternalScript || s.Source == "" {
+			continue
+		}
+		sb.WriteString(s.Source)
+		if !strings.HasSuffix(strings.TrimSpace(s.Source), ";") {
+			sb.WriteString(";")
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}

@@ -1,0 +1,106 @@
+package htmlext
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExtractInlineScripts(t *testing.T) {
+	html := `<!DOCTYPE html>
+<html><head>
+<script>var x = 1;</script>
+<script type="text/javascript">var y = 2;</script>
+<script type="application/json">{"not": "js"}</script>
+</head><body>
+<SCRIPT>upper();</SCRIPT>
+</body></html>`
+	scripts := Extract(html)
+	var inline []Script
+	for _, s := range scripts {
+		if s.Kind == InlineScript {
+			inline = append(inline, s)
+		}
+	}
+	if len(inline) != 3 {
+		t.Fatalf("inline scripts = %d, want 3", len(inline))
+	}
+	if !strings.Contains(inline[0].Source, "var x = 1;") {
+		t.Fatalf("first = %q", inline[0].Source)
+	}
+	if !strings.Contains(inline[2].Source, "upper()") {
+		t.Fatalf("case-insensitive tag missed: %q", inline[2].Source)
+	}
+}
+
+func TestExtractExternalScripts(t *testing.T) {
+	html := `<script src="/static/app.js"></script>
+<script src='cdn.js' defer></script>
+<script src=bare.js></script>`
+	scripts := Extract(html)
+	var srcs []string
+	for _, s := range scripts {
+		if s.Kind == ExternalScript {
+			srcs = append(srcs, s.Src)
+		}
+	}
+	if len(srcs) != 3 {
+		t.Fatalf("external scripts = %v", srcs)
+	}
+	if srcs[0] != "/static/app.js" || srcs[1] != "cdn.js" || srcs[2] != "bare.js" {
+		t.Fatalf("srcs = %v", srcs)
+	}
+}
+
+func TestExtractEventHandlers(t *testing.T) {
+	html := `<button onclick="doThing(1)">x</button>
+<img src="x.png" onerror="evil()">
+<a href="javascript:void(0)">link</a>`
+	scripts := Extract(html)
+	kinds := make(map[ScriptKind]int)
+	for _, s := range scripts {
+		kinds[s.Kind]++
+	}
+	if kinds[EventHandler] != 2 {
+		t.Fatalf("event handlers = %d, want 2", kinds[EventHandler])
+	}
+	if kinds[JavascriptURL] != 1 {
+		t.Fatalf("javascript URLs = %d, want 1", kinds[JavascriptURL])
+	}
+}
+
+func TestScatteredPayloadJoin(t *testing.T) {
+	// The "environment interactions" obfuscation: a payload scattered
+	// across several script blocks only makes sense combined.
+	html := `
+<script>var part1 = "aGVs";</script>
+<script>var part2 = "bG8=";</script>
+<script>eval(atob(part1 + part2));</script>`
+	scripts := Extract(html)
+	joined := JoinInline(scripts)
+	if !strings.Contains(joined, "part1") || !strings.Contains(joined, "eval(atob") {
+		t.Fatalf("joined = %q", joined)
+	}
+	// The joined unit must be parseable as one program.
+	if strings.Count(joined, "\n") < 3 {
+		t.Fatalf("expected one fragment per line: %q", joined)
+	}
+}
+
+func TestMalformedHTMLDoesNotPanic(t *testing.T) {
+	for _, html := range []string{
+		"<script>unterminated",
+		"<script",
+		"<script src=",
+		`<img onerror=`,
+		"",
+		"<script></script>",
+	} {
+		_ = Extract(html) // must not panic
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if InlineScript.String() != "inline" || ExternalScript.String() != "external" {
+		t.Fatal("kind names broken")
+	}
+}

@@ -1,0 +1,306 @@
+package ast
+
+// Children returns the direct child nodes of n in source order, skipping nil
+// slots (e.g. array elisions or absent else-branches). It is the single
+// source of truth for tree traversal: the walker, the flow analyses, and the
+// feature extractor all iterate the AST through this function.
+func Children(n Node) []Node {
+	switch v := n.(type) {
+	case *Program:
+		return compact(v.Body)
+	case *ExpressionStatement:
+		return one(v.Expression)
+	case *BlockStatement:
+		return compact(v.Body)
+	case *EmptyStatement, *DebuggerStatement, *Identifier, *Literal,
+		*ThisExpression, *Super, *TemplateElement, *MetaProperty:
+		return nil
+	case *WithStatement:
+		return list(v.Object, v.Body)
+	case *ReturnStatement:
+		return one(v.Argument)
+	case *LabeledStatement:
+		return list(ident(v.Label), v.Body)
+	case *BreakStatement:
+		return one(ident(v.Label))
+	case *ContinueStatement:
+		return one(ident(v.Label))
+	case *IfStatement:
+		return list(v.Test, v.Consequent, v.Alternate)
+	case *SwitchStatement:
+		out := make([]Node, 0, len(v.Cases)+1)
+		out = append(out, v.Discriminant)
+		for _, c := range v.Cases {
+			if c != nil {
+				out = append(out, c)
+			}
+		}
+		return out
+	case *SwitchCase:
+		out := make([]Node, 0, len(v.Consequent)+1)
+		if v.Test != nil {
+			out = append(out, v.Test)
+		}
+		return append(out, compact(v.Consequent)...)
+	case *ThrowStatement:
+		return one(v.Argument)
+	case *TryStatement:
+		return list(block(v.Block), clause(v.Handler), block(v.Finalizer))
+	case *CatchClause:
+		return list(v.Param, block(v.Body))
+	case *WhileStatement:
+		return list(v.Test, v.Body)
+	case *DoWhileStatement:
+		return list(v.Body, v.Test)
+	case *ForStatement:
+		return list(v.Init, v.Test, v.Update, v.Body)
+	case *ForInStatement:
+		return list(v.Left, v.Right, v.Body)
+	case *ForOfStatement:
+		return list(v.Left, v.Right, v.Body)
+	case *FunctionDeclaration:
+		return funcParts(ident(v.ID), v.Params, block(v.Body))
+	case *FunctionExpression:
+		return funcParts(ident(v.ID), v.Params, block(v.Body))
+	case *ArrowFunctionExpression:
+		return funcParts(nil, v.Params, v.Body)
+	case *VariableDeclaration:
+		out := make([]Node, 0, len(v.Declarations))
+		for _, d := range v.Declarations {
+			if d != nil {
+				out = append(out, d)
+			}
+		}
+		return out
+	case *VariableDeclarator:
+		return list(v.ID, v.Init)
+	case *ClassDeclaration:
+		return list(ident(v.ID), v.SuperClass, classBody(v.Body))
+	case *ClassExpression:
+		return list(ident(v.ID), v.SuperClass, classBody(v.Body))
+	case *ClassBody:
+		return compact(v.Body)
+	case *MethodDefinition:
+		return list(v.Key, funcExpr(v.Value))
+	case *PropertyDefinition:
+		return list(v.Key, v.Value)
+	case *ImportDeclaration:
+		return append(compact(v.Specifiers), one(lit(v.Source))...)
+	case *ImportSpecifier:
+		return list(ident(v.Imported), ident(v.Local))
+	case *ImportDefaultSpecifier:
+		return one(ident(v.Local))
+	case *ImportNamespaceSpecifier:
+		return one(ident(v.Local))
+	case *ExportNamedDeclaration:
+		out := one(v.Declaration)
+		for _, s := range v.Specifiers {
+			if s != nil {
+				out = append(out, s)
+			}
+		}
+		return append(out, one(lit(v.Source))...)
+	case *ExportSpecifier:
+		return list(ident(v.Local), ident(v.Exported))
+	case *ExportDefaultDeclaration:
+		return one(v.Declaration)
+	case *ExportAllDeclaration:
+		return one(lit(v.Source))
+	case *ArrayExpression:
+		return compact(v.Elements)
+	case *ObjectExpression:
+		return compact(v.Properties)
+	case *Property:
+		return list(v.Key, v.Value)
+	case *TemplateLiteral:
+		// Interleave quasis and expressions in source order.
+		out := make([]Node, 0, len(v.Quasis)+len(v.Expressions))
+		for i, q := range v.Quasis {
+			if q != nil {
+				out = append(out, q)
+			}
+			if i < len(v.Expressions) && v.Expressions[i] != nil {
+				out = append(out, v.Expressions[i])
+			}
+		}
+		return out
+	case *TaggedTemplateExpression:
+		return list(v.Tag, templ(v.Quasi))
+	case *MemberExpression:
+		return list(v.Object, v.Property)
+	case *CallExpression:
+		return append(one(v.Callee), compact(v.Arguments)...)
+	case *NewExpression:
+		return append(one(v.Callee), compact(v.Arguments)...)
+	case *SpreadElement:
+		return one(v.Argument)
+	case *UnaryExpression:
+		return one(v.Argument)
+	case *UpdateExpression:
+		return one(v.Argument)
+	case *BinaryExpression:
+		return list(v.Left, v.Right)
+	case *LogicalExpression:
+		return list(v.Left, v.Right)
+	case *AssignmentExpression:
+		return list(v.Left, v.Right)
+	case *ConditionalExpression:
+		return list(v.Test, v.Consequent, v.Alternate)
+	case *SequenceExpression:
+		return compact(v.Expressions)
+	case *RestElement:
+		return one(v.Argument)
+	case *AssignmentPattern:
+		return list(v.Left, v.Right)
+	case *ArrayPattern:
+		return compact(v.Elements)
+	case *ObjectPattern:
+		return compact(v.Properties)
+	case *AwaitExpression:
+		return one(v.Argument)
+	case *YieldExpression:
+		return one(v.Argument)
+	default:
+		return nil
+	}
+}
+
+// IsStatement reports whether n is a statement-level node, i.e. a node that
+// participates in control flow per the paper's restriction of control edges
+// to statement nodes (plus CatchClause and ConditionalExpression, which the
+// flow package adds explicitly).
+func IsStatement(n Node) bool {
+	switch n.(type) {
+	case *Program, *ExpressionStatement, *BlockStatement, *EmptyStatement,
+		*DebuggerStatement, *WithStatement, *ReturnStatement,
+		*LabeledStatement, *BreakStatement, *ContinueStatement, *IfStatement,
+		*SwitchStatement, *SwitchCase, *ThrowStatement, *TryStatement,
+		*WhileStatement, *DoWhileStatement, *ForStatement, *ForInStatement,
+		*ForOfStatement, *FunctionDeclaration, *VariableDeclaration,
+		*ClassDeclaration, *ImportDeclaration, *ExportNamedDeclaration,
+		*ExportDefaultDeclaration, *ExportAllDeclaration:
+		return true
+	default:
+		return false
+	}
+}
+
+// IsConditionalControlFlow reports whether n is one of the conditional
+// control-flow node types the paper uses as a corpus filter (footnote 2):
+// loops, if, ternary, try, and switch.
+func IsConditionalControlFlow(n Node) bool {
+	switch n.(type) {
+	case *DoWhileStatement, *WhileStatement, *ForStatement, *ForOfStatement,
+		*ForInStatement, *IfStatement, *ConditionalExpression, *TryStatement,
+		*SwitchStatement:
+		return true
+	default:
+		return false
+	}
+}
+
+// IsFunction reports whether n is one of the function node types from the
+// paper's corpus filter (footnote 3).
+func IsFunction(n Node) bool {
+	switch n.(type) {
+	case *ArrowFunctionExpression, *FunctionExpression, *FunctionDeclaration:
+		return true
+	default:
+		return false
+	}
+}
+
+// IsCallLike reports whether n is a CallExpression or a
+// TaggedTemplateExpression (footnote 4: the call filter includes tagged
+// templates).
+func IsCallLike(n Node) bool {
+	switch n.(type) {
+	case *CallExpression, *TaggedTemplateExpression:
+		return true
+	default:
+		return false
+	}
+}
+
+// The helpers below exist to turn possibly-nil typed pointers into Node
+// values without producing non-nil interfaces that wrap nil pointers.
+
+func ident(id *Identifier) Node {
+	if id == nil {
+		return nil
+	}
+	return id
+}
+
+func block(b *BlockStatement) Node {
+	if b == nil {
+		return nil
+	}
+	return b
+}
+
+func clause(c *CatchClause) Node {
+	if c == nil {
+		return nil
+	}
+	return c
+}
+
+func classBody(b *ClassBody) Node {
+	if b == nil {
+		return nil
+	}
+	return b
+}
+
+func funcExpr(f *FunctionExpression) Node {
+	if f == nil {
+		return nil
+	}
+	return f
+}
+
+func lit(l *Literal) Node {
+	if l == nil {
+		return nil
+	}
+	return l
+}
+
+func templ(t *TemplateLiteral) Node {
+	if t == nil {
+		return nil
+	}
+	return t
+}
+
+func one(n Node) []Node {
+	if n == nil {
+		return nil
+	}
+	return []Node{n}
+}
+
+func list(nodes ...Node) []Node { return compact(nodes) }
+
+func compact(nodes []Node) []Node {
+	out := make([]Node, 0, len(nodes))
+	for _, n := range nodes {
+		if n != nil {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+func funcParts(id Node, params []Node, body Node) []Node {
+	out := make([]Node, 0, len(params)+2)
+	if id != nil {
+		out = append(out, id)
+	}
+	out = append(out, compact(params)...)
+	if body != nil {
+		out = append(out, body)
+	}
+	return out
+}

@@ -1,0 +1,114 @@
+// Package lexer tokenizes JavaScript source text. It produces the lexical
+// units ("tokens") that the parser consumes and that the feature extractor
+// counts, mirroring the token collection the paper performs with Esprima.
+package lexer
+
+import (
+	"fmt"
+
+	"repro/internal/js/ast"
+)
+
+// Kind classifies a token.
+type Kind int
+
+// Token kinds.
+const (
+	EOF Kind = iota + 1
+	Ident
+	Keyword
+	Punct
+	Number
+	String
+	Regex
+	// NoSubstTemplate is a template literal without substitutions: `abc`.
+	NoSubstTemplate
+	// TemplateHead is the `abc${ part of a template with substitutions.
+	TemplateHead
+	// TemplateMiddle is a }abc${ continuation.
+	TemplateMiddle
+	// TemplateTail is the closing }abc` part.
+	TemplateTail
+	// PrivateIdent is a #name class member reference.
+	PrivateIdent
+)
+
+// String returns a human-readable kind name.
+func (k Kind) String() string {
+	switch k {
+	case EOF:
+		return "EOF"
+	case Ident:
+		return "Ident"
+	case Keyword:
+		return "Keyword"
+	case Punct:
+		return "Punct"
+	case Number:
+		return "Number"
+	case String:
+		return "String"
+	case Regex:
+		return "Regex"
+	case NoSubstTemplate:
+		return "NoSubstTemplate"
+	case TemplateHead:
+		return "TemplateHead"
+	case TemplateMiddle:
+		return "TemplateMiddle"
+	case TemplateTail:
+		return "TemplateTail"
+	case PrivateIdent:
+		return "PrivateIdent"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Token is one lexical unit.
+type Token struct {
+	Kind   Kind
+	Lexeme string // raw source text of the token
+	Start  ast.Pos
+	End    ast.Pos
+	// NewlineBefore is true when a line terminator appears between the
+	// previous token and this one; the parser needs it for automatic
+	// semicolon insertion.
+	NewlineBefore bool
+	// StringValue is the decoded value for String tokens and the cooked
+	// value for template tokens.
+	StringValue string
+	// NumberValue is the numeric value for Number tokens.
+	NumberValue float64
+	// RegexPattern and RegexFlags are set for Regex tokens.
+	RegexPattern string
+	RegexFlags   string
+}
+
+// IsPunct reports whether the token is the given punctuator.
+func (t Token) IsPunct(s string) bool { return t.Kind == Punct && t.Lexeme == s }
+
+// IsKeyword reports whether the token is the given keyword.
+func (t Token) IsKeyword(s string) bool { return t.Kind == Keyword && t.Lexeme == s }
+
+// Comment is a source comment, retained for token-level features such as the
+// comment-to-code ratio that distinguishes minified from regular scripts.
+type Comment struct {
+	Span  ast.Span
+	Text  string // comment text without delimiters
+	Block bool   // true for /* */ comments
+}
+
+// keywords is the set of reserved words tokenized as Keyword. Contextual
+// keywords (of, async, get, set, static, from, as) stay Ident and are
+// recognized by the parser from the lexeme.
+var keywords = map[string]bool{
+	"await": true, "break": true, "case": true, "catch": true, "class": true,
+	"const": true, "continue": true, "debugger": true, "default": true,
+	"delete": true, "do": true, "else": true, "export": true, "extends": true,
+	"finally": true, "for": true, "function": true, "if": true, "import": true,
+	"in": true, "instanceof": true, "let": true, "new": true, "return": true,
+	"super": true, "switch": true, "this": true, "throw": true, "try": true,
+	"typeof": true, "var": true, "void": true, "while": true, "with": true,
+	"yield": true, "true": true, "false": true, "null": true,
+}

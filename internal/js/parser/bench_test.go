@@ -1,0 +1,52 @@
+package parser
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// benchSource builds a representative mid-size script once.
+func benchSource() string {
+	rng := rand.New(rand.NewSource(1))
+	var sb strings.Builder
+	for sb.Len() < 16<<10 {
+		switch rng.Intn(4) {
+		case 0:
+			sb.WriteString("function f")
+			sb.WriteString(string(rune('a' + rng.Intn(26))))
+			sb.WriteString("(a, b) { if (a > b) { return a - b; } return b - a; }\n")
+		case 1:
+			sb.WriteString("var table = [1, 2, 3, 4, 5].map(function (v) { return v * 2; });\n")
+		case 2:
+			sb.WriteString("for (var i = 0; i < 100; i++) { total += data[i].value; }\n")
+		default:
+			sb.WriteString("obj.method(\"string literal\", 42, {key: value, nested: {deep: true}});\n")
+		}
+	}
+	return sb.String()
+}
+
+func BenchmarkParse(b *testing.B) {
+	src := benchSource()
+	b.SetBytes(int64(len(src)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParseNoTokens(b *testing.B) {
+	src := benchSource()
+	b.SetBytes(int64(len(src)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseNoTokens(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

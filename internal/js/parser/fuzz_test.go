@@ -1,0 +1,46 @@
+package parser
+
+import (
+	"testing"
+
+	"repro/internal/js/printer"
+)
+
+// FuzzParse checks the parser never panics and that anything it accepts
+// round-trips through the printer to a fixed point.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		`var x = 1;`,
+		`function f(a, b) { return a + b; }`,
+		`x = a ? b : c;`,
+		"x = `tpl ${a + 1} end`;",
+		`class A extends B { m() { super.m(); } #f = 1; }`,
+		`for (const [k, v] of pairs) log(k, v);`,
+		`x = /re[/]/g;`,
+		`({a = 1, ...rest} = obj);`,
+		`async () => await p;`,
+		`l: while (true) { break l; }`,
+		`x = a?.b?.["c"]?.(1);`,
+		"<!-- html comment\nvar y = 2;",
+		`x = 0x1fn + 1_000;`,
+		`try {} catch {} finally {}`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := ParseProgram(src)
+		if err != nil {
+			return // rejecting is fine; panicking is not
+		}
+		out := printer.Compact(prog)
+		prog2, err := ParseProgram(out)
+		if err != nil {
+			t.Fatalf("printer output does not reparse: %v\ninput: %q\nprinted: %q", err, src, out)
+		}
+		out2 := printer.Compact(prog2)
+		if out != out2 {
+			t.Fatalf("print not a fixed point:\ninput: %q\n1st: %q\n2nd: %q", src, out, out2)
+		}
+	})
+}

@@ -1,0 +1,41 @@
+package ml
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkTrainForest(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x, y := synthGaussian(rng, 500, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		TrainForest(x, y, ForestOptions{NumTrees: 20, Parallel: true}, rand.New(rand.NewSource(2)))
+	}
+}
+
+func BenchmarkForestPredict(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	x, y := synthGaussian(rng, 500, 64)
+	f := TrainForest(x, y, ForestOptions{NumTrees: 40}, rng)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Predict(x[i%len(x)])
+	}
+}
+
+func BenchmarkChainPredict(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	x, y := synthMultiLabel(rng, 500)
+	chain, err := TrainChain(x, y, []string{"a", "b", "c"}, ForestOptions{NumTrees: 20}, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		chain.PredictProbs(x[i%len(x)])
+	}
+}

@@ -1,0 +1,74 @@
+package ml
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// FeatureImportance holds one dimension's permutation importance.
+type FeatureImportance struct {
+	Feature int
+	// Drop is the accuracy lost when the feature is permuted; higher means
+	// more important.
+	Drop float64
+}
+
+// PermutationImportance estimates per-feature importance for one binary
+// forest: each feature column is shuffled in turn and the resulting
+// accuracy drop recorded. Only the topN most important features are
+// returned, sorted by decreasing drop.
+func PermutationImportance(f *Forest, x [][]float64, y []bool, topN int, rng *rand.Rand) []FeatureImportance {
+	if len(x) == 0 {
+		return nil
+	}
+	dims := len(x[0])
+	baseline := forestAccuracy(f, x, y)
+
+	// Work on a copy so the caller's data is untouched.
+	col := make([]float64, len(x))
+	perm := make([]int, len(x))
+	scratch := make([][]float64, len(x))
+	for i := range x {
+		row := make([]float64, dims)
+		copy(row, x[i])
+		scratch[i] = row
+	}
+
+	out := make([]FeatureImportance, 0, dims)
+	for d := 0; d < dims; d++ {
+		for i := range scratch {
+			col[i] = scratch[i][d]
+		}
+		copy(perm, rng.Perm(len(x)))
+		for i := range scratch {
+			scratch[i][d] = col[perm[i]]
+		}
+		shuffled := forestAccuracy(f, scratch, y)
+		for i := range scratch {
+			scratch[i][d] = col[i]
+		}
+		if drop := baseline - shuffled; drop > 0 {
+			out = append(out, FeatureImportance{Feature: d, Drop: drop})
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Drop != out[b].Drop {
+			return out[a].Drop > out[b].Drop
+		}
+		return out[a].Feature < out[b].Feature
+	})
+	if topN > 0 && len(out) > topN {
+		out = out[:topN]
+	}
+	return out
+}
+
+func forestAccuracy(f *Forest, x [][]float64, y []bool) float64 {
+	correct := 0
+	for i := range x {
+		if (f.Predict(x[i]) >= 0.5) == y[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(x))
+}

@@ -1,0 +1,106 @@
+package ml
+
+import "sort"
+
+// ThresholdLabels returns the indices of labels whose probability is at
+// least threshold, most probable first.
+func ThresholdLabels(probs []float64, threshold float64) []int {
+	var idx []int
+	for i, p := range probs {
+		if p >= threshold {
+			idx = append(idx, i)
+		}
+	}
+	sort.Slice(idx, func(a, b int) bool { return probs[idx[a]] > probs[idx[b]] })
+	return idx
+}
+
+// TopK returns the indices of the k most probable labels, most probable
+// first.
+func TopK(probs []float64, k int) []int {
+	idx := make([]int, len(probs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return probs[idx[a]] > probs[idx[b]] })
+	if k > len(idx) {
+		k = len(idx)
+	}
+	return idx[:k]
+}
+
+// TopKThreshold keeps at most k labels, all with probability ≥ threshold
+// (the paper's Figure 1b setting: Top-k with a 10% confidence floor).
+func TopKThreshold(probs []float64, k int, threshold float64) []int {
+	top := TopK(probs, k)
+	var out []int
+	for _, i := range top {
+		if probs[i] >= threshold {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// TopKCorrect implements the paper's Top-k criterion: the prediction is
+// correct when all k most-probable labels are part of the ground truth.
+func TopKCorrect(probs []float64, truth []bool, k int) bool {
+	for _, i := range TopK(probs, k) {
+		if !truth[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ExactMatch reports whether the thresholded label set equals the ground
+// truth exactly (both the labels and their number, Section III-E1).
+func ExactMatch(pred []int, truth []bool) bool {
+	want := 0
+	for _, t := range truth {
+		if t {
+			want++
+		}
+	}
+	if len(pred) != want {
+		return false
+	}
+	for _, i := range pred {
+		if !truth[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// WrongMissing counts predicted labels not in the truth (wrong) and truth
+// labels not predicted (missing), as plotted in Figure 1.
+func WrongMissing(pred []int, truth []bool) (wrong, missing int) {
+	predSet := make(map[int]bool, len(pred))
+	for _, i := range pred {
+		predSet[i] = true
+		if !truth[i] {
+			wrong++
+		}
+	}
+	for i, t := range truth {
+		if t && !predSet[i] {
+			missing++
+		}
+	}
+	return wrong, missing
+}
+
+// BinaryAccuracy is the fraction of correct boolean predictions.
+func BinaryAccuracy(pred, truth []bool) float64 {
+	if len(pred) == 0 {
+		return 0
+	}
+	correct := 0
+	for i := range pred {
+		if pred[i] == truth[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(pred))
+}

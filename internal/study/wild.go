@@ -1,0 +1,365 @@
+package study
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/corpus"
+	"repro/internal/transform"
+)
+
+// ---------------------------------------------------------------------------
+// Table I — dataset inventory
+// ---------------------------------------------------------------------------
+
+// TableIRow is one dataset of the study.
+type TableIRow struct {
+	Source   string
+	Creation string
+	NumJS    int
+	Class    string
+	Section  string
+}
+
+// TableI summarizes the generated datasets at the configured scale.
+type TableI struct {
+	Rows []TableIRow
+}
+
+// RunTableI generates every collection and counts it, mirroring Table I.
+func (r *Runner) RunTableI() (TableI, error) {
+	scale := r.cfg.scale()
+	var t TableI
+
+	alexa, err := corpus.BuildRanked(corpus.AlexaConfig(40*scale), r.rng(301))
+	if err != nil {
+		return t, err
+	}
+	t.Rows = append(t.Rows, TableIRow{"Alexa Top 10k (scaled)", "2020", len(alexa), "Benign", "IV-B1"})
+
+	npm, err := corpus.BuildNpm(corpus.NpmConfig(40*scale), r.rng(302))
+	if err != nil {
+		return t, err
+	}
+	t.Rows = append(t.Rows, TableIRow{"npm Top 10k (scaled)", "2020", len(npm), "Benign", "IV-B2"})
+
+	for _, cfg := range corpus.DefaultMaliciousConfigs(scale) {
+		files, err := corpus.BuildMalicious(cfg, r.rng(303+int64(len(t.Rows))))
+		if err != nil {
+			return t, err
+		}
+		created := "2015-2017"
+		if cfg.Source == "bsi" {
+			created = "2017"
+		}
+		t.Rows = append(t.Rows, TableIRow{cfg.Source, created, len(files), "Malicious", "IV-C"})
+	}
+
+	alexaLong, err := corpus.BuildLongitudinal(corpus.LongitudinalConfig{
+		ScriptsPerMonth: 4 * scale, Origin: "alexa",
+	}, r.rng(310))
+	if err != nil {
+		return t, err
+	}
+	t.Rows = append(t.Rows, TableIRow{"Alexa Top 2k x 65 (scaled)", "2015-2020", len(alexaLong), "Benign", "IV-D1"})
+
+	npmLong, err := corpus.BuildLongitudinal(corpus.LongitudinalConfig{
+		ScriptsPerMonth: 4 * scale, Origin: "npm",
+	}, r.rng(311))
+	if err != nil {
+		return t, err
+	}
+	t.Rows = append(t.Rows, TableIRow{"npm Top 2k x 65 (scaled)", "2015-2020", len(npmLong), "Benign", "IV-D2"})
+	return t, nil
+}
+
+// Print renders Table I.
+func (t TableI) Print(w io.Writer) {
+	fmt.Fprintf(w, "Table I: datasets (scaled)\n")
+	fmt.Fprintf(w, "  %-28s %-10s %8s  %-9s %s\n", "Source", "Creation", "#JS", "Class", "Section")
+	for _, row := range t.Rows {
+		fmt.Fprintf(w, "  %-28s %-10s %8d  %-9s %s\n", row.Source, row.Creation, row.NumJS, row.Class, row.Section)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Section IV-B1 — Alexa-like study (Figure 2 + rank groups)
+// ---------------------------------------------------------------------------
+
+// WildStudy captures the level 1 / level 2 findings on one benign ranked
+// collection.
+type WildStudy struct {
+	Origin string
+	// ScriptTransformedRate is the fraction of scripts flagged transformed
+	// (paper: 68.60% Alexa, 8.7% npm).
+	ScriptTransformedRate float64
+	// MinifiedRate and ObfuscatedRate break the transformed scripts down
+	// (paper Alexa: 68.20% / 0.40%).
+	MinifiedRate   float64
+	ObfuscatedRate float64
+	// UnitRate is the fraction of sites/packages with at least one
+	// transformed script (paper: 89.4% Alexa, 15.14% npm).
+	UnitRate float64
+	// TechniqueAvg is the Figure 2/3 series: average level 2 confidence per
+	// technique over transformed scripts.
+	TechniqueAvg map[transform.Technique]float64
+	// RankGroups maps each rank decile (0-based) to its transformed rate
+	// (Figure 4 and the Alexa rank analysis).
+	RankGroups []float64
+	// PlantedRate is the ground-truth transformed fraction, for
+	// verification against the detector's measurement.
+	PlantedRate float64
+	NumScripts  int
+	NumUnits    int
+}
+
+// runWild evaluates one ranked benign collection.
+func (r *Runner) runWild(files []corpus.File, origin string, units int) (WildStudy, error) {
+	st := WildStudy{Origin: origin, NumScripts: len(files), NumUnits: units}
+	results := r.classifyAll(files)
+
+	transformed, minified, obfuscated, planted := 0, 0, 0, 0
+	unitHasTransformed := make(map[int]bool)
+	groupTransformed := make([]int, 10)
+	groupTotal := make([]int, 10)
+	for _, res := range results {
+		if res.err != nil {
+			return st, res.err
+		}
+		if res.file.Transformed() {
+			planted++
+		}
+		group := (res.file.Rank - 1) * 10 / max(units, 1)
+		if group > 9 {
+			group = 9
+		}
+		groupTotal[group]++
+		if res.level1.IsTransformed() {
+			transformed++
+			unitHasTransformed[res.file.Rank] = true
+			groupTransformed[group]++
+		}
+		if res.level1.IsMinified() {
+			minified++
+		}
+		if res.level1.IsObfuscated() {
+			obfuscated++
+		}
+	}
+	st.ScriptTransformedRate = ratio(transformed, len(files))
+	st.MinifiedRate = ratio(minified, len(files))
+	st.ObfuscatedRate = ratio(obfuscated, len(files))
+	st.UnitRate = ratio(len(unitHasTransformed), units)
+	st.PlantedRate = ratio(planted, len(files))
+	st.TechniqueAvg = techniqueAverages(results)
+	st.RankGroups = make([]float64, 10)
+	for g := 0; g < 10; g++ {
+		st.RankGroups[g] = ratio(groupTransformed[g], groupTotal[g])
+	}
+	return st, nil
+}
+
+// RunAlexa builds and evaluates the Alexa-like collection (Section IV-B1,
+// Figure 2).
+func (r *Runner) RunAlexa() (WildStudy, error) {
+	units := 40 * r.cfg.scale()
+	files, err := corpus.BuildRanked(corpus.AlexaConfig(units), r.rng(401))
+	if err != nil {
+		return WildStudy{}, err
+	}
+	return r.runWild(files, "alexa", units)
+}
+
+// RunNpm builds and evaluates the npm-like collection (Section IV-B2,
+// Figures 3 and 4).
+func (r *Runner) RunNpm() (WildStudy, error) {
+	units := 40 * r.cfg.scale()
+	files, err := corpus.BuildNpm(corpus.NpmConfig(units), r.rng(402))
+	if err != nil {
+		return WildStudy{}, err
+	}
+	return r.runWild(files, "npm", units)
+}
+
+// Print renders the study.
+func (s WildStudy) Print(w io.Writer) {
+	fmt.Fprintf(w, "%s study (%d scripts, %d units)\n", s.Origin, s.NumScripts, s.NumUnits)
+	fmt.Fprintf(w, "  scripts transformed %6.2f%% (planted %.2f%%)\n", s.ScriptTransformedRate*100, s.PlantedRate*100)
+	fmt.Fprintf(w, "    minified   %6.2f%%\n", s.MinifiedRate*100)
+	fmt.Fprintf(w, "    obfuscated %6.2f%%\n", s.ObfuscatedRate*100)
+	fmt.Fprintf(w, "  units with ≥1 transformed script %6.2f%%\n", s.UnitRate*100)
+	printTechniqueTable(w, "  technique usage probability:", s.TechniqueAvg)
+	fmt.Fprintf(w, "  transformed rate by rank decile:")
+	for _, g := range s.RankGroups {
+		fmt.Fprintf(w, " %5.1f", g*100)
+	}
+	fmt.Fprintln(w)
+}
+
+// ---------------------------------------------------------------------------
+// Section IV-C — malicious collections (Figure 5)
+// ---------------------------------------------------------------------------
+
+// MaliciousStudy captures one feed's results.
+type MaliciousStudy struct {
+	Source string
+	// TransformedRate is the level 1 rate (paper: 65.94% DNC, 73.07%
+	// Hynek, 28.93% BSI).
+	TransformedRate float64
+	PlantedRate     float64
+	// TechniqueAvg is the Figure 5 series.
+	TechniqueAvg map[transform.Technique]float64
+	// MonthlyTransformed maps month index → transformed rate, showing the
+	// per-month variation the paper describes.
+	MonthlyTransformed map[int]float64
+	N                  int
+}
+
+// RunMalicious evaluates all three feeds.
+func (r *Runner) RunMalicious() ([]MaliciousStudy, error) {
+	var out []MaliciousStudy
+	for i, cfg := range corpus.DefaultMaliciousConfigs(r.cfg.scale()) {
+		files, err := corpus.BuildMalicious(cfg, r.rng(501+int64(i)))
+		if err != nil {
+			return nil, err
+		}
+		results := r.classifyAll(files)
+		st := MaliciousStudy{
+			Source:             cfg.Source,
+			N:                  len(files),
+			MonthlyTransformed: make(map[int]float64),
+		}
+		transformed, planted := 0, 0
+		monthT := make(map[int]int)
+		monthN := make(map[int]int)
+		for _, res := range results {
+			if res.err != nil {
+				return nil, res.err
+			}
+			monthN[res.file.Month]++
+			if res.file.Transformed() {
+				planted++
+			}
+			if res.level1.IsTransformed() {
+				transformed++
+				monthT[res.file.Month]++
+			}
+		}
+		st.TransformedRate = ratio(transformed, len(files))
+		st.PlantedRate = ratio(planted, len(files))
+		for m, n := range monthN {
+			st.MonthlyTransformed[m] = ratio(monthT[m], n)
+		}
+		st.TechniqueAvg = techniqueAverages(results)
+		out = append(out, st)
+	}
+	return out, nil
+}
+
+// PrintMalicious renders the feeds side by side.
+func PrintMalicious(w io.Writer, studies []MaliciousStudy) {
+	for _, s := range studies {
+		fmt.Fprintf(w, "malicious %s (n=%d)\n", s.Source, s.N)
+		fmt.Fprintf(w, "  transformed %6.2f%% (planted %.2f%%)\n", s.TransformedRate*100, s.PlantedRate*100)
+		printTechniqueTable(w, "  technique usage probability (Figure 5):", s.TechniqueAvg)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Section IV-D — longitudinal study (Figures 6-8)
+// ---------------------------------------------------------------------------
+
+// MonthPoint is one month on the Figures 6-8 series.
+type MonthPoint struct {
+	Month           int
+	Label           string
+	TransformedRate float64
+	PlantedRate     float64
+	TechniqueAvg    map[transform.Technique]float64
+}
+
+// Longitudinal is one origin's 65-month series.
+type Longitudinal struct {
+	Origin string
+	Points []MonthPoint
+}
+
+// RunLongitudinal evaluates one origin over the 65 months.
+func (r *Runner) RunLongitudinal(origin string) (Longitudinal, error) {
+	long := Longitudinal{Origin: origin}
+	files, err := corpus.BuildLongitudinal(corpus.LongitudinalConfig{
+		ScriptsPerMonth: 4 * r.cfg.scale(),
+		Origin:          origin,
+	}, r.rng(601))
+	if err != nil {
+		return long, err
+	}
+	results := r.classifyAll(files)
+
+	byMonth := make(map[int][]fileProbs)
+	for _, res := range results {
+		if res.err != nil {
+			return long, res.err
+		}
+		byMonth[res.file.Month] = append(byMonth[res.file.Month], res)
+	}
+	for m := 0; m < corpus.LongitudinalMonths; m++ {
+		monthResults := byMonth[m]
+		transformed, planted := 0, 0
+		for _, res := range monthResults {
+			if res.level1.IsTransformed() {
+				transformed++
+			}
+			if res.file.Transformed() {
+				planted++
+			}
+		}
+		long.Points = append(long.Points, MonthPoint{
+			Month:           m,
+			Label:           corpus.MonthLabel(m),
+			TransformedRate: ratio(transformed, len(monthResults)),
+			PlantedRate:     ratio(planted, len(monthResults)),
+			TechniqueAvg:    techniqueAverages(monthResults),
+		})
+	}
+	return long, nil
+}
+
+// Print renders the series (Figure 6 column plus the Figure 7/8 technique
+// columns for the leading techniques).
+func (l Longitudinal) Print(w io.Writer) {
+	fmt.Fprintf(w, "longitudinal %s (Figures 6-8)\n", l.Origin)
+	fmt.Fprintf(w, "  month    transformed%%  min.simple%%  min.adv%%  ident.obf%%\n")
+	for _, p := range l.Points {
+		fmt.Fprintf(w, "  %s   %10.1f  %10.1f  %8.1f  %9.1f\n",
+			p.Label, p.TransformedRate*100,
+			p.TechniqueAvg[transform.MinifySimple]*100,
+			p.TechniqueAvg[transform.MinifyAdvanced]*100,
+			p.TechniqueAvg[transform.IdentifierObfuscation]*100)
+	}
+}
+
+// HalfMeans returns the mean transformed rate of the first and second half
+// of the series — the benchmark's trend check for Figure 6.
+func (l Longitudinal) HalfMeans() (first, second float64) {
+	half := len(l.Points) / 2
+	for i, p := range l.Points {
+		if i < half {
+			first += p.TransformedRate
+		} else {
+			second += p.TransformedRate
+		}
+	}
+	if half > 0 {
+		first /= float64(half)
+		second /= float64(len(l.Points) - half)
+	}
+	return first, second
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

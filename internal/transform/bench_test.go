@@ -1,0 +1,22 @@
+package transform
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkTechniques measures each transformation technique end to end
+// (parse, rewrite, print) on the shared sample program.
+func BenchmarkTechniques(b *testing.B) {
+	for _, tech := range append(append([]Technique{}, Techniques...), Packer) {
+		b.Run(tech.String(), func(b *testing.B) {
+			b.SetBytes(int64(len(sample)))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := Transform(sample, rand.New(rand.NewSource(1)), tech); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

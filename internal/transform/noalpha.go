@@ -1,0 +1,278 @@
+package transform
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/js/parser"
+	"repro/internal/js/printer"
+)
+
+// encodeNoAlphanumeric rewrites a program using only the six characters
+// []()!+ in the JSFuck/JSXFuck style (Section II-B): every character of the
+// source is reconstructed from primitive coercions ("false", "true",
+// "undefined", number-to-string, escape/unescape bootstrap), concatenated
+// into a code string, and handed to the Function constructor.
+//
+// The output is syntactically faithful to the technique (enormous chains of
+// unary/binary expressions over array literals, computed member accesses,
+// zero alphanumeric characters); inputs are capped so a transformed file
+// stays within the paper's 2 MB analysis bound.
+func encodeNoAlphanumeric(src string) (string, error) {
+	// Compact the program first so the character budget packs as much real
+	// code as possible, then cap the payload: JSFuck expands input by two
+	// orders of magnitude, and the paper's pipeline only analyzes files up
+	// to 2 MB anyway.
+	const maxInput = 1536
+	if prog, err := parser.ParseProgram(src); err == nil {
+		src = printer.Compact(prog)
+	}
+	if len(src) > maxInput {
+		src = src[:maxInput]
+	}
+	enc := newJSFuckEncoder()
+	code, err := enc.encodeString(src)
+	if err != nil {
+		return "", err
+	}
+	// [][S("entries")][S("constructor")](code)() — build and invoke.
+	fn, err := enc.functionConstructor()
+	if err != nil {
+		return "", err
+	}
+	return fn + "(" + code + ")()", nil
+}
+
+type jsfuckEncoder struct {
+	chars map[rune]string
+}
+
+func newJSFuckEncoder() *jsfuckEncoder {
+	e := &jsfuckEncoder{chars: make(map[rune]string)}
+	e.seed()
+	return e
+}
+
+// numExpr builds a numeric expression for n ≥ 0 from !+[] atoms; multi-digit
+// numbers go through string concatenation and unary plus.
+func (e *jsfuckEncoder) numExpr(n int) string {
+	switch {
+	case n == 0:
+		return "+[]"
+	case n < 10:
+		parts := make([]string, n)
+		for i := range parts {
+			parts[i] = "!+[]"
+		}
+		return "+" + strings.Join(parts, "+")
+	default:
+		// +( digit-string concatenation )
+		digits := strconv.Itoa(n)
+		var sb strings.Builder
+		sb.WriteString("+(")
+		for i, d := range digits {
+			if i > 0 {
+				sb.WriteString("+")
+			}
+			sb.WriteString("(" + e.numExpr(int(d-'0')) + "+[])")
+		}
+		sb.WriteString(")")
+		return sb.String()
+	}
+}
+
+// index returns an index expression usable inside [...] brackets.
+func (e *jsfuckEncoder) index(n int) string { return e.numExpr(n) }
+
+// seed registers the characters reachable from the primitive coercion
+// strings.
+func (e *jsfuckEncoder) seed() {
+	reg := func(base string, text string) {
+		for i, r := range text {
+			if _, ok := e.chars[r]; !ok {
+				e.chars[r] = "(" + base + ")[" + e.index(i) + "]"
+			}
+		}
+	}
+	reg("![]+[]", "false")
+	reg("!![]+[]", "true")
+	reg("[][[]]+[]", "undefined")
+	reg("+[![]]+[]", "NaN")
+	// Digits as single-character strings.
+	for d := 0; d <= 9; d++ {
+		e.chars[rune('0'+d)] = "(" + e.numExpr(d) + "+[])"
+	}
+}
+
+// str builds an expression producing the given string by concatenating
+// per-character expressions.
+func (e *jsfuckEncoder) str(s string) (string, error) {
+	if s == "" {
+		return "([]+[])", nil
+	}
+	var parts []string
+	for _, r := range s {
+		c, err := e.char(r)
+		if err != nil {
+			return "", err
+		}
+		parts = append(parts, c)
+	}
+	return strings.Join(parts, "+"), nil
+}
+
+// char returns (memoized) an expression evaluating to the single-character
+// string for r.
+func (e *jsfuckEncoder) char(r rune) (string, error) {
+	if c, ok := e.chars[r]; ok {
+		return c, nil
+	}
+	c, err := e.buildChar(r)
+	if err != nil {
+		return "", err
+	}
+	e.chars[r] = c
+	return c, nil
+}
+
+// entriesString is "[object Array Iterator]" obtained via
+// []["entries"]() + [].
+func (e *jsfuckEncoder) entriesString() (string, error) {
+	entries, err := e.str("entries")
+	if err != nil {
+		return "", err
+	}
+	return "([][" + entries + "]()+[])", nil
+}
+
+// stringCtorSource is "function String() { [native code] }" via
+// ([]+[])["constructor"]+[].
+func (e *jsfuckEncoder) stringCtorSource() (string, error) {
+	ctor, err := e.str("constructor")
+	if err != nil {
+		return "", err
+	}
+	return "(([]+[])[" + ctor + "]+[])", nil
+}
+
+// functionConstructor is [][ "entries" ][ "constructor" ] — the Function
+// constructor.
+func (e *jsfuckEncoder) functionConstructor() (string, error) {
+	entries, err := e.str("entries")
+	if err != nil {
+		return "", err
+	}
+	ctor, err := e.str("constructor")
+	if err != nil {
+		return "", err
+	}
+	return "[][" + entries + "][" + ctor + "]", nil
+}
+
+// buildChar derives one character using progressively heavier machinery.
+func (e *jsfuckEncoder) buildChar(r rune) (string, error) {
+	// Characters from "[object Array Iterator]".
+	if idx := strings.IndexRune("[object Array Iterator]", r); idx >= 0 {
+		base, err := e.entriesString()
+		if err != nil {
+			return "", err
+		}
+		return base + "[" + e.index(idx) + "]", nil
+	}
+	// Characters from "function String() { [native code] }".
+	if idx := strings.IndexRune("function String() { [native code] }", r); idx >= 0 {
+		base, err := e.stringCtorSource()
+		if err != nil {
+			return "", err
+		}
+		return base + "[" + e.index(idx) + "]", nil
+	}
+	// Lowercase letters via (n).toString(36).
+	if r >= 'a' && r <= 'z' {
+		toString, err := e.str("toString")
+		if err != nil {
+			return "", err
+		}
+		n := 10 + int(r-'a')
+		return "(" + e.numExpr(n) + ")[" + toString + "](" + e.numExpr(36) + ")", nil
+	}
+	// Everything else through unescape("%XX") / unescape("%uXXXX").
+	return e.unescapeChar(r)
+}
+
+// percent returns an expression for the "%" string: escape("[")[0].
+func (e *jsfuckEncoder) percent() (string, error) {
+	fn, err := e.functionConstructor()
+	if err != nil {
+		return "", err
+	}
+	ret, err := e.str("return escape")
+	if err != nil {
+		return "", err
+	}
+	bracket, err := e.char('[')
+	if err != nil {
+		return "", err
+	}
+	return "(" + fn + "(" + ret + ")()(" + bracket + "))[" + e.index(0) + "]", nil
+}
+
+func (e *jsfuckEncoder) unescapeChar(r rune) (string, error) {
+	fn, err := e.functionConstructor()
+	if err != nil {
+		return "", err
+	}
+	ret, err := e.str("return unescape")
+	if err != nil {
+		return "", err
+	}
+	pct, err := e.percent()
+	if err != nil {
+		return "", err
+	}
+	var hexStr string
+	if r < 256 {
+		hexStr = fmt.Sprintf("%02x", r)
+	} else {
+		hexStr = fmt.Sprintf("u%04x", r)
+	}
+	arg := pct
+	for _, h := range hexStr {
+		hc, err := e.char(h)
+		if err != nil {
+			return "", fmt.Errorf("cannot encode hex digit %q for %q: %w", h, r, err)
+		}
+		arg += "+" + hc
+	}
+	return "(" + fn + "(" + ret + ")()(" + arg + "))", nil
+}
+
+// maxOutput bounds the encoded payload: rare characters cost kilobytes of
+// atoms each, and the analysis pipeline caps files at 2 MB anyway.
+const maxOutput = 384 << 10
+
+// encodeString encodes the program text as one string expression, stopping
+// once the output budget is reached.
+func (e *jsfuckEncoder) encodeString(src string) (string, error) {
+	var sb strings.Builder
+	first := true
+	for _, r := range src {
+		c, err := e.char(r)
+		if err != nil {
+			return "", err
+		}
+		if !first {
+			sb.WriteString("+")
+		}
+		sb.WriteString(c)
+		first = false
+		if sb.Len() > maxOutput {
+			break
+		}
+	}
+	if first {
+		return "([]+[])", nil
+	}
+	return sb.String(), nil
+}

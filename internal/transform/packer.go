@@ -1,0 +1,91 @@
+package transform
+
+import (
+	"fmt"
+	"math/rand"
+	"regexp"
+	"sort"
+	"strings"
+
+	"repro/internal/js/parser"
+	"repro/internal/js/printer"
+)
+
+// pack reproduces the Dean Edwards p.a.c.k.e.r format used by the Daft
+// Logic obfuscator (the paper's Section III-E3 generalization tool, kept out
+// of the training set): the source is minified, every word is replaced by a
+// base-62 key, and the whole payload is shipped inside
+// eval(function(p,a,c,k,e,d){...}('...',62,N,'w0|w1|...'.split('|'),0,{})).
+func pack(src string, rng *rand.Rand) (string, error) {
+	prog, err := parser.ParseProgram(src)
+	if err != nil {
+		return "", fmt.Errorf("parse input: %w", err)
+	}
+	// The packer's own pre-pass: shorten identifiers and minify.
+	shortenIdentifiers(prog)
+	payload := printer.Compact(prog)
+
+	// Collect words by frequency (the packer replaces frequent words first).
+	wordRe := regexp.MustCompile(`\w+`)
+	counts := make(map[string]int)
+	for _, w := range wordRe.FindAllString(payload, -1) {
+		counts[w]++
+	}
+	words := make([]string, 0, len(counts))
+	for w := range counts {
+		words = append(words, w)
+	}
+	sort.Slice(words, func(i, j int) bool {
+		if counts[words[i]] != counts[words[j]] {
+			return counts[words[i]] > counts[words[j]]
+		}
+		return words[i] < words[j]
+	})
+	if len(words) > 600 {
+		words = words[:600]
+	}
+
+	keyOf := make(map[string]string, len(words))
+	for i, w := range words {
+		keyOf[w] = base62(i)
+	}
+	packed := wordRe.ReplaceAllStringFunc(payload, func(w string) string {
+		if k, ok := keyOf[w]; ok {
+			return k
+		}
+		return w
+	})
+
+	_ = rng
+	return fmt.Sprintf(
+		`eval(function(p,a,c,k,e,d){e=function(c){return(c<a?'':e(parseInt(c/a)))+((c=c%%a)>35?String.fromCharCode(c+29):c.toString(36))};if(!''.replace(/^/,String)){while(c--){d[e(c)]=k[c]||e(c)}k=[function(e){return d[e]}];e=function(){return'\\w+'};c=1};while(c--){if(k[c]){p=p.replace(new RegExp('\\b'+e(c)+'\\b','g'),k[c])}}return p}('%s',62,%d,'%s'.split('|'),0,{}))`,
+		escapePackedPayload(packed), len(words), strings.Join(words, "|")), nil
+}
+
+// base62 produces the packer key sequence 0-9, a-z, A-Z, 10, 11, ...
+// matching the packer's unbase function.
+func base62(i int) string {
+	digit := func(d int) string {
+		if d > 35 {
+			return string(rune(d + 29)) // A-Z
+		}
+		// 0-9a-z
+		if d < 10 {
+			return string(rune('0' + d))
+		}
+		return string(rune('a' + d - 10))
+	}
+	if i < 62 {
+		return digit(i)
+	}
+	return base62(i/62) + digit(i%62)
+}
+
+// escapePackedPayload escapes the payload for embedding in a single-quoted
+// string.
+func escapePackedPayload(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `'`, `\'`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return s
+}

@@ -1,0 +1,90 @@
+package transform
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/js/ast"
+	"repro/internal/js/parser"
+)
+
+// selfDefendingTemplate is the code-protection guard in the obfuscator.io
+// style: the IIFE converts a function of its own to source text and tests it
+// against a formatting-sensitive regular expression, so the script stops
+// working when beautified or when variables are renamed [24].
+const selfDefendingTemplate = `var %s = (function () {
+  var firstCall = true;
+  return function (context, fn) {
+    var wrapped = firstCall ? function () {
+      if (fn) {
+        var res = fn.apply(context, arguments);
+        fn = null;
+        return res;
+      }
+    } : function () {};
+    firstCall = false;
+    return wrapped;
+  };
+})();
+var %s = %s(this, function () {
+  var probe = function () {
+    var mark = probe.constructor("return /" + this + "/")().constructor("^([^ ]+( +[^ ]+)+)+[^ ]}");
+    return !mark.test(%s);
+  };
+  return probe();
+});
+%s();`
+
+// applySelfDefending wraps the program with the self-defending guard. The
+// caller minifies the result (self-defending code must ship minified so that
+// any reformatting flips the regular-expression test).
+func applySelfDefending(prog *ast.Program, rng *rand.Rand) {
+	guardFactory := fmt.Sprintf("_0x%04x", rng.Intn(0x10000))
+	guard := fmt.Sprintf("_0x%04x", rng.Intn(0x10000))
+	for guard == guardFactory {
+		guard = fmt.Sprintf("_0x%04x", rng.Intn(0x10000))
+	}
+	src := fmt.Sprintf(selfDefendingTemplate,
+		guardFactory, guard, guardFactory, guard, guard)
+	header, err := parser.ParseProgram(src)
+	if err != nil {
+		// The template is a constant; a parse failure is a programming error
+		// caught by the test suite, and we degrade to a no-op here.
+		return
+	}
+	insertAfterDirectives(prog, header.Body...)
+}
+
+// debugProtectionTemplate mirrors the obfuscator.io debug-protection output:
+// a recursive probe that calls the Function constructor with "debugger" to
+// stall developer tools, plus a periodic re-trigger [24].
+const debugProtectionTemplate = `function %s(counter) {
+  function probe(c) {
+    if (typeof c === "string") {
+      return (function (x) {}).constructor("while (true) {}").apply("counter");
+    } else if (("" + c / c).length !== 1 || c %% 20 === 0) {
+      (function () { return true; }).constructor("debugger").call("action");
+    } else {
+      (function () { return false; }).constructor("debugger").apply("stateObject");
+    }
+    probe(++c);
+  }
+  try {
+    if (counter) {
+      return probe;
+    }
+    probe(0);
+  } catch (err) {}
+}
+setInterval(function () { %s(); }, 4000);`
+
+// applyDebugProtection injects the anti-debugging prologue.
+func applyDebugProtection(prog *ast.Program, rng *rand.Rand) {
+	name := fmt.Sprintf("_0x%04x", rng.Intn(0x10000))
+	src := fmt.Sprintf(debugProtectionTemplate, name, name)
+	header, err := parser.ParseProgram(src)
+	if err != nil {
+		return
+	}
+	insertAfterDirectives(prog, header.Body...)
+}

@@ -1,0 +1,95 @@
+package transform
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/js/ast"
+	"repro/internal/js/scope"
+)
+
+// renameBindings renames every binding in the program using the name
+// generator. It renames declaration sites and all resolved references; the
+// generator must avoid keywords and collisions with unresolved globals.
+func renameBindings(prog *ast.Program, newName func(i int, b *scope.Binding) string) {
+	info := scope.Analyze(prog)
+	reserved := make(map[string]bool)
+	for _, id := range info.Unresolved {
+		reserved[id.Name] = true
+	}
+	for kw := range jsKeywords {
+		reserved[kw] = true
+	}
+	i := 0
+	for _, b := range info.Bindings {
+		if b.Decl == nil {
+			continue
+		}
+		var name string
+		for {
+			name = newName(i, b)
+			i++
+			if !reserved[name] {
+				break
+			}
+		}
+		b.Decl.Name = name
+		for _, ref := range b.Refs {
+			ref.Name = name
+		}
+	}
+}
+
+var jsKeywords = map[string]bool{
+	"await": true, "break": true, "case": true, "catch": true, "class": true,
+	"const": true, "continue": true, "debugger": true, "default": true,
+	"delete": true, "do": true, "else": true, "export": true, "extends": true,
+	"finally": true, "for": true, "function": true, "if": true, "import": true,
+	"in": true, "instanceof": true, "let": true, "new": true, "return": true,
+	"super": true, "switch": true, "this": true, "throw": true, "try": true,
+	"typeof": true, "var": true, "void": true, "while": true, "with": true,
+	"yield": true, "true": true, "false": true, "null": true, "enum": true,
+	"static": true, "get": true, "set": true, "of": true, "as": true,
+	"from": true, "async": true,
+}
+
+// obfuscateIdentifiers renames every binding to a random hex name in the
+// obfuscator.io style (_0x3fa2c1), destroying all naming information while
+// leaving the code structure untouched.
+func obfuscateIdentifiers(prog *ast.Program, rng *rand.Rand) {
+	used := make(map[string]bool)
+	renameBindings(prog, func(_ int, _ *scope.Binding) string {
+		for {
+			name := fmt.Sprintf("_0x%06x", rng.Intn(0x1000000))
+			if !used[name] {
+				used[name] = true
+				return name
+			}
+		}
+	})
+}
+
+// shortName produces the minifier naming sequence a, b, ..., z, A, ..., Z,
+// aa, ab, ... for index i.
+func shortName(i int) string {
+	const alphabet = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"
+	name := make([]byte, 0, 4)
+	for {
+		name = append(name, alphabet[i%len(alphabet)])
+		i = i/len(alphabet) - 1
+		if i < 0 {
+			break
+		}
+	}
+	// Reverse for stable lexicographic growth.
+	for l, r := 0, len(name)-1; l < r; l, r = l+1, r-1 {
+		name[l], name[r] = name[r], name[l]
+	}
+	return string(name)
+}
+
+// shortenIdentifiers renames every binding to the shortest available name,
+// as minifiers do.
+func shortenIdentifiers(prog *ast.Program) {
+	renameBindings(prog, func(i int, _ *scope.Binding) string { return shortName(i) })
+}

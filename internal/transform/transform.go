@@ -1,0 +1,159 @@
+// Package transform implements the ten JavaScript code transformation
+// techniques the paper monitors (Section II-C), plus a Dean-Edwards-style
+// packer used as the held-out generalization tool (Section III-E3). Each
+// transformer is an AST-to-AST rewrite followed by code generation, so the
+// output carries the same syntactic traces as the tools the paper studied
+// (obfuscator.io, JSXFuck, gnirts, custom-encoding, JavaScript Minifier,
+// Google closure compiler).
+package transform
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/js/parser"
+	"repro/internal/js/printer"
+)
+
+// Technique identifies one monitored transformation technique.
+type Technique int
+
+// The ten monitored techniques (Section II-C), plus Packer as the held-out
+// tool never used in training.
+const (
+	IdentifierObfuscation Technique = iota + 1
+	StringObfuscation
+	GlobalArray
+	NoAlphanumeric
+	DeadCodeInjection
+	ControlFlowFlattening
+	SelfDefending
+	DebugProtection
+	MinifySimple
+	MinifyAdvanced
+	// Packer is the Dean Edwards-style packer (Daft Logic obfuscator). It is
+	// NOT part of the monitored set; it exists to reproduce the paper's
+	// generalization experiment.
+	Packer
+)
+
+// Techniques lists the ten monitored techniques in canonical order.
+var Techniques = []Technique{
+	IdentifierObfuscation, StringObfuscation, GlobalArray, NoAlphanumeric,
+	DeadCodeInjection, ControlFlowFlattening, SelfDefending, DebugProtection,
+	MinifySimple, MinifyAdvanced,
+}
+
+// String returns the technique name used throughout reports and benchmarks.
+func (t Technique) String() string {
+	switch t {
+	case IdentifierObfuscation:
+		return "identifier obfuscation"
+	case StringObfuscation:
+		return "string obfuscation"
+	case GlobalArray:
+		return "global array"
+	case NoAlphanumeric:
+		return "no alphanumeric"
+	case DeadCodeInjection:
+		return "dead-code injection"
+	case ControlFlowFlattening:
+		return "control-flow flattening"
+	case SelfDefending:
+		return "self-defending"
+	case DebugProtection:
+		return "debug protection"
+	case MinifySimple:
+		return "minification simple"
+	case MinifyAdvanced:
+		return "minification advanced"
+	case Packer:
+		return "packer"
+	case FieldReference:
+		return "obfuscated field reference"
+	default:
+		return fmt.Sprintf("Technique(%d)", int(t))
+	}
+}
+
+// IsMinification reports whether the technique belongs to the minification
+// class at level 1 (the remaining eight are obfuscation).
+func (t Technique) IsMinification() bool {
+	return t == MinifySimple || t == MinifyAdvanced
+}
+
+// ParseTechnique resolves a technique from its canonical name.
+func ParseTechnique(name string) (Technique, error) {
+	for _, t := range append(append([]Technique{}, Techniques...), Packer, FieldReference) {
+		if t.String() == name {
+			return t, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown technique %q", name)
+}
+
+// Transform applies the techniques to src in order and returns the
+// transformed source. The rng drives all randomized choices so corpora are
+// reproducible from a seed.
+func Transform(src string, rng *rand.Rand, techs ...Technique) (string, error) {
+	if len(techs) == 0 {
+		return src, nil
+	}
+	out := src
+	for _, t := range techs {
+		next, err := applyOne(out, rng, t)
+		if err != nil {
+			return "", fmt.Errorf("apply %s: %w", t, err)
+		}
+		out = next
+	}
+	return out, nil
+}
+
+func applyOne(src string, rng *rand.Rand, t Technique) (string, error) {
+	// NoAlphanumeric and Packer consume source text directly.
+	switch t {
+	case NoAlphanumeric:
+		return encodeNoAlphanumeric(src)
+	case Packer:
+		return pack(src, rng)
+	}
+
+	prog, err := parser.ParseProgram(src)
+	if err != nil {
+		return "", fmt.Errorf("parse input: %w", err)
+	}
+	minify := false
+	switch t {
+	case FieldReference:
+		applyFieldReference(prog, rng)
+	case IdentifierObfuscation:
+		obfuscateIdentifiers(prog, rng)
+	case StringObfuscation:
+		obfuscateStrings(prog, rng)
+	case GlobalArray:
+		applyGlobalArray(prog, rng)
+	case DeadCodeInjection:
+		injectDeadCode(prog, rng)
+	case ControlFlowFlattening:
+		flattenControlFlow(prog, rng)
+	case SelfDefending:
+		applySelfDefending(prog, rng)
+		minify = true // self-defending code ships minified so that
+		// reformatting breaks it
+	case DebugProtection:
+		applyDebugProtection(prog, rng)
+	case MinifySimple:
+		minifySimple(prog, rng)
+		minify = true
+	case MinifyAdvanced:
+		minifyAdvanced(prog, rng)
+		minify = true
+	default:
+		return "", fmt.Errorf("unknown technique %v", t)
+	}
+	if minify {
+		return printer.Compact(prog), nil
+	}
+	return printer.Pretty(prog), nil
+}

@@ -1,0 +1,181 @@
+package transformdetect
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/features"
+	"repro/internal/ml"
+)
+
+// One small shared analyzer for the facade tests.
+var (
+	facadeOnce sync.Once
+	facade     *Analyzer
+	facadeErr  error
+)
+
+func getAnalyzer(t *testing.T) *Analyzer {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("skipping facade training in -short mode")
+	}
+	facadeOnce.Do(func() {
+		facade, _, facadeErr = Train(TrainConfig{
+			NumRegular: 90,
+			Options: core.Options{
+				Features: features.Options{NGramDims: 512},
+				Forest: ml.ForestOptions{
+					NumTrees: 20,
+					Parallel: true,
+					Tree:     ml.TreeOptions{MTry: 96},
+				},
+				Seed: 11,
+			},
+		})
+	})
+	if facadeErr != nil {
+		t.Fatalf("train: %v", facadeErr)
+	}
+	return facade
+}
+
+const facadeSrc = `
+// Session helper utilities.
+function readSession(storage, key) {
+  var raw = storage.getItem(key);
+  if (!raw) { return null; }
+  try {
+    return JSON.parse(raw);
+  } catch (err) {
+    return null;
+  }
+}
+function writeSession(storage, key, value) {
+  storage.setItem(key, JSON.stringify(value));
+  return true;
+}
+var session = readSession(window.localStorage, "session-key");
+if (!session) {
+  session = {started: Date.now(), visits: 1};
+} else {
+  session.visits += 1;
+}
+writeSession(window.localStorage, "session-key", session);
+`
+
+func TestAnalyzeRegular(t *testing.T) {
+	a := getAnalyzer(t)
+	res, err := a.AnalyzeSource(facadeSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Transformed {
+		t.Fatalf("regular script misclassified: %+v", res)
+	}
+	if res.Techniques != nil {
+		t.Fatal("regular scripts carry no technique report")
+	}
+}
+
+func TestAnalyzeTransformed(t *testing.T) {
+	a := getAnalyzer(t)
+	min, err := Transform(facadeSrc, 5, MinifySimple)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := a.AnalyzeSource(min)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Transformed {
+		t.Fatalf("minified script not flagged: %+v", res)
+	}
+	if len(res.Techniques) == 0 {
+		t.Fatal("transformed script must carry a technique report")
+	}
+	if res.Techniques[0].Technique != MinifySimple && res.Techniques[0].Technique != MinifyAdvanced {
+		t.Fatalf("top technique = %v, want minification", res.Techniques[0].Technique)
+	}
+}
+
+func TestAnalyzeHTML(t *testing.T) {
+	a := getAnalyzer(t)
+	html := "<html><body><script>" + facadeSrc + "</script></body></html>"
+	res, err := a.AnalyzeHTML(html)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Transformed {
+		t.Fatalf("regular inline script misclassified: %+v", res)
+	}
+	if _, err := a.AnalyzeHTML("<html><body>no scripts</body></html>"); err == nil {
+		t.Fatal("expected error for script-free HTML")
+	}
+}
+
+func TestTransformFacade(t *testing.T) {
+	out, err := Transform(facadeSrc, 9, StringObfuscation, GlobalArray)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, `"session-key"`) {
+		t.Fatal("strings must be hidden")
+	}
+	// Determinism.
+	again, err := Transform(facadeSrc, 9, StringObfuscation, GlobalArray)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != again {
+		t.Fatal("facade Transform must be deterministic per seed")
+	}
+}
+
+func TestDeobfuscateFacade(t *testing.T) {
+	obf, err := Transform(facadeSrc, 13, StringObfuscation)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clear, rep, err := Deobfuscate(obf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Total() == 0 {
+		t.Fatal("deobfuscation applied no rewrites")
+	}
+	if !strings.Contains(clear, "session-key") {
+		t.Fatalf("string not recovered:\n%s", clear)
+	}
+}
+
+func TestExtractScriptsFacade(t *testing.T) {
+	scripts := ExtractScripts(`<script>var a = 1;</script><script src="x.js"></script>`)
+	if len(scripts) != 2 {
+		t.Fatalf("scripts = %d", len(scripts))
+	}
+}
+
+func TestFilterFacade(t *testing.T) {
+	if Filter("tiny") == 1 { // FilterAccepted
+		t.Fatal("tiny input must not pass the corpus filter")
+	}
+	big := facadeSrc + facadeSrc
+	if got := Filter(big); got != 1 {
+		t.Fatalf("Filter = %v, want accepted", got)
+	}
+}
+
+func TestTechniquesList(t *testing.T) {
+	techs := Techniques()
+	if len(techs) != 10 {
+		t.Fatalf("monitored techniques = %d, want 10", len(techs))
+	}
+	// The returned slice is a copy; mutating it must not corrupt state.
+	techs[0] = Packer
+	if Techniques()[0] == Packer {
+		t.Fatal("Techniques() must return a copy")
+	}
+}
