@@ -13,6 +13,9 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/core"
+	"repro/internal/features"
+	"repro/internal/ml"
 	"repro/internal/study"
 	"repro/internal/transform"
 )
@@ -442,6 +445,57 @@ func BenchmarkUnmonitoredTechnique(b *testing.B) {
 	}
 	b.Logf("\n%s", renderTable(func(w *tableWriter) { res.Print(w) }))
 	b.ReportMetric(res.TransformedRate*100, "transformed%")
+}
+
+// BenchmarkRuleFeaturesAblation trains the level 2 detector with and without
+// the opt-in static-indicator feature block (features.Options.RuleFeatures,
+// one dimension per analysis rule) and reports held-out Top-1 accuracy for
+// both, so EXPERIMENTS.md can record the delta the rule features buy.
+func BenchmarkRuleFeaturesAblation(b *testing.B) {
+	train := func(ruleFeatures bool) float64 {
+		cfg := core.TrainConfig{
+			NumRegular: 90 * benchScale(),
+			Options: core.Options{
+				Features: features.Options{NGramDims: 512, RuleFeatures: ruleFeatures},
+				Forest: ml.ForestOptions{
+					NumTrees: 20,
+					Parallel: true,
+					Tree:     ml.TreeOptions{MTry: 96},
+				},
+				Seed: 7,
+			},
+		}
+		tr, err := core.Train(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ok, n := 0, 0
+		for _, tech := range transform.Techniques {
+			for _, f := range tr.TestPool[tech] {
+				n++
+				res, err := tr.Level2.ClassifyLevel2(f.Source)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, want := range core.EffectiveTechniques(f.Techniques) {
+					if res.Ranked[0].Technique == want {
+						ok++
+						break
+					}
+				}
+			}
+		}
+		return float64(ok) / float64(n)
+	}
+	b.ResetTimer()
+	var with, without float64
+	for i := 0; i < b.N; i++ {
+		without = train(false)
+		with = train(true)
+	}
+	b.Logf("level 2 top-1 accuracy: %.3f without rule features, %.3f with", without, with)
+	b.ReportMetric(without*100, "top1_base%")
+	b.ReportMetric(with*100, "top1_rules%")
 }
 
 // BenchmarkFeatureImportance computes the interpretability table: which

@@ -9,6 +9,7 @@
 //	cat file.js | jsdetect -models models/
 //	jsdetect -models models/ -html page.html    # classify inline scripts
 //	jsdetect -models models/ -json file.js      # machine-readable output
+//	jsdetect -models models/ -explain file.js   # attach static indicators
 //
 // Models come from the trainer command; -dims must match training.
 package main
@@ -21,8 +22,10 @@ import (
 	"io/fs"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
+	"repro/internal/analysis"
 	"repro/internal/core"
 	"repro/internal/features"
 	"repro/internal/htmlext"
@@ -38,6 +41,7 @@ type options struct {
 	threshold float64
 	html      bool
 	jsonOut   bool
+	explain   bool
 }
 
 func run() int {
@@ -48,6 +52,7 @@ func run() int {
 	flag.Float64Var(&opts.threshold, "threshold", core.DefaultThreshold, "confidence floor for technique reporting")
 	flag.BoolVar(&opts.html, "html", false, "treat inputs as HTML and classify the extracted inline scripts")
 	flag.BoolVar(&opts.jsonOut, "json", false, "emit one JSON object per input")
+	flag.BoolVar(&opts.explain, "explain", false, "run the static indicator rules and attach attributable diagnostics")
 	flag.Parse()
 
 	featOpts := features.Options{NGramDims: *dims}
@@ -115,11 +120,16 @@ type report struct {
 	Obfuscated  float64           `json:"obfuscated"`
 	Techniques  []techniqueReport `json:"techniques,omitempty"`
 	HTMLScripts int               `json:"htmlScripts,omitempty"`
+	// Diagnostics carries the static indicator findings under -explain.
+	Diagnostics []analysis.Diagnostic `json:"diagnostics,omitempty"`
 }
 
 type techniqueReport struct {
 	Technique   string  `json:"technique"`
 	Probability float64 `json:"probability"`
+	// Supported marks techniques that at least one static indicator
+	// diagnostic attributes (only set under -explain).
+	Supported bool `json:"supported,omitempty"`
 }
 
 func classify(l1, l2 *core.Detector, path string, opts options) error {
@@ -135,18 +145,19 @@ func classify(l1, l2 *core.Detector, path string, opts options) error {
 	}
 
 	code := string(src)
-	rep := report{Path: path}
+	htmlScripts := 0
 	if opts.html {
 		scripts := htmlext.Extract(code)
 		joined := htmlext.JoinInline(scripts)
 		if strings.TrimSpace(joined) == "" {
+			rep := report{Path: path}
 			if opts.jsonOut {
 				return json.NewEncoder(os.Stdout).Encode(rep)
 			}
 			fmt.Printf("%s: no inline scripts\n", path)
 			return nil
 		}
-		rep.HTMLScripts = len(scripts)
+		htmlScripts = len(scripts)
 		code = joined
 	}
 
@@ -154,33 +165,109 @@ func classify(l1, l2 *core.Detector, path string, opts options) error {
 	if err != nil {
 		return err
 	}
-	rep.Transformed = res.IsTransformed()
-	rep.Regular, rep.Minified, rep.Obfuscated = res.Regular, res.Minified, res.Obfuscated
-
+	var l2res *core.Level2Result
 	if res.IsTransformed() {
-		l2res, err := l2.ClassifyLevel2(code)
+		r, err := l2.ClassifyLevel2(code)
 		if err != nil {
 			return err
 		}
-		for _, p := range l2res.TopK(opts.topK, opts.threshold) {
-			rep.Techniques = append(rep.Techniques, techniqueReport{
-				Technique:   p.Technique.String(),
-				Probability: p.Probability,
-			})
+		l2res = &r
+	}
+	var diags []analysis.Diagnostic
+	if opts.explain {
+		if diags, err = analysis.Analyze(code); err != nil {
+			return err
 		}
 	}
 
+	rep := buildReport(path, res, l2res, diags, opts)
+	rep.HTMLScripts = htmlScripts
 	if opts.jsonOut {
 		return json.NewEncoder(os.Stdout).Encode(rep)
 	}
+	renderText(os.Stdout, rep)
+	return nil
+}
+
+// buildReport assembles the output report from the classifier results and
+// the optional static indicator diagnostics. Pure so tests can drive it with
+// fixed probabilities.
+func buildReport(path string, l1 core.Level1Result, l2 *core.Level2Result, diags []analysis.Diagnostic, opts options) report {
+	rep := report{
+		Path:        path,
+		Transformed: l1.IsTransformed(),
+		Regular:     l1.Regular,
+		Minified:    l1.Minified,
+		Obfuscated:  l1.Obfuscated,
+		Diagnostics: diags,
+	}
+	supported := make(map[string]bool)
+	for _, d := range diags {
+		if d.Technique != "" {
+			supported[d.Technique] = true
+		}
+	}
+	if l2 != nil {
+		for _, p := range l2.TopK(opts.topK, opts.threshold) {
+			rep.Techniques = append(rep.Techniques, techniqueReport{
+				Technique:   p.Technique.String(),
+				Probability: p.Probability,
+				Supported:   supported[p.Technique.String()],
+			})
+		}
+	}
+	return rep
+}
+
+// renderText prints the human-readable form of a report.
+func renderText(w io.Writer, rep report) {
 	verdict := "regular"
 	if rep.Transformed {
 		verdict = "transformed"
 	}
-	fmt.Printf("%s: %s (regular %.2f, minified %.2f, obfuscated %.2f)\n",
-		path, verdict, rep.Regular, rep.Minified, rep.Obfuscated)
+	fmt.Fprintf(w, "%s: %s (regular %.2f, minified %.2f, obfuscated %.2f)\n",
+		rep.Path, verdict, rep.Regular, rep.Minified, rep.Obfuscated)
 	for _, t := range rep.Techniques {
-		fmt.Printf("  %-26s %.2f\n", t.Technique, t.Probability)
+		mark := ""
+		if t.Supported {
+			mark = "  [supported by indicators]"
+		}
+		fmt.Fprintf(w, "  %-26s %.2f%s\n", t.Technique, t.Probability, mark)
 	}
-	return nil
+	if len(rep.Diagnostics) > 0 {
+		fmt.Fprintf(w, "  indicators:\n")
+		for _, d := range rep.Diagnostics {
+			fmt.Fprintf(w, "    %s\n", formatDiagnostic(d))
+			if len(d.Evidence) > 0 {
+				fmt.Fprintf(w, "        evidence: %s\n", formatEvidence(d.Evidence))
+			}
+		}
+	}
+}
+
+// formatDiagnostic renders one diagnostic as a single line.
+func formatDiagnostic(d analysis.Diagnostic) string {
+	attr := ""
+	if d.Technique != "" {
+		attr = " -> " + d.Technique
+	}
+	return fmt.Sprintf("[%s] %s%s @%d:%d-%d:%d: %s",
+		d.Severity, d.Rule, attr,
+		d.Span.Start.Line, d.Span.Start.Column+1,
+		d.Span.End.Line, d.Span.End.Column+1,
+		d.Message)
+}
+
+// formatEvidence renders the evidence map with deterministic key order.
+func formatEvidence(ev map[string]float64) string {
+	keys := make([]string, 0, len(ev))
+	for k := range ev {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s=%g", k, ev[k]))
+	}
+	return strings.Join(parts, " ")
 }

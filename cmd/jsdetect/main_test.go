@@ -1,0 +1,129 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/transform"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// explainReport builds the report the -explain path produces for the fixture
+// file, with fixed classifier probabilities so the golden file does not
+// depend on model training.
+func explainReport(t *testing.T) report {
+	t.Helper()
+	path := filepath.Join("testdata", "explain_input.js")
+	src, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := analysis.Analyze(string(src))
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	l1 := core.Level1Result{Regular: 0.05, Minified: 0.10, Obfuscated: 0.85}
+	l2 := &core.Level2Result{Ranked: []core.TechniquePrediction{
+		{Technique: transform.GlobalArray, Probability: 0.61},
+		{Technique: transform.StringObfuscation, Probability: 0.24},
+		{Technique: transform.IdentifierObfuscation, Probability: 0.12},
+		{Technique: transform.DeadCodeInjection, Probability: 0.02},
+	}}
+	opts := options{topK: 4, threshold: core.DefaultThreshold, explain: true}
+	return buildReport(path, l1, l2, diags, opts)
+}
+
+// TestExplainDiagnostics checks the acceptance criterion directly: on an
+// obfuscated sample, -explain yields at least one diagnostic whose technique
+// matches a monitored label and whose span is non-zero.
+func TestExplainDiagnostics(t *testing.T) {
+	rep := explainReport(t)
+	if len(rep.Diagnostics) == 0 {
+		t.Fatal("no diagnostics on obfuscated fixture")
+	}
+	attributed := false
+	for _, d := range rep.Diagnostics {
+		if d.Span.Start.Line < 1 || d.Span.End.Line < 1 || d.Span.End.Offset <= d.Span.Start.Offset {
+			t.Errorf("%s: zero or inverted span %+v", d.Rule, d.Span)
+		}
+		if d.Technique != "" {
+			attributed = true
+		}
+	}
+	if !attributed {
+		t.Error("no diagnostic attributes a technique")
+	}
+	// The fixture's global-array accessor must mark the global array
+	// prediction as indicator-supported.
+	foundSupported := false
+	for _, tr := range rep.Techniques {
+		if tr.Technique == transform.GlobalArray.String() && tr.Supported {
+			foundSupported = true
+		}
+	}
+	if !foundSupported {
+		t.Errorf("global array prediction not marked supported; techniques: %+v", rep.Techniques)
+	}
+}
+
+// TestExplainJSONGolden locks the machine-readable -explain output shape.
+// Regenerate with: go test ./cmd/jsdetect -run Golden -update
+func TestExplainJSONGolden(t *testing.T) {
+	rep := explainReport(t)
+	got, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+	golden := filepath.Join("testdata", "explain_report.golden.json")
+	if *update {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("JSON output differs from golden file (rerun with -update to regenerate):\n got: %s\nwant: %s", got, want)
+	}
+
+	// The emitted JSON must round-trip losslessly.
+	var back report
+	if err := json.Unmarshal(got, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if !reflect.DeepEqual(rep, back) {
+		t.Errorf("report does not round-trip:\n got %+v\nwant %+v", back, rep)
+	}
+}
+
+// TestExplainTextGolden locks the human-readable rendering, including the
+// indicator lines and evidence maps.
+func TestExplainTextGolden(t *testing.T) {
+	rep := explainReport(t)
+	var buf bytes.Buffer
+	renderText(&buf, rep)
+	golden := filepath.Join("testdata", "explain_report.golden.txt")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("text output differs from golden file (rerun with -update to regenerate):\n got:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}

@@ -1,0 +1,7 @@
+var _0x12ab = ["alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta", "theta"];
+function _0x34cd(_0x56ef) { return _0x12ab[_0x56ef - 2]; }
+var _0x78aa = atob("aGVsbG8gd29ybGQhIQ==");
+var _0x78bb = unescape("%68%65%6c%6c%6f%20%77%6f%72%6c%64");
+eval(_0x78aa);
+if (74 === 74 + 13) { _0x34cd(9); }
+_0x34cd(2);

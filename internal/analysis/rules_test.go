@@ -1,0 +1,196 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// ruleFixtures gives every rule one positive and one negative fixture. The
+// positive source must trigger the rule; the negative must not.
+var ruleFixtures = []struct {
+	rule     string
+	positive string
+	negative string
+}{
+	{
+		rule: "hex-identifiers",
+		positive: `var _0x1a2b3c = 1; var _0x4d5e6f = 2;
+function _0xabcdef(_0x123456) { return _0x1a2b3c + _0x4d5e6f + _0x123456; }
+_0xabcdef(_0x1a2b3c);`,
+		negative: `var total = 1; var count = 2;
+function add(amount) { return total + count + amount; }
+add(total);`,
+	},
+	{
+		rule: "encoded-strings",
+		positive: `var a = atob("aGVsbG8gd29ybGQhIQ==");
+var b = unescape("%68%65%6c%6c%6f%20%77%6f%72%6c%64");
+var c = String.fromCharCode(104, 101, 108, 108, 111);`,
+		negative: `var greeting = "hello";
+var subject = "world";
+console.log(greeting + " " + subject);`,
+	},
+	{
+		rule: "string-array",
+		positive: `var _list = ["alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta", "theta"];
+function fetch(i) { return _list[i - 2]; }
+fetch(2); fetch(3); fetch(4);`,
+		negative: `var names = ["alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta", "theta"];
+function describe(x) { return "name: " + x; }
+describe(names.length);`,
+	},
+	{
+		rule: "dynamic-code-sink",
+		positive: `var payload = atob("ZG9Tb21ldGhpbmcoKQ==");
+eval(payload);`,
+		negative: `function evaluate(x) { return x + 1; }
+evaluate(41);`,
+	},
+	{
+		rule:     "no-alphanumeric",
+		positive: `[![],!![],+[],+!![],[![]],[!![]],[[]],![],!![],+[],+!![],[![]],[!![]],[[]],![],!![],+[],+!![],[![]],[!![]]];`,
+		negative: `var visible = true;
+if (visible) { console.log("shown"); }`,
+	},
+	{
+		rule: "dead-branch",
+		positive: `if (74 === 74 + 13) { neverRuns(); } else { runs(); }
+while ("ab" == "cd") { alsoNever(); }
+if (3 * 3 < 3) { dead(); }`,
+		negative: `var x = compute();
+if (x > 2) { use(x); }
+while (x < 10) { x++; }`,
+	},
+	{
+		rule: "switch-dispatch",
+		positive: `var order = "2|0|1".split("|"), i = 0;
+while (true) {
+  switch (order[i++]) {
+    case "0": first(); continue;
+    case "1": second(); continue;
+    case "2": third(); continue;
+  }
+  break;
+}`,
+		negative: `var mode = pick();
+while (running) {
+  switch (mode) {
+    case "a": first(); break;
+    case "b": second(); break;
+  }
+}`,
+	},
+	{
+		rule: "self-defending",
+		positive: `var probe = function () {
+  var mark = probe.constructor("return /" + this + "/")().constructor("^([^ ]+( +[^ ]+)+)+[^ ]}");
+  return !mark.test(guard);
+};
+probe();`,
+		negative: `var re = new RegExp("^[a-z]+$");
+re.test(input);
+obj.constructor(5);`,
+	},
+	{
+		rule: "debugger-protection",
+		positive: `(function () { return true; }).constructor("debugger").call("action");
+(function () { return false; }).constructor("debugger").apply("stateObject");
+setInterval(function () { check(); }, 4000);`,
+		negative: `debugger;
+console.log("single debugging aid left in code");`,
+	},
+	{
+		rule:     "minified-source",
+		positive: strings.Repeat("x=f(1,2,3);y=g(x);z=h(y,x);", 30),
+		negative: `function formatted(input) {
+  // A conventionally formatted function with comments.
+  var result = [];
+  for (var i = 0; i < input.length; i++) {
+    result.push(input[i] * 2);
+  }
+  return result;
+}`,
+	},
+	{
+		rule: "renamed-identifiers",
+		positive: `var a=1,b=2,c=3,d=4,e=5,f=6,g=7,h=8,i=9,j=10,k=11,l=12;
+function m(n,o){return n+o+a+b+c;}
+m(d,e);`,
+		negative: `var total=1,count=2,ratio=3,scale=4,width=5,height=6,depth=7,angle=8,speed=9,limit=10,index=11,cursor=12;
+function combine(left,right){return left+right;}
+combine(total,count);`,
+	},
+}
+
+func TestRuleFixtures(t *testing.T) {
+	for _, tc := range ruleFixtures {
+		t.Run(tc.rule+"/positive", func(t *testing.T) {
+			diags := mustAnalyze(t, tc.positive)
+			d, ok := findRule(diags, tc.rule)
+			if !ok {
+				t.Fatalf("rule %s did not fire; got %v", tc.rule, ruleIDs(diags))
+			}
+			if d.Span.Start.Line < 1 || d.Span.End.Line < 1 {
+				t.Errorf("diagnostic has zero span: %+v", d.Span)
+			}
+			if d.Message == "" {
+				t.Errorf("diagnostic has empty message")
+			}
+			if d.Technique == "" {
+				t.Errorf("diagnostic has no technique attribution")
+			}
+			if len(d.Evidence) == 0 {
+				t.Errorf("diagnostic has no evidence")
+			}
+		})
+		t.Run(tc.rule+"/negative", func(t *testing.T) {
+			diags := mustAnalyze(t, tc.negative)
+			if d, ok := findRule(diags, tc.rule); ok {
+				t.Fatalf("rule %s fired on negative fixture: %+v", tc.rule, d)
+			}
+		})
+	}
+}
+
+// TestFixturesCoverAllRules keeps the fixture table in sync with the
+// registry.
+func TestFixturesCoverAllRules(t *testing.T) {
+	covered := make(map[string]bool)
+	for _, tc := range ruleFixtures {
+		covered[tc.rule] = true
+	}
+	for _, r := range DefaultRules() {
+		if !covered[r.Info().ID] {
+			t.Errorf("rule %s has no fixture", r.Info().ID)
+		}
+	}
+	if len(ruleFixtures) != len(DefaultRules()) {
+		t.Errorf("fixture count %d != rule count %d", len(ruleFixtures), len(DefaultRules()))
+	}
+}
+
+func mustAnalyze(t *testing.T, src string) []Diagnostic {
+	t.Helper()
+	diags, err := Analyze(src)
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	return diags
+}
+
+func findRule(diags []Diagnostic, rule string) (Diagnostic, bool) {
+	for _, d := range diags {
+		if d.Rule == rule {
+			return d, true
+		}
+	}
+	return Diagnostic{}, false
+}
+
+func ruleIDs(diags []Diagnostic) []string {
+	out := make([]string, len(diags))
+	for i, d := range diags {
+		out[i] = d.Rule
+	}
+	return out
+}

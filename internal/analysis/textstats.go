@@ -1,0 +1,192 @@
+package analysis
+
+import "repro/internal/js/lexer"
+
+// This file holds the source-text statistics shared between the minification
+// rules here and the hand-picked feature block in internal/features (which
+// delegates to these helpers so both layers agree on the definitions).
+
+// TextStats bundles the whole-source byte statistics several source-level
+// rules share. Context.Stats computes it once per file in a single pass so
+// adding source-level rules never adds source scans.
+type TextStats struct {
+	// Lines is the number of lines (at least 1 for non-empty input).
+	Lines int
+	// MaxLine is the length in bytes of the longest line.
+	MaxLine int
+	// Whitespace is the fraction of bytes that are whitespace.
+	Whitespace float64
+	// Alnum is the fraction of alphanumeric bytes.
+	Alnum float64
+	// JSFuck is the fraction of JSFuck-alphabet bytes ([]()!+).
+	JSFuck float64
+}
+
+// ComputeTextStats scans src once and returns its byte statistics.
+func ComputeTextStats(src string) TextStats {
+	st := TextStats{Lines: 1, MaxLine: 0}
+	if len(src) == 0 {
+		st.Lines = 0
+		return st
+	}
+	ws, alnum, jsfuck, cur := 0, 0, 0, 0
+	for i := 0; i < len(src); i++ {
+		c := src[i]
+		if c == '\n' {
+			st.Lines++
+			if cur > st.MaxLine {
+				st.MaxLine = cur
+			}
+			cur = 0
+		} else {
+			cur++
+		}
+		switch c {
+		case ' ', '\t', '\n', '\r':
+			ws++
+		case '[', ']', '(', ')', '!', '+':
+			jsfuck++
+		default:
+			if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' {
+				alnum++
+			}
+		}
+	}
+	if cur > st.MaxLine {
+		st.MaxLine = cur
+	}
+	n := float64(len(src))
+	st.Whitespace = float64(ws) / n
+	st.Alnum = float64(alnum) / n
+	st.JSFuck = float64(jsfuck) / n
+	return st
+}
+
+// MaxLineLen returns the length in bytes of the longest line of src.
+func MaxLineLen(src string) int {
+	maxLen, cur := 0, 0
+	for i := 0; i < len(src); i++ {
+		if src[i] == '\n' {
+			if cur > maxLen {
+				maxLen = cur
+			}
+			cur = 0
+		} else {
+			cur++
+		}
+	}
+	if cur > maxLen {
+		maxLen = cur
+	}
+	return maxLen
+}
+
+// WhitespaceRatio returns the fraction of src bytes that are whitespace.
+func WhitespaceRatio(src string) float64 {
+	ws := 0
+	for i := 0; i < len(src); i++ {
+		switch src[i] {
+		case ' ', '\t', '\n', '\r':
+			ws++
+		}
+	}
+	if len(src) == 0 {
+		return 0
+	}
+	return float64(ws) / float64(len(src))
+}
+
+// CommentRatio returns the fraction of the file occupied by comment text,
+// capped at 1.
+func CommentRatio(comments []lexer.Comment, totalBytes int) float64 {
+	if totalBytes <= 0 {
+		return 0
+	}
+	total := 0
+	for _, c := range comments {
+		total += len(c.Text)
+	}
+	r := float64(total) / float64(totalBytes)
+	if r > 1 {
+		return 1
+	}
+	return r
+}
+
+// CharClassRatios returns the fraction of alphanumeric bytes and the
+// fraction of JSFuck-alphabet bytes ([]()!+) in src.
+func CharClassRatios(src string) (alnum, jsfuck float64) {
+	if len(src) == 0 {
+		return 0, 0
+	}
+	a, j := 0, 0
+	for i := 0; i < len(src); i++ {
+		c := src[i]
+		if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' {
+			a++
+		}
+		switch c {
+		case '[', ']', '(', ')', '!', '+':
+			j++
+		}
+	}
+	return float64(a) / float64(len(src)), float64(j) / float64(len(src))
+}
+
+// LooksEncoded reports percent-encoded, hex-escaped, or unicode-escaped
+// payload strings.
+func LooksEncoded(s string) bool {
+	if len(s) < 6 {
+		return false
+	}
+	enc := 0
+	for i := 0; i+2 < len(s); i++ {
+		if s[i] == '%' && isHexDigit(s[i+1]) && isHexDigit(s[i+2]) {
+			enc++
+		}
+		if s[i] == '\\' && (s[i+1] == 'x' || s[i+1] == 'u') {
+			enc++
+		}
+	}
+	return enc*3 >= len(s)/2
+}
+
+// LooksBase64 reports strings that look like base64 payloads.
+func LooksBase64(s string) bool {
+	if len(s) < 12 || len(s)%4 != 0 {
+		return false
+	}
+	letters, digits := 0, 0
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z':
+			letters++
+		case c >= '0' && c <= '9':
+			digits++
+		case c == '+' || c == '/':
+		case c == '=' && i >= len(s)-2:
+		default:
+			return false
+		}
+	}
+	// Require case mixing typical of base64 rather than a plain word.
+	return letters > 0 && (digits > 0 || mixedCase(s))
+}
+
+func isHexDigit(b byte) bool {
+	return b >= '0' && b <= '9' || b >= 'a' && b <= 'f' || b >= 'A' && b <= 'F'
+}
+
+func mixedCase(s string) bool {
+	hasUpper, hasLower := false, false
+	for i := 0; i < len(s); i++ {
+		if s[i] >= 'A' && s[i] <= 'Z' {
+			hasUpper = true
+		}
+		if s[i] >= 'a' && s[i] <= 'z' {
+			hasLower = true
+		}
+	}
+	return hasUpper && hasLower
+}

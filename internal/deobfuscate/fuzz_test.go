@@ -16,6 +16,13 @@ func FuzzDeobfuscate(f *testing.F) {
 		`if (1 === 2) { dead(); } else { live(); }`,
 		`obj["key"]["other"] = atob("aGk=");`,
 		`var _0xab = 1; use(_0xab);`,
+		// Seeds drawn from the static-analysis rule fixtures.
+		`var _list = ["alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta", "theta"]; function fetch(i) { return _list[i - 2]; } fetch(2); fetch(3);`,
+		`var order = "2|0|1".split("|"), i = 0; while (true) { switch (order[i++]) { case "0": first(); continue; case "1": second(); continue; case "2": third(); continue; } break; }`,
+		`var probe = function () { var mark = probe.constructor("return /" + this + "/")().constructor("^([^ ]+( +[^ ]+)+)+[^ ]}"); return !mark.test(guard); }; probe();`,
+		`(function () { return true; }).constructor("debugger").call("action"); setInterval(function () { check(); }, 4000);`,
+		`var payload = atob("ZG9Tb21ldGhpbmcoKQ=="); eval(payload);`,
+		`if (74 === 74 + 13) { neverRuns(); } else { runs(); } while ("ab" == "cd") { alsoNever(); }`,
 	}
 	for _, s := range seeds {
 		f.Add(s)

@@ -11,6 +11,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/analysis"
 	"repro/internal/flow"
 	"repro/internal/js/ast"
 	"repro/internal/js/lexer"
@@ -27,6 +28,12 @@ type Options struct {
 	NGramLen int
 	// DataFlowDeadline bounds data-flow construction (paper: two minutes).
 	DataFlowDeadline time.Duration
+	// RuleFeatures appends one dimension per static-analysis rule
+	// (internal/analysis) carrying that rule's capped diagnostic count, so
+	// the forests can consume the same explainable signals. Opt-in: it
+	// changes the vector layout, so models must be trained and loaded with
+	// the same setting.
+	RuleFeatures bool
 }
 
 func (o Options) dims() int {
@@ -49,15 +56,29 @@ type Vector []float64
 // Extractor extracts feature vectors with a fixed layout.
 type Extractor struct {
 	opts Options
+	// engine and the rule layout are set only when opts.RuleFeatures is on.
+	engine    *analysis.Engine
+	ruleNames []string
+	ruleIndex map[string]int
 }
 
 // NewExtractor builds an extractor.
 func NewExtractor(opts Options) *Extractor {
-	return &Extractor{opts: opts}
+	e := &Extractor{opts: opts}
+	if opts.RuleFeatures {
+		e.engine = analysis.Default()
+		e.ruleIndex = make(map[string]int)
+		for i, r := range e.engine.Rules() {
+			id := r.Info().ID
+			e.ruleNames = append(e.ruleNames, "rule_"+strings.ReplaceAll(id, "-", "_"))
+			e.ruleIndex[id] = i
+		}
+	}
+	return e
 }
 
 // Dim returns the total vector dimension.
-func (e *Extractor) Dim() int { return e.opts.dims() + numHandPicked }
+func (e *Extractor) Dim() int { return e.opts.dims() + numHandPicked + len(e.ruleNames) }
 
 // Names returns human-readable names for every dimension.
 func (e *Extractor) Names() []string {
@@ -65,7 +86,8 @@ func (e *Extractor) Names() []string {
 	for i := 0; i < e.opts.dims(); i++ {
 		names = append(names, fmt.Sprintf("ngram_bucket_%d", i))
 	}
-	return append(names, handPickedNames[:]...)
+	names = append(names, handPickedNames[:]...)
+	return append(names, e.ruleNames...)
 }
 
 // Extract parses src and computes its feature vector.
@@ -77,12 +99,42 @@ func (e *Extractor) Extract(src string) (Vector, error) {
 	return e.ExtractParsed(src, res), nil
 }
 
+// Flow builds the flow graph the extractor would use for res, honoring the
+// configured data-flow deadline. Exposed so callers that also need the graph
+// (e.g. core.Detector.Explain) can build it once and share it.
+func (e *Extractor) Flow(res *parser.Result) *flow.Graph {
+	return flow.Build(res.Program, flow.Options{DataFlowDeadline: e.opts.DataFlowDeadline})
+}
+
 // ExtractParsed computes the feature vector from an already-parsed file.
 func (e *Extractor) ExtractParsed(src string, res *parser.Result) Vector {
+	return e.ExtractFull(src, res, nil, nil)
+}
+
+// ExtractFull computes the feature vector, reusing an already-built flow
+// graph and/or already-computed diagnostics when the caller has them (both
+// may be nil, in which case they are built here as needed).
+func (e *Extractor) ExtractFull(src string, res *parser.Result, g *flow.Graph, diags []analysis.Diagnostic) Vector {
 	vec := make(Vector, e.Dim())
 	e.ngramFeatures(res.Program, vec[:e.opts.dims()])
-	g := flow.Build(res.Program, flow.Options{DataFlowDeadline: e.opts.DataFlowDeadline})
-	handPicked(src, res, g, vec[e.opts.dims():])
+	if g == nil {
+		g = e.Flow(res)
+	}
+	handPicked(src, res, g, vec[e.opts.dims():e.opts.dims()+numHandPicked])
+	if e.engine != nil {
+		if diags == nil {
+			diags = e.engine.Run(&analysis.Context{
+				Src: src, Result: res, Program: res.Program, Graph: g,
+			})
+		}
+		ruleBlock := vec[e.opts.dims()+numHandPicked:]
+		for _, d := range diags {
+			if i, ok := e.ruleIndex[d.Rule]; ok {
+				// Capped count normalized to [0, 1].
+				ruleBlock[i] = capAt(ruleBlock[i]+0.25, 1)
+			}
+		}
+	}
 	return vec
 }
 
@@ -295,62 +347,19 @@ func capAt(v, limit float64) float64 {
 	return v
 }
 
-func maxLineLen(src string) float64 {
-	maxLen, cur := 0, 0
-	for i := 0; i < len(src); i++ {
-		if src[i] == '\n' {
-			if cur > maxLen {
-				maxLen = cur
-			}
-			cur = 0
-		} else {
-			cur++
-		}
-	}
-	if cur > maxLen {
-		maxLen = cur
-	}
-	return float64(maxLen)
-}
+// The source-text statistics below are shared with the static indicator
+// rules; internal/analysis holds the canonical definitions.
+
+func maxLineLen(src string) float64 { return float64(analysis.MaxLineLen(src)) }
 
 func commentRatio(comments []lexer.Comment, bytes int) float64 {
-	total := 0
-	for _, c := range comments {
-		total += len(c.Text)
-	}
-	return capAt(float64(total)/float64(bytes), 1)
+	return analysis.CommentRatio(comments, bytes)
 }
 
-func whitespaceRatio(src string) float64 {
-	ws := 0
-	for i := 0; i < len(src); i++ {
-		switch src[i] {
-		case ' ', '\t', '\n', '\r':
-			ws++
-		}
-	}
-	if len(src) == 0 {
-		return 0
-	}
-	return float64(ws) / float64(len(src))
-}
+func whitespaceRatio(src string) float64 { return analysis.WhitespaceRatio(src) }
 
 func charClassRatios(src string) (alnum, jsfuck float64) {
-	if len(src) == 0 {
-		return 0, 0
-	}
-	a, j := 0, 0
-	for i := 0; i < len(src); i++ {
-		c := src[i]
-		if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' {
-			a++
-		}
-		switch c {
-		case '[', ']', '(', ')', '!', '+':
-			j++
-		}
-	}
-	return float64(a) / float64(len(src)), float64(j) / float64(len(src))
+	return analysis.CharClassRatios(src)
 }
 
 // arrayFetchRatio uses the data flow to estimate the fraction of variables

@@ -4,6 +4,7 @@ import (
 	"math"
 	"strings"
 
+	"repro/internal/analysis"
 	"repro/internal/js/ast"
 )
 
@@ -244,63 +245,12 @@ func isStringLit(n ast.Node) bool {
 	return ok && lit.Kind == ast.LiteralString
 }
 
-// looksEncoded reports percent-encoded, hex-escaped, or unicode-escaped
-// payload strings.
-func looksEncoded(s string) bool {
-	if len(s) < 6 {
-		return false
-	}
-	enc := 0
-	for i := 0; i+2 < len(s); i++ {
-		if s[i] == '%' && isHex(s[i+1]) && isHex(s[i+2]) {
-			enc++
-		}
-		if s[i] == '\\' && (s[i+1] == 'x' || s[i+1] == 'u') {
-			enc++
-		}
-	}
-	return enc*3 >= len(s)/2
-}
+// looksEncoded and looksBase64 delegate to the canonical definitions shared
+// with the static indicator rules in internal/analysis.
 
-func isHex(b byte) bool {
-	return b >= '0' && b <= '9' || b >= 'a' && b <= 'f' || b >= 'A' && b <= 'F'
-}
+func looksEncoded(s string) bool { return analysis.LooksEncoded(s) }
 
-// looksBase64 reports strings that look like base64 payloads.
-func looksBase64(s string) bool {
-	if len(s) < 12 || len(s)%4 != 0 {
-		return false
-	}
-	letters, digits := 0, 0
-	for i := 0; i < len(s); i++ {
-		c := s[i]
-		switch {
-		case c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z':
-			letters++
-		case c >= '0' && c <= '9':
-			digits++
-		case c == '+' || c == '/':
-		case c == '=' && i >= len(s)-2:
-		default:
-			return false
-		}
-	}
-	// Require case mixing typical of base64 rather than a plain word.
-	return letters > 0 && (digits > 0 || mixedCase(s))
-}
-
-func mixedCase(s string) bool {
-	hasUpper, hasLower := false, false
-	for i := 0; i < len(s); i++ {
-		if s[i] >= 'A' && s[i] <= 'Z' {
-			hasUpper = true
-		}
-		if s[i] >= 'a' && s[i] <= 'z' {
-			hasLower = true
-		}
-	}
-	return hasUpper && hasLower
-}
+func looksBase64(s string) bool { return analysis.LooksBase64(s) }
 
 // identEntropy is the Shannon entropy of the identifier character
 // distribution, normalized to [0, 1].

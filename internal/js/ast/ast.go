@@ -6,16 +6,18 @@
 package ast
 
 // Pos is a byte offset plus line/column location in the original source.
+// The JSON tags keep serialized diagnostics (internal/analysis) in one
+// consistent lowercase style.
 type Pos struct {
-	Offset int // byte offset, 0-based
-	Line   int // 1-based
-	Column int // 0-based, in bytes
+	Offset int `json:"offset"` // byte offset, 0-based
+	Line   int `json:"line"`   // 1-based
+	Column int `json:"column"` // 0-based, in bytes
 }
 
 // Span is the half-open source range [Start, End) covered by a node.
 type Span struct {
-	Start Pos
-	End   Pos
+	Start Pos `json:"start"`
+	End   Pos `json:"end"`
 }
 
 // Node is implemented by every AST node.

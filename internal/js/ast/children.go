@@ -1,167 +1,222 @@
 package ast
 
-// Children returns the direct child nodes of n in source order, skipping nil
-// slots (e.g. array elisions or absent else-branches). It is the single
-// source of truth for tree traversal: the walker, the flow analyses, and the
-// feature extractor all iterate the AST through this function.
-func Children(n Node) []Node {
+// EachChild calls f for each direct non-nil child of n in source order,
+// skipping nil slots (e.g. array elisions or absent else-branches). It is the
+// single source of truth for tree traversal — Children and the walker are
+// built on it — and it never allocates, which matters to hot per-node passes
+// like the flow builder and the static-analysis engine.
+func EachChild(n Node, f func(Node)) {
 	switch v := n.(type) {
 	case *Program:
-		return compact(v.Body)
+		each(v.Body, f)
 	case *ExpressionStatement:
-		return one(v.Expression)
+		walkOne(v.Expression, f)
 	case *BlockStatement:
-		return compact(v.Body)
+		each(v.Body, f)
 	case *EmptyStatement, *DebuggerStatement, *Identifier, *Literal,
 		*ThisExpression, *Super, *TemplateElement, *MetaProperty:
-		return nil
 	case *WithStatement:
-		return list(v.Object, v.Body)
+		walkOne(v.Object, f)
+		walkOne(v.Body, f)
 	case *ReturnStatement:
-		return one(v.Argument)
+		walkOne(v.Argument, f)
 	case *LabeledStatement:
-		return list(ident(v.Label), v.Body)
+		walkOne(ident(v.Label), f)
+		walkOne(v.Body, f)
 	case *BreakStatement:
-		return one(ident(v.Label))
+		walkOne(ident(v.Label), f)
 	case *ContinueStatement:
-		return one(ident(v.Label))
+		walkOne(ident(v.Label), f)
 	case *IfStatement:
-		return list(v.Test, v.Consequent, v.Alternate)
+		walkOne(v.Test, f)
+		walkOne(v.Consequent, f)
+		walkOne(v.Alternate, f)
 	case *SwitchStatement:
-		out := make([]Node, 0, len(v.Cases)+1)
-		out = append(out, v.Discriminant)
+		walkOne(v.Discriminant, f)
 		for _, c := range v.Cases {
 			if c != nil {
-				out = append(out, c)
+				f(c)
 			}
 		}
-		return out
 	case *SwitchCase:
-		out := make([]Node, 0, len(v.Consequent)+1)
-		if v.Test != nil {
-			out = append(out, v.Test)
-		}
-		return append(out, compact(v.Consequent)...)
+		walkOne(v.Test, f)
+		each(v.Consequent, f)
 	case *ThrowStatement:
-		return one(v.Argument)
+		walkOne(v.Argument, f)
 	case *TryStatement:
-		return list(block(v.Block), clause(v.Handler), block(v.Finalizer))
+		walkOne(block(v.Block), f)
+		walkOne(clause(v.Handler), f)
+		walkOne(block(v.Finalizer), f)
 	case *CatchClause:
-		return list(v.Param, block(v.Body))
+		walkOne(v.Param, f)
+		walkOne(block(v.Body), f)
 	case *WhileStatement:
-		return list(v.Test, v.Body)
+		walkOne(v.Test, f)
+		walkOne(v.Body, f)
 	case *DoWhileStatement:
-		return list(v.Body, v.Test)
+		walkOne(v.Body, f)
+		walkOne(v.Test, f)
 	case *ForStatement:
-		return list(v.Init, v.Test, v.Update, v.Body)
+		walkOne(v.Init, f)
+		walkOne(v.Test, f)
+		walkOne(v.Update, f)
+		walkOne(v.Body, f)
 	case *ForInStatement:
-		return list(v.Left, v.Right, v.Body)
+		walkOne(v.Left, f)
+		walkOne(v.Right, f)
+		walkOne(v.Body, f)
 	case *ForOfStatement:
-		return list(v.Left, v.Right, v.Body)
+		walkOne(v.Left, f)
+		walkOne(v.Right, f)
+		walkOne(v.Body, f)
 	case *FunctionDeclaration:
-		return funcParts(ident(v.ID), v.Params, block(v.Body))
+		walkOne(ident(v.ID), f)
+		each(v.Params, f)
+		walkOne(block(v.Body), f)
 	case *FunctionExpression:
-		return funcParts(ident(v.ID), v.Params, block(v.Body))
+		walkOne(ident(v.ID), f)
+		each(v.Params, f)
+		walkOne(block(v.Body), f)
 	case *ArrowFunctionExpression:
-		return funcParts(nil, v.Params, v.Body)
+		each(v.Params, f)
+		walkOne(v.Body, f)
 	case *VariableDeclaration:
-		out := make([]Node, 0, len(v.Declarations))
 		for _, d := range v.Declarations {
 			if d != nil {
-				out = append(out, d)
+				f(d)
 			}
 		}
-		return out
 	case *VariableDeclarator:
-		return list(v.ID, v.Init)
+		walkOne(v.ID, f)
+		walkOne(v.Init, f)
 	case *ClassDeclaration:
-		return list(ident(v.ID), v.SuperClass, classBody(v.Body))
+		walkOne(ident(v.ID), f)
+		walkOne(v.SuperClass, f)
+		walkOne(classBody(v.Body), f)
 	case *ClassExpression:
-		return list(ident(v.ID), v.SuperClass, classBody(v.Body))
+		walkOne(ident(v.ID), f)
+		walkOne(v.SuperClass, f)
+		walkOne(classBody(v.Body), f)
 	case *ClassBody:
-		return compact(v.Body)
+		each(v.Body, f)
 	case *MethodDefinition:
-		return list(v.Key, funcExpr(v.Value))
+		walkOne(v.Key, f)
+		walkOne(funcExpr(v.Value), f)
 	case *PropertyDefinition:
-		return list(v.Key, v.Value)
+		walkOne(v.Key, f)
+		walkOne(v.Value, f)
 	case *ImportDeclaration:
-		return append(compact(v.Specifiers), one(lit(v.Source))...)
+		each(v.Specifiers, f)
+		walkOne(lit(v.Source), f)
 	case *ImportSpecifier:
-		return list(ident(v.Imported), ident(v.Local))
+		walkOne(ident(v.Imported), f)
+		walkOne(ident(v.Local), f)
 	case *ImportDefaultSpecifier:
-		return one(ident(v.Local))
+		walkOne(ident(v.Local), f)
 	case *ImportNamespaceSpecifier:
-		return one(ident(v.Local))
+		walkOne(ident(v.Local), f)
 	case *ExportNamedDeclaration:
-		out := one(v.Declaration)
+		walkOne(v.Declaration, f)
 		for _, s := range v.Specifiers {
 			if s != nil {
-				out = append(out, s)
+				f(s)
 			}
 		}
-		return append(out, one(lit(v.Source))...)
+		walkOne(lit(v.Source), f)
 	case *ExportSpecifier:
-		return list(ident(v.Local), ident(v.Exported))
+		walkOne(ident(v.Local), f)
+		walkOne(ident(v.Exported), f)
 	case *ExportDefaultDeclaration:
-		return one(v.Declaration)
+		walkOne(v.Declaration, f)
 	case *ExportAllDeclaration:
-		return one(lit(v.Source))
+		walkOne(lit(v.Source), f)
 	case *ArrayExpression:
-		return compact(v.Elements)
+		each(v.Elements, f)
 	case *ObjectExpression:
-		return compact(v.Properties)
+		each(v.Properties, f)
 	case *Property:
-		return list(v.Key, v.Value)
+		walkOne(v.Key, f)
+		walkOne(v.Value, f)
 	case *TemplateLiteral:
 		// Interleave quasis and expressions in source order.
-		out := make([]Node, 0, len(v.Quasis)+len(v.Expressions))
 		for i, q := range v.Quasis {
 			if q != nil {
-				out = append(out, q)
+				f(q)
 			}
 			if i < len(v.Expressions) && v.Expressions[i] != nil {
-				out = append(out, v.Expressions[i])
+				f(v.Expressions[i])
 			}
 		}
-		return out
 	case *TaggedTemplateExpression:
-		return list(v.Tag, templ(v.Quasi))
+		walkOne(v.Tag, f)
+		walkOne(templ(v.Quasi), f)
 	case *MemberExpression:
-		return list(v.Object, v.Property)
+		walkOne(v.Object, f)
+		walkOne(v.Property, f)
 	case *CallExpression:
-		return append(one(v.Callee), compact(v.Arguments)...)
+		walkOne(v.Callee, f)
+		each(v.Arguments, f)
 	case *NewExpression:
-		return append(one(v.Callee), compact(v.Arguments)...)
+		walkOne(v.Callee, f)
+		each(v.Arguments, f)
 	case *SpreadElement:
-		return one(v.Argument)
+		walkOne(v.Argument, f)
 	case *UnaryExpression:
-		return one(v.Argument)
+		walkOne(v.Argument, f)
 	case *UpdateExpression:
-		return one(v.Argument)
+		walkOne(v.Argument, f)
 	case *BinaryExpression:
-		return list(v.Left, v.Right)
+		walkOne(v.Left, f)
+		walkOne(v.Right, f)
 	case *LogicalExpression:
-		return list(v.Left, v.Right)
+		walkOne(v.Left, f)
+		walkOne(v.Right, f)
 	case *AssignmentExpression:
-		return list(v.Left, v.Right)
+		walkOne(v.Left, f)
+		walkOne(v.Right, f)
 	case *ConditionalExpression:
-		return list(v.Test, v.Consequent, v.Alternate)
+		walkOne(v.Test, f)
+		walkOne(v.Consequent, f)
+		walkOne(v.Alternate, f)
 	case *SequenceExpression:
-		return compact(v.Expressions)
+		each(v.Expressions, f)
 	case *RestElement:
-		return one(v.Argument)
+		walkOne(v.Argument, f)
 	case *AssignmentPattern:
-		return list(v.Left, v.Right)
+		walkOne(v.Left, f)
+		walkOne(v.Right, f)
 	case *ArrayPattern:
-		return compact(v.Elements)
+		each(v.Elements, f)
 	case *ObjectPattern:
-		return compact(v.Properties)
+		each(v.Properties, f)
 	case *AwaitExpression:
-		return one(v.Argument)
+		walkOne(v.Argument, f)
 	case *YieldExpression:
-		return one(v.Argument)
-	default:
-		return nil
+		walkOne(v.Argument, f)
+	}
+}
+
+// Children returns the direct child nodes of n in source order. It allocates
+// a fresh slice; per-node hot paths should prefer EachChild.
+func Children(n Node) []Node {
+	var out []Node
+	EachChild(n, func(c Node) { out = append(out, c) })
+	return out
+}
+
+// each applies f to the non-nil entries of nodes.
+func each(nodes []Node, f func(Node)) {
+	for _, n := range nodes {
+		if n != nil {
+			f(n)
+		}
+	}
+}
+
+// walkOne applies f to n when it is non-nil.
+func walkOne(n Node, f func(Node)) {
+	if n != nil {
+		f(n)
 	}
 }
 
@@ -272,35 +327,4 @@ func templ(t *TemplateLiteral) Node {
 		return nil
 	}
 	return t
-}
-
-func one(n Node) []Node {
-	if n == nil {
-		return nil
-	}
-	return []Node{n}
-}
-
-func list(nodes ...Node) []Node { return compact(nodes) }
-
-func compact(nodes []Node) []Node {
-	out := make([]Node, 0, len(nodes))
-	for _, n := range nodes {
-		if n != nil {
-			out = append(out, n)
-		}
-	}
-	return out
-}
-
-func funcParts(id Node, params []Node, body Node) []Node {
-	out := make([]Node, 0, len(params)+2)
-	if id != nil {
-		out = append(out, id)
-	}
-	out = append(out, compact(params)...)
-	if body != nil {
-		out = append(out, body)
-	}
-	return out
 }

@@ -55,7 +55,7 @@ func (p *parser) parseFunctionDeclarationNamed(isAsync, allowAnon bool) (*ast.Fu
 	}
 	fn := &ast.FunctionDeclaration{Generator: gen, Async: isAsync}
 	if p.at(lexer.Ident) || p.tok.Kind == lexer.Keyword && isContextualName(p.tok.Lexeme) {
-		fn.ID = ast.NewIdentifier(p.tok.Lexeme)
+		fn.ID = p.identHere(p.tok.Lexeme)
 		if err := p.next(); err != nil {
 			return nil, err
 		}
@@ -89,7 +89,7 @@ func (p *parser) parseFunctionExpression(isAsync bool) (*ast.FunctionExpression,
 	}
 	fn := &ast.FunctionExpression{Generator: gen, Async: isAsync}
 	if p.at(lexer.Ident) {
-		fn.ID = ast.NewIdentifier(p.tok.Lexeme)
+		fn.ID = p.identHere(p.tok.Lexeme)
 		if err := p.next(); err != nil {
 			return nil, err
 		}
@@ -302,11 +302,11 @@ func (p *parser) parsePatternProperty() (ast.Node, error) {
 			if err != nil {
 				return nil, err
 			}
-			ap := &ast.AssignmentPattern{Left: ast.NewIdentifier(id.Name), Right: dflt}
+			ap := &ast.AssignmentPattern{Left: cloneIdent(id), Right: dflt}
 			p.finish(ap, start)
 			prop.Value = ap
 		} else {
-			prop.Value = ast.NewIdentifier(id.Name)
+			prop.Value = cloneIdent(id)
 		}
 	}
 	return p.finish(prop, start), nil
@@ -323,7 +323,7 @@ func (p *parser) parsePropertyKey() (ast.Node, bool, error) {
 		}
 		return p.finish(id, start), false, nil
 	case lexer.String:
-		lit := &ast.Literal{Kind: ast.LiteralString, Raw: p.tok.Lexeme, String: p.tok.StringValue}
+		lit := p.stringLitHere()
 		if err := p.next(); err != nil {
 			return nil, false, err
 		}
@@ -386,7 +386,7 @@ func (p *parser) parseClassTail() (*ast.Identifier, ast.Node, *ast.ClassBody, er
 	}
 	var id *ast.Identifier
 	if p.at(lexer.Ident) {
-		id = ast.NewIdentifier(p.tok.Lexeme)
+		id = p.identHere(p.tok.Lexeme)
 		if err := p.next(); err != nil {
 			return nil, nil, nil, err
 		}
@@ -533,7 +533,7 @@ func (p *parser) parseImport() (ast.Node, error) {
 	decl := &ast.ImportDeclaration{}
 	if p.at(lexer.String) {
 		// `import "mod";`
-		decl.Source = &ast.Literal{Kind: ast.LiteralString, Raw: p.tok.Lexeme, String: p.tok.StringValue}
+		decl.Source = p.stringLitHere()
 		if err := p.next(); err != nil {
 			return nil, err
 		}
@@ -545,7 +545,8 @@ func (p *parser) parseImport() (ast.Node, error) {
 	for {
 		switch {
 		case p.at(lexer.Ident):
-			spec := &ast.ImportDefaultSpecifier{Local: ast.NewIdentifier(p.tok.Lexeme)}
+			spec := &ast.ImportDefaultSpecifier{Local: p.identHere(p.tok.Lexeme)}
+			spec.SetSpan(spec.Local.Span())
 			if err := p.next(); err != nil {
 				return nil, err
 			}
@@ -560,7 +561,8 @@ func (p *parser) parseImport() (ast.Node, error) {
 			if err := p.next(); err != nil {
 				return nil, err
 			}
-			spec := &ast.ImportNamespaceSpecifier{Local: ast.NewIdentifier(p.tok.Lexeme)}
+			spec := &ast.ImportNamespaceSpecifier{Local: p.identHere(p.tok.Lexeme)}
+			spec.SetSpan(spec.Local.Span())
 			if err := p.next(); err != nil {
 				return nil, err
 			}
@@ -570,7 +572,7 @@ func (p *parser) parseImport() (ast.Node, error) {
 				return nil, err
 			}
 			for !p.atPunct("}") {
-				imported := ast.NewIdentifier(p.tok.Lexeme)
+				imported := p.identHere(p.tok.Lexeme)
 				if err := p.next(); err != nil {
 					return nil, err
 				}
@@ -579,12 +581,14 @@ func (p *parser) parseImport() (ast.Node, error) {
 					if err := p.next(); err != nil {
 						return nil, err
 					}
-					local = ast.NewIdentifier(p.tok.Lexeme)
+					local = p.identHere(p.tok.Lexeme)
 					if err := p.next(); err != nil {
 						return nil, err
 					}
 				}
-				decl.Specifiers = append(decl.Specifiers, &ast.ImportSpecifier{Imported: imported, Local: local})
+				spec := &ast.ImportSpecifier{Imported: imported, Local: local}
+				spec.SetSpan(span(imported.Span().Start, local.Span().End))
+				decl.Specifiers = append(decl.Specifiers, spec)
 				if !p.atPunct("}") {
 					if err := p.expectPunct(","); err != nil {
 						return nil, err
@@ -612,7 +616,7 @@ func (p *parser) parseImport() (ast.Node, error) {
 	if !p.at(lexer.String) {
 		return nil, p.errorf("expected module string in import")
 	}
-	decl.Source = &ast.Literal{Kind: ast.LiteralString, Raw: p.tok.Lexeme, String: p.tok.StringValue}
+	decl.Source = p.stringLitHere()
 	if err := p.next(); err != nil {
 		return nil, err
 	}
@@ -662,7 +666,7 @@ func (p *parser) parseExport() (ast.Node, error) {
 		if !p.at(lexer.String) {
 			return nil, p.errorf("expected module string in export *")
 		}
-		src := &ast.Literal{Kind: ast.LiteralString, Raw: p.tok.Lexeme, String: p.tok.StringValue}
+		src := p.stringLitHere()
 		if err := p.next(); err != nil {
 			return nil, err
 		}
@@ -676,7 +680,7 @@ func (p *parser) parseExport() (ast.Node, error) {
 		}
 		decl := &ast.ExportNamedDeclaration{}
 		for !p.atPunct("}") {
-			local := ast.NewIdentifier(p.tok.Lexeme)
+			local := p.identHere(p.tok.Lexeme)
 			if err := p.next(); err != nil {
 				return nil, err
 			}
@@ -685,12 +689,14 @@ func (p *parser) parseExport() (ast.Node, error) {
 				if err := p.next(); err != nil {
 					return nil, err
 				}
-				exported = ast.NewIdentifier(p.tok.Lexeme)
+				exported = p.identHere(p.tok.Lexeme)
 				if err := p.next(); err != nil {
 					return nil, err
 				}
 			}
-			decl.Specifiers = append(decl.Specifiers, &ast.ExportSpecifier{Local: local, Exported: exported})
+			spec := &ast.ExportSpecifier{Local: local, Exported: exported}
+			spec.SetSpan(span(local.Span().Start, exported.Span().End))
+			decl.Specifiers = append(decl.Specifiers, spec)
 			if !p.atPunct("}") {
 				if err := p.expectPunct(","); err != nil {
 					return nil, err
@@ -707,7 +713,7 @@ func (p *parser) parseExport() (ast.Node, error) {
 			if !p.at(lexer.String) {
 				return nil, p.errorf("expected module string")
 			}
-			decl.Source = &ast.Literal{Kind: ast.LiteralString, Raw: p.tok.Lexeme, String: p.tok.StringValue}
+			decl.Source = p.stringLitHere()
 			if err := p.next(); err != nil {
 				return nil, err
 			}

@@ -139,12 +139,12 @@ func (p *parser) tryParseArrow() (ast.Node, bool, error) {
 func (p *parser) tryParseArrowTail(start ast.Pos, isAsync bool) (ast.Node, bool, error) {
 	if p.at(lexer.Ident) || (p.tok.Kind == lexer.Keyword && isContextualName(p.tok.Lexeme)) {
 		save := p.save()
-		name := p.tok.Lexeme
+		name := p.identHere(p.tok.Lexeme)
 		if err := p.next(); err != nil {
 			return nil, false, err
 		}
 		if p.atPunct("=>") && !p.tok.NewlineBefore {
-			params := []ast.Node{ast.NewIdentifier(name)}
+			params := []ast.Node{name}
 			arrow, err := p.parseArrowBody(start, params, isAsync)
 			if err != nil {
 				return nil, false, err
@@ -396,6 +396,7 @@ func (p *parser) parseLeftHandSide() (ast.Node, error) {
 
 func (p *parser) parseNew() (ast.Node, error) {
 	start := p.tok.Start
+	newEnd := p.tok.End
 	if err := p.expectKeyword("new"); err != nil {
 		return nil, err
 	}
@@ -404,11 +405,13 @@ func (p *parser) parseNew() (ast.Node, error) {
 		if err := p.next(); err != nil {
 			return nil, err
 		}
-		prop := ast.NewIdentifier(p.tok.Lexeme)
+		prop := p.identHere(p.tok.Lexeme)
 		if err := p.next(); err != nil {
 			return nil, err
 		}
-		return p.finish(&ast.MetaProperty{Meta: ast.NewIdentifier("new"), Property: prop}, start), nil
+		meta := ast.NewIdentifier("new")
+		meta.SetSpan(span(start, newEnd))
+		return p.finish(&ast.MetaProperty{Meta: meta, Property: prop}, start), nil
 	}
 	var callee ast.Node
 	var err error
@@ -448,7 +451,7 @@ func (p *parser) parseMemberTail(expr ast.Node, start ast.Pos) (ast.Node, error)
 			if p.tok.Kind != lexer.Ident && p.tok.Kind != lexer.Keyword && p.tok.Kind != lexer.PrivateIdent {
 				return nil, p.errorf("expected property name, found %q", p.tok.Lexeme)
 			}
-			prop := ast.NewIdentifier(p.tok.Lexeme)
+			prop := p.identHere(p.tok.Lexeme)
 			if err := p.next(); err != nil {
 				return nil, err
 			}
@@ -509,7 +512,7 @@ func (p *parser) parseCallTail(expr ast.Node, start ast.Pos) (ast.Node, error) {
 				if p.tok.Kind != lexer.Ident && p.tok.Kind != lexer.Keyword && p.tok.Kind != lexer.PrivateIdent {
 					return nil, p.errorf("expected property name after ?., found %q", p.tok.Lexeme)
 				}
-				prop := ast.NewIdentifier(p.tok.Lexeme)
+				prop := p.identHere(p.tok.Lexeme)
 				if err := p.next(); err != nil {
 					return nil, err
 				}
@@ -541,7 +544,7 @@ func (p *parser) parseMemberTailOne(expr ast.Node, start ast.Pos) (ast.Node, err
 		if p.tok.Kind != lexer.Ident && p.tok.Kind != lexer.Keyword && p.tok.Kind != lexer.PrivateIdent {
 			return nil, p.errorf("expected property name, found %q", p.tok.Lexeme)
 		}
-		prop := ast.NewIdentifier(p.tok.Lexeme)
+		prop := p.identHere(p.tok.Lexeme)
 		if err := p.next(); err != nil {
 			return nil, err
 		}
@@ -685,6 +688,7 @@ func (p *parser) parsePrimary() (ast.Node, error) {
 			return p.parseNew()
 		case "import":
 			// Dynamic import `import(...)` or `import.meta`.
+			importEnd := p.tok.End
 			if err := p.next(); err != nil {
 				return nil, err
 			}
@@ -692,11 +696,13 @@ func (p *parser) parsePrimary() (ast.Node, error) {
 				if err := p.next(); err != nil {
 					return nil, err
 				}
-				prop := ast.NewIdentifier(p.tok.Lexeme)
+				prop := p.identHere(p.tok.Lexeme)
 				if err := p.next(); err != nil {
 					return nil, err
 				}
-				return p.finish(&ast.MetaProperty{Meta: ast.NewIdentifier("import"), Property: prop}, start), nil
+				meta := ast.NewIdentifier("import")
+				meta.SetSpan(span(start, importEnd))
+				return p.finish(&ast.MetaProperty{Meta: meta, Property: prop}, start), nil
 			}
 			return p.finish(ast.NewIdentifier("import"), start), nil
 		case "let", "yield", "await":
@@ -902,11 +908,11 @@ func (p *parser) parseObjectProperty() (ast.Node, error) {
 			if err != nil {
 				return nil, err
 			}
-			ap := &ast.AssignmentPattern{Left: ast.NewIdentifier(id.Name), Right: dflt}
+			ap := &ast.AssignmentPattern{Left: cloneIdent(id), Right: dflt}
 			p.finish(ap, start)
 			prop.Value = ap
 		} else {
-			prop.Value = ast.NewIdentifier(id.Name)
+			prop.Value = cloneIdent(id)
 		}
 	}
 	return p.finish(prop, start), nil
@@ -917,6 +923,7 @@ func (p *parser) parseTemplateLiteral() (*ast.TemplateLiteral, error) {
 	tpl := &ast.TemplateLiteral{}
 	if p.at(lexer.NoSubstTemplate) {
 		el := &ast.TemplateElement{Raw: p.tok.Lexeme, Cooked: p.tok.StringValue, Tail: true}
+		el.SetSpan(span(p.tok.Start, p.tok.End))
 		if err := p.next(); err != nil {
 			return nil, err
 		}
@@ -927,7 +934,9 @@ func (p *parser) parseTemplateLiteral() (*ast.TemplateLiteral, error) {
 	if !p.at(lexer.TemplateHead) {
 		return nil, p.errorf("expected template literal")
 	}
-	tpl.Quasis = append(tpl.Quasis, &ast.TemplateElement{Raw: p.tok.Lexeme, Cooked: p.tok.StringValue})
+	head := &ast.TemplateElement{Raw: p.tok.Lexeme, Cooked: p.tok.StringValue}
+	head.SetSpan(span(p.tok.Start, p.tok.End))
+	tpl.Quasis = append(tpl.Quasis, head)
 	if err := p.next(); err != nil {
 		return nil, err
 	}
@@ -948,6 +957,7 @@ func (p *parser) parseTemplateLiteral() (*ast.TemplateLiteral, error) {
 		// token after it.
 		p.tok = tok
 		el := &ast.TemplateElement{Raw: tok.Lexeme, Cooked: tok.StringValue, Tail: tok.Kind == lexer.TemplateTail}
+		el.SetSpan(span(tok.Start, tok.End))
 		tpl.Quasis = append(tpl.Quasis, el)
 		isTail := tok.Kind == lexer.TemplateTail
 		if err := p.next(); err != nil {

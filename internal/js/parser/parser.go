@@ -168,6 +168,31 @@ func (p *parser) lastEnd() ast.Pos {
 	return p.tok.Start
 }
 
+// identHere builds an Identifier spanning the current token. It must be
+// called before that token is consumed, so the rules and diagnostics always
+// see a real source range (position fidelity: no zero-span nodes).
+func (p *parser) identHere(name string) *ast.Identifier {
+	id := ast.NewIdentifier(name)
+	id.SetSpan(span(p.tok.Start, p.tok.End))
+	return id
+}
+
+// stringLitHere builds a string Literal spanning the current token. Like
+// identHere, it must be called before the token is consumed.
+func (p *parser) stringLitHere() *ast.Literal {
+	lit := &ast.Literal{Kind: ast.LiteralString, Raw: p.tok.Lexeme, String: p.tok.StringValue}
+	lit.SetSpan(span(p.tok.Start, p.tok.End))
+	return lit
+}
+
+// cloneIdent copies an identifier including its span (used where patterns
+// reuse a parsed name, e.g. shorthand object properties).
+func cloneIdent(id *ast.Identifier) *ast.Identifier {
+	c := ast.NewIdentifier(id.Name)
+	c.SetSpan(id.Span())
+	return c
+}
+
 // ---------------------------------------------------------------------------
 // Program and statements
 // ---------------------------------------------------------------------------
@@ -295,7 +320,7 @@ func (p *parser) parseStatement() (ast.Node, error) {
 	case p.at(lexer.Ident):
 		// Possible labeled statement: `ident :`.
 		save := p.save()
-		name := p.tok.Lexeme
+		name := p.identHere(p.tok.Lexeme)
 		if err := p.next(); err != nil {
 			return nil, err
 		}
@@ -307,7 +332,7 @@ func (p *parser) parseStatement() (ast.Node, error) {
 			if err != nil {
 				return nil, err
 			}
-			lbl := &ast.LabeledStatement{Label: ast.NewIdentifier(name), Body: body}
+			lbl := &ast.LabeledStatement{Label: name, Body: body}
 			return p.finish(lbl, start), nil
 		}
 		p.restore(save)
@@ -791,7 +816,7 @@ func (p *parser) parseBreakContinue(isBreak bool) (ast.Node, error) {
 	}
 	var label *ast.Identifier
 	if p.at(lexer.Ident) && !p.tok.NewlineBefore {
-		label = ast.NewIdentifier(p.tok.Lexeme)
+		label = p.identHere(p.tok.Lexeme)
 		if err := p.next(); err != nil {
 			return nil, err
 		}

@@ -22,9 +22,7 @@ func walk(n ast.Node, depth int, v Visitor) {
 	if !v(n, depth) {
 		return
 	}
-	for _, c := range ast.Children(n) {
-		walk(c, depth+1, v)
-	}
+	ast.EachChild(n, func(c ast.Node) { walk(c, depth+1, v) })
 }
 
 // Count returns the number of nodes in the subtree rooted at n.

@@ -1,0 +1,27 @@
+#!/usr/bin/env sh
+# Tier-2 quality gate: formatting, vet, and the full test suite under the
+# race detector. Run from the repository root:
+#
+#   ./scripts/check.sh
+#
+# Tier-1 (go build ./... && go test ./...) remains the fast gate; this script
+# is the slower pre-merge check.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "OK"

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"repro/internal/analysis"
 	"repro/internal/core"
 	"repro/internal/corpus"
 	"repro/internal/deobfuscate"
@@ -130,6 +131,28 @@ func (a *Analyzer) AnalyzeSource(src string) (*Result, error) {
 	res.AllTechniques = l2.Ranked
 	res.Techniques = l2.TopK(a.topK(), a.threshold())
 	return res, nil
+}
+
+// Diagnostic re-exports the static indicator finding type.
+type Diagnostic = analysis.Diagnostic
+
+// Diagnostics runs the static indicator rules alone — no trained model
+// needed — and returns attributable findings with source spans.
+func Diagnostics(src string) ([]Diagnostic, error) { return analysis.Analyze(src) }
+
+// ExplainSource analyzes src and additionally runs the static indicator
+// rules, marking which predicted techniques are supported by at least one
+// diagnostic.
+func (a *Analyzer) ExplainSource(src string) (*Result, []Diagnostic, error) {
+	res, err := a.AnalyzeSource(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	diags, err := analysis.Analyze(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, diags, nil
 }
 
 // TrainConfig re-exports the pipeline training configuration.
