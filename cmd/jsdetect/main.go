@@ -10,8 +10,18 @@
 //	jsdetect -models models/ -html page.html    # classify inline scripts
 //	jsdetect -models models/ -json file.js      # machine-readable output
 //	jsdetect -models models/ -explain file.js   # attach static indicators
+//	jsdetect -models models/ -workers 8 dir/    # parallel batch scan
 //
-// Models come from the trainer command; -dims must match training.
+// Directory scans run on the batch engine: every file is parsed once, the
+// parse is shared across both detectors and the -explain rules, and a worker
+// pool (-workers) provides the parallelism. Results stream in input order.
+// A file that fails to parse is reported and skipped; only I/O-level
+// failures (unreadable files, bad flags, missing models) make the exit code
+// non-zero.
+//
+// Models come from the trainer command; model files embed the feature
+// configuration they were trained with, and loading fails loudly when -dims
+// does not match.
 package main
 
 import (
@@ -32,7 +42,7 @@ import (
 )
 
 func main() {
-	os.Exit(run())
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
 // options bundles the CLI configuration.
@@ -42,51 +52,185 @@ type options struct {
 	html      bool
 	jsonOut   bool
 	explain   bool
+	workers   int
+	stats     bool
 }
 
-func run() int {
-	models := flag.String("models", "models", "directory containing level1.model and level2.model")
-	dims := flag.Int("dims", 1024, "hashed 4-gram dimensions (must match training)")
+func run(args []string, stdout, stderr io.Writer) int {
+	flags := flag.NewFlagSet("jsdetect", flag.ContinueOnError)
+	flags.SetOutput(stderr)
+	models := flags.String("models", "models", "directory containing level1.model and level2.model")
+	dims := flags.Int("dims", 1024, "hashed 4-gram dimensions (must match training)")
 	opts := options{}
-	flag.IntVar(&opts.topK, "k", 4, "maximum number of techniques to report")
-	flag.Float64Var(&opts.threshold, "threshold", core.DefaultThreshold, "confidence floor for technique reporting")
-	flag.BoolVar(&opts.html, "html", false, "treat inputs as HTML and classify the extracted inline scripts")
-	flag.BoolVar(&opts.jsonOut, "json", false, "emit one JSON object per input")
-	flag.BoolVar(&opts.explain, "explain", false, "run the static indicator rules and attach attributable diagnostics")
-	flag.Parse()
+	flags.IntVar(&opts.topK, "k", 4, "maximum number of techniques to report")
+	flags.Float64Var(&opts.threshold, "threshold", core.DefaultThreshold, "confidence floor for technique reporting")
+	flags.BoolVar(&opts.html, "html", false, "treat inputs as HTML and classify the extracted inline scripts")
+	flags.BoolVar(&opts.jsonOut, "json", false, "emit one JSON object per input")
+	flags.BoolVar(&opts.explain, "explain", false, "run the static indicator rules and attach attributable diagnostics")
+	flags.IntVar(&opts.workers, "workers", 0, "batch scan worker pool size (0 = GOMAXPROCS)")
+	flags.BoolVar(&opts.stats, "stats", false, "print aggregate scan statistics to stderr")
+	if err := flags.Parse(args); err != nil {
+		return 2
+	}
 
 	featOpts := features.Options{NGramDims: *dims}
-	l1, err := core.LoadFile(filepath.Join(*models, "level1.model"), featOpts)
+	l1, err := core.LoadLevelFile(filepath.Join(*models, "level1.model"), featOpts, core.Level1Labels)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "jsdetect: load level 1: %v\n", err)
+		fmt.Fprintf(stderr, "jsdetect: load level 1: %v\n", err)
 		return 1
 	}
-	l2, err := core.LoadFile(filepath.Join(*models, "level2.model"), featOpts)
+	l2, err := core.LoadLevelFile(filepath.Join(*models, "level2.model"), featOpts, core.Level2Labels())
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "jsdetect: load level 2: %v\n", err)
+		fmt.Fprintf(stderr, "jsdetect: load level 2: %v\n", err)
+		return 1
+	}
+	scanner, err := core.NewScanner(l1, l2, core.ScanOptions{Workers: opts.workers, Explain: opts.explain})
+	if err != nil {
+		fmt.Fprintf(stderr, "jsdetect: %v\n", err)
 		return 1
 	}
 
-	paths, err := expandPaths(flag.Args())
+	paths, err := expandPaths(flags.Args(), opts.html)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "jsdetect: %v\n", err)
+		fmt.Fprintf(stderr, "jsdetect: %v\n", err)
 		return 1
 	}
+
+	// Read stage. An unreadable file is an I/O-level failure: it sets the
+	// exit code but the rest of the batch still runs.
 	exit := 0
-	for _, path := range paths {
-		if err := classify(l1, l2, path, opts); err != nil {
-			fmt.Fprintf(os.Stderr, "jsdetect: %s: %v\n", path, err)
+	items := make([]item, len(paths))
+	for i, path := range paths {
+		items[i] = readItem(path, opts.html)
+		if items[i].readErr != nil {
 			exit = 1
 		}
+	}
+
+	// Scan stage: only readable, non-empty inputs go through the engine.
+	var inputs []core.Input
+	var itemOf []int
+	for j := range items {
+		if items[j].readErr != nil || items[j].skip {
+			continue
+		}
+		inputs = append(inputs, core.Input{Path: items[j].path, Source: items[j].source})
+		itemOf = append(itemOf, j)
+	}
+
+	// Results stream back in input order; skipped and unreadable items are
+	// flushed at their original positions so output order always matches
+	// argument order.
+	next := 0
+	flushTo := func(j int) {
+		for ; next < j; next++ {
+			emitItem(items[next], opts, stdout, stderr)
+		}
+	}
+	stats := scanner.ScanStream(inputs, func(i int, r core.FileResult) {
+		j := itemOf[i]
+		flushTo(j)
+		next = j + 1
+		emitResult(items[j], r, opts, stdout, stderr)
+	})
+	flushTo(len(items))
+
+	if opts.stats {
+		fmt.Fprintf(stderr,
+			"jsdetect: scanned %d files (%d bytes) in %v: %d regular, %d minified, %d obfuscated, %d transformed, %d parse failures (%.1f files/s, %.1f KB/s)\n",
+			stats.Files, stats.Bytes, stats.Duration.Round(1e6),
+			stats.Regular, stats.Minified, stats.Obfuscated, stats.Transformed,
+			stats.ParseFailures, stats.FilesPerSec(), stats.BytesPerSec()/1024)
 	}
 	return exit
 }
 
-// expandPaths walks directory arguments into their .js files; "-" and
-// plain files pass through.
-func expandPaths(args []string) ([]string, error) {
+// item is one CLI argument after the read/HTML-extract stage.
+type item struct {
+	path   string
+	source string
+	// htmlScripts is the number of inline scripts extracted under -html.
+	htmlScripts int
+	// skip marks an HTML input with no inline scripts: reported, not scanned.
+	skip    bool
+	readErr error
+}
+
+// readItem loads one path ("-" reads stdin) and, under -html, extracts its
+// inline scripts.
+func readItem(path string, html bool) item {
+	it := item{path: path}
+	var src []byte
+	var err error
+	if path == "-" {
+		src, err = io.ReadAll(os.Stdin)
+	} else {
+		src, err = os.ReadFile(path)
+	}
+	if err != nil {
+		it.readErr = err
+		return it
+	}
+	it.source = string(src)
+	if html {
+		scripts := htmlext.Extract(it.source)
+		joined := htmlext.JoinInline(scripts)
+		if strings.TrimSpace(joined) == "" {
+			it.skip = true
+			return it
+		}
+		it.htmlScripts = len(scripts)
+		it.source = joined
+	}
+	return it
+}
+
+// emitItem reports an item that never reached the scanner (read error or
+// scriptless HTML) at its position in the output stream.
+func emitItem(it item, opts options, stdout, stderr io.Writer) {
+	if it.readErr != nil {
+		fmt.Fprintf(stderr, "jsdetect: %s: %v\n", it.path, it.readErr)
+		if opts.jsonOut {
+			json.NewEncoder(stdout).Encode(report{Path: it.path, Error: it.readErr.Error()})
+		}
+		return
+	}
+	if opts.jsonOut {
+		json.NewEncoder(stdout).Encode(report{Path: it.path})
+		return
+	}
+	fmt.Fprintf(stdout, "%s: no inline scripts\n", it.path)
+}
+
+// emitResult reports one scanned file. Parse failures are per-file: they go
+// to stderr (and the JSON error field) without failing the run.
+func emitResult(it item, r core.FileResult, opts options, stdout, stderr io.Writer) {
+	if r.Err != nil {
+		fmt.Fprintf(stderr, "jsdetect: %s: %v\n", it.path, r.Err)
+		if opts.jsonOut {
+			json.NewEncoder(stdout).Encode(report{Path: it.path, Error: r.Err.Error()})
+		}
+		return
+	}
+	rep := buildReport(it.path, r.Level1, r.Level2, r.Diagnostics, opts)
+	rep.HTMLScripts = it.htmlScripts
+	if opts.jsonOut {
+		json.NewEncoder(stdout).Encode(rep)
+		return
+	}
+	renderText(stdout, rep)
+}
+
+// expandPaths walks directory arguments into their .js files (.html/.htm
+// under -html); "-" and plain files pass through. WalkDir visits entries in
+// lexical order, so expansion is deterministic.
+func expandPaths(args []string, html bool) ([]string, error) {
 	if len(args) == 0 {
 		return []string{"-"}, nil
+	}
+	exts := []string{".js"}
+	if html {
+		exts = []string{".html", ".htm"}
 	}
 	var out []string
 	for _, arg := range args {
@@ -99,8 +243,15 @@ func expandPaths(args []string) ([]string, error) {
 			if err != nil {
 				return err
 			}
-			if !d.IsDir() && strings.HasSuffix(strings.ToLower(d.Name()), ".js") {
-				out = append(out, path)
+			if d.IsDir() {
+				return nil
+			}
+			name := strings.ToLower(d.Name())
+			for _, ext := range exts {
+				if strings.HasSuffix(name, ext) {
+					out = append(out, path)
+					break
+				}
 			}
 			return nil
 		})
@@ -122,6 +273,8 @@ type report struct {
 	HTMLScripts int               `json:"htmlScripts,omitempty"`
 	// Diagnostics carries the static indicator findings under -explain.
 	Diagnostics []analysis.Diagnostic `json:"diagnostics,omitempty"`
+	// Error is the per-file failure (parse or read error), when any.
+	Error string `json:"error,omitempty"`
 }
 
 type techniqueReport struct {
@@ -130,63 +283,6 @@ type techniqueReport struct {
 	// Supported marks techniques that at least one static indicator
 	// diagnostic attributes (only set under -explain).
 	Supported bool `json:"supported,omitempty"`
-}
-
-func classify(l1, l2 *core.Detector, path string, opts options) error {
-	var src []byte
-	var err error
-	if path == "-" {
-		src, err = io.ReadAll(os.Stdin)
-	} else {
-		src, err = os.ReadFile(path)
-	}
-	if err != nil {
-		return err
-	}
-
-	code := string(src)
-	htmlScripts := 0
-	if opts.html {
-		scripts := htmlext.Extract(code)
-		joined := htmlext.JoinInline(scripts)
-		if strings.TrimSpace(joined) == "" {
-			rep := report{Path: path}
-			if opts.jsonOut {
-				return json.NewEncoder(os.Stdout).Encode(rep)
-			}
-			fmt.Printf("%s: no inline scripts\n", path)
-			return nil
-		}
-		htmlScripts = len(scripts)
-		code = joined
-	}
-
-	res, err := l1.ClassifyLevel1(code)
-	if err != nil {
-		return err
-	}
-	var l2res *core.Level2Result
-	if res.IsTransformed() {
-		r, err := l2.ClassifyLevel2(code)
-		if err != nil {
-			return err
-		}
-		l2res = &r
-	}
-	var diags []analysis.Diagnostic
-	if opts.explain {
-		if diags, err = analysis.Analyze(code); err != nil {
-			return err
-		}
-	}
-
-	rep := buildReport(path, res, l2res, diags, opts)
-	rep.HTMLScripts = htmlScripts
-	if opts.jsonOut {
-		return json.NewEncoder(os.Stdout).Encode(rep)
-	}
-	renderText(os.Stdout, rep)
-	return nil
 }
 
 // buildReport assembles the output report from the classifier results and

@@ -64,6 +64,6 @@ func run() int {
 		}
 		fmt.Fprintf(os.Stderr, "trainer: wrote %s\n", path)
 	}
-	fmt.Fprintf(os.Stderr, "trainer: reminder — jsdetect must be invoked with the same -dims (%d)\n", *dims)
+	fmt.Fprintf(os.Stderr, "trainer: jsdetect must be invoked with the same -dims (%d); the model files embed the feature fingerprint, so a mismatch fails at load\n", *dims)
 	return 0
 }

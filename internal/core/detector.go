@@ -222,15 +222,25 @@ func trainDetector(files []corpus.File, labels []string, labelRow func(*corpus.F
 		return nil, fmt.Errorf("core: empty training set")
 	}
 	ext := features.NewExtractor(opts.Features)
-	x := make([][]float64, 0, len(files))
-	y := make([][]bool, 0, len(files))
-	for i := range files {
+	// Feature extraction dominates training time and is independent per
+	// file, so it runs on the same worker pool the batch scanner uses.
+	// Results land at fixed indices, keeping training deterministic.
+	x := make([][]float64, len(files))
+	y := make([][]bool, len(files))
+	extractErrs := make([]error, len(files))
+	parallelFor(len(files), 0, func(i int) {
 		vec, err := ext.Extract(files[i].Source)
+		if err != nil {
+			extractErrs[i] = err
+			return
+		}
+		x[i] = vec
+		y[i] = labelRow(&files[i])
+	})
+	for i, err := range extractErrs {
 		if err != nil {
 			return nil, fmt.Errorf("core: extract %s: %w", files[i].Name, err)
 		}
-		x = append(x, vec)
-		y = append(y, labelRow(&files[i]))
 	}
 	rng := rand.New(rand.NewSource(opts.Seed))
 	var model ml.MultiTask
@@ -250,9 +260,22 @@ func trainDetector(files []corpus.File, labels []string, labelRow func(*corpus.F
 // Persistence
 // ---------------------------------------------------------------------------
 
-// Save writes the detector's model to w. Feature options are not embedded;
-// use the same Options when loading.
-func (d *Detector) Save(w io.Writer) error { return ml.WriteModel(w, d.model) }
+// fingerprint derives the model-file layout fingerprint from the detector's
+// feature options.
+func fingerprint(o features.Options) ml.Fingerprint {
+	return ml.Fingerprint{
+		NGramDims:    uint32(o.Dims()),
+		NGramLen:     uint32(o.NGramLength()),
+		RuleFeatures: o.RuleFeatures,
+	}
+}
+
+// Save writes the detector's model to w in the v2 format, which embeds the
+// feature-options fingerprint so Load can reject a mismatched -dims or
+// rule-features setting instead of silently misclassifying.
+func (d *Detector) Save(w io.Writer) error {
+	return ml.WriteModel(w, d.model, fingerprint(d.extractor.Options()))
+}
 
 // SaveFile writes the model to a file.
 func (d *Detector) SaveFile(path string) error {
@@ -267,11 +290,25 @@ func (d *Detector) SaveFile(path string) error {
 	return f.Close()
 }
 
-// Load reads a detector model from r, using the given feature options.
+// Load reads a detector model from r, using the given feature options. v2
+// model files carry a feature-options fingerprint; Load fails loudly when it
+// does not match featOpts. v1 files carry none and load unchecked for
+// back-compat.
 func Load(r io.Reader, featOpts features.Options) (*Detector, error) {
-	model, err := ml.ReadModel(r)
+	model, fp, err := ml.ReadModel(r)
 	if err != nil {
 		return nil, err
+	}
+	if fp != nil {
+		want := fingerprint(featOpts)
+		switch {
+		case fp.NGramDims != want.NGramDims:
+			return nil, fmt.Errorf("core: model was trained with %d n-gram dims, loading with %d (pass the training -dims)", fp.NGramDims, want.NGramDims)
+		case fp.NGramLen != want.NGramLen:
+			return nil, fmt.Errorf("core: model was trained with n-gram length %d, loading with %d", fp.NGramLen, want.NGramLen)
+		case fp.RuleFeatures != want.RuleFeatures:
+			return nil, fmt.Errorf("core: model was trained with rule features %v, loading with %v", fp.RuleFeatures, want.RuleFeatures)
+		}
 	}
 	return &Detector{extractor: features.NewExtractor(featOpts), model: model}, nil
 }
@@ -283,7 +320,40 @@ func LoadFile(path string, featOpts features.Options) (*Detector, error) {
 		return nil, err
 	}
 	defer f.Close()
-	return Load(f, featOpts)
+	det, err := Load(f, featOpts)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return det, nil
+}
+
+// ValidateLabels checks the loaded model's classes against want, catching a
+// level1.model/level2.model swap before it panics in level1FromProbs or
+// silently misreads technique ranks.
+func (d *Detector) ValidateLabels(want []string) error {
+	got := d.model.Labels()
+	if len(got) != len(want) {
+		return fmt.Errorf("model has %d classes %v, want %d %v (level1/level2 files swapped?)", len(got), got, len(want), want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			return fmt.Errorf("model class %d is %q, want %q (level1/level2 files swapped?)", i, got[i], want[i])
+		}
+	}
+	return nil
+}
+
+// LoadLevelFile reads a detector model from a file and validates that it
+// carries the expected label set (Level1Labels or Level2Labels()).
+func LoadLevelFile(path string, featOpts features.Options, wantLabels []string) (*Detector, error) {
+	det, err := LoadFile(path, featOpts)
+	if err != nil {
+		return nil, err
+	}
+	if err := det.ValidateLabels(wantLabels); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return det, nil
 }
 
 // ChainModel returns the underlying classifier chain when the detector was

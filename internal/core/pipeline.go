@@ -136,10 +136,13 @@ func Train(cfg TrainConfig) (*Trained, error) {
 }
 
 // drawPool samples n files (without replacement) from one technique pool.
+// It always returns a fresh slice: returning the pool's backing array would
+// alias corpus state into the training sets, so a later append or shuffle on
+// one would corrupt the other.
 func drawPool(pool map[transform.Technique][]corpus.File, t transform.Technique, n int, rng *rand.Rand) []corpus.File {
 	files := pool[t]
 	if n >= len(files) {
-		return files
+		return append([]corpus.File(nil), files...)
 	}
 	perm := rng.Perm(len(files))
 	out := make([]corpus.File, 0, n)

@@ -1,0 +1,256 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/features"
+	"repro/internal/js/parser"
+)
+
+// The batch scan engine classifies whole directories the way the paper's
+// evaluation classifies the wild set (Section IV, 424k scripts): every file
+// is parsed exactly once, and the resulting AST, flow graph, and indicator
+// diagnostics are shared across the level 1 detector, the level 2 detector,
+// and the -explain output. A worker pool provides the parallelism; results
+// stream back in input order regardless of completion order.
+
+// ScanOptions configures a Scanner.
+type ScanOptions struct {
+	// Workers is the worker pool size; <= 0 means GOMAXPROCS.
+	Workers int
+	// Explain runs the static indicator rules on every file and attaches
+	// the diagnostics to its FileResult. The rules run over the scan's
+	// shared parse, so this does not add a parse pass.
+	Explain bool
+}
+
+func (o ScanOptions) workers() int {
+	if o.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return o.Workers
+}
+
+// Input is one file to classify. Path is carried through to the result
+// verbatim; Source is the JavaScript text (already extracted from HTML when
+// the caller scans pages).
+type Input struct {
+	Path   string
+	Source string
+}
+
+// FileResult is the verdict on one input. When Err is non-nil (the file did
+// not parse), the classification fields are zero: one broken file never
+// aborts the batch.
+type FileResult struct {
+	Path  string
+	Bytes int
+	// Level1 is the regular/minified/obfuscated verdict.
+	Level1 Level1Result
+	// Level2 ranks the transformation techniques; nil when level 1 did not
+	// flag the file as transformed.
+	Level2 *Level2Result
+	// Diagnostics carries the static indicator findings when the scanner
+	// runs with Explain.
+	Diagnostics []analysis.Diagnostic
+	// Err is the per-file failure, typically a parse error.
+	Err error
+}
+
+// ScanStats aggregates one batch scan.
+type ScanStats struct {
+	// Files is the number of inputs processed (including failures).
+	Files int
+	// Bytes is the total source size scanned.
+	Bytes int64
+	// ParseFailures counts inputs whose Err is non-nil.
+	ParseFailures int
+	// Regular, Minified, Obfuscated, Transformed count level 1 verdicts at
+	// the 0.5 decision threshold (Minified and Obfuscated can overlap;
+	// Regular means not transformed).
+	Regular, Minified, Obfuscated, Transformed int
+	// Duration is the wall-clock time of the scan.
+	Duration time.Duration
+}
+
+// FilesPerSec returns the scan throughput in files per second.
+func (s ScanStats) FilesPerSec() float64 {
+	if s.Duration <= 0 {
+		return 0
+	}
+	return float64(s.Files) / s.Duration.Seconds()
+}
+
+// BytesPerSec returns the scan throughput in source bytes per second.
+func (s ScanStats) BytesPerSec() float64 {
+	if s.Duration <= 0 {
+		return 0
+	}
+	return float64(s.Bytes) / s.Duration.Seconds()
+}
+
+// Scanner runs both detectors (and optionally the indicator rules) over
+// batches of files with one parse per file. A Scanner is safe for concurrent
+// use; each ScanBatch/ScanStream call runs its own worker pool.
+type Scanner struct {
+	l1, l2 *Detector
+	// ext is the shared extractor: both detectors were validated to use the
+	// same feature layout, so one vector per file feeds both.
+	ext  *features.Extractor
+	opts ScanOptions
+}
+
+// NewScanner validates that l1 and l2 are the expected levels with matching
+// feature layouts and builds the batch engine around them.
+func NewScanner(l1, l2 *Detector, opts ScanOptions) (*Scanner, error) {
+	if err := l1.ValidateLabels(Level1Labels); err != nil {
+		return nil, fmt.Errorf("core: level 1 model: %w", err)
+	}
+	if err := l2.ValidateLabels(Level2Labels()); err != nil {
+		return nil, fmt.Errorf("core: level 2 model: %w", err)
+	}
+	if o1, o2 := l1.extractor.Options(), l2.extractor.Options(); o1 != o2 {
+		return nil, fmt.Errorf("core: detectors use different feature options (%+v vs %+v); they cannot share a parse", o1, o2)
+	}
+	return &Scanner{l1: l1, l2: l2, ext: l1.extractor, opts: opts}, nil
+}
+
+// scanOne classifies one input: a single parse and flow graph feed the
+// feature vector, both detectors, and (under Explain) the indicator rules.
+func (s *Scanner) scanOne(in Input) FileResult {
+	out := FileResult{Path: in.Path, Bytes: len(in.Source)}
+	res, err := parser.ParseNoTokens(in.Source)
+	if err != nil {
+		out.Err = fmt.Errorf("parse: %w", err)
+		return out
+	}
+	g := s.ext.Flow(res)
+	var diags []analysis.Diagnostic
+	if s.opts.Explain || s.ext.Options().RuleFeatures {
+		diags = analysis.AnalyzeParsed(in.Source, res, g)
+	}
+	vec := s.ext.ExtractFull(in.Source, res, g, diags)
+	out.Level1 = level1FromProbs(s.l1.ProbsVec(vec))
+	if out.Level1.IsTransformed() {
+		r := Level2FromProbs(s.l2.ProbsVec(vec))
+		out.Level2 = &r
+	}
+	if s.opts.Explain {
+		out.Diagnostics = diags
+	}
+	return out
+}
+
+// ScanStream classifies inputs with the worker pool and calls emit once per
+// input, in input order, as soon as every earlier input has been emitted.
+// emit runs on the calling goroutine. The returned stats cover the whole
+// batch.
+func (s *Scanner) ScanStream(inputs []Input, emit func(i int, r FileResult)) ScanStats {
+	start := time.Now()
+	n := len(inputs)
+	stats := ScanStats{Files: n}
+	if n == 0 {
+		stats.Duration = time.Since(start)
+		return stats
+	}
+	workers := s.opts.workers()
+	if workers > n {
+		workers = n
+	}
+
+	results := make([]FileResult, n)
+	ready := make([]chan struct{}, n)
+	for i := range ready {
+		ready[i] = make(chan struct{})
+	}
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				results[i] = s.scanOne(inputs[i])
+				close(ready[i])
+			}
+		}()
+	}
+	go func() {
+		for i := range inputs {
+			work <- i
+		}
+		close(work)
+	}()
+
+	for i := range inputs {
+		<-ready[i]
+		r := results[i]
+		stats.Bytes += int64(r.Bytes)
+		switch {
+		case r.Err != nil:
+			stats.ParseFailures++
+		case r.Level1.IsTransformed():
+			stats.Transformed++
+			if r.Level1.IsMinified() {
+				stats.Minified++
+			}
+			if r.Level1.IsObfuscated() {
+				stats.Obfuscated++
+			}
+		default:
+			stats.Regular++
+		}
+		if emit != nil {
+			emit(i, r)
+		}
+	}
+	wg.Wait()
+	stats.Duration = time.Since(start)
+	return stats
+}
+
+// ScanBatch classifies inputs and returns one FileResult per input, in input
+// order, plus the batch stats.
+func (s *Scanner) ScanBatch(inputs []Input) ([]FileResult, ScanStats) {
+	out := make([]FileResult, len(inputs))
+	stats := s.ScanStream(inputs, func(i int, r FileResult) { out[i] = r })
+	return out, stats
+}
+
+// parallelFor runs fn(i) for every i in [0, n) across min(workers, n)
+// goroutines and waits for completion; workers <= 0 means GOMAXPROCS. fn
+// must be safe to call concurrently for distinct i.
+func parallelFor(n, workers int, fn func(i int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/corpus"
+	"repro/internal/features"
+	"repro/internal/transform"
+)
+
+// benchScanInputs builds a realistic batch: regular scripts plus one
+// transformed variant each, so the scan sees both light and heavy parses.
+func benchScanInputs(b *testing.B) []Input {
+	b.Helper()
+	rng := rand.New(rand.NewSource(11))
+	bases := corpus.RegularSet(16, rng)
+	inputs := make([]Input, 0, 2*len(bases))
+	for i := range bases {
+		inputs = append(inputs, Input{Path: bases[i].Name, Source: bases[i].Source})
+		tf, err := corpus.Apply(bases[i], rng, transform.Techniques[i%len(transform.Techniques)])
+		if err != nil {
+			b.Fatal(err)
+		}
+		inputs = append(inputs, Input{Path: tf.Name, Source: tf.Source})
+	}
+	return inputs
+}
+
+func benchDetectors(b *testing.B, featOpts features.Options) (*Detector, *Detector) {
+	b.Helper()
+	l1 := tinyDetectorB(Level1Labels, []float64{0.1, 0.9, 0.2}, featOpts)
+	probs := make([]float64, len(transform.Techniques))
+	for i := range probs {
+		probs[i] = 0.9 - 0.05*float64(i)
+	}
+	return l1, tinyDetectorB(Level2Labels(), probs, featOpts)
+}
+
+func tinyDetectorB(labels []string, probs []float64, featOpts features.Options) *Detector {
+	return &Detector{extractor: features.NewExtractor(featOpts), model: leafChain(labels, probs)}
+}
+
+func totalBytes(inputs []Input) int64 {
+	var n int64
+	for _, in := range inputs {
+		n += int64(len(in.Source))
+	}
+	return n
+}
+
+// BenchmarkScanBatch measures the parse-once batch engine with Explain on:
+// one parse and one flow graph per file feed the features, both detectors,
+// and the indicator rules.
+func BenchmarkScanBatch(b *testing.B) {
+	inputs := benchScanInputs(b)
+	l1, l2 := benchDetectors(b, features.Options{NGramDims: 1024})
+	s, err := NewScanner(l1, l2, ScanOptions{Explain: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(totalBytes(inputs))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, stats := s.ScanBatch(inputs)
+		if stats.ParseFailures != 0 {
+			b.Fatalf("parse failures: %d", stats.ParseFailures)
+		}
+	}
+}
+
+// BenchmarkScanSerial3Parse is the pre-engine baseline the tentpole
+// replaces: the old CLI classified each file with ClassifyLevel1 (parse 1),
+// ClassifyLevel2 (parse 2), and analysis.Analyze under -explain (parse 3),
+// strictly serially.
+func BenchmarkScanSerial3Parse(b *testing.B) {
+	inputs := benchScanInputs(b)
+	l1, l2 := benchDetectors(b, features.Options{NGramDims: 1024})
+	b.SetBytes(totalBytes(inputs))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, in := range inputs {
+			res, err := l1.ClassifyLevel1(in.Source)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.IsTransformed() {
+				if _, err := l2.ClassifyLevel2(in.Source); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if _, err := analysis.Analyze(in.Source); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

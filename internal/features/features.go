@@ -50,6 +50,14 @@ func (o Options) ngramLen() int {
 	return o.NGramLen
 }
 
+// Dims returns the effective n-gram bucket count with the default applied.
+// Model files embed it as part of the layout fingerprint.
+func (o Options) Dims() int { return o.dims() }
+
+// NGramLength returns the effective n-gram window length with the default
+// applied.
+func (o Options) NGramLength() int { return o.ngramLen() }
+
 // Vector is a dense feature vector.
 type Vector []float64
 
@@ -79,6 +87,10 @@ func NewExtractor(opts Options) *Extractor {
 
 // Dim returns the total vector dimension.
 func (e *Extractor) Dim() int { return e.opts.dims() + numHandPicked + len(e.ruleNames) }
+
+// Options returns the extractor's configuration. Batch callers compare it to
+// decide whether two detectors can share one feature vector per file.
+func (e *Extractor) Options() Options { return e.opts }
 
 // Names returns human-readable names for every dimension.
 func (e *Extractor) Names() []string {

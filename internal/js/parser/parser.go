@@ -9,10 +9,21 @@ package parser
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/js/ast"
 	"repro/internal/js/lexer"
 )
+
+// parses counts completed parse attempts (successful or not) process-wide.
+// The batch scanner's tests read it through Parses to assert that a scan
+// touches each input exactly once, even when classification, explanation,
+// and feature extraction all consume the same file.
+var parses atomic.Int64
+
+// Parses returns the number of parse attempts since process start. It is a
+// test hook for parse-once assertions, not a performance counter.
+func Parses() int64 { return parses.Load() }
 
 // Error is a parse error with a source position.
 type Error struct {
@@ -50,6 +61,7 @@ func ParseNoTokens(src string) (*Result, error) {
 }
 
 func parse(src string, collectTokens bool) (*Result, error) {
+	parses.Add(1)
 	p := &parser{lex: lexer.New(src), src: src, collect: collectTokens}
 	if err := p.next(); err != nil {
 		return nil, err

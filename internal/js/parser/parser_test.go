@@ -341,3 +341,21 @@ func TestClassFields(t *testing.T) {
 		t.Fatal("static field missing")
 	}
 }
+
+// TestParsesCounter pins the parse-once test hook: every Parse entry point
+// bumps the process-wide counter exactly once, including failed parses.
+func TestParsesCounter(t *testing.T) {
+	before := Parses()
+	if _, err := ParseNoTokens("var a = 1;"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Parse("a + b;"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseNoTokens("function ( {{{"); err == nil {
+		t.Fatal("expected parse error")
+	}
+	if delta := Parses() - before; delta != 3 {
+		t.Fatalf("Parses delta = %d, want 3", delta)
+	}
+}

@@ -1,6 +1,7 @@
 package ml
 
 import (
+	"bufio"
 	"bytes"
 	"math/rand"
 	"testing"
@@ -150,13 +151,17 @@ func TestModelRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	fp := Fingerprint{NGramDims: 1024, NGramLen: 4, RuleFeatures: true}
 	var buf bytes.Buffer
-	if err := WriteModel(&buf, chain); err != nil {
+	if err := WriteModel(&buf, chain, fp); err != nil {
 		t.Fatal(err)
 	}
-	got, err := ReadModel(&buf)
+	got, gotFP, err := ReadModel(&buf)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if gotFP == nil || *gotFP != fp {
+		t.Fatalf("fingerprint = %+v, want %+v", gotFP, fp)
 	}
 	if got.Labels()[2] != "obfuscated" {
 		t.Fatalf("labels = %v", got.Labels())
@@ -172,12 +177,89 @@ func TestModelRoundTrip(t *testing.T) {
 	}
 }
 
+// TestModelReadsLegacyV1 covers the back-compat path: a v1 file (no
+// fingerprint block) must load with a nil fingerprint and identical
+// predictions.
+func TestModelReadsLegacyV1(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	x, y := synthMultiLabel(rng, 150)
+	labels := []string{"regular", "minified", "obfuscated"}
+	chain, err := TrainChain(x, y, labels, ForestOptions{NumTrees: 4}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	bw := bufio.NewWriter(&buf)
+	if _, err := bw.WriteString(modelMagicV1); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeModelBody(bw, chain); err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, fp, err := ReadModel(&buf)
+	if err != nil {
+		t.Fatalf("read v1: %v", err)
+	}
+	if fp != nil {
+		t.Fatalf("v1 file must carry no fingerprint, got %+v", fp)
+	}
+	for i := 0; i < 20; i++ {
+		want := chain.PredictProbs(x[i])
+		have := got.PredictProbs(x[i])
+		for j := range want {
+			if want[j] != have[j] {
+				t.Fatalf("v1 prediction changed: %v vs %v", want, have)
+			}
+		}
+	}
+}
+
+// TestV2FingerprintPrecedesBody pins the wire layout: a v2 file is the v1
+// body with the fingerprint block spliced in after the magic.
+func TestV2FingerprintPrecedesBody(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	x, y := synthMultiLabel(rng, 120)
+	chain, err := TrainChain(x, y, []string{"a", "b", "c"}, ForestOptions{NumTrees: 2}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v2 bytes.Buffer
+	if err := WriteModel(&v2, chain, Fingerprint{NGramDims: 512, NGramLen: 4}); err != nil {
+		t.Fatal(err)
+	}
+	raw := v2.Bytes()
+	if string(raw[:8]) != modelMagicV2 {
+		t.Fatalf("magic = %q", raw[:8])
+	}
+	var v1 bytes.Buffer
+	bw := bufio.NewWriter(&v1)
+	if _, err := bw.WriteString(modelMagicV1); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeModelBody(bw, chain); err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(raw[8+fingerprintSize:], v1.Bytes()[8:]) {
+		t.Fatal("v2 body must equal v1 body after the fingerprint block")
+	}
+}
+
 func TestModelRejectsGarbage(t *testing.T) {
-	if _, err := ReadModel(bytes.NewReader([]byte("not a model at all"))); err == nil {
+	if _, _, err := ReadModel(bytes.NewReader([]byte("not a model at all"))); err == nil {
 		t.Fatal("expected error on bad magic")
 	}
-	if _, err := ReadModel(bytes.NewReader(nil)); err == nil {
+	if _, _, err := ReadModel(bytes.NewReader(nil)); err == nil {
 		t.Fatal("expected error on empty input")
+	}
+	truncated := []byte(modelMagicV2 + "1234")
+	if _, _, err := ReadModel(bytes.NewReader(truncated)); err == nil {
+		t.Fatal("expected error on truncated fingerprint")
 	}
 }
 

@@ -10,24 +10,72 @@ import (
 
 // Model file layout (little endian):
 //
-//	magic "JSTFMDL1" | kind byte (1 chain, 2 independent) |
+//	magic "JSTFMDL2" |
+//	fingerprint: u32 ngramDims, u32 ngramLen, u8 ruleFeatures |
+//	kind byte (1 chain, 2 independent) |
 //	u32 numLabels | per label: u32 len + bytes |
 //	u32 numForests | per forest: u32 numTrees |
 //	per tree: u32 numNodes | per node: i32 feature, f64 threshold,
 //	i32 left, i32 right, f64 prob
-const modelMagic = "JSTFMDL1"
+//
+// v1 files ("JSTFMDL1") lack the fingerprint block and are still readable;
+// ReadModel reports a nil Fingerprint for them.
+const (
+	modelMagicV1 = "JSTFMDL1"
+	modelMagicV2 = "JSTFMDL2"
+)
 
 const (
 	kindChain       = 1
 	kindIndependent = 2
 )
 
-// WriteModel serializes a trained multi-task model.
-func WriteModel(w io.Writer, m MultiTask) error {
+// fingerprintSize is the serialized size of the v2 fingerprint block.
+const fingerprintSize = 4 + 4 + 1
+
+// Fingerprint pins the feature-extraction configuration a model was trained
+// with. Feature vectors are positional, so loading a model against a
+// different configuration silently misclassifies; embedding the fingerprint
+// lets the loader fail loudly instead.
+type Fingerprint struct {
+	// NGramDims is the hashed n-gram bucket count.
+	NGramDims uint32
+	// NGramLen is the n-gram window length.
+	NGramLen uint32
+	// RuleFeatures records whether per-rule diagnostic dimensions were
+	// appended to the vector.
+	RuleFeatures bool
+}
+
+// WriteModel serializes a trained multi-task model in the v2 format,
+// embedding the feature fingerprint.
+func WriteModel(w io.Writer, m MultiTask, fp Fingerprint) error {
 	bw := bufio.NewWriter(w)
-	if _, err := bw.WriteString(modelMagic); err != nil {
+	if _, err := bw.WriteString(modelMagicV2); err != nil {
 		return err
 	}
+	if err := writeU32(bw, fp.NGramDims); err != nil {
+		return err
+	}
+	if err := writeU32(bw, fp.NGramLen); err != nil {
+		return err
+	}
+	rf := byte(0)
+	if fp.RuleFeatures {
+		rf = 1
+	}
+	if err := bw.WriteByte(rf); err != nil {
+		return err
+	}
+	if err := writeModelBody(bw, m); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// writeModelBody serializes everything after the magic and fingerprint. The
+// body layout is shared between v1 and v2 (v1 back-compat tests reuse it).
+func writeModelBody(bw *bufio.Writer, m MultiTask) error {
 	var kind byte
 	var forests []*Forest
 	switch v := m.(type) {
@@ -73,19 +121,43 @@ func WriteModel(w io.Writer, m MultiTask) error {
 			}
 		}
 	}
-	return bw.Flush()
+	return nil
 }
 
-// ReadModel deserializes a model written by WriteModel.
-func ReadModel(r io.Reader) (MultiTask, error) {
+// ReadModel deserializes a model written by WriteModel. For v2 files the
+// embedded Fingerprint is returned; for legacy v1 files it is nil and the
+// caller cannot verify the feature configuration.
+func ReadModel(r io.Reader) (MultiTask, *Fingerprint, error) {
 	br := bufio.NewReader(r)
-	magic := make([]byte, len(modelMagic))
+	magic := make([]byte, len(modelMagicV2))
 	if _, err := io.ReadFull(br, magic); err != nil {
-		return nil, fmt.Errorf("ml: read magic: %w", err)
+		return nil, nil, fmt.Errorf("ml: read magic: %w", err)
 	}
-	if string(magic) != modelMagic {
-		return nil, fmt.Errorf("ml: bad model magic %q", magic)
+	var fp *Fingerprint
+	switch string(magic) {
+	case modelMagicV1:
+	case modelMagicV2:
+		var buf [fingerprintSize]byte
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			return nil, nil, fmt.Errorf("ml: read fingerprint: %w", err)
+		}
+		fp = &Fingerprint{
+			NGramDims:    binary.LittleEndian.Uint32(buf[0:]),
+			NGramLen:     binary.LittleEndian.Uint32(buf[4:]),
+			RuleFeatures: buf[8] != 0,
+		}
+	default:
+		return nil, nil, fmt.Errorf("ml: bad model magic %q", magic)
 	}
+	m, err := readModelBody(br)
+	if err != nil {
+		return nil, nil, err
+	}
+	return m, fp, nil
+}
+
+// readModelBody deserializes everything after the magic and fingerprint.
+func readModelBody(br *bufio.Reader) (MultiTask, error) {
 	kind, err := br.ReadByte()
 	if err != nil {
 		return nil, err

@@ -21,6 +21,12 @@ fi
 echo "== go vet =="
 go vet ./...
 
+# The batch scan engine and the CLI on top of it are the concurrency-heavy
+# paths; race-check them first and explicitly so a worker-pool regression
+# fails fast (the full -race suite below still covers everything).
+echo "== go test -race (batch scan) =="
+go test -race -run 'Scan|ParallelTrain' ./internal/core ./cmd/jsdetect
+
 echo "== go test -race =="
 go test -race ./...
 
