@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -150,12 +151,24 @@ func (s *Scanner) scanOne(in Input) FileResult {
 // emit runs on the calling goroutine. The returned stats cover the whole
 // batch.
 func (s *Scanner) ScanStream(inputs []Input, emit func(i int, r FileResult)) ScanStats {
+	stats, _ := s.ScanStreamContext(context.Background(), inputs, emit)
+	return stats
+}
+
+// ScanStreamContext is ScanStream with cooperative cancellation. When ctx is
+// cancelled mid-batch, no new work is dispatched, in-flight workers finish
+// their current file and exit (the call does not return until the pool has
+// drained), and emission stops at the first input whose result is not ready —
+// so the emitted partial results are always a contiguous, input-ordered
+// prefix. Stats cover only the emitted prefix. The error is ctx.Err() when
+// the scan was cut short, nil otherwise.
+func (s *Scanner) ScanStreamContext(ctx context.Context, inputs []Input, emit func(i int, r FileResult)) (ScanStats, error) {
 	start := time.Now()
 	n := len(inputs)
-	stats := ScanStats{Files: n}
-	if n == 0 {
+	var stats ScanStats
+	if n == 0 || ctx.Err() != nil {
 		stats.Duration = time.Since(start)
-		return stats
+		return stats, ctx.Err()
 	}
 	workers := s.opts.workers()
 	if workers > n {
@@ -179,16 +192,38 @@ func (s *Scanner) ScanStream(inputs []Input, emit func(i int, r FileResult)) Sca
 			}
 		}()
 	}
+	done := ctx.Done()
 	go func() {
+		defer close(work)
 		for i := range inputs {
-			work <- i
+			select {
+			case work <- i:
+			case <-done:
+				return
+			}
 		}
-		close(work)
 	}()
 
+	var err error
 	for i := range inputs {
-		<-ready[i]
+		select {
+		case <-ready[i]:
+		default:
+			// Not ready yet: wait, but let cancellation cut the batch short.
+			// The non-blocking check above keeps already-finished results
+			// flowing out even after cancellation, preserving the contiguous
+			// prefix.
+			select {
+			case <-ready[i]:
+			case <-done:
+				err = ctx.Err()
+			}
+		}
+		if err != nil {
+			break
+		}
 		r := results[i]
+		stats.Files++
 		stats.Bytes += int64(r.Bytes)
 		switch {
 		case r.Err != nil:
@@ -210,15 +245,24 @@ func (s *Scanner) ScanStream(inputs []Input, emit func(i int, r FileResult)) Sca
 	}
 	wg.Wait()
 	stats.Duration = time.Since(start)
-	return stats
+	return stats, err
 }
 
 // ScanBatch classifies inputs and returns one FileResult per input, in input
 // order, plus the batch stats.
 func (s *Scanner) ScanBatch(inputs []Input) ([]FileResult, ScanStats) {
-	out := make([]FileResult, len(inputs))
-	stats := s.ScanStream(inputs, func(i int, r FileResult) { out[i] = r })
+	out := make([]FileResult, 0, len(inputs))
+	stats, _ := s.ScanStreamContext(context.Background(), inputs, func(i int, r FileResult) { out = append(out, r) })
 	return out, stats
+}
+
+// ScanBatchContext is ScanBatch with cooperative cancellation: on early
+// cancellation the returned slice holds only the contiguous input-ordered
+// prefix that finished before the cut, and the error is ctx.Err().
+func (s *Scanner) ScanBatchContext(ctx context.Context, inputs []Input) ([]FileResult, ScanStats, error) {
+	out := make([]FileResult, 0, len(inputs))
+	stats, err := s.ScanStreamContext(ctx, inputs, func(i int, r FileResult) { out = append(out, r) })
+	return out, stats, err
 }
 
 // parallelFor runs fn(i) for every i in [0, n) across min(workers, n)

@@ -1,0 +1,293 @@
+package interp
+
+import (
+	"strconv"
+	"strings"
+
+	"repro/internal/js/ast"
+	"repro/internal/js/parser"
+)
+
+// setupGlobals builds the builtin prototypes, constructors, and the global
+// environment. The surface is exactly what the corpus generator and the ten
+// transformation techniques reach: String/Array/Math/JSON plus the coercion
+// machinery JSFuck-style encodings depend on, the Function constructor and
+// eval for packer bootstraps, deterministic timers/Promise/fetch stubs for
+// the async flavors, and a minimal document for the browser flavors.
+func (it *Interp) setupGlobals() {
+	p := &it.protos
+	p.objectProto = &Object{class: "Object", props: map[string]*propEntry{}}
+	p.funcProto = newObject("Object", p.objectProto)
+	p.arrayProto = newObject("Object", p.objectProto)
+	p.stringProto = newObject("Object", p.objectProto)
+	p.numberProto = newObject("Object", p.objectProto)
+	p.booleanProto = newObject("Object", p.objectProto)
+	p.regexpProto = newObject("Object", p.objectProto)
+	p.errorProto = newObject("Object", p.objectProto)
+	p.mapProto = newObject("Object", p.objectProto)
+	p.promiseProto = newObject("Object", p.objectProto)
+	p.iterProto = newObject("Object", p.objectProto)
+
+	it.gobj = newObject("global", p.objectProto)
+
+	it.setupObjectProto()
+	it.setupFunctionProto()
+	it.setupStringBuiltins()
+	it.setupNumberBuiltins()
+	it.setupArrayBuiltins()
+	it.setupRegexpBuiltins()
+	it.setupErrorBuiltins()
+	it.setupMapPromise()
+	it.setupMathJSON()
+	it.setupGlobalFunctions()
+	it.setupHostObjects()
+}
+
+func (it *Interp) defineGlobal(name string, v Value) {
+	it.global.declare(name, v, true)
+}
+
+// ---------------------------------------------------------------------------
+// Object / Function prototypes
+// ---------------------------------------------------------------------------
+
+func (it *Interp) setupObjectProto() {
+	p := &it.protos
+	p.objectProto.setProp("toString", Value(it.makeNative("toString", 0, func(it *Interp, this Value, args []Value) Value {
+		if o, ok := this.(*Object); ok {
+			return it.objectDefaultString(o)
+		}
+		return it.toString(this)
+	})))
+	p.objectProto.setProp("valueOf", Value(it.makeNative("valueOf", 0, func(it *Interp, this Value, args []Value) Value {
+		return this
+	})))
+	p.objectProto.setProp("hasOwnProperty", Value(it.makeNative("hasOwnProperty", 1, func(it *Interp, this Value, args []Value) Value {
+		o, ok := this.(*Object)
+		if !ok {
+			return false
+		}
+		key := it.toString(arg(args, 0))
+		if (o.class == "Array" || o.class == "Arguments") && isArrayIndex(key) {
+			i, _ := strconv.Atoi(key)
+			return i < len(o.elems)
+		}
+		_, own := o.getOwn(key)
+		return own
+	})))
+
+	ctor := it.makeNative("Object", 1, func(it *Interp, this Value, args []Value) Value {
+		if o, ok := arg(args, 0).(*Object); ok {
+			return Value(o)
+		}
+		return Value(newObject("Object", it.protos.objectProto))
+	})
+	ctor.ctor = func(it *Interp, args []Value) *Object {
+		if o, ok := arg(args, 0).(*Object); ok {
+			return o
+		}
+		return newObject("Object", it.protos.objectProto)
+	}
+	ctor.setProp("prototype", Value(it.protos.objectProto))
+	it.protos.objectProto.setProp("constructor", Value(ctor))
+	it.protos.objectCtor = ctor
+	it.defineGlobal("Object", Value(ctor))
+
+	ownKeys := func(v Value) []string {
+		o, ok := v.(*Object)
+		if !ok {
+			return nil
+		}
+		if o.class == "Array" || o.class == "Arguments" {
+			out := make([]string, len(o.elems))
+			for i := range o.elems {
+				out[i] = jsNumberString(float64(i))
+			}
+			return append(out, o.keys...)
+		}
+		return append([]string(nil), o.keys...)
+	}
+	ctor.setProp("keys", Value(it.makeNative("keys", 1, func(it *Interp, this Value, args []Value) Value {
+		arr := newObject("Array", it.protos.arrayProto)
+		for _, k := range ownKeys(arg(args, 0)) {
+			arr.elems = append(arr.elems, k)
+		}
+		return Value(arr)
+	})))
+	ctor.setProp("values", Value(it.makeNative("values", 1, func(it *Interp, this Value, args []Value) Value {
+		arr := newObject("Array", it.protos.arrayProto)
+		for _, k := range ownKeys(arg(args, 0)) {
+			arr.elems = append(arr.elems, it.getMember(arg(args, 0), k))
+		}
+		return Value(arr)
+	})))
+	ctor.setProp("entries", Value(it.makeNative("entries", 1, func(it *Interp, this Value, args []Value) Value {
+		arr := newObject("Array", it.protos.arrayProto)
+		for _, k := range ownKeys(arg(args, 0)) {
+			pair := newObject("Array", it.protos.arrayProto)
+			pair.elems = []Value{k, it.getMember(arg(args, 0), k)}
+			arr.elems = append(arr.elems, Value(pair))
+		}
+		return Value(arr)
+	})))
+	ctor.setProp("assign", Value(it.makeNative("assign", 2, func(it *Interp, this Value, args []Value) Value {
+		target := arg(args, 0)
+		to, ok := target.(*Object)
+		if !ok {
+			it.throwError("TypeError", "cannot convert value to object")
+		}
+		for _, src := range args[1:] {
+			for _, k := range ownKeys(src) {
+				to.setProp(k, it.getMember(src, k))
+			}
+		}
+		return target
+	})))
+	ctor.setProp("freeze", Value(it.makeNative("freeze", 1, func(it *Interp, this Value, args []Value) Value {
+		if o, ok := arg(args, 0).(*Object); ok {
+			o.frozen = true
+		}
+		return arg(args, 0)
+	})))
+	ctor.setProp("isFrozen", Value(it.makeNative("isFrozen", 1, func(it *Interp, this Value, args []Value) Value {
+		o, ok := arg(args, 0).(*Object)
+		return !ok || o.frozen // non-objects count as frozen
+	})))
+	ctor.setProp("create", Value(it.makeNative("create", 1, func(it *Interp, this Value, args []Value) Value {
+		proto, _ := arg(args, 0).(*Object)
+		return Value(newObject("Object", proto))
+	})))
+	ctor.setProp("getPrototypeOf", Value(it.makeNative("getPrototypeOf", 1, func(it *Interp, this Value, args []Value) Value {
+		if o, ok := arg(args, 0).(*Object); ok && o.proto != nil {
+			return Value(o.proto)
+		}
+		return null
+	})))
+	ctor.setProp("defineProperty", Value(it.makeNative("defineProperty", 3, func(it *Interp, this Value, args []Value) Value {
+		o, ok := arg(args, 0).(*Object)
+		desc, ok2 := arg(args, 2).(*Object)
+		if !ok || !ok2 {
+			it.throwError("TypeError", "invalid property descriptor")
+		}
+		key := it.toString(arg(args, 1))
+		if g, has := desc.getOwn("get"); has {
+			if gf, isFn := g.value.(*Object); isFn && gf.IsFunction() {
+				o.setAccessor(key, gf, nil)
+			}
+		}
+		if s, has := desc.getOwn("set"); has {
+			if sf, isFn := s.value.(*Object); isFn && sf.IsFunction() {
+				o.setAccessor(key, nil, sf)
+			}
+		}
+		if v, has := desc.getOwn("value"); has {
+			o.setProp(key, v.value)
+		}
+		return Value(o)
+	})))
+}
+
+func (it *Interp) setupFunctionProto() {
+	p := &it.protos
+	p.funcProto.setProp("call", Value(it.makeNative("call", 1, func(it *Interp, this Value, args []Value) Value {
+		fn, ok := this.(*Object)
+		if !ok || !fn.IsFunction() {
+			it.throwError("TypeError", "value is not a function")
+		}
+		var rest []Value
+		if len(args) > 1 {
+			rest = args[1:]
+		}
+		return it.callFunction(fn, arg(args, 0), rest)
+	})))
+	p.funcProto.setProp("apply", Value(it.makeNative("apply", 2, func(it *Interp, this Value, args []Value) Value {
+		fn, ok := this.(*Object)
+		if !ok || !fn.IsFunction() {
+			it.throwError("TypeError", "value is not a function")
+		}
+		var rest []Value
+		if len(args) > 1 {
+			if ao, isObj := args[1].(*Object); isObj {
+				rest = append([]Value(nil), ao.elems...)
+			}
+		}
+		return it.callFunction(fn, arg(args, 0), rest)
+	})))
+	p.funcProto.setProp("bind", Value(it.makeNative("bind", 1, func(it *Interp, this Value, args []Value) Value {
+		fn, ok := this.(*Object)
+		if !ok || !fn.IsFunction() {
+			it.throwError("TypeError", "value is not a function")
+		}
+		boundThis := arg(args, 0)
+		pre := append([]Value(nil), args[min(1, len(args)):]...)
+		bound := it.makeNative("bound "+fn.name, 0, func(it *Interp, _ Value, callArgs []Value) Value {
+			return it.callFunction(fn, boundThis, append(append([]Value(nil), pre...), callArgs...))
+		})
+		return Value(bound)
+	})))
+	p.funcProto.setProp("toString", Value(it.makeNative("toString", 0, func(it *Interp, this Value, args []Value) Value {
+		if fn, ok := this.(*Object); ok && fn.IsFunction() {
+			return it.functionSource(fn)
+		}
+		it.throwError("TypeError", "value is not a function")
+		return undef
+	})))
+
+	// The Function constructor compiles source at runtime; JSFuck payloads,
+	// packer bootstraps, and the protection templates all route through it.
+	fctor := it.makeNative("Function", 1, func(it *Interp, this Value, args []Value) Value {
+		return Value(it.compileFunction(args))
+	})
+	fctor.ctor = func(it *Interp, args []Value) *Object {
+		return it.compileFunction(args)
+	}
+	fctor.setProp("prototype", Value(p.funcProto))
+	p.funcProto.setProp("constructor", Value(fctor))
+	p.funcCtor = fctor
+	it.defineGlobal("Function", Value(fctor))
+}
+
+// compileFunction implements Function(p1, ..., body): the wrapper source is
+// parsed once and memoized, and a parse failure surfaces as a catchable
+// SyntaxError exactly like a real engine.
+func (it *Interp) compileFunction(args []Value) *Object {
+	params := make([]string, 0, len(args))
+	body := ""
+	if len(args) > 0 {
+		body = it.toString(args[len(args)-1])
+		for _, a := range args[:len(args)-1] {
+			params = append(params, it.toString(a))
+		}
+	}
+	src := "function anonymous(" + strings.Join(params, ",") + "\n) {\n" + body + "\n}"
+	prog, ok := it.funcSrc[src]
+	if !ok {
+		parsed, err := parser.ParseProgram(src)
+		if err != nil {
+			it.throwError("SyntaxError", "invalid function body")
+		}
+		prog = parsed
+		it.funcSrc[src] = prog
+	}
+	fd, ok2 := prog.Body[0].(*ast.FunctionDeclaration)
+	if !ok2 {
+		it.throwError("SyntaxError", "invalid function body")
+	}
+	fn := it.makeFunction(fd.Params, fd.Body, it.global, "anonymous", fd)
+	fn.fn.source = src
+	return fn
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func arg(args []Value, i int) Value {
+	if i < len(args) {
+		return args[i]
+	}
+	return undef
+}

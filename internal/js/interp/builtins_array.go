@@ -1,0 +1,445 @@
+package interp
+
+import (
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// relIndex resolves a possibly-negative relative index against length n,
+// clamped to [0, n].
+func relIndex(i, n int) int {
+	if i < 0 {
+		i += n
+	}
+	return clampIndex(i, n)
+}
+
+// setupArrayBuiltins installs Array.prototype and the Array constructor.
+func (it *Interp) setupArrayBuiltins() {
+	p := it.protos.arrayProto
+
+	// def installs a method that requires an array/arguments receiver.
+	def := func(name string, arity int, fn func(it *Interp, a *Object, args []Value) Value) {
+		p.setProp(name, Value(it.makeNative(name, arity, func(it *Interp, this Value, args []Value) Value {
+			a, ok := this.(*Object)
+			if !ok || (a.class != "Array" && a.class != "Arguments") {
+				it.throwError("TypeError", "receiver is not an array")
+			}
+			return fn(it, a, args)
+		})))
+	}
+	callbackFn := func(it *Interp, args []Value) *Object {
+		fn, ok := arg(args, 0).(*Object)
+		if !ok || !fn.IsFunction() {
+			it.throwError("TypeError", "value is not a function")
+		}
+		return fn
+	}
+
+	def("push", 1, func(it *Interp, a *Object, args []Value) Value {
+		a.elems = append(a.elems, args...)
+		it.charge(len(args))
+		return float64(len(a.elems))
+	})
+	def("pop", 0, func(it *Interp, a *Object, args []Value) Value {
+		if len(a.elems) == 0 {
+			return undef
+		}
+		v := a.elems[len(a.elems)-1]
+		a.elems = a.elems[:len(a.elems)-1]
+		return v
+	})
+	def("shift", 0, func(it *Interp, a *Object, args []Value) Value {
+		if len(a.elems) == 0 {
+			return undef
+		}
+		v := a.elems[0]
+		a.elems = append([]Value(nil), a.elems[1:]...)
+		return v
+	})
+	def("unshift", 1, func(it *Interp, a *Object, args []Value) Value {
+		a.elems = append(append([]Value(nil), args...), a.elems...)
+		it.charge(len(args))
+		return float64(len(a.elems))
+	})
+	def("slice", 2, func(it *Interp, a *Object, args []Value) Value {
+		start, end := sliceRange(len(a.elems), args, it)
+		out := newObject("Array", it.protos.arrayProto)
+		out.elems = append([]Value(nil), a.elems[start:end]...)
+		it.charge(len(out.elems) + 1)
+		return Value(out)
+	})
+	def("splice", 2, func(it *Interp, a *Object, args []Value) Value {
+		n := len(a.elems)
+		start := int(it.toNumber(arg(args, 0)))
+		if start < 0 {
+			start += n
+		}
+		start = clampIndex(start, n)
+		count := n - start
+		if _, isU := arg(args, 1).(Undefined); !isU {
+			count = int(it.toNumber(args[1]))
+		}
+		if count < 0 {
+			count = 0
+		}
+		if start+count > n {
+			count = n - start
+		}
+		removed := newObject("Array", it.protos.arrayProto)
+		removed.elems = append([]Value(nil), a.elems[start:start+count]...)
+		var ins []Value
+		if len(args) > 2 {
+			ins = args[2:]
+		}
+		rest := append([]Value(nil), a.elems[start+count:]...)
+		a.elems = append(append(a.elems[:start:start], ins...), rest...)
+		it.charge(len(ins) + 1)
+		return Value(removed)
+	})
+	def("indexOf", 1, func(it *Interp, a *Object, args []Value) Value {
+		for i, el := range a.elems {
+			if strictEquals(el, arg(args, 0)) {
+				return float64(i)
+			}
+		}
+		return float64(-1)
+	})
+	def("lastIndexOf", 1, func(it *Interp, a *Object, args []Value) Value {
+		for i := len(a.elems) - 1; i >= 0; i-- {
+			if strictEquals(a.elems[i], arg(args, 0)) {
+				return float64(i)
+			}
+		}
+		return float64(-1)
+	})
+	def("includes", 1, func(it *Interp, a *Object, args []Value) Value {
+		for _, el := range a.elems {
+			if strictEquals(el, arg(args, 0)) {
+				return true
+			}
+		}
+		return false
+	})
+	def("join", 1, func(it *Interp, a *Object, args []Value) Value {
+		sep := ","
+		if _, isU := arg(args, 0).(Undefined); !isU {
+			sep = it.toString(args[0])
+		}
+		parts := make([]string, len(a.elems))
+		for i, el := range a.elems {
+			switch el.(type) {
+			case Undefined, Null, nil:
+			default:
+				parts[i] = it.toString(el)
+			}
+		}
+		s := strings.Join(parts, sep)
+		it.charge(len(s))
+		return s
+	})
+	def("map", 1, func(it *Interp, a *Object, args []Value) Value {
+		fn := callbackFn(it, args)
+		out := newObject("Array", it.protos.arrayProto)
+		for i, el := range a.elems {
+			out.elems = append(out.elems, it.callFunction(fn, arg(args, 1), []Value{el, float64(i), Value(a)}))
+		}
+		it.charge(len(out.elems) + 1)
+		return Value(out)
+	})
+	def("filter", 1, func(it *Interp, a *Object, args []Value) Value {
+		fn := callbackFn(it, args)
+		out := newObject("Array", it.protos.arrayProto)
+		for i, el := range a.elems {
+			if toBoolean(it.callFunction(fn, arg(args, 1), []Value{el, float64(i), Value(a)})) {
+				out.elems = append(out.elems, el)
+			}
+		}
+		it.charge(len(out.elems) + 1)
+		return Value(out)
+	})
+	def("forEach", 1, func(it *Interp, a *Object, args []Value) Value {
+		fn := callbackFn(it, args)
+		for i, el := range a.elems {
+			it.callFunction(fn, arg(args, 1), []Value{el, float64(i), Value(a)})
+		}
+		return undef
+	})
+	def("reduce", 1, func(it *Interp, a *Object, args []Value) Value {
+		fn := callbackFn(it, args)
+		i := 0
+		var acc Value
+		if len(args) > 1 {
+			acc = args[1]
+		} else {
+			if len(a.elems) == 0 {
+				it.throwError("TypeError", "reduce of empty array with no initial value")
+			}
+			acc = a.elems[0]
+			i = 1
+		}
+		for ; i < len(a.elems); i++ {
+			acc = it.callFunction(fn, undef, []Value{acc, a.elems[i], float64(i), Value(a)})
+		}
+		return acc
+	})
+	def("some", 1, func(it *Interp, a *Object, args []Value) Value {
+		fn := callbackFn(it, args)
+		for i, el := range a.elems {
+			if toBoolean(it.callFunction(fn, undef, []Value{el, float64(i), Value(a)})) {
+				return true
+			}
+		}
+		return false
+	})
+	def("every", 1, func(it *Interp, a *Object, args []Value) Value {
+		fn := callbackFn(it, args)
+		for i, el := range a.elems {
+			if !toBoolean(it.callFunction(fn, undef, []Value{el, float64(i), Value(a)})) {
+				return false
+			}
+		}
+		return true
+	})
+	def("find", 1, func(it *Interp, a *Object, args []Value) Value {
+		fn := callbackFn(it, args)
+		for i, el := range a.elems {
+			if toBoolean(it.callFunction(fn, undef, []Value{el, float64(i), Value(a)})) {
+				return el
+			}
+		}
+		return undef
+	})
+	def("findIndex", 1, func(it *Interp, a *Object, args []Value) Value {
+		fn := callbackFn(it, args)
+		for i, el := range a.elems {
+			if toBoolean(it.callFunction(fn, undef, []Value{el, float64(i), Value(a)})) {
+				return float64(i)
+			}
+		}
+		return float64(-1)
+	})
+	def("findLast", 1, func(it *Interp, a *Object, args []Value) Value {
+		fn := callbackFn(it, args)
+		for i := len(a.elems) - 1; i >= 0; i-- {
+			if toBoolean(it.callFunction(fn, undef, []Value{a.elems[i], float64(i), Value(a)})) {
+				return a.elems[i]
+			}
+		}
+		return undef
+	})
+	def("findLastIndex", 1, func(it *Interp, a *Object, args []Value) Value {
+		fn := callbackFn(it, args)
+		for i := len(a.elems) - 1; i >= 0; i-- {
+			if toBoolean(it.callFunction(fn, undef, []Value{a.elems[i], float64(i), Value(a)})) {
+				return float64(i)
+			}
+		}
+		return float64(-1)
+	})
+	def("reduceRight", 1, func(it *Interp, a *Object, args []Value) Value {
+		fn := callbackFn(it, args)
+		i := len(a.elems) - 1
+		var acc Value
+		if len(args) > 1 {
+			acc = args[1]
+		} else {
+			if len(a.elems) == 0 {
+				it.throwError("TypeError", "reduce of empty array with no initial value")
+			}
+			acc = a.elems[i]
+			i--
+		}
+		for ; i >= 0; i-- {
+			acc = it.callFunction(fn, undef, []Value{acc, a.elems[i], float64(i), Value(a)})
+		}
+		return acc
+	})
+	def("at", 1, func(it *Interp, a *Object, args []Value) Value {
+		i := int(it.toNumber(arg(args, 0)))
+		if i < 0 {
+			i += len(a.elems)
+		}
+		if i < 0 || i >= len(a.elems) {
+			return undef
+		}
+		return a.elems[i]
+	})
+	def("fill", 1, func(it *Interp, a *Object, args []Value) Value {
+		v := arg(args, 0)
+		start, end := 0, len(a.elems)
+		if len(args) > 1 {
+			start = relIndex(int(it.toNumber(args[1])), len(a.elems))
+		}
+		if len(args) > 2 {
+			end = relIndex(int(it.toNumber(args[2])), len(a.elems))
+		}
+		for i := start; i < end; i++ {
+			a.elems[i] = v
+		}
+		return Value(a)
+	})
+	def("flatMap", 1, func(it *Interp, a *Object, args []Value) Value {
+		fn := callbackFn(it, args)
+		out := newObject("Array", it.protos.arrayProto)
+		for i, el := range a.elems {
+			v := it.callFunction(fn, undef, []Value{el, float64(i), Value(a)})
+			if vo, ok := v.(*Object); ok && vo.class == "Array" {
+				out.elems = append(out.elems, vo.elems...)
+			} else {
+				out.elems = append(out.elems, v)
+			}
+		}
+		it.charge(len(out.elems) + 1)
+		return Value(out)
+	})
+	def("concat", 1, func(it *Interp, a *Object, args []Value) Value {
+		out := newObject("Array", it.protos.arrayProto)
+		out.elems = append([]Value(nil), a.elems...)
+		for _, x := range args {
+			if xo, ok := x.(*Object); ok && xo.class == "Array" {
+				out.elems = append(out.elems, xo.elems...)
+			} else {
+				out.elems = append(out.elems, x)
+			}
+		}
+		it.charge(len(out.elems) + 1)
+		return Value(out)
+	})
+	def("reverse", 0, func(it *Interp, a *Object, args []Value) Value {
+		for i, j := 0, len(a.elems)-1; i < j; i, j = i+1, j-1 {
+			a.elems[i], a.elems[j] = a.elems[j], a.elems[i]
+		}
+		return Value(a)
+	})
+	def("sort", 1, func(it *Interp, a *Object, args []Value) Value {
+		if fn, ok := arg(args, 0).(*Object); ok && fn.IsFunction() {
+			sort.SliceStable(a.elems, func(i, j int) bool {
+				return it.toNumber(it.callFunction(fn, undef, []Value{a.elems[i], a.elems[j]})) < 0
+			})
+		} else {
+			sort.SliceStable(a.elems, func(i, j int) bool {
+				return it.toString(a.elems[i]) < it.toString(a.elems[j])
+			})
+		}
+		return Value(a)
+	})
+	def("flat", 1, func(it *Interp, a *Object, args []Value) Value {
+		depth := 1
+		if len(args) > 0 {
+			if f := it.toNumber(args[0]); f > 0 {
+				depth = int(math.Min(f, 64)) // Infinity clamps to a sane bound
+			}
+		}
+		out := newObject("Array", it.protos.arrayProto)
+		var walk func(els []Value, d int)
+		walk = func(els []Value, d int) {
+			for _, el := range els {
+				if eo, ok := el.(*Object); ok && eo.class == "Array" && d > 0 {
+					walk(eo.elems, d-1)
+				} else {
+					out.elems = append(out.elems, el)
+				}
+			}
+		}
+		walk(a.elems, depth)
+		it.charge(len(out.elems) + 1)
+		return Value(out)
+	})
+	// Iterators carry their materialized items in elems so for-of, spread,
+	// and Array.from can consume them via iterableToSlice.
+	def("keys", 0, func(it *Interp, a *Object, args []Value) Value {
+		out := newObject("ArrayIterator", it.protos.iterProto)
+		for i := range a.elems {
+			out.elems = append(out.elems, float64(i))
+		}
+		return Value(out)
+	})
+	def("values", 0, func(it *Interp, a *Object, args []Value) Value {
+		out := newObject("ArrayIterator", it.protos.iterProto)
+		out.elems = append(out.elems, a.elems...)
+		return Value(out)
+	})
+	// entries is also JSFuck's bootstrap: []["entries"]() + [] must stringify
+	// to "[object Array Iterator]", and the method's .constructor is Function.
+	def("entries", 0, func(it *Interp, a *Object, args []Value) Value {
+		out := newObject("ArrayIterator", it.protos.iterProto)
+		for i, el := range a.elems {
+			pair := newObject("Array", it.protos.arrayProto)
+			pair.elems = []Value{float64(i), el}
+			out.elems = append(out.elems, pair)
+		}
+		return Value(out)
+	})
+	def("toString", 0, func(it *Interp, a *Object, args []Value) Value {
+		return it.objectDefaultString(a)
+	})
+
+	ctor := it.makeNative("Array", 1, func(it *Interp, this Value, args []Value) Value {
+		return Value(it.newArrayFromCtorArgs(args))
+	})
+	ctor.ctor = func(it *Interp, args []Value) *Object {
+		return it.newArrayFromCtorArgs(args)
+	}
+	ctor.setProp("prototype", Value(p))
+	ctor.setProp("isArray", Value(it.makeNative("isArray", 1, func(it *Interp, this Value, args []Value) Value {
+		o, ok := arg(args, 0).(*Object)
+		return ok && o.class == "Array"
+	})))
+	ctor.setProp("from", Value(it.makeNative("from", 1, func(it *Interp, this Value, args []Value) Value {
+		out := newObject("Array", it.protos.arrayProto)
+		if o, ok := arg(args, 0).(*Object); ok && o.class == "Object" {
+			// Array-like: {length: n} with optional indexed properties.
+			n := 0
+			if e, okk := o.getOwn("length"); okk {
+				n = int(it.toNumber(e.value))
+			}
+			it.charge(n)
+			for i := 0; i < n; i++ {
+				out.elems = append(out.elems, it.getMember(Value(o), strconv.Itoa(i)))
+			}
+		} else {
+			out.elems = it.iterableToSlice(arg(args, 0))
+		}
+		if fn, ok := arg(args, 1).(*Object); ok && fn.IsFunction() {
+			for i, el := range out.elems {
+				out.elems[i] = it.callFunction(fn, undef, []Value{el, float64(i)})
+			}
+		}
+		it.charge(len(out.elems) + 1)
+		return Value(out)
+	})))
+	ctor.setProp("of", Value(it.makeNative("of", 0, func(it *Interp, this Value, args []Value) Value {
+		out := newObject("Array", it.protos.arrayProto)
+		out.elems = append([]Value(nil), args...)
+		return Value(out)
+	})))
+	p.setProp("constructor", Value(ctor))
+	it.protos.arrayCtor = ctor
+	it.defineGlobal("Array", Value(ctor))
+}
+
+func (it *Interp) newArrayFromCtorArgs(args []Value) *Object {
+	out := newObject("Array", it.protos.arrayProto)
+	if len(args) == 1 {
+		if n, ok := args[0].(float64); ok {
+			size := int(n)
+			if n != math.Trunc(n) || size < 0 {
+				it.throwError("RangeError", "invalid array length")
+			}
+			if size > 1<<24 {
+				panic(&Abort{Feature: "budget.alloc", Detail: "array length too large"})
+			}
+			it.charge(size + 1)
+			out.elems = make([]Value, size)
+			for i := range out.elems {
+				out.elems[i] = undef
+			}
+			return out
+		}
+	}
+	out.elems = append([]Value(nil), args...)
+	return out
+}

@@ -1,0 +1,812 @@
+package interp
+
+import (
+	"encoding/base64"
+	"math"
+	"strings"
+
+	"repro/internal/js/ast"
+	"repro/internal/js/parser"
+)
+
+// ---------------------------------------------------------------------------
+// RegExp
+// ---------------------------------------------------------------------------
+
+func (it *Interp) setupRegexpBuiltins() {
+	p := it.protos.regexpProto
+	recv := func(it *Interp, this Value) *Object {
+		o, ok := this.(*Object)
+		if !ok || o.class != "RegExp" {
+			it.throwError("TypeError", "receiver is not a regular expression")
+		}
+		return o
+	}
+	p.setProp("test", Value(it.makeNative("test", 1, func(it *Interp, this Value, args []Value) Value {
+		re := recv(it, this)
+		return it.compileRegexp(re.regex).MatchString(it.toString(arg(args, 0)))
+	})))
+	p.setProp("exec", Value(it.makeNative("exec", 1, func(it *Interp, this Value, args []Value) Value {
+		re := recv(it, this)
+		s := it.toString(arg(args, 0))
+		loc := it.compileRegexp(re.regex).FindStringSubmatchIndex(s)
+		if loc == nil {
+			return null
+		}
+		out := newObject("Array", it.protos.arrayProto)
+		for i := 0; i*2 < len(loc); i++ {
+			if loc[i*2] < 0 {
+				out.elems = append(out.elems, undef)
+			} else {
+				out.elems = append(out.elems, s[loc[i*2]:loc[i*2+1]])
+			}
+		}
+		out.setProp("index", float64(len([]rune(s[:loc[0]]))))
+		out.setProp("input", s)
+		return Value(out)
+	})))
+	p.setProp("toString", Value(it.makeNative("toString", 0, func(it *Interp, this Value, args []Value) Value {
+		return it.objectDefaultString(recv(it, this))
+	})))
+
+	// RegExp(pattern, flags) — callable and constructable.
+	ctor := it.makeNative("RegExp", 2, func(it *Interp, this Value, args []Value) Value {
+		return Value(it.regexpFromArgs(args))
+	})
+	ctor.ctor = func(it *Interp, args []Value) *Object {
+		return it.regexpFromArgs(args)
+	}
+	ctor.setProp("prototype", Value(p))
+	p.setProp("constructor", Value(ctor))
+	it.protos.regexpCtor = ctor
+	it.defineGlobal("RegExp", Value(ctor))
+}
+
+func (it *Interp) regexpFromArgs(args []Value) *Object {
+	if re, ok := arg(args, 0).(*Object); ok && re.class == "RegExp" {
+		return re
+	}
+	flags := ""
+	if _, isU := arg(args, 1).(Undefined); !isU {
+		flags = it.toString(args[1])
+	}
+	return it.newRegexp(it.toString(arg(args, 0)), flags)
+}
+
+// ---------------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------------
+
+func (it *Interp) setupErrorBuiltins() {
+	p := it.protos.errorProto
+	p.setProp("name", "Error")
+	p.setProp("message", "")
+	p.setProp("toString", Value(it.makeNative("toString", 0, func(it *Interp, this Value, args []Value) Value {
+		if o, ok := this.(*Object); ok {
+			return it.objectDefaultString(o)
+		}
+		return it.toString(this)
+	})))
+
+	it.protos.errorCtors = make(map[string]*Object)
+	it.protos.errorProtos = make(map[string]*Object)
+	for _, name := range []string{"Error", "TypeError", "RangeError", "SyntaxError", "ReferenceError", "EvalError", "URIError"} {
+		kind := name
+		// Each error kind gets its own prototype chained to the base Error
+		// prototype, so `x instanceof TypeError` is true only for TypeErrors
+		// while `x instanceof Error` holds for all of them.
+		proto := p
+		if kind != "Error" {
+			proto = newObject("Object", p)
+			proto.setProp("name", kind)
+		}
+		ctor := it.makeNative(kind, 1, func(it *Interp, this Value, args []Value) Value {
+			return Value(it.errorFromArgs(kind, args))
+		})
+		ctor.ctor = func(it *Interp, args []Value) *Object {
+			return it.errorFromArgs(kind, args)
+		}
+		ctor.setProp("prototype", Value(proto))
+		proto.setProp("constructor", Value(ctor))
+		it.protos.errorCtors[kind] = ctor
+		it.protos.errorProtos[kind] = proto
+		it.defineGlobal(kind, Value(ctor))
+	}
+}
+
+func (it *Interp) errorFromArgs(kind string, args []Value) *Object {
+	msg := ""
+	if _, isU := arg(args, 0).(Undefined); !isU {
+		msg = it.toString(args[0])
+	}
+	return it.newError(kind, msg)
+}
+
+// ---------------------------------------------------------------------------
+// Map and Promise
+// ---------------------------------------------------------------------------
+
+func (it *Interp) setupMapPromise() {
+	mp := it.protos.mapProto
+	mrecv := func(it *Interp, this Value) *Object {
+		o, ok := this.(*Object)
+		if !ok || o.class != "Map" {
+			it.throwError("TypeError", "receiver is not a Map")
+		}
+		return o
+	}
+	mapIndex := func(m *Object, key Value) int {
+		for i, k := range m.mapKeys {
+			if strictEquals(k, key) {
+				return i
+			}
+		}
+		return -1
+	}
+	mp.setProp("get", Value(it.makeNative("get", 1, func(it *Interp, this Value, args []Value) Value {
+		m := mrecv(it, this)
+		if i := mapIndex(m, arg(args, 0)); i >= 0 {
+			return m.mapVals[i]
+		}
+		return undef
+	})))
+	mp.setProp("set", Value(it.makeNative("set", 2, func(it *Interp, this Value, args []Value) Value {
+		m := mrecv(it, this)
+		if i := mapIndex(m, arg(args, 0)); i >= 0 {
+			m.mapVals[i] = arg(args, 1)
+		} else {
+			m.mapKeys = append(m.mapKeys, arg(args, 0))
+			m.mapVals = append(m.mapVals, arg(args, 1))
+			it.charge(2)
+		}
+		return this
+	})))
+	mp.setProp("has", Value(it.makeNative("has", 1, func(it *Interp, this Value, args []Value) Value {
+		return mapIndex(mrecv(it, this), arg(args, 0)) >= 0
+	})))
+	mp.setProp("delete", Value(it.makeNative("delete", 1, func(it *Interp, this Value, args []Value) Value {
+		m := mrecv(it, this)
+		i := mapIndex(m, arg(args, 0))
+		if i < 0 {
+			return false
+		}
+		m.mapKeys = append(m.mapKeys[:i], m.mapKeys[i+1:]...)
+		m.mapVals = append(m.mapVals[:i], m.mapVals[i+1:]...)
+		return true
+	})))
+	mp.setProp("clear", Value(it.makeNative("clear", 0, func(it *Interp, this Value, args []Value) Value {
+		m := mrecv(it, this)
+		m.mapKeys, m.mapVals = nil, nil
+		return undef
+	})))
+	mp.setProp("forEach", Value(it.makeNative("forEach", 1, func(it *Interp, this Value, args []Value) Value {
+		m := mrecv(it, this)
+		fn, ok := arg(args, 0).(*Object)
+		if !ok || !fn.IsFunction() {
+			it.throwError("TypeError", "value is not a function")
+		}
+		for i := range m.mapKeys {
+			it.callFunction(fn, undef, []Value{m.mapVals[i], m.mapKeys[i], this})
+		}
+		return undef
+	})))
+	mp.setAccessor("size", it.makeNative("size", 0, func(it *Interp, this Value, args []Value) Value {
+		return float64(len(mrecv(it, this).mapKeys))
+	}), nil)
+
+	mctor := it.makeNative("Map", 0, func(it *Interp, this Value, args []Value) Value {
+		it.throwError("TypeError", "constructor requires new")
+		return undef
+	})
+	mctor.ctor = func(it *Interp, args []Value) *Object {
+		m := newObject("Map", it.protos.mapProto)
+		if _, isU := arg(args, 0).(Undefined); !isU {
+			for _, pair := range it.iterableToSlice(args[0]) {
+				po, ok := pair.(*Object)
+				if !ok || len(po.elems) < 2 {
+					it.throwError("TypeError", "iterator value is not an entry object")
+				}
+				m.mapKeys = append(m.mapKeys, po.elems[0])
+				m.mapVals = append(m.mapVals, po.elems[1])
+			}
+		}
+		return m
+	}
+	mctor.setProp("prototype", Value(mp))
+	mp.setProp("constructor", Value(mctor))
+	it.protos.mapCtor = mctor
+	it.defineGlobal("Map", Value(mctor))
+
+	it.setupPromise()
+}
+
+func (it *Interp) setupPromise() {
+	pp := it.protos.promiseProto
+	precv := func(it *Interp, this Value) *Object {
+		o, ok := this.(*Object)
+		if !ok || o.class != "Promise" {
+			it.throwError("TypeError", "receiver is not a Promise")
+		}
+		return o
+	}
+	pp.setProp("then", Value(it.makeNative("then", 2, func(it *Interp, this Value, args []Value) Value {
+		p := precv(it, this)
+		onF, _ := arg(args, 0).(*Object)
+		onR, _ := arg(args, 1).(*Object)
+		if onF != nil && !onF.IsFunction() {
+			onF = nil
+		}
+		if onR != nil && !onR.IsFunction() {
+			onR = nil
+		}
+		next := newObject("Promise", it.protos.promiseProto)
+		r := promiseReaction{onFulfilled: onF, onRejected: onR, next: next}
+		if p.pstate == 0 {
+			p.preactions = append(p.preactions, r)
+		} else {
+			it.scheduleReaction(p, r)
+		}
+		return Value(next)
+	})))
+	pp.setProp("catch", Value(it.makeNative("catch", 1, func(it *Interp, this Value, args []Value) Value {
+		thenVal := it.getMember(this, "then")
+		thenFn := thenVal.(*Object)
+		return it.callFunction(thenFn, this, []Value{undef, arg(args, 0)})
+	})))
+	pp.setProp("finally", Value(it.makeNative("finally", 1, func(it *Interp, this Value, args []Value) Value {
+		cb, _ := arg(args, 0).(*Object)
+		onF := it.makeNative("", 1, func(it *Interp, _ Value, a []Value) Value {
+			if cb != nil && cb.IsFunction() {
+				it.callFunction(cb, undef, nil)
+			}
+			return arg(a, 0)
+		})
+		onR := it.makeNative("", 1, func(it *Interp, _ Value, a []Value) Value {
+			if cb != nil && cb.IsFunction() {
+				it.callFunction(cb, undef, nil)
+			}
+			panic(jsThrow{arg(a, 0)})
+		})
+		thenFn := it.getMember(this, "then").(*Object)
+		return it.callFunction(thenFn, this, []Value{Value(onF), Value(onR)})
+	})))
+
+	ctor := it.makeNative("Promise", 1, func(it *Interp, this Value, args []Value) Value {
+		it.throwError("TypeError", "constructor requires new")
+		return undef
+	})
+	ctor.ctor = func(it *Interp, args []Value) *Object {
+		executor, ok := arg(args, 0).(*Object)
+		if !ok || !executor.IsFunction() {
+			it.throwError("TypeError", "executor is not a function")
+		}
+		p := newObject("Promise", it.protos.promiseProto)
+		resolveFn := it.makeNative("resolve", 1, func(it *Interp, _ Value, a []Value) Value {
+			it.settlePromise(p, 1, arg(a, 0))
+			return undef
+		})
+		rejectFn := it.makeNative("reject", 1, func(it *Interp, _ Value, a []Value) Value {
+			it.settlePromise(p, 2, arg(a, 0))
+			return undef
+		})
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t, isThrow := r.(jsThrow)
+					if !isThrow {
+						panic(r)
+					}
+					it.settlePromise(p, 2, t.v)
+				}
+			}()
+			it.callFunction(executor, undef, []Value{Value(resolveFn), Value(rejectFn)})
+		}()
+		return p
+	}
+	ctor.setProp("prototype", Value(pp))
+	ctor.setProp("resolve", Value(it.makeNative("resolve", 1, func(it *Interp, this Value, args []Value) Value {
+		p := newObject("Promise", it.protos.promiseProto)
+		it.settlePromise(p, 1, arg(args, 0))
+		return Value(p)
+	})))
+	ctor.setProp("reject", Value(it.makeNative("reject", 1, func(it *Interp, this Value, args []Value) Value {
+		p := newObject("Promise", it.protos.promiseProto)
+		it.settlePromise(p, 2, arg(args, 0))
+		return Value(p)
+	})))
+	ctor.setProp("all", Value(it.makeNative("all", 1, func(it *Interp, this Value, args []Value) Value {
+		items := it.iterableToSlice(arg(args, 0))
+		out := newObject("Promise", it.protos.promiseProto)
+		results := make([]Value, len(items))
+		remaining := len(items)
+		if remaining == 0 {
+			arr := newObject("Array", it.protos.arrayProto)
+			it.settlePromise(out, 1, Value(arr))
+			return Value(out)
+		}
+		for i, item := range items {
+			i := i
+			ip, ok := item.(*Object)
+			if !ok || ip.class != "Promise" {
+				results[i] = item
+				remaining--
+				continue
+			}
+			onF := it.makeNative("", 1, func(it *Interp, _ Value, a []Value) Value {
+				results[i] = arg(a, 0)
+				remaining--
+				if remaining == 0 {
+					arr := newObject("Array", it.protos.arrayProto)
+					arr.elems = results
+					it.settlePromise(out, 1, Value(arr))
+				}
+				return undef
+			})
+			onR := it.makeNative("", 1, func(it *Interp, _ Value, a []Value) Value {
+				it.settlePromise(out, 2, arg(a, 0))
+				return undef
+			})
+			r := promiseReaction{onFulfilled: onF, onRejected: onR, next: newObject("Promise", it.protos.promiseProto)}
+			if ip.pstate == 0 {
+				ip.preactions = append(ip.preactions, r)
+			} else {
+				it.scheduleReaction(ip, r)
+			}
+		}
+		if remaining == 0 && out.pstate == 0 {
+			arr := newObject("Array", it.protos.arrayProto)
+			arr.elems = results
+			it.settlePromise(out, 1, Value(arr))
+		}
+		return Value(out)
+	})))
+	pp.setProp("constructor", Value(ctor))
+	it.protos.promiseCtor = ctor
+	it.defineGlobal("Promise", Value(ctor))
+}
+
+// settlePromise resolves or rejects p; resolving with another promise adopts
+// its eventual state.
+func (it *Interp) settlePromise(p *Object, state int, v Value) {
+	if p.pstate != 0 {
+		return // already settled
+	}
+	if state == 1 {
+		if vp, ok := v.(*Object); ok && vp.class == "Promise" {
+			adopt := promiseReaction{next: p}
+			if vp.pstate == 0 {
+				vp.preactions = append(vp.preactions, adopt)
+			} else {
+				it.microtasks = append(it.microtasks, func() {
+					p.pstate = 0 // allow settle to run
+					it.settlePromise(p, vp.pstate, vp.pvalue)
+				})
+				p.pstate = -1 // locked: waiting for adoption
+			}
+			return
+		}
+	}
+	p.pstate = state
+	p.pvalue = v
+	reactions := p.preactions
+	p.preactions = nil
+	for _, r := range reactions {
+		it.scheduleReaction(p, r)
+	}
+}
+
+// scheduleReaction queues one then/catch reaction as a microtask.
+func (it *Interp) scheduleReaction(p *Object, r promiseReaction) {
+	it.microtasks = append(it.microtasks, func() {
+		state, v := p.pstate, p.pvalue
+		handler := r.onFulfilled
+		if state == 2 {
+			handler = r.onRejected
+		}
+		if r.next == nil {
+			return
+		}
+		if handler == nil {
+			// Pass-through: propagate the settled state to the next promise.
+			r.next.pstate = 0
+			it.settlePromise(r.next, state, v)
+			return
+		}
+		func() {
+			defer func() {
+				if rec := recover(); rec != nil {
+					t, isThrow := rec.(jsThrow)
+					if !isThrow {
+						panic(rec)
+					}
+					it.settlePromise(r.next, 2, t.v)
+				}
+			}()
+			out := it.callFunction(handler, undef, []Value{v})
+			it.settlePromise(r.next, 1, out)
+		}()
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Math and JSON
+// ---------------------------------------------------------------------------
+
+func (it *Interp) setupMathJSON() {
+	m := newObject("Object", it.protos.objectProto)
+	unary := func(name string, fn func(float64) float64) {
+		m.setProp(name, Value(it.makeNative(name, 1, func(it *Interp, this Value, args []Value) Value {
+			return fn(it.toNumber(arg(args, 0)))
+		})))
+	}
+	unary("floor", math.Floor)
+	unary("ceil", math.Ceil)
+	unary("abs", math.Abs)
+	unary("sqrt", math.Sqrt)
+	unary("trunc", math.Trunc)
+	unary("log", math.Log)
+	unary("log2", math.Log2)
+	unary("log10", math.Log10)
+	unary("exp", math.Exp)
+	unary("sin", math.Sin)
+	unary("cos", math.Cos)
+	unary("tan", math.Tan)
+	unary("asin", math.Asin)
+	unary("acos", math.Acos)
+	unary("atan", math.Atan)
+	unary("cbrt", math.Cbrt)
+	unary("sign", func(f float64) float64 {
+		switch {
+		case math.IsNaN(f):
+			return f
+		case f > 0:
+			return 1
+		case f < 0:
+			return -1
+		}
+		return f
+	})
+	unary("round", func(f float64) float64 {
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			return f
+		}
+		return math.Floor(f + 0.5) // JS rounds halves toward +Infinity
+	})
+	m.setProp("pow", Value(it.makeNative("pow", 2, func(it *Interp, this Value, args []Value) Value {
+		return math.Pow(it.toNumber(arg(args, 0)), it.toNumber(arg(args, 1)))
+	})))
+	m.setProp("atan2", Value(it.makeNative("atan2", 2, func(it *Interp, this Value, args []Value) Value {
+		return math.Atan2(it.toNumber(arg(args, 0)), it.toNumber(arg(args, 1)))
+	})))
+	m.setProp("hypot", Value(it.makeNative("hypot", 2, func(it *Interp, this Value, args []Value) Value {
+		sum := 0.0
+		for _, a := range args {
+			f := it.toNumber(a)
+			sum += f * f
+		}
+		return math.Sqrt(sum)
+	})))
+	m.setProp("max", Value(it.makeNative("max", 2, func(it *Interp, this Value, args []Value) Value {
+		out := math.Inf(-1)
+		for _, a := range args {
+			f := it.toNumber(a)
+			if math.IsNaN(f) {
+				return math.NaN()
+			}
+			if f > out {
+				out = f
+			}
+		}
+		return out
+	})))
+	m.setProp("min", Value(it.makeNative("min", 2, func(it *Interp, this Value, args []Value) Value {
+		out := math.Inf(1)
+		for _, a := range args {
+			f := it.toNumber(a)
+			if math.IsNaN(f) {
+				return math.NaN()
+			}
+			if f < out {
+				out = f
+			}
+		}
+		return out
+	})))
+	m.setProp("random", Value(it.makeNative("random", 0, func(it *Interp, this Value, args []Value) Value {
+		return it.nextRandom() // seeded: deterministic across runs
+	})))
+	m.setProp("PI", math.Pi)
+	m.setProp("E", math.E)
+	it.protos.mathObj = m
+	it.defineGlobal("Math", Value(m))
+
+	j := newObject("Object", it.protos.objectProto)
+	j.setProp("stringify", Value(it.makeNative("stringify", 3, func(it *Interp, this Value, args []Value) Value {
+		indent := ""
+		switch iv := arg(args, 2).(type) {
+		case float64:
+			n := int(iv)
+			if n > 10 {
+				n = 10
+			}
+			indent = strings.Repeat(" ", n)
+		case string:
+			indent = iv
+		}
+		s, ok := it.jsonStringify(arg(args, 0), indent, "")
+		if !ok {
+			return undef
+		}
+		it.charge(len(s))
+		return s
+	})))
+	j.setProp("parse", Value(it.makeNative("parse", 1, func(it *Interp, this Value, args []Value) Value {
+		return it.jsonParse(it.toString(arg(args, 0)))
+	})))
+	it.protos.jsonObj = j
+	it.defineGlobal("JSON", Value(j))
+}
+
+// ---------------------------------------------------------------------------
+// Global functions
+// ---------------------------------------------------------------------------
+
+func (it *Interp) setupGlobalFunctions() {
+	it.defineGlobal("undefined", undef)
+	it.defineGlobal("NaN", math.NaN())
+	it.defineGlobal("Infinity", math.Inf(1))
+
+	it.defineGlobal("parseInt", Value(it.makeNative("parseInt", 2, func(it *Interp, this Value, args []Value) Value {
+		radix := 0
+		if _, isU := arg(args, 1).(Undefined); !isU {
+			radix = int(it.toNumber(args[1]))
+		}
+		return jsParseInt(it.toString(arg(args, 0)), radix)
+	})))
+	it.defineGlobal("parseFloat", Value(it.makeNative("parseFloat", 1, func(it *Interp, this Value, args []Value) Value {
+		return jsParseFloat(it.toString(arg(args, 0)))
+	})))
+	it.defineGlobal("isNaN", Value(it.makeNative("isNaN", 1, func(it *Interp, this Value, args []Value) Value {
+		return math.IsNaN(it.toNumber(arg(args, 0)))
+	})))
+	it.defineGlobal("isFinite", Value(it.makeNative("isFinite", 1, func(it *Interp, this Value, args []Value) Value {
+		f := it.toNumber(arg(args, 0))
+		return !math.IsNaN(f) && !math.IsInf(f, 0)
+	})))
+
+	it.defineGlobal("atob", Value(it.makeNative("atob", 1, func(it *Interp, this Value, args []Value) Value {
+		s := it.toString(arg(args, 0))
+		b, err := base64.StdEncoding.DecodeString(s)
+		if err != nil {
+			it.throwError("Error", "invalid base64 input")
+		}
+		// atob yields one char per byte (latin-1), not UTF-8 decoding.
+		rs := make([]rune, len(b))
+		for i, c := range b {
+			rs[i] = rune(c)
+		}
+		it.charge(len(rs))
+		return string(rs)
+	})))
+	it.defineGlobal("btoa", Value(it.makeNative("btoa", 1, func(it *Interp, this Value, args []Value) Value {
+		s := it.toString(arg(args, 0))
+		b := make([]byte, 0, len(s))
+		for _, r := range s {
+			if r > 0xFF {
+				it.throwError("Error", "invalid character in btoa input")
+			}
+			b = append(b, byte(r))
+		}
+		return base64.StdEncoding.EncodeToString(b)
+	})))
+
+	it.defineGlobal("escape", Value(it.makeNative("escape", 1, func(it *Interp, this Value, args []Value) Value {
+		return jsEscape(it.toString(arg(args, 0)))
+	})))
+	it.defineGlobal("unescape", Value(it.makeNative("unescape", 1, func(it *Interp, this Value, args []Value) Value {
+		return jsUnescape(it.toString(arg(args, 0)))
+	})))
+	for _, name := range []string{"decodeURIComponent", "decodeURI"} {
+		preserve := ""
+		if name == "decodeURI" {
+			preserve = ";/?:@&=+$,#"
+		}
+		keep := preserve
+		it.defineGlobal(name, Value(it.makeNative(name, 1, func(it *Interp, this Value, args []Value) Value {
+			s, ok := percentDecode(it.toString(arg(args, 0)), keep)
+			if !ok {
+				it.throwError("URIError", "malformed URI sequence")
+			}
+			return s
+		})))
+	}
+	for _, name := range []string{"encodeURIComponent", "encodeURI"} {
+		uriKeep := "-_.!~*'()"
+		if name == "encodeURI" {
+			uriKeep = "-_.!~*'();/?:@&=+$,#"
+		}
+		keep := uriKeep
+		it.defineGlobal(name, Value(it.makeNative(name, 1, func(it *Interp, this Value, args []Value) Value {
+			return percentEncode(it.toString(arg(args, 0)), keep)
+		})))
+	}
+
+	it.defineGlobal("eval", Value(it.makeNative("eval", 1, func(it *Interp, this Value, args []Value) Value {
+		src, ok := arg(args, 0).(string)
+		if !ok {
+			return arg(args, 0) // eval of a non-string returns it unchanged
+		}
+		return it.evalSource(src)
+	})))
+
+	it.defineGlobal("setTimeout", Value(it.makeNative("setTimeout", 2, func(it *Interp, this Value, args []Value) Value {
+		return it.scheduleTimer(args)
+	})))
+	it.defineGlobal("setInterval", Value(it.makeNative("setInterval", 2, func(it *Interp, this Value, args []Value) Value {
+		// The sandbox fires each interval exactly once (documented in
+		// DESIGN.md): a single deterministic tick preserves the observable
+		// behavior the protection transforms rely on without unbounded runs.
+		return it.scheduleTimer(args)
+	})))
+	for _, name := range []string{"clearTimeout", "clearInterval"} {
+		it.defineGlobal(name, Value(it.makeNative(name, 1, func(it *Interp, this Value, args []Value) Value {
+			id := int(it.toNumber(arg(args, 0)))
+			for i, t := range it.timers {
+				if t.seq == id {
+					it.timers = append(it.timers[:i], it.timers[i+1:]...)
+					break
+				}
+			}
+			return undef
+		})))
+	}
+
+	it.defineGlobal("fetch", Value(it.makeNative("fetch", 1, func(it *Interp, this Value, args []Value) Value {
+		// No network in the sandbox: fetch deterministically rejects, which
+		// exercises the .catch paths of the async corpus flavors.
+		p := newObject("Promise", it.protos.promiseProto)
+		it.settlePromise(p, 2, Value(it.newError("TypeError", "network is disabled")))
+		return Value(p)
+	})))
+}
+
+// evalSource implements eval(src): the program runs in the global scope
+// (indirect-eval semantics, which is all the transforms use), and the
+// completion value is the value of the last expression statement.
+func (it *Interp) evalSource(src string) Value {
+	prog, err := parser.ParseProgram(src)
+	if err != nil {
+		it.throwError("SyntaxError", "invalid eval source")
+	}
+	it.charge(len(src))
+	it.hoist(prog.Body, it.global)
+	var last Value = undef
+	for _, stmt := range prog.Body {
+		if es, ok := stmt.(*ast.ExpressionStatement); ok {
+			it.step()
+			last = it.eval(es.Expression, it.global)
+			continue
+		}
+		c := it.execStatement(stmt, it.global)
+		if c.kind != completionNormal {
+			break
+		}
+	}
+	return last
+}
+
+func (it *Interp) scheduleTimer(args []Value) Value {
+	fn, ok := arg(args, 0).(*Object)
+	if !ok || !fn.IsFunction() {
+		it.unsupported("timer-handler", "non-function timer callback")
+	}
+	delay := float64(0)
+	if _, isU := arg(args, 1).(Undefined); !isU {
+		delay = it.toNumber(args[1])
+	}
+	return it.addTimer(fn, delay)
+}
+
+// ---------------------------------------------------------------------------
+// Host objects: console, document, module system, Date
+// ---------------------------------------------------------------------------
+
+func (it *Interp) setupHostObjects() {
+	c := newObject("Object", it.protos.objectProto)
+	logFn := it.makeNative("log", 0, func(it *Interp, this Value, args []Value) Value {
+		it.log(args)
+		return undef
+	})
+	for _, name := range []string{"log", "error", "warn", "info", "debug"} {
+		c.setProp(name, Value(logFn))
+	}
+	it.protos.consoleObj = c
+	it.defineGlobal("console", Value(c))
+
+	// Date: only the deterministic surface. Date.now returns a fixed epoch;
+	// constructing Date objects is outside the sandbox subset.
+	d := it.makeNative("Date", 0, func(it *Interp, this Value, args []Value) Value {
+		return "[sandbox Date]"
+	})
+	d.ctor = func(it *Interp, args []Value) *Object {
+		it.unsupported("date", "new Date()")
+		return nil
+	}
+	d.setProp("now", Value(it.makeNative("now", 0, func(it *Interp, this Value, args []Value) Value {
+		return float64(1700000000000)
+	})))
+	it.defineGlobal("Date", Value(d))
+
+	it.setupDocument()
+
+	// CommonJS stubs: module.exports exists and is writable; require returns
+	// an empty object for any module id.
+	mod := newObject("Object", it.protos.objectProto)
+	exp := newObject("Object", it.protos.objectProto)
+	mod.setProp("exports", Value(exp))
+	it.protos.moduleObj = mod
+	it.defineGlobal("module", Value(mod))
+	it.defineGlobal("exports", Value(exp))
+	it.defineGlobal("require", Value(it.makeNative("require", 1, func(it *Interp, this Value, args []Value) Value {
+		return Value(newObject("Object", it.protos.objectProto))
+	})))
+
+	it.defineGlobal("globalThis", Value(it.gobj))
+	it.defineGlobal("window", Value(it.gobj))
+	it.defineGlobal("self", Value(it.gobj))
+	it.defineGlobal("global", Value(it.gobj))
+}
+
+// setupDocument installs a minimal DOM: event listeners fire once,
+// deterministically, after the main script with a synthetic event whose
+// target matches nothing; queries return empty results.
+func (it *Interp) setupDocument() {
+	doc := newObject("Object", it.protos.objectProto)
+	doc.setProp("addEventListener", Value(it.makeNative("addEventListener", 2, func(it *Interp, this Value, args []Value) Value {
+		fn, ok := arg(args, 1).(*Object)
+		if !ok || !fn.IsFunction() {
+			return undef
+		}
+		ev := it.syntheticEvent()
+		wrapper := it.makeNative("", 0, func(it *Interp, _ Value, _ []Value) Value {
+			return it.callFunction(fn, Value(doc), []Value{ev})
+		})
+		it.addTimer(wrapper, 0)
+		return undef
+	})))
+	doc.setProp("querySelectorAll", Value(it.makeNative("querySelectorAll", 1, func(it *Interp, this Value, args []Value) Value {
+		return Value(newObject("Array", it.protos.arrayProto))
+	})))
+	doc.setProp("querySelector", Value(it.makeNative("querySelector", 1, func(it *Interp, this Value, args []Value) Value {
+		return null
+	})))
+	doc.setProp("getElementById", Value(it.makeNative("getElementById", 1, func(it *Interp, this Value, args []Value) Value {
+		return null
+	})))
+	doc.setProp("createElement", Value(it.makeNative("createElement", 1, func(it *Interp, this Value, args []Value) Value {
+		return Value(newObject("Object", it.protos.objectProto))
+	})))
+	it.protos.documentObj = doc
+	it.defineGlobal("document", Value(doc))
+}
+
+// syntheticEvent builds the event passed to DOM handlers: target.closest
+// matches nothing, so handlers take their early-return path.
+func (it *Interp) syntheticEvent() Value {
+	ev := newObject("Object", it.protos.objectProto)
+	target := newObject("Object", it.protos.objectProto)
+	target.setProp("closest", Value(it.makeNative("closest", 1, func(it *Interp, this Value, args []Value) Value {
+		return null
+	})))
+	classList := newObject("Object", it.protos.objectProto)
+	classList.setProp("toggle", Value(it.makeNative("toggle", 1, func(it *Interp, this Value, args []Value) Value {
+		return false
+	})))
+	target.setProp("classList", Value(classList))
+	ev.setProp("target", Value(target))
+	ev.setProp("preventDefault", Value(it.makeNative("preventDefault", 0, func(it *Interp, this Value, args []Value) Value {
+		return undef
+	})))
+	ev.setProp("type", "synthetic")
+	return Value(ev)
+}

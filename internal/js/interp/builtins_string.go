@@ -1,0 +1,401 @@
+package interp
+
+import (
+	"math"
+	"strconv"
+	"strings"
+)
+
+// setupStringBuiltins installs String.prototype and the String constructor.
+// String values are Go strings; indexing operates on runes, which matches
+// UTF-16 code units for the BMP text the corpus and transforms produce. The
+// oracle compares interpreter output against interpreter output, so internal
+// consistency — not engine-perfect astral-plane handling — is what matters.
+func (it *Interp) setupStringBuiltins() {
+	p := it.protos.stringProto
+
+	def := func(name string, arity int, fn func(it *Interp, s string, args []Value) Value) {
+		p.setProp(name, Value(it.makeNative(name, arity, func(it *Interp, this Value, args []Value) Value {
+			return fn(it, it.toString(this), args)
+		})))
+	}
+
+	def("charAt", 1, func(it *Interp, s string, args []Value) Value {
+		i := int(it.toNumber(arg(args, 0)))
+		rs := []rune(s)
+		if i < 0 || i >= len(rs) {
+			return ""
+		}
+		return string(rs[i])
+	})
+	def("charCodeAt", 1, func(it *Interp, s string, args []Value) Value {
+		i := int(it.toNumber(arg(args, 0)))
+		rs := []rune(s)
+		if i < 0 || i >= len(rs) {
+			return math.NaN()
+		}
+		return float64(rs[i])
+	})
+	def("indexOf", 1, func(it *Interp, s string, args []Value) Value {
+		idx := strings.Index(s, it.toString(arg(args, 0)))
+		if idx < 0 {
+			return float64(-1)
+		}
+		return float64(len([]rune(s[:idx])))
+	})
+	def("lastIndexOf", 1, func(it *Interp, s string, args []Value) Value {
+		idx := strings.LastIndex(s, it.toString(arg(args, 0)))
+		if idx < 0 {
+			return float64(-1)
+		}
+		return float64(len([]rune(s[:idx])))
+	})
+	def("includes", 1, func(it *Interp, s string, args []Value) Value {
+		return strings.Contains(s, it.toString(arg(args, 0)))
+	})
+	def("startsWith", 1, func(it *Interp, s string, args []Value) Value {
+		return strings.HasPrefix(s, it.toString(arg(args, 0)))
+	})
+	def("endsWith", 1, func(it *Interp, s string, args []Value) Value {
+		return strings.HasSuffix(s, it.toString(arg(args, 0)))
+	})
+	def("slice", 2, func(it *Interp, s string, args []Value) Value {
+		rs := []rune(s)
+		start, end := sliceRange(len(rs), args, it)
+		return string(rs[start:end])
+	})
+	def("substring", 2, func(it *Interp, s string, args []Value) Value {
+		rs := []rune(s)
+		a := clampIndex(int(it.toNumber(arg(args, 0))), len(rs))
+		b := len(rs)
+		if _, isU := arg(args, 1).(Undefined); !isU {
+			b = clampIndex(int(it.toNumber(arg(args, 1))), len(rs))
+		}
+		if a > b {
+			a, b = b, a
+		}
+		return string(rs[a:b])
+	})
+	def("substr", 2, func(it *Interp, s string, args []Value) Value {
+		rs := []rune(s)
+		a := int(it.toNumber(arg(args, 0)))
+		if a < 0 {
+			a = len(rs) + a
+			if a < 0 {
+				a = 0
+			}
+		}
+		if a > len(rs) {
+			return ""
+		}
+		n := len(rs) - a
+		if _, isU := arg(args, 1).(Undefined); !isU {
+			n = int(it.toNumber(arg(args, 1)))
+		}
+		if n < 0 {
+			n = 0
+		}
+		if a+n > len(rs) {
+			n = len(rs) - a
+		}
+		return string(rs[a : a+n])
+	})
+	def("toUpperCase", 0, func(it *Interp, s string, args []Value) Value {
+		return strings.ToUpper(s)
+	})
+	def("toLowerCase", 0, func(it *Interp, s string, args []Value) Value {
+		return strings.ToLower(s)
+	})
+	def("trim", 0, func(it *Interp, s string, args []Value) Value {
+		return strings.Trim(s, " \t\n\r\v\f ")
+	})
+	def("trimStart", 0, func(it *Interp, s string, args []Value) Value {
+		return strings.TrimLeft(s, " \t\n\r\v\f\u00a0")
+	})
+	def("trimEnd", 0, func(it *Interp, s string, args []Value) Value {
+		return strings.TrimRight(s, " \t\n\r\v\f\u00a0")
+	})
+	def("at", 1, func(it *Interp, s string, args []Value) Value {
+		r := []rune(s)
+		i := int(it.toNumber(arg(args, 0)))
+		if i < 0 {
+			i += len(r)
+		}
+		if i < 0 || i >= len(r) {
+			return undef
+		}
+		return string(r[i])
+	})
+	def("codePointAt", 1, func(it *Interp, s string, args []Value) Value {
+		r := []rune(s)
+		i := int(it.toNumber(arg(args, 0)))
+		if i < 0 || i >= len(r) {
+			return undef
+		}
+		return float64(r[i])
+	})
+	def("localeCompare", 1, func(it *Interp, s string, args []Value) Value {
+		o := it.toString(arg(args, 0))
+		switch {
+		case s < o:
+			return float64(-1)
+		case s > o:
+			return float64(1)
+		}
+		return float64(0)
+	})
+	def("search", 1, func(it *Interp, s string, args []Value) Value {
+		re := it.compileRegexp(it.regexpFromArgs(args).regex)
+		if loc := re.FindStringIndex(s); loc != nil {
+			return float64(len([]rune(s[:loc[0]])))
+		}
+		return float64(-1)
+	})
+	def("repeat", 1, func(it *Interp, s string, args []Value) Value {
+		n := int(it.toNumber(arg(args, 0)))
+		if n < 0 {
+			it.throwError("RangeError", "invalid count value")
+		}
+		it.charge(n * len(s))
+		return strings.Repeat(s, n)
+	})
+	def("padStart", 2, func(it *Interp, s string, args []Value) Value {
+		return padString(it, s, args, true)
+	})
+	def("padEnd", 2, func(it *Interp, s string, args []Value) Value {
+		return padString(it, s, args, false)
+	})
+	def("concat", 1, func(it *Interp, s string, args []Value) Value {
+		for _, a := range args {
+			s += it.toString(a)
+		}
+		it.charge(len(s))
+		return s
+	})
+	def("split", 2, func(it *Interp, s string, args []Value) Value {
+		return it.stringSplit(s, args)
+	})
+	def("replace", 2, func(it *Interp, s string, args []Value) Value {
+		return it.stringReplace(s, arg(args, 0), arg(args, 1), false)
+	})
+	def("replaceAll", 2, func(it *Interp, s string, args []Value) Value {
+		return it.stringReplace(s, arg(args, 0), arg(args, 1), true)
+	})
+	def("match", 1, func(it *Interp, s string, args []Value) Value {
+		return it.stringMatch(s, arg(args, 0))
+	})
+	def("toString", 0, func(it *Interp, s string, args []Value) Value { return s })
+	def("valueOf", 0, func(it *Interp, s string, args []Value) Value { return s })
+
+	ctor := it.makeNative("String", 1, func(it *Interp, this Value, args []Value) Value {
+		if len(args) == 0 {
+			return ""
+		}
+		return it.toString(args[0])
+	})
+	ctor.setProp("prototype", Value(p))
+	ctor.setProp("fromCharCode", Value(it.makeNative("fromCharCode", 1, func(it *Interp, this Value, args []Value) Value {
+		var sb strings.Builder
+		for _, a := range args {
+			sb.WriteRune(rune(uint16(int64(it.toNumber(a)))))
+		}
+		it.charge(sb.Len())
+		return sb.String()
+	})))
+	p.setProp("constructor", Value(ctor))
+	it.protos.stringCtor = ctor
+	it.defineGlobal("String", Value(ctor))
+}
+
+func sliceRange(n int, args []Value, it *Interp) (int, int) {
+	start := 0
+	if _, isU := arg(args, 0).(Undefined); !isU {
+		start = int(it.toNumber(args[0]))
+	}
+	end := n
+	if _, isU := arg(args, 1).(Undefined); !isU {
+		end = int(it.toNumber(args[1]))
+	}
+	if start < 0 {
+		start += n
+	}
+	if end < 0 {
+		end += n
+	}
+	start = clampIndex(start, n)
+	end = clampIndex(end, n)
+	if start > end {
+		return 0, 0
+	}
+	return start, end
+}
+
+func clampIndex(i, n int) int {
+	if i < 0 {
+		return 0
+	}
+	if i > n {
+		return n
+	}
+	return i
+}
+
+func padString(it *Interp, s string, args []Value, start bool) Value {
+	target := int(it.toNumber(arg(args, 0)))
+	pad := " "
+	if _, isU := arg(args, 1).(Undefined); !isU {
+		pad = it.toString(args[1])
+	}
+	rs := []rune(s)
+	if target <= len(rs) || pad == "" {
+		return s
+	}
+	it.charge(target)
+	var fill []rune
+	pr := []rune(pad)
+	for len(fill) < target-len(rs) {
+		fill = append(fill, pr...)
+	}
+	fill = fill[:target-len(rs)]
+	if start {
+		return string(fill) + s
+	}
+	return s + string(fill)
+}
+
+func (it *Interp) stringSplit(s string, args []Value) Value {
+	arr := newObject("Array", it.protos.arrayProto)
+	sep := arg(args, 0)
+	limit := -1
+	if _, isU := arg(args, 1).(Undefined); !isU {
+		limit = int(it.toNumber(args[1]))
+	}
+	var parts []string
+	switch sp := sep.(type) {
+	case Undefined:
+		parts = []string{s}
+	case *Object:
+		if sp.class == "RegExp" {
+			re := it.compileRegexp(sp.regex)
+			parts = re.Split(s, -1)
+		} else {
+			parts = splitByString(s, it.toString(sep))
+		}
+	default:
+		parts = splitByString(s, it.toString(sep))
+	}
+	for i, part := range parts {
+		if limit >= 0 && i >= limit {
+			break
+		}
+		arr.elems = append(arr.elems, part)
+	}
+	it.charge(len(arr.elems) + 1)
+	return Value(arr)
+}
+
+func splitByString(s, sep string) []string {
+	if sep == "" {
+		rs := []rune(s)
+		out := make([]string, len(rs))
+		for i, r := range rs {
+			out[i] = string(r)
+		}
+		return out
+	}
+	return strings.Split(s, sep)
+}
+
+// setupNumberBuiltins installs Number.prototype, the Number constructor, and
+// Boolean.
+func (it *Interp) setupNumberBuiltins() {
+	p := it.protos.numberProto
+	p.setProp("toString", Value(it.makeNative("toString", 1, func(it *Interp, this Value, args []Value) Value {
+		n := it.toNumber(this)
+		radix := 10
+		if _, isU := arg(args, 0).(Undefined); !isU {
+			radix = int(it.toNumber(args[0]))
+		}
+		if radix < 2 || radix > 36 {
+			it.throwError("RangeError", "radix must be between 2 and 36")
+		}
+		return numberToStringRadix(n, radix)
+	})))
+	p.setProp("toFixed", Value(it.makeNative("toFixed", 1, func(it *Interp, this Value, args []Value) Value {
+		digits := int(it.toNumber(arg(args, 0)))
+		if digits < 0 || digits > 100 {
+			it.throwError("RangeError", "digits out of range")
+		}
+		return strconv.FormatFloat(it.toNumber(this), 'f', digits, 64)
+	})))
+	p.setProp("valueOf", Value(it.makeNative("valueOf", 0, func(it *Interp, this Value, args []Value) Value {
+		return it.toNumber(this)
+	})))
+
+	ctor := it.makeNative("Number", 1, func(it *Interp, this Value, args []Value) Value {
+		if len(args) == 0 {
+			return float64(0)
+		}
+		return it.toNumber(args[0])
+	})
+	ctor.setProp("prototype", Value(p))
+	ctor.setProp("MAX_SAFE_INTEGER", float64(1<<53-1))
+	ctor.setProp("MIN_SAFE_INTEGER", float64(-(1<<53 - 1)))
+	ctor.setProp("EPSILON", math.Nextafter(1, 2)-1)
+	ctor.setProp("isInteger", Value(it.makeNative("isInteger", 1, func(it *Interp, this Value, args []Value) Value {
+		f, ok := arg(args, 0).(float64)
+		return ok && !math.IsNaN(f) && !math.IsInf(f, 0) && f == math.Trunc(f)
+	})))
+	ctor.setProp("isFinite", Value(it.makeNative("isFinite", 1, func(it *Interp, this Value, args []Value) Value {
+		f, ok := arg(args, 0).(float64)
+		return ok && !math.IsNaN(f) && !math.IsInf(f, 0)
+	})))
+	ctor.setProp("isNaN", Value(it.makeNative("isNaN", 1, func(it *Interp, this Value, args []Value) Value {
+		f, ok := arg(args, 0).(float64)
+		return ok && math.IsNaN(f)
+	})))
+	ctor.setProp("parseInt", Value(it.makeNative("parseInt", 2, func(it *Interp, this Value, args []Value) Value {
+		radix := 0
+		if _, isU := arg(args, 1).(Undefined); !isU {
+			radix = int(it.toNumber(args[1]))
+		}
+		return jsParseInt(it.toString(arg(args, 0)), radix)
+	})))
+	ctor.setProp("parseFloat", Value(it.makeNative("parseFloat", 1, func(it *Interp, this Value, args []Value) Value {
+		return jsParseFloat(it.toString(arg(args, 0)))
+	})))
+	ctor.setProp("MAX_SAFE_INTEGER", float64(1<<53-1))
+	ctor.setProp("MIN_SAFE_INTEGER", -float64(1<<53-1))
+	ctor.setProp("MAX_VALUE", math.MaxFloat64)
+	ctor.setProp("MIN_VALUE", 5e-324)
+	ctor.setProp("POSITIVE_INFINITY", math.Inf(1))
+	ctor.setProp("NEGATIVE_INFINITY", math.Inf(-1))
+	ctor.setProp("NaN", math.NaN())
+	p.setProp("constructor", Value(ctor))
+	it.protos.numberCtor = ctor
+	it.defineGlobal("Number", Value(ctor))
+
+	bp := it.protos.booleanProto
+	bp.setProp("toString", Value(it.makeNative("toString", 0, func(it *Interp, this Value, args []Value) Value {
+		return it.toString(this)
+	})))
+	bp.setProp("valueOf", Value(it.makeNative("valueOf", 0, func(it *Interp, this Value, args []Value) Value {
+		return this
+	})))
+	bctor := it.makeNative("Boolean", 1, func(it *Interp, this Value, args []Value) Value {
+		return toBoolean(arg(args, 0))
+	})
+	bctor.ctor = func(it *Interp, args []Value) *Object {
+		// Boolean wrapper object: truthy like every object; valueOf unwraps.
+		b := toBoolean(arg(args, 0))
+		o := newObject("Boolean", bp)
+		o.setProp("valueOf", Value(it.makeNative("valueOf", 0, func(it *Interp, this Value, args []Value) Value {
+			return b
+		})))
+		return o
+	}
+	bctor.setProp("prototype", Value(bp))
+	bp.setProp("constructor", Value(bctor))
+	it.protos.booleanCtor = bctor
+	it.defineGlobal("Boolean", Value(bctor))
+}

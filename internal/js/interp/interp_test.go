@@ -1,0 +1,347 @@
+package interp
+
+import (
+	"strings"
+	"testing"
+)
+
+// runLogs executes src with default options and returns the captured console
+// lines; it fails the test on a sandbox abort or unexpected uncaught error.
+func runLogs(t *testing.T, src string) []string {
+	t.Helper()
+	res, err := Run(src, Options{})
+	if err != nil {
+		t.Fatalf("Run(%q): %v", src, err)
+	}
+	if res.ErrorName != "" {
+		t.Fatalf("Run(%q): uncaught %s", src, res.ErrorName)
+	}
+	return res.Logs
+}
+
+// langTests exercise the language core: values, operators, control flow,
+// functions, closures, classes, and error handling.
+var langTests = []struct {
+	name string
+	src  string
+	want string // expected console lines joined by "\n"
+}{
+	{"arithmetic", `console.log(1 + 2 * 3, 10 / 4, 7 % 3, 2 ** 10, -5)`, "7 2.5 1 1024 -5"},
+	{"string-concat", `console.log("a" + "b", "n=" + 5, 5 + "x")`, "ab n=5 5x"},
+	{"number-format", `console.log(0.1 + 0.2, 1e21, 1/0, -1/0, 0/0, -0)`, "0.30000000000000004 1e+21 Infinity -Infinity NaN 0"},
+	{"comparison", `console.log(1 < 2, "a" > "b", 3 <= 3, 4 >= 5)`, "true false true false"},
+	{"equality", `console.log(1 == "1", 1 === "1", null == undefined, null === undefined, NaN == NaN)`, "true false true false false"},
+	{"logical", `console.log(true && "x", false || "y", null ?? "z", !0)`, "x y z true"},
+	{"bitwise", `console.log(5 & 3, 5 | 3, 5 ^ 3, ~5, 1 << 4, -16 >> 2, -16 >>> 28)`, "1 7 6 -6 16 -4 15"},
+	{"ternary", `console.log(1 ? "t" : "f", 0 ? "t" : "f")`, "t f"},
+	{"typeof", `console.log(typeof 1, typeof "s", typeof true, typeof undefined, typeof null, typeof {}, typeof [], typeof console.log)`, "number string boolean undefined object object object function"},
+	{"typeof-undeclared", `console.log(typeof nope)`, "undefined"},
+	{"void-comma", `console.log(void 0, (1, 2, 3))`, "undefined 3"},
+	{"var-hoisting", `console.log(x); var x = 1; console.log(x)`, "undefined\n1"},
+	{"let-const", `let a = 1; const b = 2; a = 3; console.log(a, b)`, "3 2"},
+	{"fn-hoisting", `console.log(f()); function f() { return 42 }`, "42"},
+	{"if-else", `if (1) console.log("a"); else console.log("b"); if (0) {} else console.log("c")`, "a\nc"},
+	{"while", `var i = 0; while (i < 3) { console.log(i); i++ }`, "0\n1\n2"},
+	{"do-while", `var i = 5; do { console.log(i); i++ } while (i < 3)`, "5"},
+	{"for-classic", `for (var i = 0; i < 3; i++) console.log(i)`, "0\n1\n2"},
+	{"for-let-capture", `var fs = []; for (let i = 0; i < 3; i++) fs.push(() => i); console.log(fs[0](), fs[2]())`, "0 2"},
+	{"for-in", `var o = {a: 1, b: 2}; for (var k in o) console.log(k)`, "a\nb"},
+	{"for-of", `for (const v of [10, 20]) console.log(v)`, "10\n20"},
+	{"for-of-string", `for (const c of "hi") console.log(c)`, "h\ni"},
+	{"break-continue", `for (var i = 0; i < 5; i++) { if (i == 1) continue; if (i == 3) break; console.log(i) }`, "0\n2"},
+	{"labeled-break", `outer: for (var i = 0; i < 3; i++) { for (var j = 0; j < 3; j++) { if (j == 1) continue outer; if (i == 2) break outer; console.log(i, j) } }`, "0 0\n1 0"},
+	{"switch", `switch (2) { case 1: console.log("one"); case 2: console.log("two"); case 3: console.log("three"); break; default: console.log("other") }`, "two\nthree"},
+	{"switch-default", `switch ("x") { case 1: break; default: console.log("d") }`, "d"},
+	{"closure", `function counter() { var n = 0; return function () { return ++n } } var c = counter(); c(); console.log(c())`, "2"},
+	{"arrow-this", `var o = {n: 7, get() { return (() => this.n)() }}; console.log(o.get())`, "7"},
+	{"default-params", `function f(a, b = a + 1) { return a + b } console.log(f(1), f(1, 10))`, "3 11"},
+	{"rest-params", `function f(a, ...rest) { return rest.length + ":" + rest.join(",") } console.log(f(1, 2, 3, 4))`, "3:2,3,4"},
+	{"spread-call", `console.log(Math.max(...[3, 1, 4, 1, 5]))`, "5"},
+	{"spread-array", `console.log([0, ...[1, 2], 3].join("-"))`, "0-1-2-3"},
+	{"arguments", `function f() { return arguments.length + ":" + arguments[1] } console.log(f("a", "b", "c"))`, "3:b"},
+	{"named-fnexpr", `var fac = function f(n) { return n <= 1 ? 1 : n * f(n - 1) }; console.log(fac(5))`, "120"},
+	{"iife", `console.log((function () { return "iife" })())`, "iife"},
+	{"destructure-array", `var [a, , b = 9, ...rest] = [1, 2, undefined, 4, 5]; console.log(a, b, rest.join())`, "1 9 4,5"},
+	{"destructure-object", `var {x, y: z, w = 3} = {x: 1, y: 2}; console.log(x, z, w)`, "1 2 3"},
+	{"destructure-nested", `var {a: [p, q]} = {a: [8, 9]}; console.log(p, q)`, "8 9"},
+	{"destructure-assign", `var a, b; [a, b] = [1, 2]; ({a: b} = {a: 7}); console.log(a, b)`, "1 7"},
+	{"template-literal", "var n = 3; console.log(`n is ${n}, next ${n + 1}`)", "n is 3, next 4"},
+	{"object-literal", `var k = "dy"; var o = {a: 1, ["n" + k]: 2, m() { return 3 }}; console.log(o.a, o.ndy, o.m())`, "1 2 3"},
+	{"object-shorthand", `var v = 5; var o = {v}; console.log(o.v)`, "5"},
+	{"getter-setter", `var o = {_x: 0, get x() { return this._x + 1 }, set x(v) { this._x = v * 2 }}; o.x = 10; console.log(o.x)`, "21"},
+	{"member-chain", `var o = {a: {b: {c: 42}}}; console.log(o.a.b.c, o["a"]["b"]["c"])`, "42 42"},
+	{"optional-chain", `var o = null; console.log(o?.x, o?.f?.(), ({a: 1})?.a)`, "undefined undefined 1"},
+	{"delete", `var o = {a: 1}; delete o.a; console.log("a" in o, o.a)`, "false undefined"},
+	{"in-operator", `console.log("a" in {a: 1}, 0 in [9], 5 in [9])`, "true true false"},
+	{"instanceof", `console.log([] instanceof Array, {} instanceof Object, [] instanceof Object)`, "true true true"},
+	{"update-ops", `var i = 5; console.log(i++, i, ++i, i--, --i)`, "5 6 7 7 5"},
+	{"compound-assign", `var x = 10; x += 5; x -= 3; x *= 2; x /= 4; x %= 4; x **= 2; console.log(x)`, "4"},
+	{"logical-assign", `var a = null, b = 0, c = 1; a ??= "A"; b ||= "B"; c &&= "C"; console.log(a, b, c)`, "A B C"},
+	{"throw-catch", `try { throw new TypeError("boom") } catch (e) { console.log(e.name, e.message) }`, "TypeError boom"},
+	{"throw-value", `try { throw 42 } catch (e) { console.log(typeof e, e) }`, "number 42"},
+	{"catch-no-binding", `try { throw 1 } catch { console.log("caught") }`, "caught"},
+	{"finally-order", `function f() { try { return "t" } finally { console.log("fin") } } console.log(f())`, "fin\nt"},
+	{"nested-try", `try { try { null.x } finally { console.log("inner") } } catch (e) { console.log(e.name) }`, "inner\nTypeError"},
+	{"error-types", `console.log(new RangeError("r").name, new SyntaxError().name, new ReferenceError().name, new EvalError().name, new URIError().name)`, "RangeError SyntaxError ReferenceError EvalError URIError"},
+	{"error-instanceof", `var e = new TypeError(); console.log(e instanceof TypeError, e instanceof Error, e instanceof RangeError)`, "true true false"},
+	{"class-basic", `class A { constructor(x) { this.x = x } get2x() { return this.x * 2 } } console.log(new A(21).get2x())`, "42"},
+	{"class-extends", `class A { hi() { return "A" } } class B extends A { hi() { return super.hi() + "B" } } console.log(new B().hi())`, "AB"},
+	{"class-super-ctor", `class A { constructor(x) { this.x = x } } class B extends A { constructor() { super(9); this.y = 1 } } var b = new B(); console.log(b.x, b.y)`, "9 1"},
+	{"class-static", `class A { static make() { return "static" } } console.log(A.make())`, "static"},
+	{"class-field", `class A { n = 3 } console.log(new A().n)`, "3"},
+	{"prototype-method", `function A(x) { this.x = x } A.prototype.get = function () { return this.x }; console.log(new A(5).get())`, "5"},
+	{"prototype-chain", `function A() {} A.prototype.v = "proto"; var a = new A(); console.log(a.v); a.v = "own"; console.log(a.v)`, "proto\nown"},
+	{"new-return-object", `function A() { return {custom: true} } console.log(new A().custom)`, "true"},
+	{"this-global-fn", `function f() { return this === undefined || this === globalThis } console.log(f())`, "true"},
+	{"sloppy-global", `function f() { undeclared = 9 } f(); console.log(undeclared)`, "9"},
+	{"eval-expr", `console.log(eval("1 + 2"), eval("[1,2].length"))`, "3 2"},
+	{"function-ctor", `var f = new Function("a", "b", "return a * b"); console.log(f(6, 7))`, "42"},
+	{"typeof-class", `class A {} console.log(typeof A)`, "function"},
+	{"comma-in-for", `for (var i = 0, j = 9; i < 2; i++, j--) console.log(i, j)`, "0 9\n1 8"},
+	{"string-escapes", `console.log("a\tb\nc\\d\"eA")`, "a\tb\nc\\d\"eA"},
+	{"unary-plus-minus", `console.log(+"3", -"2", +true, +null, +undefined, +"")`, "3 -2 1 0 NaN 0"},
+	{"exotic-coercion", `console.log([] + [], [] + {}, +[], +[[]], ![] + "")`, " [object Object] 0 0 false"},
+	{"array-holes", `var a = [1, , 3]; console.log(a.length, a[1])`, "3 undefined"},
+	{"stringify-cycle-safe", `var o = {}; o.self = "s"; console.log(JSON.stringify(o))`, `{"self":"s"}`},
+}
+
+func TestLanguageCore(t *testing.T) {
+	for _, tc := range langTests {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			got := strings.Join(runLogs(t, tc.src), "\n")
+			if got != tc.want {
+				t.Errorf("src: %s\ngot:  %q\nwant: %q", tc.src, got, tc.want)
+			}
+		})
+	}
+}
+
+// builtinTests exercise the standard library surface.
+var builtinTests = []struct {
+	name string
+	src  string
+	want string
+}{
+	{"string-basics", `var s = "Hello World"; console.log(s.length, s.charAt(1), s.charCodeAt(0), s[4])`, "11 e 72 o"},
+	{"string-case", `console.log("MiXeD".toLowerCase(), "MiXeD".toUpperCase())`, "mixed MIXED"},
+	{"string-search", `var s = "abcabc"; console.log(s.indexOf("b"), s.lastIndexOf("b"), s.includes("ca"), s.startsWith("ab"), s.endsWith("bc"))`, "1 4 true true true"},
+	{"string-slice", `var s = "abcdef"; console.log(s.slice(1, 3), s.slice(-2), s.substring(4, 2), s.substr(2, 2))`, "bc ef cd cd"},
+	{"string-split", `console.log("a,b,c".split(",").join("|"), "abc".split("").join("."), "a b".split().length)`, "a|b|c a.b.c 1"},
+	{"string-trim", `console.log("  x  ".trim() + "|" + " y".trimStart() + "|" + "z ".trimEnd())`, "x|y|z"},
+	{"string-pad-repeat", `console.log("5".padStart(3, "0"), "ab".padEnd(4, "-"), "xy".repeat(3))`, "005 ab-- xyxyxy"},
+	{"string-replace", `console.log("aaa".replace("a", "b"), "aaa".replaceAll("a", "b"), "x1y2".replace(/\d/g, "#"))`, "baa bbb x#y#"},
+	{"string-replace-fn", `console.log("a1b2".replace(/\d/g, function (m) { return "<" + m + ">" }))`, "a<1>b<2>"},
+	{"string-concat-at", `console.log("ab".concat("cd", "ef"), "abc".at(0), "abc".at(-1))`, "abcdef a c"},
+	{"string-fromcharcode", `console.log(String.fromCharCode(72, 105), String(123), String(null))`, "Hi 123 null"},
+	{"string-codepoint", `console.log("A".codePointAt(0), "ab".localeCompare("ac") < 0)`, "65 true"},
+	{"number-methods", `console.log((3.14159).toFixed(2), (255).toString(16), (0.000001).toString(), Number("12"), Number(""), Number("x"))`, "3.14 ff 0.000001 12 0 NaN"},
+	{"number-statics", `console.log(Number.isInteger(5), Number.isInteger(5.5), Number.isFinite(1/0), Number.parseFloat("2.5"), Number.parseInt("17"), Number.isNaN(NaN))`, "true false false 2.5 17 true"},
+	{"number-consts", `console.log(Number.MAX_SAFE_INTEGER, Number.EPSILON > 0, isNaN(Number.NaN))`, "9007199254740991 true true"},
+	{"parse-globals", `console.log(parseInt("42px"), parseInt("ff", 16), parseInt("0x1A"), parseFloat("3.5e2x"), parseInt("zz"))`, "42 255 26 350 NaN"},
+	{"math", `console.log(Math.floor(2.7), Math.ceil(2.1), Math.round(2.5), Math.abs(-3), Math.sqrt(16), Math.pow(2, 8), Math.max(1, 9, 3), Math.min(1, 9, 3), Math.trunc(-2.7), Math.sign(-4))`, "2 3 3 3 4 256 9 1 -2 -1"},
+	{"math-transcendental", `console.log(Math.log(Math.E).toFixed(3), Math.cos(0), Math.sin(0), Math.hypot(3, 4), Math.cbrt(27), Math.log2(8), Math.log10(1000))`, "1.000 1 0 5 3 3 3"},
+	{"math-random-det", `var a = Math.random(), b = Math.random(); console.log(a >= 0 && a < 1, a !== b)`, "true true"},
+	{"array-push-pop", `var a = [1]; a.push(2, 3); console.log(a.join(), a.pop(), a.length)`, "1,2,3 3 2"},
+	{"array-shift-unshift", `var a = [2, 3]; a.unshift(1); console.log(a.join(), a.shift(), a.join())`, "1,2,3 1 2,3"},
+	{"array-index", `var a = ["x", "y", "z"]; console.log(a.indexOf("y"), a.lastIndexOf("z"), a.includes("x"), a.at(-1))`, "1 2 true z"},
+	{"array-slice-splice", `var a = [1, 2, 3, 4, 5]; console.log(a.slice(1, 3).join(), a.splice(1, 2, "x").join(), a.join())`, "2,3 2,3 1,x,4,5"},
+	{"array-map-filter", `console.log([1, 2, 3, 4].map(x => x * x).filter(x => x > 4).join())`, "9,16"},
+	{"array-reduce", `console.log([1, 2, 3].reduce((s, x) => s + x, 10), [1, 2].reduce((s, x) => s + x), [1, 2, 3].reduceRight((s, x) => s + "" + x))`, "16 3 321"},
+	{"array-find", `var a = [5, 12, 8]; console.log(a.find(x => x > 6), a.findIndex(x => x > 6), a.findLast(x => x > 6), a.findLastIndex(x => x > 6))`, "12 1 8 2"},
+	{"array-every-some", `console.log([2, 4].every(x => x % 2 == 0), [1, 2].some(x => x > 1), [].every(x => false))`, "true true true"},
+	{"array-foreach", `[10, 20].forEach((v, i) => console.log(i, v))`, "0 10\n1 20"},
+	{"array-sort", `console.log([3, 1, 10, 2].sort().join(), [3, 1, 10, 2].sort((a, b) => a - b).join(), ["b", "a"].sort().join())`, "1,10,2,3 1,2,3,10 a,b"},
+	{"array-reverse-concat", `console.log([1, 2, 3].reverse().join(), [1].concat([2, 3], 4).join())`, "3,2,1 1,2,3,4"},
+	{"array-flat", `console.log([1, [2, [3, [4]]]].flat().join("|"), [1, [2, [3]]].flat(2).join("|"), [1, 2].flatMap(x => [x, x * 10]).join())`, "1|2|3,4 1|2|3 1,10,2,20"},
+	{"array-fill-keys", `console.log([1, 2, 3].fill(0, 1).join(), Array.from([..."ab"].keys()).join(), [..."ab"].join())`, "1,0,0 0,1 a,b"},
+	{"array-statics", `console.log(Array.isArray([]), Array.isArray("no"), Array.of(1, 2).join(), Array.from("abc").join(), Array.from({length: 3}, (_, i) => i * 2).join())`, "true false 1,2 a,b,c 0,2,4"},
+	{"array-ctor", `console.log(new Array(3).length, Array(1, 2, 3).join(), new Array("x").length)`, "3 1,2,3 1"},
+	{"array-entries-values", `for (const [i, v] of ["a", "b"].entries()) console.log(i, v)`, "0 a\n1 b"},
+	{"object-statics", `var o = {a: 1, b: 2}; console.log(Object.keys(o).join(), Object.values(o).join(), Object.entries(o).map(e => e.join("=")).join(","))`, "a,b 1,2 a=1,b=2"},
+	{"object-assign", `var t = Object.assign({a: 1}, {b: 2}, {a: 3}); console.log(JSON.stringify(t))`, `{"a":3,"b":2}`},
+	{"object-freeze", `var o = Object.freeze({a: 1}); o.a = 2; o.b = 3; console.log(o.a, o.b, Object.isFrozen(o))`, "1 undefined true"},
+	{"object-create", `var p = {greet() { return "hi" }}; var o = Object.create(p); console.log(o.greet(), Object.getPrototypeOf(o) === p)`, "hi true"},
+	{"object-hasown", `var o = Object.create({inherited: 1}); o.own = 2; console.log(o.hasOwnProperty("own"), o.hasOwnProperty("inherited"), o.inherited)`, "true false 1"},
+	{"object-defineprop", `var o = {}; Object.defineProperty(o, "x", {value: 7}); console.log(o.x)`, "7"},
+	{"json-stringify", `console.log(JSON.stringify({b: [1, "x", null, true], a: {}}), JSON.stringify("s"), JSON.stringify(42))`, `{"b":[1,"x",null,true],"a":{}} "s" 42`},
+	{"json-stringify-special", `console.log(JSON.stringify({f: function () {}, u: undefined, n: NaN, i: 1/0}), JSON.stringify([function () {}, undefined]))`, `{"n":null,"i":null} [null,null]`},
+	{"json-stringify-indent", "console.log(JSON.stringify({a: 1}, null, 2))", "{\n  \"a\": 1\n}"},
+	{"json-parse", `var o = JSON.parse('{"a": [1, 2.5, "x"], "b": {"c": true, "d": null}}'); console.log(o.a[1], o.a[2], o.b.c, o.b.d)`, "2.5 x true null"},
+	{"json-roundtrip", `var s = '{"z":1,"a":[true,null]}'; console.log(JSON.stringify(JSON.parse(s)))`, `{"z":1,"a":[true,null]}`},
+	{"json-parse-error", `try { JSON.parse("{oops") } catch (e) { console.log(e.name) }`, "SyntaxError"},
+	{"regex-test", `console.log(/\d+/.test("ab12"), /^x/.test("yx"), new RegExp("a.c").test("abc"))`, "true false true"},
+	{"regex-exec", `var m = /(\w+)-(\d+)/.exec("item-42"); console.log(m[0], m[1], m[2], m.index)`, "item-42 item 42 0"},
+	{"regex-exec-null", `console.log(/z/.exec("abc"))`, "null"},
+	{"regex-match", `console.log("a1b22".match(/\d+/g).join(), "a1b2".match(/(\d)/)[1], "xyz".match(/\d/))`, "1,22 1 null"},
+	{"regex-flags-ignorecase", `console.log(/abc/i.test("ABC"), "AbC".replace(/b/i, "_"))`, "true A_C"},
+	{"regex-search-case", `console.log("hello".search(/l/), "hello".search(/z/))`, "2 -1"},
+	{"regex-source", `var r = /a+b/g; console.log(r.source, r.flags, r.global, ("" + r))`, "a+b g true /a+b/g"},
+	{"string-match-groups", `console.log("2024-01".replace(/(\d+)-(\d+)/, "$2/$1"), "aa".replace(/a/g, "$&$&"))`, "01/2024 aaaa"},
+	{"boolean", `console.log(Boolean(0), Boolean("x"), Boolean(""), Boolean([]), new Boolean(true) ? 1 : 0)`, "false true false true 1"},
+	{"map", `var m = new Map(); m.set("a", 1).set("b", 2); console.log(m.get("a"), m.size, m.has("b"), m.has("z")); m.delete("a"); console.log(m.size)`, "1 2 true false\n1"},
+	{"map-from-iterable", `var m = new Map([["x", 1], ["y", 2]]); var out = []; m.forEach((v, k) => out.push(k + "=" + v)); console.log(out.join())`, "x=1,y=2"},
+	{"encode-uri", `console.log(encodeURIComponent("a b&c=d"), encodeURI("a b&c=d"), decodeURIComponent("a%20b"), decodeURI("x%2Fy"))`, "a%20b%26c%3Dd a%20b&c=d a b x%2Fy"},
+	{"escape-unescape", `console.log(escape("a b~"), unescape("a%20b%u0041"))`, "a%20b%7E a bA"},
+	{"atob-btoa", `console.log(btoa("hello"), atob("aGVsbG8="))`, "aGVsbG8= hello"},
+	{"isnan-isfinite", `console.log(isNaN("x"), isNaN("3"), isFinite(1/0), isFinite("5"))`, "true false false true"},
+	{"date-now-fixed", `console.log(Date.now())`, "1700000000000"},
+	{"globalthis", `globalThis.shared = 11; console.log(window.shared, self.shared, shared)`, "11 11 11"},
+	{"console-variants", `console.error("e"); console.warn("w"); console.info("i"); console.debug("d")`, "e\nw\ni\nd"},
+	{"console-render", `console.log([1, [2]], {a: 1, b: "x"}, null, undefined, function () {}, () => 1)`, "[ 1, [ 2 ] ] { a: 1, b: 'x' } null undefined [Function] [Function]"},
+	{"fn-call-apply", `function f(a, b) { return this.base + a + b } console.log(f.call({base: 1}, 2, 3), f.apply({base: 10}, [2, 3]))`, "6 15"},
+	{"fn-bind", `function f(a, b) { return this.x + a + b } var g = f.bind({x: 100}, 1); console.log(g(2), g.length >= 0)`, "103 true"},
+	{"fn-tostring", `function f() {} console.log(typeof f.toString(), ("" + console.log).includes("native"))`, "string true"},
+	{"promise-then", `Promise.resolve(5).then(v => console.log("got", v))`, "got 5"},
+	{"promise-chain", `Promise.resolve(1).then(v => v + 1).then(v => v * 10).then(v => console.log(v))`, "20"},
+	{"promise-catch", `Promise.reject(new RangeError("r")).catch(e => console.log("caught", e.name))`, "caught RangeError"},
+	{"promise-finally", `Promise.resolve("v").finally(() => console.log("fin")).then(v => console.log(v))`, "fin\nv"},
+	{"promise-all", `Promise.all([Promise.resolve(1), 2, Promise.resolve(3)]).then(vs => console.log(vs.join()))`, "1,2,3"},
+	{"promise-ctor", `new Promise((res, rej) => res("ok")).then(v => console.log(v))`, "ok"},
+	{"promise-adoption", `Promise.resolve(Promise.resolve("inner")).then(v => console.log(v))`, "inner"},
+	{"settimeout-order", `setTimeout(() => console.log("late"), 10); setTimeout(() => console.log("early"), 1); console.log("sync")`, "sync\nearly\nlate"},
+	{"setinterval-once", `var n = 0; setInterval(() => { n++; console.log("tick", n) }, 5)`, "tick 1"},
+	{"cleartimeout", `var id = setTimeout(() => console.log("no"), 1); clearTimeout(id); setTimeout(() => console.log("yes"), 2)`, "yes"},
+	{"fetch-rejects", `fetch("http://x").catch(e => console.log("fetch-blocked", e.name))`, "fetch-blocked TypeError"},
+	{"module-stub", `console.log(typeof module, typeof module.exports, typeof require)`, "object object function"},
+	{"document-stub", `console.log(document.querySelector("#x"), document.querySelectorAll("div").length, document.getElementById("y"))`, "null 0 null"},
+	{"document-listener", `document.addEventListener("click", e => console.log("fired", typeof e.preventDefault)); console.log("sync")`, "sync\nfired function"},
+}
+
+func TestBuiltins(t *testing.T) {
+	for _, tc := range builtinTests {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			got := strings.Join(runLogs(t, tc.src), "\n")
+			if got != tc.want {
+				t.Errorf("src: %s\ngot:  %q\nwant: %q", tc.src, got, tc.want)
+			}
+		})
+	}
+}
+
+// errorTests assert uncaught-error identity (the oracle's second observable
+// channel).
+var errorTests = []struct {
+	name    string
+	src     string
+	wantErr string
+}{
+	{"null-member", `null.x`, "TypeError"},
+	{"undefined-call", `var o = {}; o.missing()`, "TypeError"},
+	{"not-a-function", `var x = 4; x()`, "TypeError"},
+	{"undeclared-read", `console.log(missing)`, "ReferenceError"},
+	{"const-assign", `const c = 1; c = 2`, "TypeError"},
+	{"tdz-let", `console.log(lateLet); let lateLet = 1`, "ReferenceError"},
+	{"throw-error", `throw new RangeError("out")`, "RangeError"},
+	{"throw-string", `throw "plain"`, "throw:string"},
+	{"throw-number", `throw 7`, "throw:number"},
+	{"throw-object", `throw {code: 1}`, "throw:object"},
+	{"stack-overflow", `function f() { return f() } f()`, "RangeError"},
+	{"bad-array-length", `new Array(-1)`, "RangeError"},
+	{"function-ctor-syntax", `new Function("return +++")()`, "SyntaxError"},
+	{"eval-syntax", `eval("{{{")`, "SyntaxError"},
+	{"rethrow-from-catch", `try { null.x } catch (e) { throw e }`, "TypeError"},
+	{"timer-error-surfaces", `setTimeout(() => { null.x }, 1)`, "TypeError"},
+}
+
+func TestUncaughtErrors(t *testing.T) {
+	for _, tc := range errorTests {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			res, err := Run(tc.src, Options{})
+			if err != nil {
+				t.Fatalf("Run(%q): unexpected abort %v", tc.src, err)
+			}
+			if res.ErrorName != tc.wantErr {
+				t.Errorf("Run(%q): ErrorName = %q, want %q", tc.src, res.ErrorName, tc.wantErr)
+			}
+		})
+	}
+}
+
+// abortTests assert sandbox aborts: budget overruns and named unsupported
+// features, each attributed via Abort.Feature.
+var abortTests = []struct {
+	name        string
+	src         string
+	opts        Options
+	wantFeature string
+	unsupported bool
+}{
+	{"steps-budget", `while (true) {}`, Options{MaxSteps: 1000}, "budget.steps", false},
+	{"alloc-budget", `var s = "x"; while (true) { s += s }`, Options{MaxAlloc: 1 << 16}, "budget.alloc", false},
+	{"logs-budget", `for (var i = 0; i < 100; i++) console.log(i)`, Options{MaxLogs: 10}, "budget.logs", false},
+	{"parse-error", `function (`, Options{}, "feature.parse", true},
+	{"date-ctor", `new Date()`, Options{}, "feature.date", true},
+	{"budget-not-maskable", `try { while (true) {} } catch (e) {} finally { console.log("f") }`, Options{MaxSteps: 1000}, "budget.steps", false},
+}
+
+func TestSandboxAborts(t *testing.T) {
+	for _, tc := range abortTests {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Run(tc.src, tc.opts)
+			a, ok := err.(*Abort)
+			if !ok {
+				t.Fatalf("Run(%q): err = %v, want *Abort", tc.src, err)
+			}
+			if a.Feature != tc.wantFeature {
+				t.Errorf("Feature = %q, want %q", a.Feature, tc.wantFeature)
+			}
+			if a.IsUnsupported() != tc.unsupported {
+				t.Errorf("IsUnsupported() = %v, want %v", a.IsUnsupported(), tc.unsupported)
+			}
+			if a.Error() == "" {
+				t.Errorf("Abort.Error() empty")
+			}
+		})
+	}
+}
+
+// TestDeterminism runs a program touching every nondeterminism shim twice and
+// requires byte-identical output.
+func TestDeterminism(t *testing.T) {
+	src := `
+		var vals = [];
+		for (var i = 0; i < 5; i++) vals.push(Math.random());
+		vals.push(Date.now());
+		setTimeout(() => vals.push("t2"), 2);
+		setTimeout(() => vals.push("t1"), 1);
+		Promise.resolve("p").then(v => vals.push(v));
+		setTimeout(() => console.log(vals.join(" ")), 3);
+	`
+	r1, err1 := Run(src, Options{})
+	r2, err2 := Run(src, Options{})
+	if err1 != nil || err2 != nil {
+		t.Fatalf("errors: %v, %v", err1, err2)
+	}
+	if strings.Join(r1.Logs, "\n") != strings.Join(r2.Logs, "\n") {
+		t.Errorf("nondeterministic output:\n%q\n%q", r1.Logs, r2.Logs)
+	}
+	if len(r1.Logs) != 1 || !strings.Contains(r1.Logs[0], "p") {
+		t.Errorf("unexpected log shape: %q", r1.Logs)
+	}
+}
+
+// TestStepsReported checks that Result.Steps is populated and scales with
+// work done.
+func TestStepsReported(t *testing.T) {
+	small, _ := Run(`1 + 1`, Options{})
+	big, _ := Run(`for (var i = 0; i < 1000; i++) { i * i }`, Options{})
+	if small.Steps <= 0 || big.Steps <= small.Steps {
+		t.Errorf("steps not increasing: small=%d big=%d", small.Steps, big.Steps)
+	}
+}
+
+// TestOptionDefaults exercises the zero-value Options accessors.
+func TestOptionDefaults(t *testing.T) {
+	var o Options
+	if o.maxSteps() <= 0 || o.maxDepth() <= 0 || o.maxAlloc() <= 0 || o.maxLogs() <= 0 || o.maxTimers() <= 0 {
+		t.Errorf("zero Options must yield positive defaults: %+v", o)
+	}
+	custom := Options{MaxSteps: 7, MaxDepth: 8, MaxAlloc: 9, MaxLogs: 10, MaxTimers: 11}
+	if custom.maxSteps() != 7 || custom.maxDepth() != 8 || custom.maxAlloc() != 9 || custom.maxLogs() != 10 || custom.maxTimers() != 11 {
+		t.Errorf("explicit Options not honored: %+v", custom)
+	}
+}

@@ -1,0 +1,379 @@
+package interp
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// ---------------------------------------------------------------------------
+// JSON
+// ---------------------------------------------------------------------------
+
+// jsonStringify serializes v. The boolean result is false when v is not
+// serializable at top level (undefined, functions), matching JSON.stringify
+// returning undefined.
+func (it *Interp) jsonStringify(v Value, indent, cur string) (string, bool) {
+	it.step()
+	switch x := v.(type) {
+	case Undefined:
+		return "", false
+	case Null:
+		return "null", true
+	case bool:
+		if x {
+			return "true", true
+		}
+		return "false", true
+	case float64:
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return "null", true
+		}
+		return jsNumberString(x), true
+	case string:
+		b, _ := json.Marshal(x)
+		return string(b), true
+	case *Object:
+		if x.IsFunction() {
+			return "", false
+		}
+		nl, pad, sep, colon := "", "", ",", ":"
+		next := cur
+		if indent != "" {
+			next = cur + indent
+			nl, pad = "\n", next
+			sep, colon = ",\n"+next, ": "
+		}
+		if x.class == "Array" || x.class == "Arguments" {
+			if len(x.elems) == 0 {
+				return "[]", true
+			}
+			parts := make([]string, len(x.elems))
+			for i, el := range x.elems {
+				s, ok := it.jsonStringify(el, indent, next)
+				if !ok {
+					s = "null" // unserializable array elements become null
+				}
+				parts[i] = s
+			}
+			return "[" + nl + pad + strings.Join(parts, sep) + nl + cur + "]", true
+		}
+		var parts []string
+		for _, k := range x.keys {
+			val := it.getMember(Value(x), k)
+			s, ok := it.jsonStringify(val, indent, next)
+			if !ok {
+				continue // unserializable members are omitted
+			}
+			kb, _ := json.Marshal(k)
+			parts = append(parts, string(kb)+colon+s)
+		}
+		if len(parts) == 0 {
+			return "{}", true
+		}
+		return "{" + nl + pad + strings.Join(parts, sep) + nl + cur + "}", true
+	}
+	return "", false
+}
+
+// jsonParse parses src preserving object key order (json.Decoder tokens, not
+// map[string]interface{}).
+func (it *Interp) jsonParse(src string) Value {
+	dec := json.NewDecoder(strings.NewReader(src))
+	dec.UseNumber()
+	v, err := it.jsonDecodeValue(dec)
+	if err != nil {
+		it.throwError("SyntaxError", "invalid JSON")
+	}
+	// Trailing garbage is a syntax error too.
+	if dec.More() {
+		it.throwError("SyntaxError", "invalid JSON")
+	}
+	return v
+}
+
+func (it *Interp) jsonDecodeValue(dec *json.Decoder) (Value, error) {
+	tok, err := dec.Token()
+	if err != nil {
+		return undef, err
+	}
+	return it.jsonFromToken(dec, tok)
+}
+
+func (it *Interp) jsonFromToken(dec *json.Decoder, tok json.Token) (Value, error) {
+	it.step()
+	switch t := tok.(type) {
+	case nil:
+		return null, nil
+	case bool:
+		return t, nil
+	case json.Number:
+		f, err := t.Float64()
+		if err != nil {
+			return undef, err
+		}
+		return f, nil
+	case string:
+		it.charge(len(t))
+		return t, nil
+	case json.Delim:
+		switch t {
+		case '[':
+			arr := newObject("Array", it.protos.arrayProto)
+			for dec.More() {
+				el, err := it.jsonDecodeValue(dec)
+				if err != nil {
+					return undef, err
+				}
+				arr.elems = append(arr.elems, el)
+			}
+			if _, err := dec.Token(); err != nil { // consume ']'
+				return undef, err
+			}
+			it.charge(len(arr.elems) + 1)
+			return Value(arr), nil
+		case '{':
+			obj := newObject("Object", it.protos.objectProto)
+			for dec.More() {
+				keyTok, err := dec.Token()
+				if err != nil {
+					return undef, err
+				}
+				key, ok := keyTok.(string)
+				if !ok {
+					return undef, fmt.Errorf("non-string key")
+				}
+				val, err := it.jsonDecodeValue(dec)
+				if err != nil {
+					return undef, err
+				}
+				obj.setProp(key, val)
+				it.charge(len(key) + 2)
+			}
+			if _, err := dec.Token(); err != nil { // consume '}'
+				return undef, err
+			}
+			return Value(obj), nil
+		}
+	}
+	return undef, fmt.Errorf("unexpected token")
+}
+
+// ---------------------------------------------------------------------------
+// parseInt / parseFloat
+// ---------------------------------------------------------------------------
+
+func jsParseInt(s string, radix int) float64 {
+	s = strings.TrimLeft(s, " \t\n\r\v\f")
+	sign := 1.0
+	if strings.HasPrefix(s, "-") {
+		sign = -1
+		s = s[1:]
+	} else if strings.HasPrefix(s, "+") {
+		s = s[1:]
+	}
+	if radix == 0 {
+		if strings.HasPrefix(s, "0x") || strings.HasPrefix(s, "0X") {
+			radix = 16
+			s = s[2:]
+		} else {
+			radix = 10
+		}
+	} else if radix == 16 && (strings.HasPrefix(s, "0x") || strings.HasPrefix(s, "0X")) {
+		s = s[2:]
+	}
+	if radix < 2 || radix > 36 {
+		return math.NaN()
+	}
+	val := 0.0
+	digits := 0
+	for _, c := range s {
+		d := digitValue(c)
+		if d < 0 || d >= radix {
+			break
+		}
+		val = val*float64(radix) + float64(d)
+		digits++
+	}
+	if digits == 0 {
+		return math.NaN()
+	}
+	return sign * val
+}
+
+func digitValue(c rune) int {
+	switch {
+	case c >= '0' && c <= '9':
+		return int(c - '0')
+	case c >= 'a' && c <= 'z':
+		return int(c-'a') + 10
+	case c >= 'A' && c <= 'Z':
+		return int(c-'A') + 10
+	}
+	return -1
+}
+
+func jsParseFloat(s string) float64 {
+	s = strings.TrimLeft(s, " \t\n\r\v\f")
+	// Longest valid decimal-literal prefix.
+	i := 0
+	n := len(s)
+	if i < n && (s[i] == '+' || s[i] == '-') {
+		i++
+	}
+	if strings.HasPrefix(s[i:], "Infinity") {
+		if s[0] == '-' {
+			return math.Inf(-1)
+		}
+		return math.Inf(1)
+	}
+	start := i
+	for i < n && s[i] >= '0' && s[i] <= '9' {
+		i++
+	}
+	if i < n && s[i] == '.' {
+		i++
+		for i < n && s[i] >= '0' && s[i] <= '9' {
+			i++
+		}
+	}
+	if i == start || (i == start+1 && s[start] == '.') {
+		return math.NaN()
+	}
+	if i < n && (s[i] == 'e' || s[i] == 'E') {
+		j := i + 1
+		if j < n && (s[j] == '+' || s[j] == '-') {
+			j++
+		}
+		k := j
+		for k < n && s[k] >= '0' && s[k] <= '9' {
+			k++
+		}
+		if k > j {
+			i = k
+		}
+	}
+	f, ok := parseFloatPrefix(s[:i])
+	if !ok {
+		return math.NaN()
+	}
+	return f
+}
+
+func parseFloatPrefix(s string) (float64, bool) {
+	var f float64
+	_, err := fmt.Sscanf(s, "%g", &f)
+	if err != nil {
+		return 0, false
+	}
+	return f, true
+}
+
+// ---------------------------------------------------------------------------
+// escape/unescape and percent-encoding
+// ---------------------------------------------------------------------------
+
+const escapeKeep = "@*_+-./"
+
+// jsEscape implements the Annex B escape(): alphanumerics and @*_+-./ pass
+// through; other code units below 256 become %XX; the rest become %uXXXX.
+func jsEscape(s string) string {
+	var out strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'A' && r <= 'Z', r >= 'a' && r <= 'z', r >= '0' && r <= '9',
+			strings.ContainsRune(escapeKeep, r):
+			out.WriteRune(r)
+		case r < 256:
+			fmt.Fprintf(&out, "%%%02X", r)
+		default:
+			fmt.Fprintf(&out, "%%u%04X", r&0xFFFF)
+		}
+	}
+	return out.String()
+}
+
+// jsUnescape reverses jsEscape; malformed sequences pass through verbatim.
+func jsUnescape(s string) string {
+	var out strings.Builder
+	rs := []rune(s)
+	for i := 0; i < len(rs); i++ {
+		if rs[i] == '%' {
+			if i+5 < len(rs) && rs[i+1] == 'u' {
+				if v, ok := hex4(rs[i+2 : i+6]); ok {
+					out.WriteRune(rune(v))
+					i += 5
+					continue
+				}
+			}
+			if i+2 < len(rs) {
+				if v, ok := hex4(rs[i+1 : i+3]); ok {
+					out.WriteRune(rune(v))
+					i += 2
+					continue
+				}
+			}
+		}
+		out.WriteRune(rs[i])
+	}
+	return out.String()
+}
+
+func hex4(rs []rune) (int, bool) {
+	v := 0
+	for _, c := range rs {
+		d := digitValue(c)
+		if d < 0 || d >= 16 {
+			return 0, false
+		}
+		v = v*16 + d
+	}
+	return v, true
+}
+
+// percentEncode UTF-8 encodes s, escaping every byte not alphanumeric or in
+// keep.
+func percentEncode(s, keep string) string {
+	var out strings.Builder
+	for _, b := range []byte(s) {
+		switch {
+		case b >= 'A' && b <= 'Z', b >= 'a' && b <= 'z', b >= '0' && b <= '9',
+			strings.IndexByte(keep, b) >= 0:
+			out.WriteByte(b)
+		default:
+			fmt.Fprintf(&out, "%%%02X", b)
+		}
+	}
+	return out.String()
+}
+
+// percentDecode reverses percentEncode; returns false on a malformed
+// sequence.
+func percentDecode(s, preserve string) (string, bool) {
+	var out []byte
+	for i := 0; i < len(s); i++ {
+		if s[i] != '%' {
+			out = append(out, s[i])
+			continue
+		}
+		if i+2 >= len(s) {
+			return "", false
+		}
+		hi := digitValue(rune(s[i+1]))
+		lo := digitValue(rune(s[i+2]))
+		if hi < 0 || hi >= 16 || lo < 0 || lo >= 16 {
+			return "", false
+		}
+		b := byte(hi*16 + lo)
+		// decodeURI leaves reserved separators encoded so the result can be
+		// split on them exactly as the input could.
+		if strings.IndexByte(preserve, b) >= 0 {
+			out = append(out, s[i], s[i+1], s[i+2])
+		} else {
+			out = append(out, b)
+		}
+		i += 2
+	}
+	return string(out), true
+}

@@ -1,0 +1,326 @@
+package interp
+
+import (
+	"regexp"
+	"strings"
+)
+
+// jsRegexp is the compiled-on-demand backing of a JS RegExp object. JS regex
+// syntax is translated to Go's RE2 where possible; patterns RE2 cannot express
+// (backreferences, lookaround) abort with a named unsupported feature at first
+// *use*, not at construction — a literal that is built but never tested (as
+// the self-defending guard does) costs nothing.
+type jsRegexp struct {
+	source string
+	flags  string
+
+	compiled   bool
+	re         *regexp.Regexp
+	compileErr error
+}
+
+// newRegexp builds a RegExp object without compiling the pattern.
+func (it *Interp) newRegexp(source, flags string) *Object {
+	o := newObject("RegExp", it.protos.regexpProto)
+	o.regex = &jsRegexp{source: source, flags: flags}
+	o.setProp("source", source)
+	o.setProp("flags", flags)
+	o.setProp("global", strings.Contains(flags, "g"))
+	o.setProp("lastIndex", float64(0))
+	return o
+}
+
+// compileRegexp resolves the Go regexp for r, translating JS syntax to RE2.
+// Failure is an unsupported-feature abort so the oracle can attribute the
+// skip.
+func (it *Interp) compileRegexp(r *jsRegexp) *regexp.Regexp {
+	if r == nil {
+		it.throwError("TypeError", "receiver is not a regular expression")
+	}
+	if !r.compiled {
+		r.compiled = true
+		r.re, r.compileErr = compileJSPattern(r.source, r.flags)
+	}
+	if r.compileErr != nil {
+		it.unsupported("regex", r.source)
+	}
+	return r.re
+}
+
+// compileJSPattern translates a JS pattern+flags pair into a Go regexp.
+func compileJSPattern(source, flags string) (*regexp.Regexp, error) {
+	prefix := ""
+	var fl []rune
+	for _, f := range flags {
+		switch f {
+		case 'i', 'm', 's':
+			fl = append(fl, f)
+		}
+		// g and y affect matching protocol, not pattern syntax.
+	}
+	if len(fl) > 0 {
+		prefix = "(?" + string(fl) + ")"
+	}
+	translated := translateJSPattern(source)
+	re, err := regexp.Compile(prefix + translated)
+	if err != nil {
+		// Second chance: JS allows lone braces ("a{b}") that RE2 rejects as
+		// malformed repetitions. Escape them and retry.
+		re2, err2 := regexp.Compile(prefix + escapeLoneBraces(translated))
+		if err2 == nil {
+			return re2, nil
+		}
+		return nil, err
+	}
+	return re, nil
+}
+
+// translateJSPattern rewrites JS-only escapes into RE2 equivalents. The
+// notable case is \b inside a character class, which means backspace in JS
+// but is invalid in RE2 classes.
+func translateJSPattern(src string) string {
+	var out strings.Builder
+	inClass := false
+	rs := []rune(src)
+	for i := 0; i < len(rs); i++ {
+		c := rs[i]
+		switch {
+		case c == '\\' && i+1 < len(rs):
+			next := rs[i+1]
+			if inClass && next == 'b' {
+				out.WriteString("\\x08") // backspace inside a class
+				i++
+				continue
+			}
+			out.WriteRune(c)
+			out.WriteRune(next)
+			i++
+		case c == '[':
+			inClass = true
+			out.WriteRune(c)
+		case c == ']':
+			inClass = false
+			out.WriteRune(c)
+		default:
+			out.WriteRune(c)
+		}
+	}
+	return out.String()
+}
+
+// escapeLoneBraces escapes { and } that do not open valid repetitions.
+func escapeLoneBraces(src string) string {
+	var out strings.Builder
+	rs := []rune(src)
+	for i := 0; i < len(rs); i++ {
+		c := rs[i]
+		if c == '\\' && i+1 < len(rs) {
+			out.WriteRune(c)
+			out.WriteRune(rs[i+1])
+			i++
+			continue
+		}
+		if c == '{' && !validRepetitionAt(rs, i) {
+			out.WriteString("\\{")
+			continue
+		}
+		if c == '}' {
+			out.WriteString("\\}")
+			continue
+		}
+		out.WriteRune(c)
+	}
+	return out.String()
+}
+
+// validRepetitionAt reports whether rs[i]=='{' opens a {m}, {m,}, or {m,n}
+// repetition.
+func validRepetitionAt(rs []rune, i int) bool {
+	j := i + 1
+	digits := 0
+	for j < len(rs) && rs[j] >= '0' && rs[j] <= '9' {
+		j++
+		digits++
+	}
+	if digits == 0 {
+		return false
+	}
+	if j < len(rs) && rs[j] == ',' {
+		j++
+		for j < len(rs) && rs[j] >= '0' && rs[j] <= '9' {
+			j++
+		}
+	}
+	return j < len(rs) && rs[j] == '}'
+}
+
+// ---------------------------------------------------------------------------
+// String.prototype.replace / match backing
+// ---------------------------------------------------------------------------
+
+// stringReplace implements s.replace(pat, repl) and s.replaceAll.
+func (it *Interp) stringReplace(s string, pat, repl Value, all bool) Value {
+	// Function or string replacement?
+	replFn, _ := repl.(*Object)
+	if replFn != nil && !replFn.IsFunction() {
+		replFn = nil
+	}
+
+	if po, ok := pat.(*Object); ok && po.class == "RegExp" {
+		re := it.compileRegexp(po.regex)
+		global := all || strings.Contains(po.regex.flags, "g")
+		return it.regexReplace(s, re, repl, replFn, global)
+	}
+
+	// String pattern: replace the first occurrence (or all for replaceAll).
+	p := it.toString(pat)
+	count := 1
+	if all {
+		count = -1
+	}
+	if replFn != nil {
+		var out strings.Builder
+		rest := s
+		offset := 0
+		for count != 0 {
+			idx := strings.Index(rest, p)
+			if idx < 0 {
+				break
+			}
+			out.WriteString(rest[:idx])
+			r := it.callFunction(replFn, undef, []Value{p, float64(len([]rune(s[:offset+idx]))), s})
+			out.WriteString(it.toString(r))
+			adv := idx + len(p)
+			if len(p) == 0 {
+				if len(rest) == 0 {
+					break
+				}
+				out.WriteString(rest[idx : idx+1])
+				adv = idx + 1
+			}
+			rest = rest[adv:]
+			offset += adv
+			if count > 0 {
+				count--
+			}
+		}
+		out.WriteString(rest)
+		res := out.String()
+		it.charge(len(res))
+		return res
+	}
+	r := expandDollarPatterns(it.toString(repl), p, nil)
+	var res string
+	if all {
+		res = strings.ReplaceAll(s, p, r)
+	} else {
+		res = strings.Replace(s, p, r, 1)
+	}
+	it.charge(len(res))
+	return res
+}
+
+func (it *Interp) regexReplace(s string, re *regexp.Regexp, repl Value, replFn *Object, global bool) Value {
+	n := 1
+	if global {
+		n = -1
+	}
+	matches := re.FindAllStringSubmatchIndex(s, n)
+	if matches == nil {
+		return s
+	}
+	var out strings.Builder
+	last := 0
+	for _, m := range matches {
+		out.WriteString(s[last:m[0]])
+		groups := make([]string, 0, len(m)/2)
+		for g := 0; g < len(m); g += 2 {
+			if m[g] < 0 {
+				groups = append(groups, "")
+			} else {
+				groups = append(groups, s[m[g]:m[g+1]])
+			}
+		}
+		if replFn != nil {
+			args := make([]Value, 0, len(groups)+2)
+			for _, g := range groups {
+				args = append(args, g)
+			}
+			args = append(args, float64(len([]rune(s[:m[0]]))), s)
+			out.WriteString(it.toString(it.callFunction(replFn, undef, args)))
+		} else {
+			out.WriteString(expandDollarPatterns(it.toString(repl), groups[0], groups[1:]))
+		}
+		last = m[1]
+	}
+	out.WriteString(s[last:])
+	res := out.String()
+	it.charge(len(res))
+	return res
+}
+
+// expandDollarPatterns handles $$, $&, and $1..$9 in string replacements.
+func expandDollarPatterns(repl, match string, groups []string) string {
+	if !strings.Contains(repl, "$") {
+		return repl
+	}
+	var out strings.Builder
+	rs := []rune(repl)
+	for i := 0; i < len(rs); i++ {
+		if rs[i] != '$' || i+1 >= len(rs) {
+			out.WriteRune(rs[i])
+			continue
+		}
+		next := rs[i+1]
+		switch {
+		case next == '$':
+			out.WriteRune('$')
+			i++
+		case next == '&':
+			out.WriteString(match)
+			i++
+		case next >= '1' && next <= '9':
+			g := int(next - '1')
+			if g < len(groups) {
+				out.WriteString(groups[g])
+			}
+			i++
+		default:
+			out.WriteRune('$')
+		}
+	}
+	return out.String()
+}
+
+// stringMatch implements s.match(pat): null on no match; with /g/ an array of
+// full-match strings; otherwise the first match with its capture groups.
+func (it *Interp) stringMatch(s string, pat Value) Value {
+	var rx *jsRegexp
+	if po, ok := pat.(*Object); ok && po.class == "RegExp" {
+		rx = po.regex
+	} else {
+		rx = &jsRegexp{source: regexp.QuoteMeta(it.toString(pat))}
+	}
+	re := it.compileRegexp(rx)
+	if strings.Contains(rx.flags, "g") {
+		ms := re.FindAllString(s, -1)
+		if ms == nil {
+			return null
+		}
+		out := newObject("Array", it.protos.arrayProto)
+		for _, m := range ms {
+			out.elems = append(out.elems, m)
+		}
+		it.charge(len(out.elems) + 1)
+		return Value(out)
+	}
+	m := re.FindStringSubmatch(s)
+	if m == nil {
+		return null
+	}
+	out := newObject("Array", it.protos.arrayProto)
+	for _, g := range m {
+		out.elems = append(out.elems, g)
+	}
+	return Value(out)
+}

@@ -1,0 +1,686 @@
+package interp
+
+import (
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/js/ast"
+	"repro/internal/js/printer"
+)
+
+// Value is a JavaScript runtime value. The concrete types are:
+//
+//	Undefined  — the undefined value
+//	Null       — the null value
+//	bool       — booleans
+//	float64    — numbers
+//	string     — strings
+//	*Object    — everything else (objects, arrays, functions, ...)
+type Value interface{}
+
+// Undefined is the JavaScript undefined value.
+type Undefined struct{}
+
+// Null is the JavaScript null value.
+type Null struct{}
+
+var (
+	undef Value = Undefined{}
+	null  Value = Null{}
+)
+
+// propEntry is one property slot: either a data property or an accessor.
+type propEntry struct {
+	value  Value
+	getter *Object // accessor get function, nil for data properties
+	setter *Object // accessor set function
+}
+
+// Object is the uniform heap value: plain objects, arrays, functions,
+// regexps, errors, maps, promises, and the sandbox's host objects all share
+// this representation, discriminated by class.
+type Object struct {
+	class  string // "Object", "Array", "Function", "RegExp", "Error", "Map", "Promise", "Arguments", "ArrayIterator", "Date", "global"
+	props  map[string]*propEntry
+	keys   []string // property insertion order
+	proto  *Object
+	frozen bool // Object.freeze: writes are silently ignored (sloppy mode)
+
+	// Array / Arguments element storage.
+	elems []Value
+
+	// Function data: exactly one of fn (user function) or native is set.
+	fn     *funcInfo
+	native nativeFunc
+	ctor   nativeCtor // construction behavior for native constructors
+	name   string     // function name for rendering
+
+	// RegExp data.
+	regex *jsRegexp
+
+	// Map data.
+	mapKeys []Value
+	mapVals []Value
+
+	// Promise data.
+	pstate     int // 0 pending, 1 fulfilled, 2 rejected
+	pvalue     Value
+	preactions []promiseReaction
+}
+
+type nativeFunc func(it *Interp, this Value, args []Value) Value
+
+type nativeCtor func(it *Interp, args []Value) *Object
+
+// funcInfo is the compiled form of a user-defined function.
+type funcInfo struct {
+	params  []ast.Node
+	body    ast.Node // *ast.BlockStatement, or an expression for arrows
+	env     *env
+	isArrow bool
+	isExpr  bool // arrow with expression body
+	node    ast.Node
+	source  string // lazily rendered source text for Function.prototype.toString
+
+	// classFields holds instance field initializers when the function is a
+	// class constructor.
+	classFields []*ast.PropertyDefinition
+
+	// superCtor is the parent class constructor for derived-class
+	// constructors; implicitSuper marks a synthesized default constructor
+	// that must forward its arguments to super.
+	superCtor     *Object
+	implicitSuper bool
+}
+
+type promiseReaction struct {
+	onFulfilled *Object // may be nil (pass-through)
+	onRejected  *Object
+	next        *Object // the chained promise to settle
+}
+
+// IsFunction reports whether the object is callable.
+func (o *Object) IsFunction() bool { return o != nil && (o.fn != nil || o.native != nil) }
+
+// newObject allocates a plain object with the given class and prototype.
+func newObject(class string, proto *Object) *Object {
+	return &Object{class: class, props: make(map[string]*propEntry, 4), proto: proto}
+}
+
+// setProp defines or overwrites a data property, tracking insertion order.
+func (o *Object) setProp(name string, v Value) {
+	if e, ok := o.props[name]; ok {
+		if e.setter != nil || e.getter != nil {
+			e.value = v // overwritten accessors degrade to data; callers use setMember for full semantics
+			e.getter, e.setter = nil, nil
+			return
+		}
+		e.value = v
+		return
+	}
+	o.props[name] = &propEntry{value: v}
+	o.keys = append(o.keys, name)
+}
+
+// setAccessor defines a getter/setter pair (either may be nil to keep the
+// previous one).
+func (o *Object) setAccessor(name string, getter, setter *Object) {
+	e, ok := o.props[name]
+	if !ok {
+		e = &propEntry{}
+		o.props[name] = e
+		o.keys = append(o.keys, name)
+	}
+	if getter != nil {
+		e.getter = getter
+	}
+	if setter != nil {
+		e.setter = setter
+	}
+	e.value = nil
+}
+
+// getOwn looks up an own property entry.
+func (o *Object) getOwn(name string) (*propEntry, bool) {
+	e, ok := o.props[name]
+	return e, ok
+}
+
+// deleteProp removes an own property; it reports whether it existed.
+func (o *Object) deleteProp(name string) bool {
+	if _, ok := o.props[name]; !ok {
+		return false
+	}
+	delete(o.props, name)
+	for i, k := range o.keys {
+		if k == name {
+			o.keys = append(o.keys[:i], o.keys[i+1:]...)
+			break
+		}
+	}
+	return true
+}
+
+// ---------------------------------------------------------------------------
+// Type conversions (ECMA ToBoolean / ToNumber / ToString / ToPrimitive)
+// ---------------------------------------------------------------------------
+
+func toBoolean(v Value) bool {
+	switch x := v.(type) {
+	case Undefined, Null:
+		return false
+	case bool:
+		return x
+	case float64:
+		return x != 0 && !math.IsNaN(x)
+	case string:
+		return x != ""
+	default:
+		return true
+	}
+}
+
+func (it *Interp) toNumber(v Value) float64 {
+	switch x := v.(type) {
+	case Undefined:
+		return math.NaN()
+	case Null:
+		return 0
+	case bool:
+		if x {
+			return 1
+		}
+		return 0
+	case float64:
+		return x
+	case string:
+		return stringToNumber(x)
+	case *Object:
+		return it.toNumber(it.toPrimitive(x, "number"))
+	}
+	return math.NaN()
+}
+
+func stringToNumber(s string) float64 {
+	t := strings.TrimSpace(s)
+	if t == "" {
+		return 0
+	}
+	if strings.HasPrefix(t, "0x") || strings.HasPrefix(t, "0X") {
+		n, err := strconv.ParseUint(t[2:], 16, 64)
+		if err != nil {
+			return math.NaN()
+		}
+		return float64(n)
+	}
+	if t == "Infinity" || t == "+Infinity" {
+		return math.Inf(1)
+	}
+	if t == "-Infinity" {
+		return math.Inf(-1)
+	}
+	f, err := strconv.ParseFloat(t, 64)
+	if err != nil {
+		return math.NaN()
+	}
+	return f
+}
+
+func (it *Interp) toString(v Value) string {
+	switch x := v.(type) {
+	case Undefined:
+		return "undefined"
+	case Null:
+		return "null"
+	case bool:
+		if x {
+			return "true"
+		}
+		return "false"
+	case float64:
+		return jsNumberString(x)
+	case string:
+		return x
+	case *Object:
+		return it.toString(it.toPrimitive(x, "string"))
+	}
+	return "undefined"
+}
+
+// toPrimitive converts an object to a primitive. The sandbox implements the
+// default valueOf of every builtin as "no primitive", so both hints reduce to
+// the object's string form, matching the coercions the transforms rely on
+// ([]+[] === "", +[] === 0, "[object Object]", function source text, ...).
+func (it *Interp) toPrimitive(o *Object, hint string) Value {
+	if o == nil {
+		return undef
+	}
+	// User-defined or builtin toString/valueOf take precedence when callable.
+	order := []string{"valueOf", "toString"}
+	if hint == "string" {
+		order = []string{"toString", "valueOf"}
+	}
+	for _, name := range order {
+		m := it.getMember(Value(o), name)
+		fn, ok := m.(*Object)
+		if !ok || !fn.IsFunction() {
+			continue
+		}
+		r := it.callFunction(fn, Value(o), nil)
+		if _, isObj := r.(*Object); !isObj {
+			return r
+		}
+	}
+	return it.objectDefaultString(o)
+}
+
+// objectDefaultString is the built-in string form per class.
+func (it *Interp) objectDefaultString(o *Object) string {
+	switch o.class {
+	case "Array", "Arguments":
+		parts := make([]string, len(o.elems))
+		for i, e := range o.elems {
+			switch e.(type) {
+			case Undefined, Null, nil:
+				parts[i] = ""
+			default:
+				parts[i] = it.toString(e)
+			}
+		}
+		return strings.Join(parts, ",")
+	case "Function":
+		return it.functionSource(o)
+	case "RegExp":
+		return "/" + o.regex.source + "/" + o.regex.flags
+	case "Error":
+		name := "Error"
+		if e, ok := o.getOwn("name"); ok {
+			name = it.toString(e.value)
+		}
+		msg := ""
+		if e, ok := o.getOwn("message"); ok {
+			msg = it.toString(e.value)
+		}
+		if msg == "" {
+			return name
+		}
+		return name + ": " + msg
+	case "ArrayIterator":
+		return "[object Array Iterator]"
+	case "Map":
+		return "[object Map]"
+	case "Date":
+		return "[sandbox Date]"
+	default:
+		return "[object Object]"
+	}
+}
+
+// functionSource renders the source text of a function, used by
+// Function.prototype.toString (the self-defending guard tests it against a
+// formatting-sensitive regular expression).
+func (it *Interp) functionSource(o *Object) string {
+	if o.fn != nil {
+		if o.fn.source == "" && o.fn.node != nil {
+			o.fn.source = printer.Compact(o.fn.node)
+			o.fn.source = strings.TrimSuffix(o.fn.source, ";")
+		}
+		if o.fn.source != "" {
+			return o.fn.source
+		}
+		return "function () {}"
+	}
+	name := o.name
+	return "function " + name + "() { [native code] }"
+}
+
+// ---------------------------------------------------------------------------
+// Number formatting (ECMA Number::toString, base 10)
+// ---------------------------------------------------------------------------
+
+// jsNumberString formats a float the way JavaScript's String(number) does.
+func jsNumberString(f float64) string {
+	if math.IsNaN(f) {
+		return "NaN"
+	}
+	if f == 0 {
+		return "0" // covers -0
+	}
+	if math.IsInf(f, 1) {
+		return "Infinity"
+	}
+	if math.IsInf(f, -1) {
+		return "-Infinity"
+	}
+	neg := ""
+	if f < 0 {
+		neg = "-"
+		f = -f
+	}
+	// Shortest round-trip digits and decimal exponent.
+	mant := strconv.FormatFloat(f, 'e', -1, 64)
+	ePos := strings.IndexByte(mant, 'e')
+	digits := strings.Replace(mant[:ePos], ".", "", 1)
+	exp10, _ := strconv.Atoi(mant[ePos+1:])
+	n := exp10 + 1 // position of the decimal point relative to digits
+	k := len(digits)
+	switch {
+	case k <= n && n <= 21:
+		return neg + digits + strings.Repeat("0", n-k)
+	case 0 < n && n <= 21:
+		return neg + digits[:n] + "." + digits[n:]
+	case -6 < n && n <= 0:
+		return neg + "0." + strings.Repeat("0", -n) + digits
+	default:
+		e := "+" + strconv.Itoa(n-1)
+		if n-1 < 0 {
+			e = strconv.Itoa(n - 1)
+		}
+		if k == 1 {
+			return neg + digits + "e" + e
+		}
+		return neg + digits[:1] + "." + digits[1:] + "e" + e
+	}
+}
+
+// numberToStringRadix implements Number.prototype.toString(radix) for the
+// integer values the transforms produce ((35).toString(36), packer keys).
+func numberToStringRadix(f float64, radix int) string {
+	if math.IsNaN(f) {
+		return "NaN"
+	}
+	if radix == 10 {
+		return jsNumberString(f)
+	}
+	neg := ""
+	if f < 0 {
+		neg = "-"
+		f = -f
+	}
+	i := math.Trunc(f)
+	s := strconv.FormatInt(int64(i), radix)
+	frac := f - i
+	if frac > 0 {
+		// A short fractional expansion is enough for the sandbox.
+		digits := "0123456789abcdefghijklmnopqrstuvwxyz"
+		var sb strings.Builder
+		sb.WriteString(s)
+		sb.WriteByte('.')
+		for n := 0; n < 20 && frac > 0; n++ {
+			frac *= float64(radix)
+			d := int(frac)
+			sb.WriteByte(digits[d])
+			frac -= float64(d)
+		}
+		s = sb.String()
+	}
+	return neg + s
+}
+
+// toInt32 is the ECMA ToInt32 conversion used by the bitwise operators.
+func toInt32(f float64) int32 {
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return 0
+	}
+	return int32(uint32(int64(math.Trunc(f))))
+}
+
+// toUint32 is ECMA ToUint32 (for >>> and array index handling).
+func toUint32(f float64) uint32 {
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return 0
+	}
+	return uint32(int64(math.Trunc(f)))
+}
+
+// ---------------------------------------------------------------------------
+// Equality and comparison
+// ---------------------------------------------------------------------------
+
+func strictEquals(a, b Value) bool {
+	switch x := a.(type) {
+	case Undefined:
+		_, ok := b.(Undefined)
+		return ok
+	case Null:
+		_, ok := b.(Null)
+		return ok
+	case bool:
+		y, ok := b.(bool)
+		return ok && x == y
+	case float64:
+		y, ok := b.(float64)
+		return ok && x == y // NaN != NaN via float comparison
+	case string:
+		y, ok := b.(string)
+		return ok && x == y
+	case *Object:
+		y, ok := b.(*Object)
+		return ok && x == y
+	}
+	return false
+}
+
+// looseEquals implements the == algorithm.
+func (it *Interp) looseEquals(a, b Value) bool {
+	switch x := a.(type) {
+	case Undefined, Null:
+		switch b.(type) {
+		case Undefined, Null:
+			return true
+		}
+		return false
+	case bool:
+		return it.looseEquals(boolToNum(x), b)
+	case float64:
+		switch y := b.(type) {
+		case float64:
+			return x == y
+		case string:
+			return x == stringToNumber(y)
+		case bool:
+			return x == it.toNumber(y)
+		case *Object:
+			return it.looseEquals(a, it.toPrimitive(y, "default"))
+		}
+		return false
+	case string:
+		switch y := b.(type) {
+		case string:
+			return x == y
+		case float64:
+			return stringToNumber(x) == y
+		case bool:
+			return stringToNumber(x) == it.toNumber(y)
+		case *Object:
+			return it.looseEquals(a, it.toPrimitive(y, "default"))
+		}
+		return false
+	case *Object:
+		switch b.(type) {
+		case *Object:
+			return a == b
+		case Undefined, Null:
+			return false
+		default:
+			return it.looseEquals(it.toPrimitive(x, "default"), b)
+		}
+	}
+	return false
+}
+
+func boolToNum(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// lessThan implements the abstract relational comparison; undefined result
+// (NaN operand) is reported via ok=false.
+func (it *Interp) lessThan(a, b Value) (res bool, ok bool) {
+	pa := a
+	pb := b
+	if o, isObj := a.(*Object); isObj {
+		pa = it.toPrimitive(o, "number")
+	}
+	if o, isObj := b.(*Object); isObj {
+		pb = it.toPrimitive(o, "number")
+	}
+	sa, aIsStr := pa.(string)
+	sb, bIsStr := pb.(string)
+	if aIsStr && bIsStr {
+		return sa < sb, true
+	}
+	na, nb := it.toNumber(pa), it.toNumber(pb)
+	if math.IsNaN(na) || math.IsNaN(nb) {
+		return false, false
+	}
+	return na < nb, true
+}
+
+// typeOf implements the typeof operator.
+func typeOf(v Value) string {
+	switch x := v.(type) {
+	case Undefined:
+		return "undefined"
+	case Null:
+		return "object"
+	case bool:
+		return "boolean"
+	case float64:
+		return "number"
+	case string:
+		return "string"
+	case *Object:
+		if x.IsFunction() {
+			return "function"
+		}
+		return "object"
+	}
+	return "undefined"
+}
+
+// ---------------------------------------------------------------------------
+// Console rendering
+// ---------------------------------------------------------------------------
+
+// renderTop renders one console argument the way the oracle compares it:
+// top-level strings print raw, everything else through renderValue.
+func (it *Interp) renderTop(v Value) string {
+	if s, ok := v.(string); ok {
+		return s
+	}
+	return it.renderValue(v, make(map[*Object]bool), 0)
+}
+
+func (it *Interp) renderValue(v Value, seen map[*Object]bool, depth int) string {
+	switch x := v.(type) {
+	case Undefined:
+		return "undefined"
+	case Null:
+		return "null"
+	case bool, float64:
+		return it.toString(v)
+	case string:
+		return singleQuote(x)
+	case *Object:
+		if seen[x] {
+			return "[Circular]"
+		}
+		if depth > 4 {
+			return "[...]"
+		}
+		seen[x] = true
+		defer delete(seen, x)
+		switch x.class {
+		case "Array", "Arguments":
+			parts := make([]string, len(x.elems))
+			for i, e := range x.elems {
+				if e == nil {
+					e = undef
+				}
+				parts[i] = it.renderValue(e, seen, depth+1)
+			}
+			return "[ " + strings.Join(parts, ", ") + " ]"
+		case "Function":
+			// Deliberately name-blind: renaming transforms change function
+			// names without changing semantics, and console output is part of
+			// the oracle's observable surface.
+			return "[Function]"
+		case "Error":
+			return it.objectDefaultString(x)
+		case "RegExp":
+			return it.objectDefaultString(x)
+		case "Map":
+			return "Map(" + strconv.Itoa(len(x.mapKeys)) + ")"
+		case "Promise":
+			return "Promise"
+		default:
+			parts := make([]string, 0, len(x.keys))
+			for _, k := range x.keys {
+				e := x.props[k]
+				val := e.value
+				if e.getter != nil {
+					val = it.callFunction(e.getter, Value(x), nil)
+				}
+				parts = append(parts, renderKey(k)+": "+it.renderValue(val, seen, depth+1))
+			}
+			if len(parts) == 0 {
+				return "{}"
+			}
+			return "{ " + strings.Join(parts, ", ") + " }"
+		}
+	}
+	return "undefined"
+}
+
+// singleQuote renders a string the way Node's console does inside objects and
+// arrays: single quotes, escaping backslash, quote, and control characters.
+func singleQuote(s string) string {
+	var b strings.Builder
+	b.WriteByte('\'')
+	for _, r := range s {
+		switch r {
+		case '\'':
+			b.WriteString(`\'`)
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		case '\r':
+			b.WriteString(`\r`)
+		case '\t':
+			b.WriteString(`\t`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	b.WriteByte('\'')
+	return b.String()
+}
+
+func renderKey(k string) string {
+	if k == "" {
+		return `""`
+	}
+	for i := 0; i < len(k); i++ {
+		c := k[i]
+		ok := c == '_' || c == '$' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return printer.QuoteString(k)
+		}
+	}
+	return k
+}
+
+// sortedKeys returns the object's own keys sorted (used only by tests).
+func (o *Object) sortedKeys() []string {
+	out := append([]string(nil), o.keys...)
+	sort.Strings(out)
+	return out
+}

@@ -155,6 +155,14 @@ func (p *parser) tryParseArrowTail(start ast.Pos, isAsync bool) (ast.Node, bool,
 		return nil, false, nil
 	}
 	if p.atPunct("(") {
+		// Memoize failed paren-head attempts by byte offset. Without this,
+		// nested cover-grammar input such as `(a = (b = (c = ...` is
+		// re-attempted as an arrow head once per enclosing retry, doubling
+		// the work at every nesting level (exponential parse time).
+		off := p.tok.Start.Offset
+		if p.arrowFail[off] {
+			return nil, false, nil
+		}
 		save := p.save()
 		params, err := p.tryParseArrowParams()
 		if err == nil && p.atPunct("=>") && !p.tok.NewlineBefore {
@@ -165,6 +173,10 @@ func (p *parser) tryParseArrowTail(start ast.Pos, isAsync bool) (ast.Node, bool,
 			return arrow, true, nil
 		}
 		p.restore(save)
+		if p.arrowFail == nil {
+			p.arrowFail = make(map[int]bool)
+		}
+		p.arrowFail[off] = true
 		return nil, false, nil
 	}
 	return nil, false, nil

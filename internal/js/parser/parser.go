@@ -102,6 +102,11 @@ type parser struct {
 
 	// depth guards against stack exhaustion on pathological nesting.
 	depth int
+
+	// arrowFail records byte offsets where a `(`-led arrow-head attempt
+	// already failed, so backtracking retries skip the re-attempt (keeps
+	// nested cover-grammar input from going exponential).
+	arrowFail map[int]bool
 }
 
 const maxDepth = 2500

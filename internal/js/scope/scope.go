@@ -129,9 +129,12 @@ func (a *analyzer) declare(sc *Scope, id *ast.Identifier, kind BindingKind, init
 		target = sc.hoistTarget()
 	}
 	if existing, ok := target.Bindings[id.Name]; ok {
-		// Redeclaration (legal for var/function): keep the first binding and
-		// treat this occurrence as a reference.
+		// Redeclaration (legal for var/function, and tolerated for lexical
+		// kinds since the parser does not reject them): keep the first
+		// binding and treat this occurrence as a reference, so renames cover
+		// the redeclaration site too.
 		a.info.Resolved[id] = existing
+		existing.Refs = append(existing.Refs, id)
 		if existing.Init == nil {
 			existing.Init = init
 		}

@@ -64,6 +64,9 @@ func PermutationImportance(f *Forest, x [][]float64, y []bool, topN int, rng *ra
 }
 
 func forestAccuracy(f *Forest, x [][]float64, y []bool) float64 {
+	if len(x) == 0 {
+		return 0 // avoid 0/0 → NaN on an empty evaluation set
+	}
 	correct := 0
 	for i := range x {
 		if (f.Predict(x[i]) >= 0.5) == y[i] {

@@ -74,12 +74,13 @@ func ExactMatch(pred []int, truth []bool) bool {
 }
 
 // WrongMissing counts predicted labels not in the truth (wrong) and truth
-// labels not predicted (missing), as plotted in Figure 1.
+// labels not predicted (missing), as plotted in Figure 1. Predicted indices
+// outside the truth vector count as wrong rather than panicking.
 func WrongMissing(pred []int, truth []bool) (wrong, missing int) {
 	predSet := make(map[int]bool, len(pred))
 	for _, i := range pred {
 		predSet[i] = true
-		if !truth[i] {
+		if i < 0 || i >= len(truth) || !truth[i] {
 			wrong++
 		}
 	}
@@ -103,4 +104,76 @@ func BinaryAccuracy(pred, truth []bool) float64 {
 		}
 	}
 	return float64(correct) / float64(len(pred))
+}
+
+// Confusion is a binary confusion matrix. The zero value is an empty matrix;
+// every derived metric on it is defined (0, never NaN), so degenerate
+// evaluation splits — single-class truth, all-negative predictions — report
+// scores instead of poisoning downstream averages.
+type Confusion struct {
+	TP, FP, TN, FN int
+}
+
+// Observe tallies one prediction against its ground truth.
+func (c *Confusion) Observe(pred, truth bool) {
+	switch {
+	case pred && truth:
+		c.TP++
+	case pred && !truth:
+		c.FP++
+	case !pred && truth:
+		c.FN++
+	default:
+		c.TN++
+	}
+}
+
+// ConfusionFrom builds a confusion matrix from parallel prediction and truth
+// vectors; extra entries in the longer vector are ignored.
+func ConfusionFrom(pred, truth []bool) Confusion {
+	n := len(pred)
+	if len(truth) < n {
+		n = len(truth)
+	}
+	var c Confusion
+	for i := 0; i < n; i++ {
+		c.Observe(pred[i], truth[i])
+	}
+	return c
+}
+
+// Total is the number of observations in the matrix.
+func (c Confusion) Total() int { return c.TP + c.FP + c.TN + c.FN }
+
+// Precision is TP/(TP+FP), or 0 when nothing was predicted positive.
+func (c Confusion) Precision() float64 {
+	if c.TP+c.FP == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FP)
+}
+
+// Recall is TP/(TP+FN), or 0 when the truth has no positives.
+func (c Confusion) Recall() float64 {
+	if c.TP+c.FN == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FN)
+}
+
+// F1 is the harmonic mean of precision and recall, or 0 when both are 0.
+func (c Confusion) F1() float64 {
+	p, r := c.Precision(), c.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// Accuracy is (TP+TN)/total, or 0 for an empty matrix.
+func (c Confusion) Accuracy() float64 {
+	if c.Total() == 0 {
+		return 0
+	}
+	return float64(c.TP+c.TN) / float64(c.Total())
 }

@@ -1,0 +1,84 @@
+package oracle
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/js/interp"
+	"repro/internal/js/parser"
+	"repro/internal/js/printer"
+)
+
+// fuzzSkips counts skipped fuzz executions by cause; it is reported at the
+// end of the run by TestFuzzSkipReporting so skips are visible, never
+// silently dropped.
+var fuzzSkips struct {
+	parse, feature, budget atomic.Int64
+}
+
+// FuzzInterpDifferential feeds arbitrary source through two differential
+// properties at once:
+//
+//  1. Print stability: parse -> compact-print -> reparse -> compact-print
+//     must reproduce the first printed form (an AST-equality proxy: a
+//     structural change surfaces as a textual one).
+//  2. Interpreter equality: the original text and its printed form must have
+//     identical observable behavior under the sandboxed interpreter.
+//
+// Inputs the parser rejects, or that reach an unsupported interpreter
+// feature, are skipped with the attributed cause and counted in fuzzSkips.
+func FuzzInterpDifferential(f *testing.F) {
+	for i := 0; i < 8; i++ {
+		rng := rand.New(rand.NewSource(int64(42 + i)))
+		f.Add(corpus.GenerateRegular(rng))
+	}
+	f.Add(`console.log(![]+[], +[![]], [][[]])`)
+	f.Add(`var x = 1; try { null.y } catch (e) { console.log(e.name, x) }`)
+	f.Add(`for (let i = 0; i < 3; i++) console.log(i)`)
+
+	// Tight budgets keep pathological inputs from dominating the fuzz run.
+	opts := interp.Options{MaxSteps: 200_000, MaxAlloc: 8 << 20, MaxLogs: 1000}
+
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := parser.ParseProgram(src)
+		if err != nil {
+			fuzzSkips.parse.Add(1)
+			t.Skipf("skip feature.parse: %v", err)
+		}
+		printed := printer.Compact(prog)
+
+		reprog, err := parser.ParseProgram(printed)
+		if err != nil {
+			t.Fatalf("printed output does not reparse: %v\nsource: %q\nprinted: %q", err, src, printed)
+		}
+		reprinted := printer.Compact(reprog)
+		if printed != reprinted {
+			t.Fatalf("print not stable through reparse:\n first: %q\nsecond: %q", printed, reprinted)
+		}
+
+		o := Compare(src, printed, opts)
+		switch o.Verdict {
+		case Mismatch:
+			t.Fatalf("printed form changed behavior: %s\nsource: %q", o.Detail, src)
+		case Skipped:
+			if o.SkipFeature == "" {
+				t.Fatalf("skip without an attributed feature: %s", o.Detail)
+			}
+			if a := (&interp.Abort{Feature: o.SkipFeature}); a.IsUnsupported() {
+				fuzzSkips.feature.Add(1)
+			} else {
+				fuzzSkips.budget.Add(1)
+			}
+			t.Skipf("skip %s: %s", o.SkipFeature, o.Detail)
+		}
+	})
+}
+
+// TestFuzzSkipReporting surfaces the skip counters accumulated by the seed
+// corpus of FuzzInterpDifferential (and by -fuzz runs sharing the process).
+func TestFuzzSkipReporting(t *testing.T) {
+	t.Logf("fuzz skips: parse=%d feature=%d budget=%d",
+		fuzzSkips.parse.Load(), fuzzSkips.feature.Load(), fuzzSkips.budget.Load())
+}

@@ -1,0 +1,158 @@
+// Package oracle is the semantic-equivalence oracle over the transform and
+// deobfuscation pipelines. It runs an original program and a rewritten
+// program in the sandboxed interpreter (internal/js/interp) and compares
+// their observable behavior: the sequence of console lines plus the identity
+// of the uncaught error, if any, that ended the run.
+//
+// The oracle is differential in the strict sense: both sides execute in the
+// same sandbox, so what is asserted is that a rewrite preserves behavior
+// *under this interpreter*, which is exactly the property the transforms and
+// deobfuscator promise. Engine-perfect ECMAScript fidelity is not required.
+//
+// A run that trips a sandbox limit or reaches an unmodeled language feature
+// is a Skip, never a silent pass: every skip carries the stable feature name
+// reported by the interpreter ("feature.regex", "budget.steps", ...), so
+// callers can count and attribute them.
+package oracle
+
+import (
+	"fmt"
+
+	"repro/internal/js/interp"
+)
+
+// Verdict classifies one differential comparison.
+type Verdict int
+
+const (
+	// Equivalent: both runs completed (or failed) with identical observable
+	// output.
+	Equivalent Verdict = iota
+	// Mismatch: observable output differed. Detail says where.
+	Mismatch
+	// Skipped: at least one side aborted on a sandbox budget or an
+	// unsupported feature; no equivalence claim is made. SkipFeature names
+	// the cause.
+	Skipped
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case Equivalent:
+		return "equivalent"
+	case Mismatch:
+		return "mismatch"
+	case Skipped:
+		return "skipped"
+	}
+	return fmt.Sprintf("Verdict(%d)", int(v))
+}
+
+// Outcome is the result of one differential comparison.
+type Outcome struct {
+	Verdict Verdict
+	// SkipFeature is the interpreter's stable feature name when Verdict is
+	// Skipped ("feature.parse", "feature.regex", "budget.steps", ...).
+	SkipFeature string
+	// Detail describes a mismatch (first diverging log line or error-name
+	// difference) or the skip in human-readable form.
+	Detail string
+	// Original and Transformed hold the raw interpreter results when the
+	// corresponding side ran to an observable end.
+	Original, Transformed interp.Result
+}
+
+// Compare runs both sources and compares observable output.
+func Compare(original, transformed string, opts interp.Options) Outcome {
+	a, err := interp.Run(original, opts)
+	if err != nil {
+		return skipOutcome(err, "original")
+	}
+	b, err := interp.Run(transformed, opts)
+	if err != nil {
+		return skipOutcome(err, "transformed")
+	}
+	out := Outcome{Original: a, Transformed: b}
+	out.Verdict, out.Detail = diffResults(a, b)
+	return out
+}
+
+func skipOutcome(err error, side string) Outcome {
+	if a, ok := err.(*interp.Abort); ok {
+		return Outcome{
+			Verdict:     Skipped,
+			SkipFeature: a.Feature,
+			Detail:      fmt.Sprintf("%s program: %s", side, a.Error()),
+		}
+	}
+	// interp.Run only returns *Abort errors; anything else is a bug worth
+	// surfacing as a mismatch rather than a quiet skip.
+	return Outcome{Verdict: Mismatch, Detail: fmt.Sprintf("%s program: unexpected error %v", side, err)}
+}
+
+// diffResults compares two completed runs.
+func diffResults(a, b interp.Result) (Verdict, string) {
+	if a.ErrorName != b.ErrorName {
+		return Mismatch, fmt.Sprintf("uncaught error %q vs %q", a.ErrorName, b.ErrorName)
+	}
+	if len(a.Logs) != len(b.Logs) {
+		return Mismatch, fmt.Sprintf("log count %d vs %d", len(a.Logs), len(b.Logs))
+	}
+	for i := range a.Logs {
+		if a.Logs[i] != b.Logs[i] {
+			return Mismatch, fmt.Sprintf("log line %d: %q vs %q", i, a.Logs[i], b.Logs[i])
+		}
+	}
+	return Equivalent, ""
+}
+
+// Stats accumulates per-bucket oracle outcomes, typically one bucket per
+// transformation technique.
+type Stats struct {
+	Pass, Fail int
+	// Skips counts skipped comparisons by feature name.
+	Skips map[string]int
+}
+
+// Record tallies one outcome.
+func (s *Stats) Record(o Outcome) {
+	switch o.Verdict {
+	case Equivalent:
+		s.Pass++
+	case Mismatch:
+		s.Fail++
+	case Skipped:
+		if s.Skips == nil {
+			s.Skips = make(map[string]int)
+		}
+		s.Skips[o.SkipFeature]++
+	}
+}
+
+// Total is the number of recorded comparisons.
+func (s *Stats) Total() int {
+	n := s.Pass + s.Fail
+	for _, c := range s.Skips {
+		n += c
+	}
+	return n
+}
+
+// SkipCount is the number of skipped comparisons.
+func (s *Stats) SkipCount() int {
+	n := 0
+	for _, c := range s.Skips {
+		n += c
+	}
+	return n
+}
+
+// SkipRate is the fraction of comparisons skipped (0 when nothing was
+// recorded).
+func (s *Stats) SkipRate() float64 {
+	t := s.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(s.SkipCount()) / float64(t)
+}

@@ -1,0 +1,193 @@
+package oracle
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/deobfuscate"
+	"repro/internal/js/interp"
+	"repro/internal/js/parser"
+	"repro/internal/js/printer"
+	"repro/internal/transform"
+)
+
+// programsPerTechnique is the per-technique sample size for the equivalence
+// suite; maxSkipRate is the accepted fraction of attributed skips.
+const (
+	programsPerTechnique = 50
+	maxSkipRate          = 0.20
+)
+
+// genProgram produces the i-th deterministic corpus program for a suite.
+func genProgram(suite int64, i int) (string, *rand.Rand) {
+	rng := rand.New(rand.NewSource(suite*100_000 + int64(i)))
+	return corpus.GenerateRegular(rng), rng
+}
+
+// fitNoAlpha shrinks src at statement granularity until the no-alphanumeric
+// encoding is lossless (the technique truncates past its caps by design, so
+// oversized programs cannot be semantics-preserving). It drops trailing
+// statements first; if even a one-statement prefix is too costly it falls
+// back to the first individually encodable statement. Returns "" when
+// nothing fits.
+func fitNoAlpha(src string) string {
+	prog, err := parser.ParseProgram(src)
+	if err != nil {
+		return ""
+	}
+	all := prog.Body
+	for len(prog.Body) > 0 {
+		c := printer.Compact(prog)
+		if transform.NoAlphaLossless(c) {
+			return c
+		}
+		prog.Body = prog.Body[:len(prog.Body)-1]
+	}
+	for _, stmt := range all {
+		prog.Body = all[:1]
+		prog.Body[0] = stmt
+		c := printer.Compact(prog)
+		if transform.NoAlphaLossless(c) {
+			return c
+		}
+	}
+	return ""
+}
+
+// TestOracleTechniqueEquivalence asserts that every monitored transformation
+// technique preserves observable behavior on generated corpus programs. Any
+// mismatch fails; skips must be attributed and stay under maxSkipRate per
+// technique.
+func TestOracleTechniqueEquivalence(t *testing.T) {
+	for _, tech := range transform.Techniques {
+		tech := tech
+		t.Run(tech.String(), func(t *testing.T) {
+			t.Parallel()
+			var st Stats
+			for i := 0; i < programsPerTechnique; i++ {
+				src, rng := genProgram(int64(tech), i)
+				if tech == transform.NoAlphanumeric {
+					src = fitNoAlpha(src)
+					if src == "" {
+						st.Record(Outcome{Verdict: Skipped, SkipFeature: "feature.noalpha-cap"})
+						continue
+					}
+				}
+				trans, err := transform.Transform(src, rng, tech)
+				if err != nil {
+					t.Fatalf("program %d: transform: %v", i, err)
+				}
+				o := Compare(src, trans, interp.Options{})
+				st.Record(o)
+				if o.Verdict == Mismatch {
+					t.Errorf("program %d: not semantics-preserving: %s", i, o.Detail)
+				}
+				if o.Verdict == Skipped && o.SkipFeature == "" {
+					t.Errorf("program %d: skip without an attributed feature", i)
+				}
+			}
+			if rate := st.SkipRate(); rate >= maxSkipRate {
+				t.Errorf("skip rate %.0f%% >= %.0f%% (skips by feature: %v)",
+					rate*100, maxSkipRate*100, st.Skips)
+			}
+			t.Logf("pass=%d fail=%d skips=%v", st.Pass, st.Fail, st.Skips)
+		})
+	}
+}
+
+// TestOracleDeobfuscateRoundTrip obfuscates corpus programs, deobfuscates the
+// result, and asserts the deobfuscated program behaves like the obfuscated
+// one (and therefore like the original, by the equivalence suite).
+func TestOracleDeobfuscateRoundTrip(t *testing.T) {
+	// NoAlphanumeric is excluded: its output is a Function-constructor payload
+	// the static deobfuscator does not (and is not meant to) unpack.
+	techs := []transform.Technique{
+		transform.IdentifierObfuscation, transform.StringObfuscation,
+		transform.GlobalArray, transform.DeadCodeInjection,
+		transform.ControlFlowFlattening, transform.SelfDefending,
+		transform.DebugProtection, transform.MinifySimple,
+		transform.MinifyAdvanced,
+	}
+	for _, tech := range techs {
+		tech := tech
+		t.Run(tech.String(), func(t *testing.T) {
+			t.Parallel()
+			var st Stats
+			for i := 0; i < programsPerTechnique; i++ {
+				src, rng := genProgram(1000+int64(tech), i)
+				obf, err := transform.Transform(src, rng, tech)
+				if err != nil {
+					t.Fatalf("program %d: transform: %v", i, err)
+				}
+				deob, _, err := deobfuscate.Source(obf, deobfuscate.Options{})
+				if err != nil {
+					t.Fatalf("program %d: deobfuscate: %v", i, err)
+				}
+				o := Compare(obf, deob, interp.Options{})
+				st.Record(o)
+				if o.Verdict == Mismatch {
+					t.Errorf("program %d: deobfuscation changed behavior: %s", i, o.Detail)
+				}
+			}
+			if rate := st.SkipRate(); rate >= maxSkipRate {
+				t.Errorf("skip rate %.0f%% >= %.0f%% (skips by feature: %v)",
+					rate*100, maxSkipRate*100, st.Skips)
+			}
+			t.Logf("pass=%d fail=%d skips=%v", st.Pass, st.Fail, st.Skips)
+		})
+	}
+}
+
+// TestDifferentialPrintReparse asserts that pretty-printing and compacting
+// are behavior-preserving: parse -> print -> reparse -> interpret must agree
+// with interpreting the original text.
+func TestDifferentialPrintReparse(t *testing.T) {
+	printers := []struct {
+		name  string
+		print func(src string) (string, error)
+	}{
+		{"pretty", func(src string) (string, error) {
+			prog, err := parser.ParseProgram(src)
+			if err != nil {
+				return "", err
+			}
+			return printer.Print(prog, printer.Options{}), nil
+		}},
+		{"compact", func(src string) (string, error) {
+			prog, err := parser.ParseProgram(src)
+			if err != nil {
+				return "", err
+			}
+			return printer.Compact(prog), nil
+		}},
+	}
+	for _, pr := range printers {
+		pr := pr
+		t.Run(pr.name, func(t *testing.T) {
+			t.Parallel()
+			var st Stats
+			for i := 0; i < programsPerTechnique; i++ {
+				src, _ := genProgram(2000, i)
+				printed, err := pr.print(src)
+				if err != nil {
+					t.Fatalf("program %d: print: %v", i, err)
+				}
+				if _, err := parser.ParseProgram(printed); err != nil {
+					t.Errorf("program %d: printed output does not reparse: %v", i, err)
+					continue
+				}
+				o := Compare(src, printed, interp.Options{})
+				st.Record(o)
+				if o.Verdict == Mismatch {
+					t.Errorf("program %d: print changed behavior: %s", i, o.Detail)
+				}
+			}
+			if rate := st.SkipRate(); rate >= maxSkipRate {
+				t.Errorf("skip rate %.0f%% >= %.0f%% (skips by feature: %v)",
+					rate*100, maxSkipRate*100, st.Skips)
+			}
+			t.Logf("pass=%d fail=%d skips=%v", st.Pass, st.Fail, st.Skips)
+		})
+	}
+}

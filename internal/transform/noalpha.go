@@ -24,15 +24,14 @@ func encodeNoAlphanumeric(src string) (string, error) {
 	// code as possible, then cap the payload: JSFuck expands input by two
 	// orders of magnitude, and the paper's pipeline only analyzes files up
 	// to 2 MB anyway.
-	const maxInput = 1536
 	if prog, err := parser.ParseProgram(src); err == nil {
 		src = printer.Compact(prog)
 	}
-	if len(src) > maxInput {
-		src = src[:maxInput]
+	if len(src) > NoAlphaMaxInput {
+		src = src[:NoAlphaMaxInput]
 	}
 	enc := newJSFuckEncoder()
-	code, err := enc.encodeString(src)
+	code, _, err := enc.encodeString(src)
 	if err != nil {
 		return "", err
 	}
@@ -248,19 +247,42 @@ func (e *jsfuckEncoder) unescapeChar(r rune) (string, error) {
 	return "(" + fn + "(" + ret + ")()(" + arg + "))", nil
 }
 
+// NoAlphaMaxInput caps the (compacted) source the no-alphanumeric encoder
+// will embed; longer programs are truncated by design so a transformed file
+// stays within the paper's 2 MB analysis bound.
+const NoAlphaMaxInput = 1536
+
 // maxOutput bounds the encoded payload: rare characters cost kilobytes of
 // atoms each, and the analysis pipeline caps files at 2 MB anyway.
 const maxOutput = 384 << 10
 
+// NoAlphaLossless reports whether encodeNoAlphanumeric preserves src exactly:
+// the compacted program fits the input cap and its encoding stays within the
+// output budget. Past either cap the embedded payload is a truncated prefix
+// of the source, which is intentionally not semantics-preserving.
+func NoAlphaLossless(src string) bool {
+	if prog, err := parser.ParseProgram(src); err == nil {
+		src = printer.Compact(prog)
+	}
+	if len(src) > NoAlphaMaxInput {
+		return false
+	}
+	enc := newJSFuckEncoder()
+	_, truncated, err := enc.encodeString(src)
+	return err == nil && !truncated
+}
+
 // encodeString encodes the program text as one string expression, stopping
-// once the output budget is reached.
-func (e *jsfuckEncoder) encodeString(src string) (string, error) {
+// once the output budget is reached; truncated reports whether it stopped
+// before consuming all of src.
+func (e *jsfuckEncoder) encodeString(src string) (string, bool, error) {
 	var sb strings.Builder
 	first := true
-	for _, r := range src {
+	rs := []rune(src)
+	for i, r := range rs {
 		c, err := e.char(r)
 		if err != nil {
-			return "", err
+			return "", false, err
 		}
 		if !first {
 			sb.WriteString("+")
@@ -268,11 +290,11 @@ func (e *jsfuckEncoder) encodeString(src string) (string, error) {
 		sb.WriteString(c)
 		first = false
 		if sb.Len() > maxOutput {
-			break
+			return sb.String(), i < len(rs)-1, nil
 		}
 	}
 	if first {
-		return "([]+[])", nil
+		return "([]+[])", false, nil
 	}
-	return sb.String(), nil
+	return sb.String(), false, nil
 }

@@ -38,6 +38,27 @@ func renameBindings(prog *ast.Program, newName func(i int, b *scope.Binding) str
 			ref.Name = name
 		}
 	}
+	fixShorthandProperties(prog)
+}
+
+// fixShorthandProperties clears the Shorthand flag on properties whose bound
+// value identifier no longer matches the key. Shorthand `{name}` in a
+// destructuring pattern (or object literal) parses into distinct Key and
+// Value identifier nodes, and only the Value side is a binding/reference: a
+// rename turns `{name}` into `{renamed}` — which reads a different property —
+// unless the printer is told to emit the longhand `{name: renamed}`.
+func fixShorthandProperties(n ast.Node) {
+	if p, ok := n.(*ast.Property); ok && p.Shorthand {
+		key, kok := p.Key.(*ast.Identifier)
+		val := p.Value
+		if ap, isAP := val.(*ast.AssignmentPattern); isAP {
+			val = ap.Left
+		}
+		if v, vok := val.(*ast.Identifier); kok && vok && key.Name != v.Name {
+			p.Shorthand = false
+		}
+	}
+	ast.EachChild(n, fixShorthandProperties)
 }
 
 var jsKeywords = map[string]bool{

@@ -30,4 +30,30 @@ go test -race -run 'Scan|ParallelTrain' ./internal/core ./cmd/jsdetect
 echo "== go test -race =="
 go test -race ./...
 
+# Semantic-equivalence oracle: the differential suites are the executable
+# ground-truth check behind the transform/deobfuscate pipeline, so run them
+# by name (fast, no -race needed — the interpreter is single-goroutine).
+echo "== semantic oracle =="
+go test -run 'Oracle|Differential' ./internal/oracle ./internal/js/interp
+
+# Short differential fuzz. -fuzzminimizetime is pinned low because corpus
+# minimization otherwise monopolizes the single fuzz worker on small
+# machines and starves actual exploration.
+echo "== fuzz (10s) =="
+go test -fuzz FuzzInterpDifferential -fuzztime 10s -fuzzminimizetime 5x -run '^$' ./internal/oracle
+
+# Coverage floor for the interpreter: the oracle is only as trustworthy as
+# the sandbox under it.
+echo "== interp coverage floor (80%) =="
+cov=$(go test -count=1 -cover ./internal/js/interp | awk '{for (i=1; i<=NF; i++) if ($i ~ /^[0-9.]+%$/) {sub(/%/, "", $i); print $i}}')
+if [ -z "$cov" ]; then
+    echo "could not read internal/js/interp coverage" >&2
+    exit 1
+fi
+if ! awk -v c="$cov" 'BEGIN { exit !(c >= 80.0) }'; then
+    echo "internal/js/interp coverage ${cov}% is below the 80% floor" >&2
+    exit 1
+fi
+echo "internal/js/interp coverage: ${cov}%"
+
 echo "OK"
