@@ -11,6 +11,9 @@
 //	jsdetect -models models/ -json file.js      # machine-readable output
 //	jsdetect -models models/ -explain file.js   # attach static indicators
 //	jsdetect -models models/ -workers 8 dir/    # parallel batch scan
+//	jsdetect -models models/ -metrics dir/      # per-stage metrics dump
+//	jsdetect -models models/ -pprof :6060 dir/  # live pprof endpoints
+//	jsdetect -models models/ -trace out.tr dir/ # runtime execution trace
 //
 // Directory scans run on the batch engine: every file is parsed once, the
 // parse is shared across both detectors and the -explain rules, and a worker
@@ -18,6 +21,14 @@
 // A file that fails to parse is reported and skipped; only I/O-level
 // failures (unreadable files, bad flags, missing models) make the exit code
 // non-zero.
+//
+// Observability: -metrics enables the internal/obs registry for the run and
+// prints the per-stage pipeline breakdown (parse, flow, rules, features,
+// inference — durations summed across workers) plus every pipeline counter
+// and histogram to stderr; with -json the metrics dump is a single JSON
+// object on stderr instead. -pprof serves net/http/pprof on the given
+// address for the lifetime of the scan, and -trace writes a runtime/trace
+// of the scan for `go tool trace`.
 //
 // Models come from the trainer command; model files embed the feature
 // configuration they were trained with, and loading fails loudly when -dims
@@ -30,8 +41,12 @@ import (
 	"fmt"
 	"io"
 	"io/fs"
+	"net"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"path/filepath"
+	"runtime/trace"
 	"sort"
 	"strings"
 
@@ -39,6 +54,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/features"
 	"repro/internal/htmlext"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -54,6 +70,9 @@ type options struct {
 	explain   bool
 	workers   int
 	stats     bool
+	metrics   bool
+	pprofAddr string
+	traceFile string
 }
 
 func run(args []string, stdout, stderr io.Writer) int {
@@ -69,8 +88,48 @@ func run(args []string, stdout, stderr io.Writer) int {
 	flags.BoolVar(&opts.explain, "explain", false, "run the static indicator rules and attach attributable diagnostics")
 	flags.IntVar(&opts.workers, "workers", 0, "batch scan worker pool size (0 = GOMAXPROCS)")
 	flags.BoolVar(&opts.stats, "stats", false, "print aggregate scan statistics to stderr")
+	flags.BoolVar(&opts.metrics, "metrics", false, "collect pipeline metrics and print the per-stage breakdown to stderr (JSON with -json)")
+	flags.StringVar(&opts.pprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for the scan's lifetime")
+	flags.StringVar(&opts.traceFile, "trace", "", "write a runtime/trace of the scan to this file")
 	if err := flags.Parse(args); err != nil {
 		return 2
+	}
+
+	// Observability hooks come up before the models load so profiling covers
+	// model loading too.
+	if opts.metrics {
+		// A fresh registry per run keeps repeated in-process invocations
+		// (tests) from bleeding counts into each other.
+		prev := obs.Swap(obs.NewRegistry())
+		defer obs.Swap(prev)
+	}
+	if opts.pprofAddr != "" {
+		ln, err := net.Listen("tcp", opts.pprofAddr)
+		if err != nil {
+			fmt.Fprintf(stderr, "jsdetect: -pprof: %v\n", err)
+			return 1
+		}
+		defer ln.Close()
+		fmt.Fprintf(stderr, "jsdetect: pprof listening on http://%s/debug/pprof/\n", ln.Addr())
+		go http.Serve(ln, nil)
+	}
+	if opts.traceFile != "" {
+		f, err := os.Create(opts.traceFile)
+		if err != nil {
+			fmt.Fprintf(stderr, "jsdetect: -trace: %v\n", err)
+			return 1
+		}
+		if err := trace.Start(f); err != nil {
+			f.Close()
+			fmt.Fprintf(stderr, "jsdetect: -trace: %v\n", err)
+			return 1
+		}
+		defer func() {
+			trace.Stop()
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(stderr, "jsdetect: -trace: %v\n", err)
+			}
+		}()
 	}
 
 	featOpts := features.Options{NGramDims: *dims}
@@ -84,7 +143,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "jsdetect: load level 2: %v\n", err)
 		return 1
 	}
-	scanner, err := core.NewScanner(l1, l2, core.ScanOptions{Workers: opts.workers, Explain: opts.explain})
+	scanner, err := core.NewScanner(l1, l2, core.ScanOptions{Workers: opts.workers, Explain: opts.explain, StageStats: opts.metrics})
 	if err != nil {
 		fmt.Fprintf(stderr, "jsdetect: %v\n", err)
 		return 1
@@ -142,7 +201,48 @@ func run(args []string, stdout, stderr io.Writer) int {
 			stats.Regular, stats.Minified, stats.Obfuscated, stats.Transformed,
 			stats.ParseFailures, stats.FilesPerSec(), stats.BytesPerSec()/1024)
 	}
+	if opts.metrics {
+		emitMetrics(stderr, stats, opts.jsonOut)
+	}
 	return exit
+}
+
+// metricsReport is the -metrics -json output shape.
+type metricsReport struct {
+	Stages     []core.StageStats `json:"stages"`
+	StageTotal int64             `json:"stageTotalNs"`
+	ScanWall   int64             `json:"scanWallNs"`
+	Metrics    obs.Snapshot      `json:"metrics"`
+}
+
+// emitMetrics dumps the per-stage breakdown and the obs registry snapshot to
+// w: aligned text by default, one JSON object under -json.
+func emitMetrics(w io.Writer, stats core.ScanStats, jsonOut bool) {
+	snap := obs.Snapshot{}
+	if reg := obs.Get(); reg != nil {
+		snap = reg.Snapshot()
+	}
+	if jsonOut {
+		json.NewEncoder(w).Encode(metricsReport{
+			Stages:     stats.Stages,
+			StageTotal: int64(stats.StageTotal()),
+			ScanWall:   int64(stats.Duration),
+			Metrics:    snap,
+		})
+		return
+	}
+	fmt.Fprintf(w, "jsdetect: pipeline stage breakdown (durations summed across workers):\n")
+	fmt.Fprintf(w, "  %-10s %8s %12s %14s %10s\n", "stage", "files", "bytes", "time", "% stages")
+	total := stats.StageTotal()
+	for _, st := range stats.Stages {
+		pct := 0.0
+		if total > 0 {
+			pct = 100 * float64(st.Duration) / float64(total)
+		}
+		fmt.Fprintf(w, "  %-10s %8d %12d %14s %9.1f%%\n", st.Stage, st.Files, st.Bytes, st.Duration.Round(1e3), pct)
+	}
+	fmt.Fprintf(w, "  stages total %v, scan wall %v\n", total.Round(1e3), stats.Duration.Round(1e3))
+	snap.WriteText(w)
 }
 
 // item is one CLI argument after the read/HTML-extract stage.

@@ -23,6 +23,7 @@ import (
 	"repro/internal/js/ast"
 	"repro/internal/js/parser"
 	"repro/internal/js/walker"
+	"repro/internal/obs"
 )
 
 // Severity grades how strongly a diagnostic implies its technique.
@@ -224,6 +225,7 @@ func (e *Engine) Rules() []Rule { return e.rules }
 // Run executes every rule over ctx in one shared AST traversal and returns
 // the diagnostics sorted by source position.
 func (e *Engine) Run(ctx *Context) []Diagnostic {
+	defer obs.Time("analysis.run")()
 	var diags []Diagnostic
 	byType := make(map[string][]Visit)
 	var every []Visit
@@ -264,6 +266,8 @@ func (e *Engine) Run(ctx *Context) []Diagnostic {
 		}
 		return diags[i].Rule < diags[j].Rule
 	})
+	obs.Add("analysis.runs", 1)
+	obs.Add("analysis.diagnostics", int64(len(diags)))
 	return diags
 }
 

@@ -1,0 +1,324 @@
+// Package benchfmt parses `go test -bench` output into a schema'd baseline
+// file and diffs two baselines with tolerance gates. It is the library under
+// cmd/benchreg and scripts/bench.sh: benchmarks run once, land in a
+// BENCH_<n>.json trajectory file, and later runs are compared against the
+// last checked-in baseline so hot-path regressions fail the pre-merge gate
+// instead of shipping silently.
+package benchfmt
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Schema identifies the baseline file format.
+const Schema = "benchreg/v1"
+
+// Result is one benchmark's aggregated measurement.
+type Result struct {
+	// Name is the benchmark name with the -GOMAXPROCS suffix stripped,
+	// qualified by its package when the parser saw a pkg: line
+	// (e.g. "repro/internal/core.BenchmarkScanBatch").
+	Name string `json:"name"`
+	// Runs is how many lines were aggregated into this result.
+	Runs int `json:"runs"`
+	// N is the largest iteration count seen.
+	N int64 `json:"n"`
+	// NsPerOp is the minimum ns/op across runs — the least-noise estimate
+	// on a loaded machine.
+	NsPerOp float64 `json:"nsPerOp"`
+	// BytesPerOp and AllocsPerOp are from -benchmem (minimum across runs;
+	// allocation counts are stable, timing is not).
+	BytesPerOp  float64 `json:"bytesPerOp,omitempty"`
+	AllocsPerOp float64 `json:"allocsPerOp,omitempty"`
+	// MBPerSec is the maximum throughput across runs when SetBytes was used.
+	MBPerSec float64 `json:"mbPerSec,omitempty"`
+	// Metrics holds custom b.ReportMetric units (files/sec, acc%, ...),
+	// averaged across runs.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// File is a schema'd benchmark baseline.
+type File struct {
+	Schema string `json:"schema"`
+	// CreatedUnix is the baseline's creation time (stamped by cmd/benchreg).
+	CreatedUnix int64 `json:"createdUnix,omitempty"`
+	// GoVersion/GOOS/GOARCH/CPU describe the machine the numbers came from;
+	// cross-machine diffs are reported but should be read with suspicion.
+	GoVersion string `json:"goVersion,omitempty"`
+	GOOS      string `json:"goos,omitempty"`
+	GOARCH    string `json:"goarch,omitempty"`
+	CPU       string `json:"cpu,omitempty"`
+	// Note is free-form provenance (flags, BENCH_SCALE, ...).
+	Note    string   `json:"note,omitempty"`
+	Results []Result `json:"results"`
+}
+
+// Lookup returns the named result.
+func (f *File) Lookup(name string) (Result, bool) {
+	for _, r := range f.Results {
+		if r.Name == name {
+			return r, true
+		}
+	}
+	return Result{}, false
+}
+
+// measurement is one parsed benchmark line before aggregation.
+type measurement struct {
+	name string
+	n    int64
+	vals map[string]float64 // unit -> value
+}
+
+// ParseOutput reads `go test -bench` output and aggregates repeated runs of
+// the same benchmark (use -count=N for stability). It also picks up the
+// "pkg:" and "cpu:" header lines go test emits; the CPU string of the last
+// header wins.
+func ParseOutput(r io.Reader) ([]Result, string, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var (
+		cpu string
+		pkg string
+		ms  []measurement
+	)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "cpu:"):
+			cpu = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		case strings.HasPrefix(line, "pkg:"):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			continue
+		}
+		m, ok := parseLine(line)
+		if !ok {
+			continue
+		}
+		if pkg != "" {
+			m.name = pkg + "." + m.name
+		}
+		ms = append(ms, m)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, cpu, err
+	}
+	return aggregate(ms), cpu, nil
+}
+
+// parseLine parses one benchmark result line:
+//
+//	BenchmarkName-8   	     100	  123456 ns/op	  77 B/op	   3 allocs/op	  12.5 files/sec
+func parseLine(line string) (measurement, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return measurement{}, false
+	}
+	name := fields[0]
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	n, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return measurement{}, false
+	}
+	m := measurement{name: name, n: n, vals: make(map[string]float64)}
+	// The rest come in value/unit pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return measurement{}, false
+		}
+		m.vals[fields[i+1]] = v
+	}
+	if len(m.vals) == 0 {
+		return measurement{}, false
+	}
+	return m, true
+}
+
+// aggregate folds repeated runs: min for timing and allocation costs, max
+// for throughput, mean for custom metrics. Output is sorted by name.
+func aggregate(ms []measurement) []Result {
+	byName := make(map[string]*Result)
+	order := []string{}
+	counts := make(map[string]map[string]int)
+	for _, m := range ms {
+		r := byName[m.name]
+		if r == nil {
+			r = &Result{Name: m.name, Metrics: map[string]float64{}}
+			byName[m.name] = r
+			counts[m.name] = map[string]int{}
+			order = append(order, m.name)
+		}
+		r.Runs++
+		if m.n > r.N {
+			r.N = m.n
+		}
+		for unit, v := range m.vals {
+			switch unit {
+			case "ns/op":
+				if r.Runs == 1 || v < r.NsPerOp {
+					r.NsPerOp = v
+				}
+			case "B/op":
+				if counts[m.name][unit] == 0 || v < r.BytesPerOp {
+					r.BytesPerOp = v
+				}
+			case "allocs/op":
+				if counts[m.name][unit] == 0 || v < r.AllocsPerOp {
+					r.AllocsPerOp = v
+				}
+			case "MB/s":
+				if v > r.MBPerSec {
+					r.MBPerSec = v
+				}
+			default:
+				// Running mean over the runs that reported this unit.
+				c := counts[m.name][unit]
+				r.Metrics[unit] = (r.Metrics[unit]*float64(c) + v) / float64(c+1)
+			}
+			counts[m.name][unit]++
+		}
+	}
+	out := make([]Result, 0, len(byName))
+	sort.Strings(order)
+	for _, name := range order {
+		r := byName[name]
+		if len(r.Metrics) == 0 {
+			r.Metrics = nil
+		}
+		out = append(out, *r)
+	}
+	return out
+}
+
+// Verdict classifies one compared benchmark.
+type Verdict int
+
+// Comparison verdicts.
+const (
+	// VerdictOK means the new time is within tolerance of the baseline.
+	VerdictOK Verdict = iota
+	// VerdictImproved means the new time beat the baseline by more than
+	// the tolerance.
+	VerdictImproved
+	// VerdictRegressed means the new time exceeds the baseline by more
+	// than the tolerance.
+	VerdictRegressed
+	// VerdictMissing means the baseline benchmark did not run this time.
+	VerdictMissing
+	// VerdictNew means the benchmark has no baseline entry yet.
+	VerdictNew
+)
+
+// String renders the verdict for the diff table.
+func (v Verdict) String() string {
+	switch v {
+	case VerdictOK:
+		return "ok"
+	case VerdictImproved:
+		return "improved"
+	case VerdictRegressed:
+		return "REGRESSED"
+	case VerdictMissing:
+		return "missing"
+	case VerdictNew:
+		return "new"
+	default:
+		return "?"
+	}
+}
+
+// Delta is one benchmark's baseline-vs-current comparison.
+type Delta struct {
+	Name    string
+	Old     float64 // baseline ns/op (0 when VerdictNew)
+	New     float64 // current ns/op (0 when VerdictMissing)
+	Ratio   float64 // New/Old - 1 (signed relative change)
+	Verdict Verdict
+}
+
+// Compare diffs current against baseline with a relative tolerance on
+// ns/op (0.15 = fail beyond +15%). Benchmarks only present on one side are
+// reported as missing/new, never as failures.
+func Compare(baseline, current []Result, tolerance float64) []Delta {
+	cur := make(map[string]Result, len(current))
+	for _, r := range current {
+		cur[r.Name] = r
+	}
+	var out []Delta
+	seen := make(map[string]bool)
+	for _, b := range baseline {
+		seen[b.Name] = true
+		c, ok := cur[b.Name]
+		if !ok {
+			out = append(out, Delta{Name: b.Name, Old: b.NsPerOp, Verdict: VerdictMissing})
+			continue
+		}
+		d := Delta{Name: b.Name, Old: b.NsPerOp, New: c.NsPerOp}
+		if b.NsPerOp > 0 {
+			d.Ratio = c.NsPerOp/b.NsPerOp - 1
+		}
+		switch {
+		case d.Ratio > tolerance:
+			d.Verdict = VerdictRegressed
+		case d.Ratio < -tolerance:
+			d.Verdict = VerdictImproved
+		default:
+			d.Verdict = VerdictOK
+		}
+		out = append(out, d)
+	}
+	for _, c := range current {
+		if !seen[c.Name] {
+			out = append(out, Delta{Name: c.Name, New: c.NsPerOp, Verdict: VerdictNew})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// AnyRegressed reports whether the diff contains a regression.
+func AnyRegressed(deltas []Delta) bool {
+	for _, d := range deltas {
+		if d.Verdict == VerdictRegressed {
+			return true
+		}
+	}
+	return false
+}
+
+// WriteDiff renders the comparison as an aligned table.
+func WriteDiff(w io.Writer, deltas []Delta, tolerance float64) {
+	width := len("benchmark")
+	for _, d := range deltas {
+		if len(d.Name) > width {
+			width = len(d.Name)
+		}
+	}
+	fmt.Fprintf(w, "%-*s %14s %14s %8s  %s\n", width, "benchmark", "old ns/op", "new ns/op", "delta", "verdict")
+	for _, d := range deltas {
+		old, new := "-", "-"
+		if d.Verdict != VerdictNew {
+			old = fmt.Sprintf("%.0f", d.Old)
+		}
+		if d.Verdict != VerdictMissing {
+			new = fmt.Sprintf("%.0f", d.New)
+		}
+		delta := "-"
+		if d.Verdict != VerdictNew && d.Verdict != VerdictMissing {
+			delta = fmt.Sprintf("%+.1f%%", 100*d.Ratio)
+		}
+		fmt.Fprintf(w, "%-*s %14s %14s %8s  %s\n", width, d.Name, old, new, delta, d.Verdict)
+	}
+	fmt.Fprintf(w, "tolerance: ±%.0f%% on ns/op\n", 100*tolerance)
+}

@@ -1,0 +1,166 @@
+package benchfmt
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: repro/internal/core
+cpu: Example CPU @ 2.00GHz
+BenchmarkScanBatch-8         	       2	 500000000 ns/op	1000000 B/op	    5000 allocs/op	      32.0 files/sec
+BenchmarkScanBatch-8         	       2	 520000000 ns/op	1010000 B/op	    5000 allocs/op	      30.0 files/sec
+BenchmarkParseFlow-8         	     100	  12000000 ns/op	  400000 B/op	    2000 allocs/op
+PASS
+ok  	repro/internal/core	3.456s
+pkg: repro/internal/js/parser
+BenchmarkParse-8             	     300	   4000000 ns/op	  100000 B/op	     900 allocs/op
+PASS
+`
+
+func TestParseOutput(t *testing.T) {
+	results, cpu, err := ParseOutput(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cpu != "Example CPU @ 2.00GHz" {
+		t.Errorf("cpu = %q", cpu)
+	}
+	if len(results) != 3 {
+		t.Fatalf("got %d results %+v, want 3", len(results), results)
+	}
+	// Sorted by name; package qualification applied.
+	wantNames := []string{
+		"repro/internal/core.BenchmarkParseFlow",
+		"repro/internal/core.BenchmarkScanBatch",
+		"repro/internal/js/parser.BenchmarkParse",
+	}
+	for i, r := range results {
+		if r.Name != wantNames[i] {
+			t.Errorf("result %d = %q, want %q", i, r.Name, wantNames[i])
+		}
+	}
+	scan := results[1]
+	if scan.Runs != 2 {
+		t.Errorf("Runs = %d, want 2", scan.Runs)
+	}
+	if scan.NsPerOp != 500000000 { // min of the two runs
+		t.Errorf("NsPerOp = %v, want min run 500000000", scan.NsPerOp)
+	}
+	if scan.BytesPerOp != 1000000 || scan.AllocsPerOp != 5000 {
+		t.Errorf("mem = %v B/op %v allocs/op", scan.BytesPerOp, scan.AllocsPerOp)
+	}
+	if got := scan.Metrics["files/sec"]; got != 31.0 { // mean of 32 and 30
+		t.Errorf("files/sec = %v, want 31", got)
+	}
+	if results[0].Metrics != nil {
+		t.Errorf("ParseFlow has spurious metrics: %v", results[0].Metrics)
+	}
+}
+
+func TestParseLineRejectsNoise(t *testing.T) {
+	for _, line := range []string{
+		"PASS",
+		"ok  	repro/internal/core	3.456s",
+		"goos: linux",
+		"BenchmarkBroken-8 notanumber 12 ns/op",
+		"BenchmarkNoPairs-8 100",
+		"--- FAIL: TestSomething",
+		"",
+	} {
+		if m, ok := parseLine(line); ok {
+			t.Errorf("parseLine(%q) accepted noise: %+v", line, m)
+		}
+	}
+}
+
+func TestParseLineKeepsUnsuffixedName(t *testing.T) {
+	m, ok := parseLine("BenchmarkSerial 	 10 	 100 ns/op")
+	if !ok || m.name != "BenchmarkSerial" {
+		t.Fatalf("m = %+v ok = %v", m, ok)
+	}
+	// A trailing -word that is not a GOMAXPROCS count stays in the name.
+	m, ok = parseLine("BenchmarkScan/sub-case-8 	 10 	 100 ns/op")
+	if !ok || m.name != "BenchmarkScan/sub-case" {
+		t.Fatalf("m = %+v ok = %v", m, ok)
+	}
+}
+
+func TestCompareVerdicts(t *testing.T) {
+	baseline := []Result{
+		{Name: "A", NsPerOp: 1000},
+		{Name: "B", NsPerOp: 1000},
+		{Name: "C", NsPerOp: 1000},
+		{Name: "Gone", NsPerOp: 500},
+	}
+	current := []Result{
+		{Name: "A", NsPerOp: 1100}, // +10% within 15%
+		{Name: "B", NsPerOp: 1200}, // +20% regression
+		{Name: "C", NsPerOp: 800},  // -20% improvement
+		{Name: "Fresh", NsPerOp: 50},
+	}
+	deltas := Compare(baseline, current, 0.15)
+	want := map[string]Verdict{
+		"A": VerdictOK, "B": VerdictRegressed, "C": VerdictImproved,
+		"Gone": VerdictMissing, "Fresh": VerdictNew,
+	}
+	if len(deltas) != len(want) {
+		t.Fatalf("got %d deltas %+v", len(deltas), deltas)
+	}
+	for _, d := range deltas {
+		if d.Verdict != want[d.Name] {
+			t.Errorf("%s: verdict %v, want %v (ratio %+.2f)", d.Name, d.Verdict, want[d.Name], d.Ratio)
+		}
+	}
+	if !AnyRegressed(deltas) {
+		t.Error("AnyRegressed = false with a +20% entry")
+	}
+	deltas = Compare(baseline[:1], current[:1], 0.15)
+	if AnyRegressed(deltas) {
+		t.Error("AnyRegressed = true for a within-tolerance diff")
+	}
+}
+
+func TestWriteDiff(t *testing.T) {
+	deltas := Compare(
+		[]Result{{Name: "A", NsPerOp: 1000}, {Name: "B", NsPerOp: 1000}},
+		[]Result{{Name: "A", NsPerOp: 1300}},
+		0.15)
+	var buf bytes.Buffer
+	WriteDiff(&buf, deltas, 0.15)
+	out := buf.String()
+	for _, want := range []string{"REGRESSED", "missing", "+30.0%", "tolerance: ±15%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("diff output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFileRoundTripAndLookup(t *testing.T) {
+	results, _, err := ParseOutput(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := File{Schema: Schema, GoVersion: "go1.22", GOOS: "linux", GOARCH: "amd64", Results: results}
+	data, err := json.MarshalIndent(&f, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back File
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Schema != Schema || len(back.Results) != len(results) {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+	r, ok := back.Lookup("repro/internal/core.BenchmarkScanBatch")
+	if !ok || r.NsPerOp != 500000000 {
+		t.Fatalf("Lookup = %+v, %v", r, ok)
+	}
+	if _, ok := back.Lookup("nope"); ok {
+		t.Fatal("Lookup found a benchmark that does not exist")
+	}
+}

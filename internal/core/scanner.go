@@ -10,6 +10,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/features"
 	"repro/internal/js/parser"
+	"repro/internal/obs"
 )
 
 // The batch scan engine classifies whole directories the way the paper's
@@ -27,6 +28,11 @@ type ScanOptions struct {
 	// the diagnostics to its FileResult. The rules run over the scan's
 	// shared parse, so this does not add a parse pass.
 	Explain bool
+	// StageStats collects the per-stage timing/bytes breakdown into
+	// ScanStats.Stages. Stage stats are also collected, regardless of this
+	// setting, while the process-wide obs registry is enabled (jsdetect
+	// -metrics); otherwise the scan skips the per-file clock reads.
+	StageStats bool
 }
 
 func (o ScanOptions) workers() int {
@@ -76,6 +82,12 @@ type ScanStats struct {
 	Regular, Minified, Obfuscated, Transformed int
 	// Duration is the wall-clock time of the scan.
 	Duration time.Duration
+	// Stages is the per-stage timing/bytes breakdown, in pipeline order.
+	// It is nil unless the scan ran with ScanOptions.StageStats or with the
+	// obs registry enabled. Stage durations are summed across workers and
+	// cover every scanned file, including ones a cancelled scan never
+	// emitted.
+	Stages []StageStats
 }
 
 // FilesPerSec returns the scan throughput in files per second.
@@ -122,24 +134,31 @@ func NewScanner(l1, l2 *Detector, opts ScanOptions) (*Scanner, error) {
 
 // scanOne classifies one input: a single parse and flow graph feed the
 // feature vector, both detectors, and (under Explain) the indicator rules.
-func (s *Scanner) scanOne(in Input) FileResult {
+// acc, when non-nil, receives the per-stage cost breakdown.
+func (s *Scanner) scanOne(in Input, acc *stageAcc) FileResult {
 	out := FileResult{Path: in.Path, Bytes: len(in.Source)}
+	t := newStageTimer(acc, len(in.Source))
 	res, err := parser.ParseNoTokens(in.Source)
+	t.tick(stageParse)
 	if err != nil {
 		out.Err = fmt.Errorf("parse: %w", err)
 		return out
 	}
 	g := s.ext.Flow(res)
+	t.tick(stageFlow)
 	var diags []analysis.Diagnostic
 	if s.opts.Explain || s.ext.Options().RuleFeatures {
 		diags = analysis.AnalyzeParsed(in.Source, res, g)
+		t.tick(stageRules)
 	}
 	vec := s.ext.ExtractFull(in.Source, res, g, diags)
+	t.tick(stageFeatures)
 	out.Level1 = level1FromProbs(s.l1.ProbsVec(vec))
 	if out.Level1.IsTransformed() {
 		r := Level2FromProbs(s.l2.ProbsVec(vec))
 		out.Level2 = &r
 	}
+	t.tick(stageInfer)
 	if s.opts.Explain {
 		out.Diagnostics = diags
 	}
@@ -175,6 +194,10 @@ func (s *Scanner) ScanStreamContext(ctx context.Context, inputs []Input, emit fu
 		workers = n
 	}
 
+	var acc *stageAcc
+	if s.opts.StageStats || obs.Enabled() {
+		acc = &stageAcc{}
+	}
 	results := make([]FileResult, n)
 	ready := make([]chan struct{}, n)
 	for i := range ready {
@@ -187,7 +210,7 @@ func (s *Scanner) ScanStreamContext(ctx context.Context, inputs []Input, emit fu
 		go func() {
 			defer wg.Done()
 			for i := range work {
-				results[i] = s.scanOne(inputs[i])
+				results[i] = s.scanOne(inputs[i], acc)
 				close(ready[i])
 			}
 		}()
@@ -244,7 +267,12 @@ func (s *Scanner) ScanStreamContext(ctx context.Context, inputs []Input, emit fu
 		}
 	}
 	wg.Wait()
+	if acc != nil {
+		stats.Stages = acc.stats()
+	}
 	stats.Duration = time.Since(start)
+	obs.Add("scan.files", int64(stats.Files))
+	obs.Add("scan.bytes", stats.Bytes)
 	return stats, err
 }
 

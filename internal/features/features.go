@@ -17,6 +17,7 @@ import (
 	"repro/internal/js/lexer"
 	"repro/internal/js/parser"
 	"repro/internal/js/walker"
+	"repro/internal/obs"
 )
 
 // Options configures extraction.
@@ -127,6 +128,8 @@ func (e *Extractor) ExtractParsed(src string, res *parser.Result) Vector {
 // graph and/or already-computed diagnostics when the caller has them (both
 // may be nil, in which case they are built here as needed).
 func (e *Extractor) ExtractFull(src string, res *parser.Result, g *flow.Graph, diags []analysis.Diagnostic) Vector {
+	defer obs.Time("features.extract")()
+	obs.Add("features.vectors", 1)
 	vec := make(Vector, e.Dim())
 	e.ngramFeatures(res.Program, vec[:e.opts.dims()])
 	if g == nil {

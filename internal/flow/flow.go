@@ -14,6 +14,7 @@ import (
 	"repro/internal/js/ast"
 	"repro/internal/js/scope"
 	"repro/internal/js/walker"
+	"repro/internal/obs"
 )
 
 // Edge is a directed edge between two AST nodes.
@@ -50,9 +51,11 @@ const DefaultDataFlowDeadline = 2 * time.Minute
 
 // Build constructs the enhanced graph for a program.
 func Build(prog *ast.Program, opts Options) *Graph {
+	defer obs.Time("flow.build")()
 	g := &Graph{Root: prog}
 	g.Control = controlEdges(prog)
 	if opts.SkipDataFlow {
+		flushStats(g)
 		return g
 	}
 	deadline := opts.DataFlowDeadline
@@ -72,10 +75,26 @@ func Build(prog *ast.Program, opts Options) *Graph {
 		if len(g.Data)%4096 == 0 && time.Since(start) > deadline {
 			g.Data = nil
 			g.DataFlowTimedOut = true
+			flushStats(g)
 			return g
 		}
 	}
+	flushStats(g)
 	return g
+}
+
+// flushStats records one built graph into the obs registry (no-ops when
+// metrics are disabled).
+func flushStats(g *Graph) {
+	if !obs.Enabled() {
+		return
+	}
+	obs.Add("flow.graphs", 1)
+	obs.Add("flow.control_edges", int64(len(g.Control)))
+	obs.Add("flow.data_edges", int64(len(g.Data)))
+	if g.DataFlowTimedOut {
+		obs.Add("flow.dataflow_timeouts", 1)
+	}
 }
 
 // controlEdges builds intra-procedural control-flow edges over statement

@@ -1,0 +1,281 @@
+package htmlext
+
+import (
+	"strings"
+	"testing"
+)
+
+// Edge cases the wild-HTML corpus hits: exotic type attributes, unclosed
+// and nested markup, handler attributes in awkward positions, and a crash-
+// regression seed set run through every entry point.
+
+func countKind(scripts []Script, kind ScriptKind) int {
+	n := 0
+	for _, s := range scripts {
+		if s.Kind == kind {
+			n++
+		}
+	}
+	return n
+}
+
+func TestScriptTypeVariants(t *testing.T) {
+	cases := []struct {
+		name string
+		html string
+		want int // inline scripts extracted
+	}{
+		{"default type", `<script>a();</script>`, 1},
+		{"text/javascript", `<script type="text/javascript">a();</script>`, 1},
+		{"uppercase type", `<SCRIPT TYPE="TEXT/JAVASCRIPT">a();</SCRIPT>`, 1},
+		{"module", `<script type="module">import x from "y";</script>`, 1},
+		{"application/javascript", `<script type="application/javascript">a();</script>`, 1},
+		{"ecmascript", `<script type="text/ecmascript">a();</script>`, 1},
+		{"whitespace around type", `<script type=" text/javascript ">a();</script>`, 1},
+		{"empty type", `<script type="">a();</script>`, 1},
+		{"json payload skipped", `<script type="application/json">{"a":1}</script>`, 0},
+		{"ld+json skipped", `<script type="application/ld+json">{"@context":1}</script>`, 0},
+		{"template skipped", `<script type="text/x-template"><div></div></script>`, 0},
+		{"importmap skipped", `<script type="importmap">{"imports":{}}</script>`, 0},
+		{"single-quoted type", `<script type='text/javascript'>a();</script>`, 1},
+		{"bare type value", `<script type=module>a();</script>`, 1},
+		{"whitespace-only body dropped", "<script>   \n\t </script>", 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := countKind(Extract(tc.html), InlineScript)
+			if got != tc.want {
+				t.Errorf("Extract(%q) inline = %d, want %d", tc.html, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestInlineEventHandlerPlacements(t *testing.T) {
+	html := `
+<body onload="init()">
+<a href="#" onclick='track(this); go()'>x</a>
+<img src=x onerror="pwn()">
+<input oninput="validate(value)" onfocus="hint()">
+<div data-onclick="notAHandler()">y</div>
+<form onsubmit="return check()">
+</form>
+</body>`
+	scripts := Extract(html)
+	handlers := make(map[string]bool)
+	for _, s := range scripts {
+		if s.Kind == EventHandler {
+			handlers[s.Source] = true
+			if s.Offset < 0 || s.Offset >= len(html) {
+				t.Errorf("handler %q offset %d out of range", s.Source, s.Offset)
+			}
+		}
+	}
+	for _, want := range []string{
+		"init()", "track(this); go()", "pwn()", "validate(value)", "hint()", "return check()",
+	} {
+		if !handlers[want] {
+			t.Errorf("handler %q not extracted (got %v)", want, handlers)
+		}
+	}
+	// data-onclick must not match: onclick requires a word boundary.
+	if handlers["notAHandler()"] {
+		t.Error("data-onclick extracted as a real handler")
+	}
+}
+
+func TestJavascriptURLs(t *testing.T) {
+	html := `<a href="javascript:void(doIt())">go</a>
+<a href='javascript: run(1,2)'>run</a>
+<a href="javascript:">empty</a>`
+	scripts := Extract(html)
+	var got []string
+	for _, s := range scripts {
+		if s.Kind == JavascriptURL {
+			got = append(got, s.Source)
+		}
+	}
+	if len(got) != 2 {
+		t.Fatalf("javascript: URLs = %v, want 2 non-empty", got)
+	}
+	if got[0] != "void(doIt())" || strings.TrimSpace(got[1]) != "run(1,2)" {
+		t.Fatalf("extracted %v", got)
+	}
+}
+
+func TestUnclosedAndNestedTags(t *testing.T) {
+	cases := []struct {
+		name string
+		html string
+		// wantSources is the exact set of inline sources expected.
+		wantSources []string
+	}{
+		{
+			name:        "unclosed script swallows rest silently",
+			html:        `<p>x</p><script>var a = 1;`,
+			wantSources: nil,
+		},
+		{
+			name:        "unterminated open tag",
+			html:        `<script type="text/javascript`,
+			wantSources: nil,
+		},
+		{
+			name:        "close tag with attributes still closes",
+			html:        `<script>a();</script foo="bar">`,
+			wantSources: []string{"a();"},
+		},
+		{
+			name:        "case-insensitive close",
+			html:        `<script>b();</SCRIPT>`,
+			wantSources: []string{"b();"},
+		},
+		{
+			name:        "second script after unclosed first is lost",
+			html:        `<script>first();<script>second();</script>`,
+			wantSources: []string{"first();<script>second();"},
+		},
+		{
+			name:        "script inside comment still extracted (no comment parsing)",
+			html:        `<!-- <script>c();</script> -->`,
+			wantSources: []string{"c();"},
+		},
+		{
+			name:        "empty document",
+			html:        "",
+			wantSources: nil,
+		},
+		{
+			name:        "angle brackets in body text",
+			html:        `<script>if (a < b) { go(); }</script>`,
+			wantSources: []string{"if (a < b) { go(); }"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var got []string
+			for _, s := range Extract(tc.html) {
+				if s.Kind == InlineScript {
+					got = append(got, s.Source)
+				}
+			}
+			if len(got) != len(tc.wantSources) {
+				t.Fatalf("inline sources = %q, want %q", got, tc.wantSources)
+			}
+			for i := range got {
+				if got[i] != tc.wantSources[i] {
+					t.Errorf("source %d = %q, want %q", i, got[i], tc.wantSources[i])
+				}
+			}
+		})
+	}
+}
+
+func TestExternalSrcVariants(t *testing.T) {
+	html := `
+<script src="https://cdn.example/a.js"></script>
+<script src='/b.js'></script>
+<script src=c.js></script>
+<script data-src="not-external.js">inline();</script>`
+	scripts := Extract(html)
+	var srcs []string
+	for _, s := range scripts {
+		if s.Kind == ExternalScript {
+			if s.Source != "" {
+				t.Errorf("external script %q carries a body", s.Src)
+			}
+			srcs = append(srcs, s.Src)
+		}
+	}
+	want := []string{"https://cdn.example/a.js", "/b.js", "c.js"}
+	if len(srcs) != len(want) {
+		t.Fatalf("srcs = %v, want %v", srcs, want)
+	}
+	for i := range want {
+		if srcs[i] != want[i] {
+			t.Errorf("src %d = %q, want %q", i, srcs[i], want[i])
+		}
+	}
+	// data-src is not src: the body must be treated as inline.
+	if got := countKind(scripts, InlineScript); got != 1 {
+		t.Errorf("inline count = %d, want 1 (data-src tag's body)", got)
+	}
+}
+
+// crashSeeds is the regression seed set: inputs that stress scanner offset
+// arithmetic (truncations, quotes that never close, markers at EOF). Every
+// entry point must survive all of them; panics fail the test immediately.
+var crashSeeds = []string{
+	"<script",
+	"<script>",
+	"<script ",
+	"<script src=",
+	`<script src="`,
+	`<script src='x`,
+	"<script></script",
+	"<script>a()</script",
+	"onclick=",
+	`onclick="`,
+	`<a onclick=">`,
+	`<a onclick='x>`,
+	"javascript:",
+	`<a href="javascript:`,
+	"<a href=javascript:alert(1)",
+	"<script type=",
+	`<script type="a`,
+	"<sCrIpT>x()</sCrIpT>",
+	"\x00<script>\x00</script>",
+	// Invalid UTF-8 before a mixed-case tag: strings.ToLower used to grow
+	// the lowered copy (U+FFFD is 3 bytes) and desync the scanner's
+	// offsets, panicking with out-of-range slice bounds.
+	"\xff<sCript>0",
+	"\xff\xfe<SCRIPT SRC=\"\xff\">",
+	strings.Repeat("<script>", 50),
+	strings.Repeat("onload=\"x()\"", 40),
+	"<script>" + strings.Repeat("a", 1<<16),
+}
+
+func TestCrashRegressionSeeds(t *testing.T) {
+	for i, seed := range crashSeeds {
+		scripts := Extract(seed)
+		for _, s := range scripts {
+			if s.Offset < 0 || s.Offset > len(seed) {
+				t.Errorf("seed %d: offset %d outside document of %d bytes", i, s.Offset, len(seed))
+			}
+		}
+		// JoinInline must also hold up on whatever Extract produced.
+		_ = JoinInline(scripts)
+	}
+}
+
+// FuzzExtract drives the scanner from the crash seeds; the properties are
+// the same as the regression test (no panic, offsets inside the document).
+func FuzzExtract(f *testing.F) {
+	for _, seed := range crashSeeds {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, html string) {
+		for _, s := range Extract(html) {
+			if s.Offset < 0 || s.Offset > len(html) {
+				t.Fatalf("offset %d outside document of %d bytes", s.Offset, len(html))
+			}
+			if s.Kind == ExternalScript && s.Source != "" {
+				t.Fatalf("external script carries a body: %q", s.Source)
+			}
+		}
+	})
+}
+
+func TestJoinInlineSemicolons(t *testing.T) {
+	joined := JoinInline([]Script{
+		{Kind: InlineScript, Source: "a()"},
+		{Kind: InlineScript, Source: "b();"},
+		{Kind: EventHandler, Source: "c()"},
+		{Kind: ExternalScript, Src: "x.js"},
+		{Kind: JavascriptURL, Source: ""},
+	})
+	want := "a();\nb();\nc();\n"
+	if joined != want {
+		t.Errorf("JoinInline = %q, want %q", joined, want)
+	}
+}

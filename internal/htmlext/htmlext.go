@@ -52,7 +52,7 @@ func (k ScriptKind) String() string {
 // small forgiving scanner (real-world HTML is rarely well-formed).
 func Extract(html string) []Script {
 	var out []Script
-	lower := strings.ToLower(html)
+	lower := asciiLower(html)
 	i := 0
 	for i < len(html) {
 		open := strings.Index(lower[i:], "<script")
@@ -106,7 +106,7 @@ func isJavaScriptType(t string) bool {
 // attrValue finds attr="value" (or single-quoted/bare) in a tag attribute
 // string.
 func attrValue(attrs, name string) (string, bool) {
-	lower := strings.ToLower(attrs)
+	lower := asciiLower(attrs)
 	idx := 0
 	for {
 		pos := strings.Index(lower[idx:], name)
@@ -152,6 +152,25 @@ func attrValue(attrs, name string) (string, bool) {
 	}
 }
 
+// asciiLower lowercases A-Z byte-wise. Unlike strings.ToLower it never
+// changes the string's length on invalid UTF-8 (U+FFFD replacement is 3
+// bytes), so offsets found in the lowered copy stay valid in the original —
+// the scanner's offset arithmetic depends on that.
+func asciiLower(s string) string {
+	for i := 0; i < len(s); i++ {
+		if s[i] >= 'A' && s[i] <= 'Z' {
+			b := []byte(s)
+			for ; i < len(b); i++ {
+				if b[i] >= 'A' && b[i] <= 'Z' {
+					b[i] += 'a' - 'A'
+				}
+			}
+			return string(b)
+		}
+	}
+	return s
+}
+
 func isWordByte(b byte) bool {
 	return b >= 'a' && b <= 'z' || b >= 'A' && b <= 'Z' || b >= '0' && b <= '9' || b == '-' || b == '_'
 }
@@ -169,7 +188,7 @@ var eventAttrs = []string{
 // extractEventHandlers pulls JS out of on* attributes and javascript: URLs.
 func extractEventHandlers(html string) []Script {
 	var out []Script
-	lower := strings.ToLower(html)
+	lower := asciiLower(html)
 	for _, attr := range eventAttrs {
 		idx := 0
 		for {

@@ -38,6 +38,13 @@ type Lexer struct {
 	comments []Comment
 	// newlineBefore is set while skipping trivia ahead of the next token.
 	newlineBefore bool
+
+	// scanned counts tokens produced by Next, including tokens re-scanned
+	// after a parser Restore (Restore deliberately does not rewind it).
+	// The parser flushes scanned - consumed into the obs registry as
+	// lex.tokens_rescanned: the lexing work cover-grammar backtracking
+	// repeats.
+	scanned int
 }
 
 // New returns a lexer over src.
@@ -47,6 +54,11 @@ func New(src string) *Lexer {
 
 // Comments returns the comments collected so far, in source order.
 func (l *Lexer) Comments() []Comment { return l.comments }
+
+// TokensScanned returns the number of tokens Next has produced, counting
+// every re-scan after a Restore. Comparing it against the parser's consumed
+// token count measures backtracking overhead.
+func (l *Lexer) TokensScanned() int { return l.scanned }
 
 func (l *Lexer) pos() ast.Pos {
 	return ast.Pos{Offset: l.off, Line: l.line, Column: l.col}
@@ -273,6 +285,7 @@ func (l *Lexer) Next() (Token, error) {
 	tok.NewlineBefore = l.newlineBefore
 	l.prev = tok
 	l.hasPrev = true
+	l.scanned++
 	return tok, nil
 }
 

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/js/ast"
 	"repro/internal/js/lexer"
+	"repro/internal/obs"
 )
 
 // parses counts completed parse attempts (successful or not) process-wide.
@@ -60,9 +61,28 @@ func ParseNoTokens(src string) (*Result, error) {
 	return parse(src, false)
 }
 
-func parse(src string, collectTokens bool) (*Result, error) {
+func parse(src string, collectTokens bool) (res *Result, err error) {
 	parses.Add(1)
 	p := &parser{lex: lexer.New(src), src: src, collect: collectTokens}
+	if obs.Enabled() {
+		stop := obs.Time("parse.duration")
+		defer func() {
+			stop()
+			obs.Add("parse.files", 1)
+			obs.Add("parse.bytes", int64(len(src)))
+			obs.Observe("parse.file_bytes", obs.UnitBytes, int64(len(src)))
+			obs.Add("lex.tokens", int64(p.lex.TokensScanned()))
+			obs.Add("lex.comments", int64(len(p.lex.Comments())))
+			if err != nil {
+				obs.Add("parse.errors", 1)
+			} else {
+				obs.Add("parse.tokens", int64(p.numTokens))
+				if rescans := p.lex.TokensScanned() - p.numTokens; rescans > 0 {
+					obs.Add("lex.tokens_rescanned", int64(rescans))
+				}
+			}
+		}()
+	}
 	if err := p.next(); err != nil {
 		return nil, err
 	}

@@ -1,0 +1,355 @@
+package scope
+
+import (
+	"testing"
+
+	"repro/internal/js/ast"
+)
+
+// Table-driven tests over the gnarly corners of JavaScript scoping: var
+// hoisting out of every statement container, function-in-block, catch and
+// loop-head shadowing, named function expressions, and assignment-target
+// patterns. Each case asserts binding kinds, reference counts, and which
+// names stay unresolved.
+func TestScopingTable(t *testing.T) {
+	type want struct {
+		kind BindingKind
+		refs int
+	}
+	cases := []struct {
+		name string
+		src  string
+		// bindings asserts kind and ref count per declared name.
+		bindings map[string]want
+		// unresolved names that must escape the file.
+		unresolved []string
+		// distinct asserts two names that look identical resolve to
+		// different bindings (shadowing), checked via Resolved pointers.
+		extra func(t *testing.T, prog *ast.Program, info *Info)
+	}{
+		{
+			name: "var hoists out of nested blocks",
+			src: `
+function f() {
+  { { var deep = 1; } }
+  if (c) { var a = 1; } else { var b = 2; }
+  for (var i = 0; i < 3; i++) { var inLoop = i; }
+  while (c) { var w = 1; }
+  do { var d = 1; } while (c);
+  try { var tr = 1; } catch (e) { var ca = 1; } finally { var fi = 1; }
+  switch (c) { case 1: var sw = 1; }
+  lbl: { var lb = 1; }
+  return deep + a + b + i + inLoop + w + d + tr + ca + fi + sw + lb;
+}`,
+			bindings: map[string]want{
+				"deep": {BindVar, 1}, "a": {BindVar, 1}, "b": {BindVar, 1},
+				"i": {BindVar, 4}, "inLoop": {BindVar, 1}, "w": {BindVar, 1},
+				"d": {BindVar, 1}, "tr": {BindVar, 1}, "ca": {BindVar, 1},
+				"fi": {BindVar, 1}, "sw": {BindVar, 1}, "lb": {BindVar, 1},
+			},
+			unresolved: []string{"c"},
+			extra: func(t *testing.T, prog *ast.Program, info *Info) {
+				// Every var must live in f's function scope, not a block.
+				for _, name := range []string{"deep", "a", "inLoop", "ca", "lb"} {
+					b := findBinding(info, name)
+					if b == nil || !b.Scope.IsFunction {
+						t.Errorf("%s not hoisted to a function scope", name)
+					}
+				}
+			},
+		},
+		{
+			name: "var inside with and labeled-loop bodies",
+			src: `
+with (obj) { var wv = 1; }
+outer: for (var k in obj) { var kv = k; }
+for (var el of list) { el; }
+use(wv, kv, el);`,
+			bindings: map[string]want{
+				"wv": {BindVar, 1}, "k": {BindVar, 1}, "kv": {BindVar, 1},
+				"el": {BindVar, 2},
+			},
+			unresolved: []string{"obj", "list", "use"},
+		},
+		{
+			name: "function-in-block hoists like Annex B",
+			src: `
+function outer() {
+  if (c) { function g() { return 1; } g(); }
+  return typeof g;
+}`,
+			bindings: map[string]want{"g": {BindFunction, 2}},
+			extra: func(t *testing.T, prog *ast.Program, info *Info) {
+				// The analyzer models the web-compat (Annex B) semantics:
+				// a function declaration in a block hoists its binding to
+				// the enclosing function scope, so both the call in the
+				// block and the typeof probe outside resolve to it.
+				b := findBinding(info, "g")
+				if !b.Scope.IsFunction {
+					t.Error("block-level function not hoisted to the function scope")
+				}
+				for _, ref := range b.Refs {
+					if info.BindingOf(ref) != b {
+						t.Error("g reference resolved to a different binding")
+					}
+				}
+			},
+		},
+		{
+			name: "catch parameter shadows outer binding",
+			src: `
+var e = "outer";
+try { risky(); } catch (e) { log(e); }
+log(e);`,
+			bindings:   map[string]want{"e": {BindVar, 1}},
+			unresolved: []string{"risky", "log"},
+			extra: func(t *testing.T, prog *ast.Program, info *Info) {
+				outer := findBinding(info, "e")
+				var catchB *Binding
+				for _, b := range info.Bindings {
+					if b.Name == "e" && b.Kind == BindCatch {
+						catchB = b
+					}
+				}
+				if catchB == nil {
+					t.Fatal("catch binding for e not found")
+				}
+				if len(catchB.Refs) != 1 {
+					t.Errorf("catch e refs = %d, want 1 (the log inside)", len(catchB.Refs))
+				}
+				if outer == catchB {
+					t.Error("catch parameter merged with outer var")
+				}
+			},
+		},
+		{
+			name: "let in loop head shadows outer let",
+			src: `
+let i = "outer";
+for (let i = 0; i < 2; i++) { touch(i); }
+touch(i);`,
+			unresolved: []string{"touch"},
+			extra: func(t *testing.T, prog *ast.Program, info *Info) {
+				var outer, loop *Binding
+				for _, b := range info.Bindings {
+					if b.Name != "i" {
+						continue
+					}
+					if b.Scope.IsFunction || b.Scope.Parent == nil {
+						outer = b
+					} else {
+						loop = b
+					}
+				}
+				if outer == nil || loop == nil || outer == loop {
+					t.Fatalf("expected two distinct i bindings, got outer=%v loop=%v", outer, loop)
+				}
+				if outer.Kind != BindLet || loop.Kind != BindLet {
+					t.Errorf("kinds = %v, %v, want let", outer.Kind, loop.Kind)
+				}
+				// Loop head + condition + update + body = 4 refs on the
+				// inner binding; the trailing touch(i) sees the outer one.
+				if len(loop.Refs) != 3 {
+					t.Errorf("loop i refs = %d, want 3", len(loop.Refs))
+				}
+				if len(outer.Refs) != 1 {
+					t.Errorf("outer i refs = %d, want 1", len(outer.Refs))
+				}
+			},
+		},
+		{
+			name: "const in for-of head is per-loop scoped",
+			src: `
+const x = "outer";
+for (const x of items) { consume(x); }
+consume(x);`,
+			unresolved: []string{"items", "consume"},
+			extra: func(t *testing.T, prog *ast.Program, info *Info) {
+				var bindings []*Binding
+				for _, b := range info.Bindings {
+					if b.Name == "x" {
+						bindings = append(bindings, b)
+					}
+				}
+				if len(bindings) != 2 {
+					t.Fatalf("got %d x bindings, want 2", len(bindings))
+				}
+				for _, b := range bindings {
+					if b.Kind != BindConst || len(b.Refs) != 1 {
+						t.Errorf("x binding kind=%v refs=%d, want const with 1 ref", b.Kind, len(b.Refs))
+					}
+				}
+			},
+		},
+		{
+			name: "named function expression binds its own name inside only",
+			src: `
+var fact = function self(n) { return n < 2 ? 1 : n * self(n - 1); };
+fact(5); self;`,
+			bindings: map[string]want{
+				"fact": {BindVar, 1},
+				"self": {BindFunction, 1},
+				"n":    {BindParam, 3},
+			},
+			unresolved: []string{"self"},
+			extra: func(t *testing.T, prog *ast.Program, info *Info) {
+				b := findBinding(info, "self")
+				if b.Scope.Node == prog {
+					t.Error("function expression name leaked into the program scope")
+				}
+			},
+		},
+		{
+			name: "for-in over assignment target resolves the target",
+			src: `
+var key;
+for (key in table) { emit(key); }`,
+			bindings:   map[string]want{"key": {BindVar, 2}},
+			unresolved: []string{"table", "emit"},
+		},
+		{
+			name: "destructuring assignment targets are references",
+			src: `
+var a, b, rest;
+[a, b = 1, ...rest] = pull();
+({x: a, [pick()]: b, ...rest} = bag);`,
+			bindings: map[string]want{
+				"a": {BindVar, 2}, "b": {BindVar, 2}, "rest": {BindVar, 2},
+			},
+			unresolved: []string{"pull", "pick", "bag"},
+		},
+		{
+			name: "member expression assignment only references the object",
+			src:  `var o = {}; o.field = ready;`,
+			bindings: map[string]want{
+				"o": {BindVar, 1},
+			},
+			unresolved: []string{"ready"},
+		},
+		{
+			name: "class bodies: computed keys and field values resolve",
+			src: `
+const keyName = "k";
+class Widget {
+  [keyName]() { return 1; }
+  static size = defaultSize;
+  grow(by) { return this.size + by; }
+}
+new Widget();`,
+			bindings: map[string]want{
+				"keyName": {BindConst, 1},
+				"Widget":  {BindClass, 1},
+				"by":      {BindParam, 1},
+			},
+			unresolved: []string{"defaultSize"},
+		},
+		{
+			name: "export declarations bind locally",
+			src: `
+export const version = 1;
+export function start() { return version; }
+export default function main() { return start(); }`,
+			bindings: map[string]want{
+				"version": {BindConst, 1},
+				"start":   {BindFunction, 1},
+				"main":    {BindFunction, 0},
+			},
+		},
+		{
+			name: "var redeclaration folds into one binding",
+			src:  `var x = 1; var x = 2; function x() {} use(x);`,
+			extra: func(t *testing.T, prog *ast.Program, info *Info) {
+				var count int
+				for _, b := range info.Bindings {
+					if b.Name == "x" {
+						count++
+						// Redeclaration sites count as references.
+						if len(b.Refs) != 3 {
+							t.Errorf("x refs = %d, want 3 (two redecls + one use)", len(b.Refs))
+						}
+					}
+				}
+				if count != 1 {
+					t.Errorf("got %d x bindings, want 1 merged binding", count)
+				}
+			},
+			unresolved: []string{"use"},
+		},
+	}
+
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			prog, info := analyze(t, tc.src)
+			for name, w := range tc.bindings {
+				b := findBinding(info, name)
+				if b == nil {
+					t.Errorf("binding %q not found", name)
+					continue
+				}
+				if b.Kind != w.kind {
+					t.Errorf("%s kind = %v, want %v", name, b.Kind, w.kind)
+				}
+				if len(b.Refs) != w.refs {
+					t.Errorf("%s refs = %d, want %d", name, len(b.Refs), w.refs)
+				}
+				// Every recorded ref must resolve back to this binding.
+				for _, ref := range b.Refs {
+					if info.BindingOf(ref) != b {
+						t.Errorf("%s ref does not resolve back to its binding", name)
+					}
+				}
+			}
+			unresolved := make(map[string]int)
+			for _, id := range info.Unresolved {
+				unresolved[id.Name]++
+			}
+			for _, name := range tc.unresolved {
+				if unresolved[name] == 0 {
+					t.Errorf("%q should be unresolved (got %v)", name, unresolved)
+				}
+				delete(unresolved, name)
+			}
+			for name := range unresolved {
+				if tc.bindings != nil {
+					if _, declared := tc.bindings[name]; declared {
+						t.Errorf("%q is both declared and unresolved", name)
+					}
+				}
+			}
+			if tc.extra != nil {
+				tc.extra(t, prog, info)
+			}
+		})
+	}
+}
+
+// TestScopeTreeShape checks parent/child wiring of the scope tree itself.
+func TestScopeTreeShape(t *testing.T) {
+	_, info := analyze(t, `
+function f() {
+  { let inner = 1; inner; }
+}`)
+	if info.Global == nil || info.Global.Parent != nil {
+		t.Fatal("global scope missing or has a parent")
+	}
+	if !info.Global.IsFunction {
+		t.Error("program scope must host var hoisting")
+	}
+	var walk func(sc *Scope)
+	var scopes int
+	walk = func(sc *Scope) {
+		scopes++
+		for _, c := range sc.Children {
+			if c.Parent != sc {
+				t.Errorf("child scope (%T) does not point back at its parent", c.Node)
+			}
+			walk(c)
+		}
+	}
+	walk(info.Global)
+	// Program, function f, and the inner block.
+	if scopes < 3 {
+		t.Errorf("scope tree has %d scopes, want at least 3", scopes)
+	}
+}

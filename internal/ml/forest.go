@@ -4,6 +4,8 @@ import (
 	"math/rand"
 	"runtime"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // ForestOptions configures random-forest training.
@@ -34,6 +36,7 @@ func (f *Forest) Predict(x []float64) float64 {
 	if len(f.Trees) == 0 {
 		return 0.5
 	}
+	obs.Add("ml.tree_evals", int64(len(f.Trees)))
 	sum := 0.0
 	for _, t := range f.Trees {
 		sum += t.Predict(x)

@@ -3,6 +3,8 @@ package ml
 import (
 	"fmt"
 	"math/rand"
+
+	"repro/internal/obs"
 )
 
 // MultiTask is a multi-label classifier over a fixed label set (the paper's
@@ -29,6 +31,8 @@ func (c *Chain) Labels() []string { return c.Names }
 
 // PredictProbs implements MultiTask.
 func (c *Chain) PredictProbs(x []float64) []float64 {
+	defer obs.Time("ml.predict")()
+	obs.Add("ml.predictions", 1)
 	probs := make([]float64, len(c.Forests))
 	ext := make([]float64, len(x), len(x)+len(c.Forests))
 	copy(ext, x)
@@ -80,6 +84,8 @@ func (m *Independent) Labels() []string { return m.Names }
 
 // PredictProbs implements MultiTask.
 func (m *Independent) PredictProbs(x []float64) []float64 {
+	defer obs.Time("ml.predict")()
+	obs.Add("ml.predictions", 1)
 	probs := make([]float64, len(m.Forests))
 	for i, f := range m.Forests {
 		probs[i] = f.Predict(x)

@@ -1,0 +1,155 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// numBuckets covers every non-negative int64: bucket i holds values whose
+// bit length is i, i.e. bucket 0 is exactly 0 and bucket i>0 spans
+// [2^(i-1), 2^i). Powers-of-two resolution is coarse, but it needs no
+// configuration, never rebuckets, and spans nanoseconds to minutes (and
+// bytes to gigabytes) in 64 fixed cells — the right trade for an
+// always-compiled-in layer.
+const numBuckets = 64
+
+// Histogram is a lock-free log2-bucketed histogram of non-negative values.
+type Histogram struct {
+	name    string
+	unit    Unit
+	count   atomic.Int64
+	sum     atomic.Int64
+	min     atomic.Int64
+	max     atomic.Int64
+	buckets [numBuckets]atomic.Int64
+}
+
+func newHistogram(name string, unit Unit) *Histogram {
+	h := &Histogram{name: name, unit: unit}
+	h.min.Store(math.MaxInt64)
+	return h
+}
+
+// Name returns the histogram's registry name.
+func (h *Histogram) Name() string { return h.name }
+
+// Unit returns what the histogram's values measure.
+func (h *Histogram) Unit() Unit { return h.unit }
+
+// Observe records one value. Negative values are clamped to zero (durations
+// measured across a clock step can come out negative).
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.buckets[bits.Len64(uint64(v))].Add(1)
+	for {
+		cur := h.min.Load()
+		if v >= cur || h.min.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+// Bucket is one non-empty histogram cell: Count values in (Lo, Hi].
+type Bucket struct {
+	Lo    int64 `json:"lo"`
+	Hi    int64 `json:"hi"`
+	Count int64 `json:"count"`
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram.
+type HistogramSnapshot struct {
+	Name    string   `json:"name"`
+	Unit    Unit     `json:"unit"`
+	Count   int64    `json:"count"`
+	Sum     int64    `json:"sum"`
+	Min     int64    `json:"min"`
+	Max     int64    `json:"max"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Snapshot copies the histogram's current state. Concurrent observations may
+// straddle the copy; the snapshot is internally consistent enough for
+// reporting (count matches the bucket total at the moment each cell is
+// read).
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Name:  h.name,
+		Unit:  h.unit,
+		Count: h.count.Load(),
+		Sum:   h.sum.Load(),
+		Min:   h.min.Load(),
+		Max:   h.max.Load(),
+	}
+	if s.Count == 0 {
+		s.Min = 0
+		return s
+	}
+	for i := range h.buckets {
+		n := h.buckets[i].Load()
+		if n == 0 {
+			continue
+		}
+		s.Buckets = append(s.Buckets, Bucket{Lo: bucketLo(i), Hi: bucketHi(i), Count: n})
+	}
+	return s
+}
+
+func bucketLo(i int) int64 {
+	if i == 0 {
+		return 0
+	}
+	return 1 << (i - 1)
+}
+
+func bucketHi(i int) int64 {
+	if i == 0 {
+		return 0
+	}
+	if i >= 63 {
+		return math.MaxInt64
+	}
+	return 1<<i - 1
+}
+
+// Mean returns the average observed value, or 0 when empty.
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Quantile returns an upper-bound estimate of the q-quantile (0 < q <= 1)
+// from the log2 buckets: the upper edge of the bucket holding the q-th
+// observation, clamped to the observed max.
+func (s HistogramSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 || len(s.Buckets) == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(s.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for _, b := range s.Buckets {
+		seen += b.Count
+		if seen >= rank {
+			if b.Hi > s.Max {
+				return s.Max
+			}
+			return b.Hi
+		}
+	}
+	return s.Max
+}

@@ -1,0 +1,286 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// swapOut detaches any registry a concurrent test (or a previous failure)
+// left installed and restores it on cleanup, so tests of the global switch
+// do not leak state.
+func swapOut(t *testing.T) {
+	t.Helper()
+	prev := Swap(nil)
+	t.Cleanup(func() { Swap(prev) })
+}
+
+func TestDisabledByDefault(t *testing.T) {
+	swapOut(t)
+	if Enabled() {
+		t.Fatal("metrics enabled with no registry installed")
+	}
+	// Recording with no registry must be a no-op, not a panic.
+	Add("x", 1)
+	Observe("y", UnitCount, 5)
+	ObserveDuration("z", time.Millisecond)
+	Time("w")()
+	if Get() != nil {
+		t.Fatal("Get returned a registry while disabled")
+	}
+}
+
+func TestEnableDisableSwap(t *testing.T) {
+	swapOut(t)
+	r := Enable()
+	if r == nil || !Enabled() {
+		t.Fatal("Enable did not install a registry")
+	}
+	if Enable() != r {
+		t.Fatal("second Enable replaced the registry")
+	}
+	Add("scanned", 3)
+	Add("scanned", 4)
+	if got := r.Counter("scanned").Value(); got != 7 {
+		t.Fatalf("counter = %d, want 7", got)
+	}
+	detached := Disable()
+	if detached != r {
+		t.Fatal("Disable returned a different registry")
+	}
+	if Enabled() {
+		t.Fatal("still enabled after Disable")
+	}
+	// Recordings after Disable must not land in the detached registry.
+	Add("scanned", 100)
+	if got := detached.Counter("scanned").Value(); got != 7 {
+		t.Fatalf("detached counter mutated to %d", got)
+	}
+	// Swap installs a specific registry.
+	r2 := NewRegistry()
+	if prev := Swap(r2); prev != nil {
+		t.Fatalf("Swap returned %v, want nil", prev)
+	}
+	Add("other", 1)
+	if got := r2.Counter("other").Value(); got != 1 {
+		t.Fatalf("swapped-in registry counter = %d, want 1", got)
+	}
+	Swap(nil)
+}
+
+func TestCounterGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("a")
+	if r.Counter("a") != a {
+		t.Fatal("Counter did not return the existing instance")
+	}
+	if a.Name() != "a" {
+		t.Fatalf("Name = %q", a.Name())
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", UnitNanoseconds)
+	if r.Histogram("lat", UnitNanoseconds) != h {
+		t.Fatal("Histogram did not return the existing instance")
+	}
+	for _, v := range []int64{0, 1, 2, 3, 100, 1000, -5} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 7 {
+		t.Fatalf("count = %d, want 7", s.Count)
+	}
+	if s.Sum != 0+1+2+3+100+1000+0 {
+		t.Fatalf("sum = %d", s.Sum)
+	}
+	if s.Min != 0 {
+		t.Fatalf("min = %d, want 0 (negative clamped)", s.Min)
+	}
+	if s.Max != 1000 {
+		t.Fatalf("max = %d, want 1000", s.Max)
+	}
+	if s.Unit != UnitNanoseconds || h.Unit() != UnitNanoseconds || h.Name() != "lat" {
+		t.Fatal("unit/name not preserved")
+	}
+	var total int64
+	for _, b := range s.Buckets {
+		if b.Count == 0 {
+			t.Fatal("snapshot contains empty bucket")
+		}
+		total += b.Count
+	}
+	if total != s.Count {
+		t.Fatalf("bucket total %d != count %d", total, s.Count)
+	}
+}
+
+func TestHistogramEmptySnapshot(t *testing.T) {
+	h := newHistogram("empty", UnitCount)
+	s := h.Snapshot()
+	if s.Count != 0 || s.Min != 0 || s.Max != 0 || len(s.Buckets) != 0 {
+		t.Fatalf("empty snapshot = %+v", s)
+	}
+	if s.Mean() != 0 || s.Quantile(0.5) != 0 {
+		t.Fatal("empty snapshot mean/quantile not zero")
+	}
+}
+
+func TestBucketBounds(t *testing.T) {
+	// Bucket 0 is exactly {0}; bucket i>0 spans [2^(i-1), 2^i).
+	cases := []struct {
+		i      int
+		lo, hi int64
+	}{
+		{0, 0, 0},
+		{1, 1, 1},
+		{2, 2, 3},
+		{3, 4, 7},
+		{10, 512, 1023},
+		{63, 1 << 62, math.MaxInt64},
+	}
+	for _, c := range cases {
+		if lo := bucketLo(c.i); lo != c.lo {
+			t.Errorf("bucketLo(%d) = %d, want %d", c.i, lo, c.lo)
+		}
+		if hi := bucketHi(c.i); hi != c.hi {
+			t.Errorf("bucketHi(%d) = %d, want %d", c.i, hi, c.hi)
+		}
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	h := newHistogram("q", UnitCount)
+	// 90 small values, 10 large ones: p50 must land in the small bucket
+	// range, p99 in the large one.
+	for i := 0; i < 90; i++ {
+		h.Observe(10) // bucket [8,15]
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(1000) // bucket [512,1023]
+	}
+	s := h.Snapshot()
+	if q := s.Quantile(0.5); q < 10 || q > 15 {
+		t.Fatalf("p50 = %d, want within [10,15]", q)
+	}
+	// The p99 estimate is the bucket's upper edge clamped to the max.
+	if q := s.Quantile(0.99); q != 1000 {
+		t.Fatalf("p99 = %d, want 1000 (clamped to max)", q)
+	}
+	if q := s.Quantile(0); q < 10 || q > 15 {
+		t.Fatalf("q=0 clamps to first observation bucket, got %d", q)
+	}
+}
+
+func TestMean(t *testing.T) {
+	h := newHistogram("m", UnitCount)
+	h.Observe(10)
+	h.Observe(30)
+	if m := h.Snapshot().Mean(); m != 20 {
+		t.Fatalf("mean = %v, want 20", m)
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	r := NewRegistry()
+	prev := Swap(r)
+	defer Swap(prev)
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				Add("n", 1)
+				Observe("v", UnitCount, int64(i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Counter("n").Value(); got != workers*per {
+		t.Fatalf("counter = %d, want %d", got, workers*per)
+	}
+	s := r.Histogram("v", UnitCount).Snapshot()
+	if s.Count != workers*per {
+		t.Fatalf("histogram count = %d, want %d", s.Count, workers*per)
+	}
+	if s.Max != per-1 {
+		t.Fatalf("max = %d, want %d", s.Max, per-1)
+	}
+}
+
+func TestSnapshotOrderingAndRendering(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b.count").Add(2)
+	r.Counter("a.count").Add(1)
+	r.Histogram("z.lat", UnitNanoseconds).Observe(int64(3 * time.Millisecond))
+	r.Histogram("a.size", UnitBytes).Observe(2048)
+	s := r.Snapshot()
+	if len(s.Counters) != 2 || s.Counters[0].Name != "a.count" || s.Counters[1].Name != "b.count" {
+		t.Fatalf("counters not sorted: %+v", s.Counters)
+	}
+	if len(s.Histograms) != 2 || s.Histograms[0].Name != "a.size" {
+		t.Fatalf("histograms not sorted: %+v", s.Histograms)
+	}
+
+	var text strings.Builder
+	s.WriteText(&text)
+	out := text.String()
+	for _, want := range []string{"a.count", "b.count", "z.lat", "a.size", "2.00KiB", "ms"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text output missing %q:\n%s", want, out)
+		}
+	}
+
+	var jsonOut strings.Builder
+	if err := s.WriteJSON(&jsonOut); err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal([]byte(jsonOut.String()), &back); err != nil {
+		t.Fatalf("snapshot JSON does not round-trip: %v", err)
+	}
+	if len(back.Counters) != 2 || back.Counters[1].Value != 2 {
+		t.Fatalf("round-tripped snapshot = %+v", back)
+	}
+}
+
+func TestTimeRecordsDuration(t *testing.T) {
+	swapOut(t)
+	r := Enable()
+	stop := Time("op")
+	time.Sleep(2 * time.Millisecond)
+	stop()
+	s := r.Histogram("op", UnitNanoseconds).Snapshot()
+	if s.Count != 1 {
+		t.Fatalf("count = %d, want 1", s.Count)
+	}
+	if s.Sum < int64(time.Millisecond) {
+		t.Fatalf("recorded duration %v implausibly small", time.Duration(s.Sum))
+	}
+	Disable()
+}
+
+func TestFormatValue(t *testing.T) {
+	cases := []struct {
+		v    int64
+		unit Unit
+		want string
+	}{
+		{1500000, UnitNanoseconds, "1.5ms"},
+		{512, UnitBytes, "512B"},
+		{3 << 20, UnitBytes, "3.00MiB"},
+		{5 << 30, UnitBytes, "5.00GiB"},
+		{42, UnitCount, "42"},
+	}
+	for _, c := range cases {
+		if got := formatValue(c.v, c.unit); got != c.want {
+			t.Errorf("formatValue(%d, %s) = %q, want %q", c.v, c.unit, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// CounterSnapshot is a point-in-time copy of one counter.
+type CounterSnapshot struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// Snapshot is a point-in-time copy of a whole registry, sorted by name.
+type Snapshot struct {
+	Counters   []CounterSnapshot   `json:"counters"`
+	Histograms []HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot copies the registry's current state with deterministic ordering.
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	r.mu.RLock()
+	counters := make([]*Counter, 0, len(r.counters))
+	for _, c := range r.counters {
+		counters = append(counters, c)
+	}
+	hists := make([]*Histogram, 0, len(r.hists))
+	for _, h := range r.hists {
+		hists = append(hists, h)
+	}
+	r.mu.RUnlock()
+	for _, c := range counters {
+		s.Counters = append(s.Counters, CounterSnapshot{Name: c.name, Value: c.Value()})
+	}
+	for _, h := range hists {
+		s.Histograms = append(s.Histograms, h.Snapshot())
+	}
+	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
+	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
+	return s
+}
+
+// WriteJSON writes the snapshot as one JSON object.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// WriteText renders the snapshot as aligned human-readable tables.
+func (s Snapshot) WriteText(w io.Writer) {
+	if len(s.Counters) > 0 {
+		fmt.Fprintf(w, "counters:\n")
+		width := 0
+		for _, c := range s.Counters {
+			if len(c.Name) > width {
+				width = len(c.Name)
+			}
+		}
+		for _, c := range s.Counters {
+			fmt.Fprintf(w, "  %-*s %12d\n", width, c.Name, c.Value)
+		}
+	}
+	if len(s.Histograms) > 0 {
+		fmt.Fprintf(w, "histograms:\n")
+		width := 0
+		for _, h := range s.Histograms {
+			if len(h.Name) > width {
+				width = len(h.Name)
+			}
+		}
+		fmt.Fprintf(w, "  %-*s %10s %12s %12s %12s %12s %12s\n",
+			width, "name", "count", "sum", "mean", "p50", "p99", "max")
+		for _, h := range s.Histograms {
+			fmt.Fprintf(w, "  %-*s %10d %12s %12s %12s %12s %12s\n",
+				width, h.Name, h.Count,
+				formatValue(h.Sum, h.Unit),
+				formatValue(int64(h.Mean()), h.Unit),
+				formatValue(h.Quantile(0.50), h.Unit),
+				formatValue(h.Quantile(0.99), h.Unit),
+				formatValue(h.Max, h.Unit))
+		}
+	}
+}
+
+// formatValue renders a histogram value in its unit: durations as
+// time.Duration strings, bytes with binary suffixes, counts as plain
+// integers.
+func formatValue(v int64, unit Unit) string {
+	switch unit {
+	case UnitNanoseconds:
+		return time.Duration(v).Round(time.Microsecond).String()
+	case UnitBytes:
+		return formatBytes(v)
+	default:
+		return fmt.Sprintf("%d", v)
+	}
+}
+
+func formatBytes(v int64) string {
+	switch {
+	case v >= 1<<30:
+		return fmt.Sprintf("%.2fGiB", float64(v)/(1<<30))
+	case v >= 1<<20:
+		return fmt.Sprintf("%.2fMiB", float64(v)/(1<<20))
+	case v >= 1<<10:
+		return fmt.Sprintf("%.2fKiB", float64(v)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", v)
+	}
+}

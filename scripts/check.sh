@@ -42,18 +42,43 @@ go test -run 'Oracle|Differential' ./internal/oracle ./internal/js/interp
 echo "== fuzz (10s) =="
 go test -fuzz FuzzInterpDifferential -fuzztime 10s -fuzzminimizetime 5x -run '^$' ./internal/oracle
 
-# Coverage floor for the interpreter: the oracle is only as trustworthy as
-# the sandbox under it.
-echo "== interp coverage floor (80%) =="
-cov=$(go test -count=1 -cover ./internal/js/interp | awk '{for (i=1; i<=NF; i++) if ($i ~ /^[0-9.]+%$/) {sub(/%/, "", $i); print $i}}')
-if [ -z "$cov" ]; then
-    echo "could not read internal/js/interp coverage" >&2
-    exit 1
+# Per-package coverage floors. The interpreter floor guards the oracle (the
+# sandbox is only as trustworthy as its coverage); the flow and scope floors
+# guard the graph layers every feature and rule is derived from.
+echo "== coverage floors =="
+check_floor() {
+    pkg="$1"
+    floor="$2"
+    cov=$(go test -count=1 -cover "$pkg" | awk '{for (i=1; i<=NF; i++) if ($i ~ /^[0-9.]+%$/) {sub(/%/, "", $i); print $i}}')
+    if [ -z "$cov" ]; then
+        echo "could not read $pkg coverage" >&2
+        exit 1
+    fi
+    if ! awk -v c="$cov" -v f="$floor" 'BEGIN { exit !(c >= f) }'; then
+        echo "$pkg coverage ${cov}% is below the ${floor}% floor" >&2
+        exit 1
+    fi
+    printf '%-28s %6s%%  (floor %s%%)\n' "$pkg" "$cov" "$floor"
+}
+check_floor ./internal/js/interp 80
+check_floor ./internal/flow      75
+check_floor ./internal/js/scope  75
+
+# Informational per-package coverage summary (no gate): a shrinking number
+# here is the early warning before a floor trips.
+echo "== coverage summary =="
+go test -count=1 -cover ./internal/... 2>/dev/null | awk '
+    /^ok/ { cov = "-"; for (i=1; i<=NF; i++) if ($i ~ /%$/) cov = $i
+            printf "%-40s %8s\n", $2, cov }'
+
+# Benchmark-regression gate, opt-in via BENCH=1: compares a fresh run of the
+# hot-path benchmarks against the last checked-in BENCH_<n>.json and fails
+# on a >15% ns/op regression. Off by default — benchmark noise on shared CI
+# machines makes it a poor always-on gate; run it when touching the scan
+# pipeline. See scripts/bench.sh.
+if [ "${BENCH:-0}" = "1" ]; then
+    echo "== benchmark regression gate =="
+    ./scripts/bench.sh
 fi
-if ! awk -v c="$cov" 'BEGIN { exit !(c >= 80.0) }'; then
-    echo "internal/js/interp coverage ${cov}% is below the 80% floor" >&2
-    exit 1
-fi
-echo "internal/js/interp coverage: ${cov}%"
 
 echo "OK"
