@@ -3,15 +3,18 @@
 //
 //	benchreg run -out BENCH_4.json [-bench .] [-count 3] [-note "..."] ./pkg...
 //	benchreg run -input bench.txt -out BENCH_4.json
-//	benchreg compare -baseline BENCH_4.json [-tolerance 0.15] -input bench.txt
+//	benchreg compare -baseline BENCH_4.json [-tolerance 0.15] [-alloc-tolerance 0.10] -input bench.txt
 //	benchreg compare -baseline BENCH_4.json [-bench .] ./pkg...
-//	benchreg diff old.json new.json [-tolerance 0.15]
+//	benchreg diff old.json new.json [-tolerance 0.15] [-alloc-tolerance 0.10]
 //
 // run executes `go test -run '^$' -bench <pat> -benchmem` over the named
 // packages (or parses a pre-captured output file with -input), aggregates
 // repeated runs, and writes a schema'd baseline JSON. compare produces a
 // fresh measurement the same way and diffs it against the baseline with a
-// relative tolerance on ns/op; any benchmark beyond the tolerance exits
+// relative tolerance on ns/op plus a separate, tighter tolerance on the
+// allocs/op and B/op columns (allocation counts are near-deterministic, so
+// memory regressions are gated harder than timing; -alloc-tolerance -1
+// turns memory gating off); any benchmark beyond either tolerance exits
 // with status 2 so scripts/bench.sh and scripts/check.sh can fail the gate.
 // diff compares two baseline files directly.
 package main
@@ -59,8 +62,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 func usage(w io.Writer) {
 	fmt.Fprint(w, `usage:
   benchreg run -out FILE [-bench PAT] [-count N] [-note S] [-input TXT] [pkg...]
-  benchreg compare -baseline FILE [-tolerance F] [-bench PAT] [-count N] [-input TXT] [pkg...]
-  benchreg diff OLD.json NEW.json [-tolerance F]
+  benchreg compare -baseline FILE [-tolerance F] [-alloc-tolerance F] [-bench PAT] [-count N] [-input TXT] [pkg...]
+  benchreg diff OLD.json NEW.json [-tolerance F] [-alloc-tolerance F]
 `)
 }
 
@@ -157,6 +160,7 @@ func cmdCompare(args []string, stdout, stderr io.Writer) int {
 		m         measureFlags
 		baseline  = fs.String("baseline", "", "baseline JSON file to compare against (required)")
 		tolerance = fs.Float64("tolerance", 0.15, "relative ns/op tolerance before a benchmark counts as regressed")
+		allocTol  = fs.Float64("alloc-tolerance", 0.10, "relative allocs/op and B/op tolerance (-1 disables memory gating)")
 	)
 	addMeasureFlags(fs, &m)
 	if err := fs.Parse(args); err != nil {
@@ -176,13 +180,14 @@ func cmdCompare(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "benchreg compare: %v\n", err)
 		return 1
 	}
-	return report(base.Results, current, *tolerance, stdout)
+	return report(base.Results, current, *tolerance, *allocTol, stdout)
 }
 
 func cmdDiff(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("benchreg diff", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	tolerance := fs.Float64("tolerance", 0.15, "relative ns/op tolerance before a benchmark counts as regressed")
+	allocTol := fs.Float64("alloc-tolerance", 0.10, "relative allocs/op and B/op tolerance (-1 disables memory gating)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -200,13 +205,13 @@ func cmdDiff(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "benchreg diff: %v\n", err)
 		return 1
 	}
-	return report(old.Results, new.Results, *tolerance, stdout)
+	return report(old.Results, new.Results, *tolerance, *allocTol, stdout)
 }
 
 // report renders the diff and maps it to an exit code: 0 clean, 2 regressed.
-func report(baseline, current []benchfmt.Result, tolerance float64, stdout io.Writer) int {
-	deltas := benchfmt.Compare(baseline, current, tolerance)
-	benchfmt.WriteDiff(stdout, deltas, tolerance)
+func report(baseline, current []benchfmt.Result, tolerance, allocTolerance float64, stdout io.Writer) int {
+	deltas := benchfmt.Compare(baseline, current, tolerance, allocTolerance)
+	benchfmt.WriteDiff(stdout, deltas, tolerance, allocTolerance)
 	if benchfmt.AnyRegressed(deltas) {
 		fmt.Fprintln(stdout, "FAIL: benchmark regression beyond tolerance")
 		return 2

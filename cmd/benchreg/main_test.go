@@ -101,6 +101,33 @@ func TestCompareFlagsRegression(t *testing.T) {
 	}
 }
 
+func TestCompareFlagsAllocRegression(t *testing.T) {
+	input := writeInput(t, capturedBench)
+	out := filepath.Join(t.TempDir(), "BENCH.json")
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"run", "-input", input, "-out", out}, &stdout, &stderr); code != 0 {
+		t.Fatalf("run exit = %d: %s", code, stderr.String())
+	}
+	// Timing unchanged, allocs/op +100% on ScanBatch: the memory gate alone
+	// must flag the run.
+	regressed := strings.ReplaceAll(capturedBench, " 10 allocs/op", " 20 allocs/op")
+	stdout.Reset()
+	code := run([]string{"compare", "-baseline", out, "-input", writeInput(t, regressed)}, &stdout, &stderr)
+	if code != 2 {
+		t.Fatalf("compare exit = %d, want 2, stdout:\n%s", code, stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "REGRESSED (allocs/op)") {
+		t.Fatalf("alloc regression not attributed to its column:\n%s", stdout.String())
+	}
+	// -alloc-tolerance -1 disables memory gating; timing is clean, so the
+	// same drift passes.
+	stdout.Reset()
+	code = run([]string{"compare", "-baseline", out, "-alloc-tolerance", "-1", "-input", writeInput(t, regressed)}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("compare -alloc-tolerance -1 exit = %d, stdout:\n%s", code, stdout.String())
+	}
+}
+
 func TestDiffSubcommand(t *testing.T) {
 	dir := t.TempDir()
 	old := filepath.Join(dir, "old.json")

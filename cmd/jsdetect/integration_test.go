@@ -243,6 +243,49 @@ func TestLoadRejectsWrongDimsAndSwap(t *testing.T) {
 	}
 }
 
+// TestDedupFlag scans a directory where one file's bytes repeat under
+// several names: every copy must report the same verdict under its own path,
+// and -stats must surface the dedup count.
+func TestDedupFlag(t *testing.T) {
+	models := t.TempDir()
+	writeTinyModels(t, models)
+	dir := t.TempDir()
+	const src = "var dup = 7; function g(x) { return x * dup; } g(3);"
+	for _, name := range []string{"a.js", "b.js", "c.js", "d.js"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-models", models, "-dedup", "-stats", "-json", "-workers", "1", dir}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "3 deduped") {
+		t.Fatalf("-stats must report the dedup count: %s", stderr.String())
+	}
+	var reps []report
+	dec := json.NewDecoder(&stdout)
+	for dec.More() {
+		var rep report
+		if err := dec.Decode(&rep); err != nil {
+			t.Fatal(err)
+		}
+		reps = append(reps, rep)
+	}
+	if len(reps) != 4 {
+		t.Fatalf("got %d reports, want 4", len(reps))
+	}
+	for i, rep := range reps {
+		if filepath.Base(rep.Path) != []string{"a.js", "b.js", "c.js", "d.js"}[i] {
+			t.Errorf("report %d has path %q, want its own file", i, rep.Path)
+		}
+		if rep.Transformed != reps[0].Transformed || rep.Minified != reps[0].Minified {
+			t.Errorf("report %d verdict diverges from the first copy", i)
+		}
+	}
+}
+
 // TestStatsFlag checks the -stats summary reaches stderr with the verdict
 // and failure counts.
 func TestStatsFlag(t *testing.T) {

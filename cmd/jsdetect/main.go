@@ -11,6 +11,7 @@
 //	jsdetect -models models/ -json file.js      # machine-readable output
 //	jsdetect -models models/ -explain file.js   # attach static indicators
 //	jsdetect -models models/ -workers 8 dir/    # parallel batch scan
+//	jsdetect -models models/ -dedup dir/        # classify duplicate files once
 //	jsdetect -models models/ -metrics dir/      # per-stage metrics dump
 //	jsdetect -models models/ -pprof :6060 dir/  # live pprof endpoints
 //	jsdetect -models models/ -trace out.tr dir/ # runtime execution trace
@@ -69,6 +70,7 @@ type options struct {
 	jsonOut   bool
 	explain   bool
 	workers   int
+	dedup     bool
 	stats     bool
 	metrics   bool
 	pprofAddr string
@@ -87,6 +89,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	flags.BoolVar(&opts.jsonOut, "json", false, "emit one JSON object per input")
 	flags.BoolVar(&opts.explain, "explain", false, "run the static indicator rules and attach attributable diagnostics")
 	flags.IntVar(&opts.workers, "workers", 0, "batch scan worker pool size (0 = GOMAXPROCS)")
+	flags.BoolVar(&opts.dedup, "dedup", false, "cache verdicts by content hash so duplicate files are classified once")
 	flags.BoolVar(&opts.stats, "stats", false, "print aggregate scan statistics to stderr")
 	flags.BoolVar(&opts.metrics, "metrics", false, "collect pipeline metrics and print the per-stage breakdown to stderr (JSON with -json)")
 	flags.StringVar(&opts.pprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for the scan's lifetime")
@@ -143,7 +146,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "jsdetect: load level 2: %v\n", err)
 		return 1
 	}
-	scanner, err := core.NewScanner(l1, l2, core.ScanOptions{Workers: opts.workers, Explain: opts.explain, StageStats: opts.metrics})
+	scanner, err := core.NewScanner(l1, l2, core.ScanOptions{Workers: opts.workers, Explain: opts.explain, StageStats: opts.metrics, Dedup: opts.dedup})
 	if err != nil {
 		fmt.Fprintf(stderr, "jsdetect: %v\n", err)
 		return 1
@@ -195,11 +198,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 	flushTo(len(items))
 
 	if opts.stats {
+		dedup := ""
+		if opts.dedup {
+			dedup = fmt.Sprintf(", %d deduped", stats.Deduped)
+		}
 		fmt.Fprintf(stderr,
-			"jsdetect: scanned %d files (%d bytes) in %v: %d regular, %d minified, %d obfuscated, %d transformed, %d parse failures (%.1f files/s, %.1f KB/s)\n",
+			"jsdetect: scanned %d files (%d bytes) in %v: %d regular, %d minified, %d obfuscated, %d transformed, %d parse failures%s (%.1f files/s, %.1f KB/s)\n",
 			stats.Files, stats.Bytes, stats.Duration.Round(1e6),
 			stats.Regular, stats.Minified, stats.Obfuscated, stats.Transformed,
-			stats.ParseFailures, stats.FilesPerSec(), stats.BytesPerSec()/1024)
+			stats.ParseFailures, dedup, stats.FilesPerSec(), stats.BytesPerSec()/1024)
 	}
 	if opts.metrics {
 		emitMetrics(stderr, stats, opts.jsonOut)

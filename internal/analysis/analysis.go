@@ -208,15 +208,32 @@ func snippet(src string, span ast.Span) string {
 // construction: concurrent Run calls are safe.
 type Engine struct {
 	rules []Rule
+	// ruleKinds[i] holds the interned kinds of rules[i].Info().Nodes,
+	// resolved once here so Run dispatches on small ints instead of
+	// hashing type-name strings per node.
+	ruleKinds [][]ast.Kind
 }
 
 // NewEngine builds an engine over the given rules; with no arguments it uses
-// DefaultRules.
+// DefaultRules. Every name in a rule's Nodes list must be a known ESTree node
+// type; a typo would otherwise silently unsubscribe the rule, so NewEngine
+// panics on unknown names.
 func NewEngine(rules ...Rule) *Engine {
 	if len(rules) == 0 {
 		rules = DefaultRules()
 	}
-	return &Engine{rules: rules}
+	e := &Engine{rules: rules, ruleKinds: make([][]ast.Kind, len(rules))}
+	for i, r := range rules {
+		info := r.Info()
+		for _, name := range info.Nodes {
+			k, ok := ast.KindForName(name)
+			if !ok {
+				panic(fmt.Sprintf("analysis: rule %q subscribes to unknown node type %q", info.ID, name))
+			}
+			e.ruleKinds[i] = append(e.ruleKinds[i], k)
+		}
+	}
+	return e
 }
 
 // Rules returns the registry in registration order.
@@ -227,10 +244,10 @@ func (e *Engine) Rules() []Rule { return e.rules }
 func (e *Engine) Run(ctx *Context) []Diagnostic {
 	defer obs.Time("analysis.run")()
 	var diags []Diagnostic
-	byType := make(map[string][]Visit)
+	var byKind [ast.KindCount][]Visit
 	var every []Visit
 	finishes := make([]FinishFunc, 0, len(e.rules))
-	for _, r := range e.rules {
+	for i, r := range e.rules {
 		info := r.Info()
 		rep := &Reporter{info: info, src: ctx.Src, diags: &diags}
 		visit, finish := r.Start(ctx, rep)
@@ -238,8 +255,8 @@ func (e *Engine) Run(ctx *Context) []Diagnostic {
 			if len(info.Nodes) == 0 {
 				every = append(every, visit)
 			}
-			for _, t := range info.Nodes {
-				byType[t] = append(byType[t], visit)
+			for _, k := range e.ruleKinds[i] {
+				byKind[k] = append(byKind[k], visit)
 			}
 		}
 		if finish != nil {
@@ -251,7 +268,7 @@ func (e *Engine) Run(ctx *Context) []Diagnostic {
 			for _, v := range every {
 				v(n)
 			}
-			for _, v := range byType[n.Type()] {
+			for _, v := range byKind[n.NodeKind()] {
 				v(n)
 			}
 			return true

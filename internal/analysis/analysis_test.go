@@ -89,6 +89,66 @@ func countAll(n ast.Node, count *int) {
 	}
 }
 
+// TestKindDispatchTargeted verifies the kind-indexed dispatch delivers a rule
+// exactly the node types it subscribed to — no more, no fewer — matching what
+// the old type-name string dispatch did.
+func TestKindDispatchTargeted(t *testing.T) {
+	res, err := parser.ParseNoTokens(compositeSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]int{}
+	var countByType func(n ast.Node)
+	countByType = func(n ast.Node) {
+		want[n.Type()]++
+		for _, c := range ast.Children(n) {
+			countByType(c)
+		}
+	}
+	countByType(res.Program)
+
+	got := map[string]int{}
+	targeted := &rule{
+		info: RuleInfo{ID: "targeted", Severity: SeverityInfo,
+			Nodes: []string{"Identifier", "CallExpression", "IfStatement"}},
+		start: func(ctx *Context, rep *Reporter) (Visit, FinishFunc) {
+			return func(n ast.Node) { got[n.Type()]++ }, nil
+		},
+	}
+	eng := NewEngine(targeted)
+	eng.Run(&Context{Src: compositeSource, Result: res, Program: res.Program})
+
+	for _, typ := range []string{"Identifier", "CallExpression", "IfStatement"} {
+		if got[typ] != want[typ] {
+			t.Errorf("rule saw %d %s nodes, want %d", got[typ], typ, want[typ])
+		}
+	}
+	for typ := range got {
+		switch typ {
+		case "Identifier", "CallExpression", "IfStatement":
+		default:
+			t.Errorf("rule observed unsubscribed node type %s", typ)
+		}
+	}
+}
+
+// TestNewEngineRejectsUnknownNodeType locks the construction-time typo check:
+// a misspelled Nodes entry would silently unsubscribe the rule under map
+// dispatch, so the kind resolver must refuse it loudly.
+func TestNewEngineRejectsUnknownNodeType(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewEngine accepted a rule subscribing to an unknown node type")
+		}
+	}()
+	NewEngine(&rule{
+		info: RuleInfo{ID: "typo", Severity: SeverityInfo, Nodes: []string{"CallExpresion"}},
+		start: func(ctx *Context, rep *Reporter) (Visit, FinishFunc) {
+			return func(ast.Node) {}, nil
+		},
+	})
+}
+
 // TestConcurrentRuns exercises the engine from several goroutines (the -race
 // gate makes this meaningful).
 func TestConcurrentRuns(t *testing.T) {

@@ -238,19 +238,41 @@ func (v Verdict) String() string {
 	}
 }
 
-// Delta is one benchmark's baseline-vs-current comparison.
+// Delta is one benchmark's baseline-vs-current comparison across the three
+// gated columns: ns/op, allocs/op, and B/op.
 type Delta struct {
 	Name    string
 	Old     float64 // baseline ns/op (0 when VerdictNew)
 	New     float64 // current ns/op (0 when VerdictMissing)
 	Ratio   float64 // New/Old - 1 (signed relative change)
 	Verdict Verdict
+	// OldAllocs/NewAllocs/AllocRatio mirror the ns/op fields for allocs/op;
+	// a zero ratio with zero olds means the column had no -benchmem data.
+	OldAllocs, NewAllocs, AllocRatio float64
+	// OldBytes/NewBytes/BytesRatio do the same for B/op.
+	OldBytes, NewBytes, BytesRatio float64
+	// Regressions names the columns that exceeded their tolerance
+	// ("ns/op", "allocs/op", "B/op"); non-empty iff Verdict is regressed.
+	Regressions []string
 }
 
-// Compare diffs current against baseline with a relative tolerance on
-// ns/op (0.15 = fail beyond +15%). Benchmarks only present on one side are
-// reported as missing/new, never as failures.
-func Compare(baseline, current []Result, tolerance float64) []Delta {
+// ratio returns new/old - 1, or 0 when the baseline column is empty.
+func ratio(old, new float64) float64 {
+	if old <= 0 {
+		return 0
+	}
+	return new/old - 1
+}
+
+// Compare diffs current against baseline: a relative tolerance on ns/op
+// (0.15 = fail beyond +15%) and a separate allocTolerance shared by the
+// allocs/op and B/op columns (allocation counts are near-deterministic, so
+// their tolerance is typically tighter; a negative allocTolerance disables
+// memory gating). A benchmark regresses when any gated column exceeds its
+// tolerance. Benchmarks only present on one side are reported as missing/new,
+// never as failures, and columns without -benchmem data on both sides are not
+// gated.
+func Compare(baseline, current []Result, tolerance, allocTolerance float64) []Delta {
 	cur := make(map[string]Result, len(current))
 	for _, r := range current {
 		cur[r.Name] = r
@@ -264,12 +286,25 @@ func Compare(baseline, current []Result, tolerance float64) []Delta {
 			out = append(out, Delta{Name: b.Name, Old: b.NsPerOp, Verdict: VerdictMissing})
 			continue
 		}
-		d := Delta{Name: b.Name, Old: b.NsPerOp, New: c.NsPerOp}
-		if b.NsPerOp > 0 {
-			d.Ratio = c.NsPerOp/b.NsPerOp - 1
+		d := Delta{
+			Name: b.Name,
+			Old:  b.NsPerOp, New: c.NsPerOp, Ratio: ratio(b.NsPerOp, c.NsPerOp),
+			OldAllocs: b.AllocsPerOp, NewAllocs: c.AllocsPerOp,
+			AllocRatio: ratio(b.AllocsPerOp, c.AllocsPerOp),
+			OldBytes:   b.BytesPerOp, NewBytes: c.BytesPerOp,
+			BytesRatio: ratio(b.BytesPerOp, c.BytesPerOp),
+		}
+		if d.Ratio > tolerance {
+			d.Regressions = append(d.Regressions, "ns/op")
+		}
+		if allocTolerance >= 0 && b.AllocsPerOp > 0 && c.AllocsPerOp > 0 && d.AllocRatio > allocTolerance {
+			d.Regressions = append(d.Regressions, "allocs/op")
+		}
+		if allocTolerance >= 0 && b.BytesPerOp > 0 && c.BytesPerOp > 0 && d.BytesRatio > allocTolerance {
+			d.Regressions = append(d.Regressions, "B/op")
 		}
 		switch {
-		case d.Ratio > tolerance:
+		case len(d.Regressions) > 0:
 			d.Verdict = VerdictRegressed
 		case d.Ratio < -tolerance:
 			d.Verdict = VerdictImproved
@@ -297,15 +332,31 @@ func AnyRegressed(deltas []Delta) bool {
 	return false
 }
 
-// WriteDiff renders the comparison as an aligned table.
-func WriteDiff(w io.Writer, deltas []Delta, tolerance float64) {
+// memCell renders one memory column as a compact "old→new (+x%)" cell, or
+// "-" when either side lacks -benchmem data.
+func memCell(old, new, ratio float64) string {
+	if old <= 0 && new <= 0 {
+		return "-"
+	}
+	if old <= 0 || new <= 0 {
+		return fmt.Sprintf("%.0f→%.0f", old, new)
+	}
+	return fmt.Sprintf("%.0f→%.0f (%+.1f%%)", old, new, 100*ratio)
+}
+
+// WriteDiff renders the comparison as an aligned table. The ns/op columns are
+// always present; allocs/op and B/op cells show "old→new (+x%)" when
+// -benchmem data exists on both sides. Regressed rows name the offending
+// columns next to the verdict.
+func WriteDiff(w io.Writer, deltas []Delta, tolerance, allocTolerance float64) {
 	width := len("benchmark")
 	for _, d := range deltas {
 		if len(d.Name) > width {
 			width = len(d.Name)
 		}
 	}
-	fmt.Fprintf(w, "%-*s %14s %14s %8s  %s\n", width, "benchmark", "old ns/op", "new ns/op", "delta", "verdict")
+	fmt.Fprintf(w, "%-*s %14s %14s %8s %26s %30s  %s\n",
+		width, "benchmark", "old ns/op", "new ns/op", "delta", "allocs/op", "B/op", "verdict")
 	for _, d := range deltas {
 		old, new := "-", "-"
 		if d.Verdict != VerdictNew {
@@ -314,11 +365,23 @@ func WriteDiff(w io.Writer, deltas []Delta, tolerance float64) {
 		if d.Verdict != VerdictMissing {
 			new = fmt.Sprintf("%.0f", d.New)
 		}
-		delta := "-"
+		delta, allocs, bytes := "-", "-", "-"
 		if d.Verdict != VerdictNew && d.Verdict != VerdictMissing {
 			delta = fmt.Sprintf("%+.1f%%", 100*d.Ratio)
+			allocs = memCell(d.OldAllocs, d.NewAllocs, d.AllocRatio)
+			bytes = memCell(d.OldBytes, d.NewBytes, d.BytesRatio)
 		}
-		fmt.Fprintf(w, "%-*s %14s %14s %8s  %s\n", width, d.Name, old, new, delta, d.Verdict)
+		verdict := d.Verdict.String()
+		if len(d.Regressions) > 0 {
+			verdict += " (" + strings.Join(d.Regressions, ", ") + ")"
+		}
+		fmt.Fprintf(w, "%-*s %14s %14s %8s %26s %30s  %s\n",
+			width, d.Name, old, new, delta, allocs, bytes, verdict)
 	}
-	fmt.Fprintf(w, "tolerance: ±%.0f%% on ns/op\n", 100*tolerance)
+	if allocTolerance >= 0 {
+		fmt.Fprintf(w, "tolerance: ±%.0f%% on ns/op, ±%.0f%% on allocs/op and B/op\n",
+			100*tolerance, 100*allocTolerance)
+	} else {
+		fmt.Fprintf(w, "tolerance: ±%.0f%% on ns/op (memory gating off)\n", 100*tolerance)
+	}
 }

@@ -102,7 +102,7 @@ func TestCompareVerdicts(t *testing.T) {
 		{Name: "C", NsPerOp: 800},  // -20% improvement
 		{Name: "Fresh", NsPerOp: 50},
 	}
-	deltas := Compare(baseline, current, 0.15)
+	deltas := Compare(baseline, current, 0.15, 0.10)
 	want := map[string]Verdict{
 		"A": VerdictOK, "B": VerdictRegressed, "C": VerdictImproved,
 		"Gone": VerdictMissing, "Fresh": VerdictNew,
@@ -118,21 +118,79 @@ func TestCompareVerdicts(t *testing.T) {
 	if !AnyRegressed(deltas) {
 		t.Error("AnyRegressed = false with a +20% entry")
 	}
-	deltas = Compare(baseline[:1], current[:1], 0.15)
+	deltas = Compare(baseline[:1], current[:1], 0.15, 0.10)
 	if AnyRegressed(deltas) {
 		t.Error("AnyRegressed = true for a within-tolerance diff")
 	}
 }
 
+func TestCompareGatesAllocations(t *testing.T) {
+	baseline := []Result{
+		{Name: "AllocUp", NsPerOp: 1000, AllocsPerOp: 100, BytesPerOp: 10000},
+		{Name: "BytesUp", NsPerOp: 1000, AllocsPerOp: 100, BytesPerOp: 10000},
+		{Name: "MemDown", NsPerOp: 1000, AllocsPerOp: 100, BytesPerOp: 10000},
+		{Name: "NoMemData", NsPerOp: 1000},
+		{Name: "NewMemData", NsPerOp: 1000},
+	}
+	current := []Result{
+		// Timing flat, allocations +50%: must regress on the allocs column.
+		{Name: "AllocUp", NsPerOp: 1000, AllocsPerOp: 150, BytesPerOp: 10000},
+		// Timing flat, bytes +50%: must regress on the B/op column.
+		{Name: "BytesUp", NsPerOp: 1000, AllocsPerOp: 100, BytesPerOp: 15000},
+		// Memory improved sharply, timing flat: ok, never a failure.
+		{Name: "MemDown", NsPerOp: 1000, AllocsPerOp: 10, BytesPerOp: 1000},
+		// Neither side has -benchmem data: no memory gating possible.
+		{Name: "NoMemData", NsPerOp: 1000},
+		// Baseline predates -benchmem: new columns must not count as a
+		// regression from zero.
+		{Name: "NewMemData", NsPerOp: 1000, AllocsPerOp: 500, BytesPerOp: 50000},
+	}
+	deltas := Compare(baseline, current, 0.15, 0.10)
+	byName := map[string]Delta{}
+	for _, d := range deltas {
+		byName[d.Name] = d
+	}
+	for name, wantCol := range map[string]string{"AllocUp": "allocs/op", "BytesUp": "B/op"} {
+		d := byName[name]
+		if d.Verdict != VerdictRegressed {
+			t.Errorf("%s: verdict %v, want REGRESSED", name, d.Verdict)
+		}
+		if len(d.Regressions) != 1 || d.Regressions[0] != wantCol {
+			t.Errorf("%s: regressed columns %v, want [%s]", name, d.Regressions, wantCol)
+		}
+	}
+	for _, name := range []string{"MemDown", "NoMemData", "NewMemData"} {
+		if d := byName[name]; d.Verdict != VerdictOK {
+			t.Errorf("%s: verdict %v (%v), want ok", name, d.Verdict, d.Regressions)
+		}
+	}
+	if d := byName["AllocUp"]; d.AllocRatio < 0.49 || d.AllocRatio > 0.51 {
+		t.Errorf("AllocUp: AllocRatio = %v, want ~+0.50", d.AllocRatio)
+	}
+
+	// A negative allocTolerance turns memory gating off entirely.
+	deltas = Compare(baseline, current, 0.15, -1)
+	if AnyRegressed(deltas) {
+		t.Error("memory gating disabled but a regression survived")
+	}
+}
+
 func TestWriteDiff(t *testing.T) {
 	deltas := Compare(
-		[]Result{{Name: "A", NsPerOp: 1000}, {Name: "B", NsPerOp: 1000}},
-		[]Result{{Name: "A", NsPerOp: 1300}},
-		0.15)
+		[]Result{
+			{Name: "A", NsPerOp: 1000, AllocsPerOp: 200, BytesPerOp: 4000},
+			{Name: "B", NsPerOp: 1000},
+		},
+		[]Result{{Name: "A", NsPerOp: 1300, AllocsPerOp: 260, BytesPerOp: 4100}},
+		0.15, 0.10)
 	var buf bytes.Buffer
-	WriteDiff(&buf, deltas, 0.15)
+	WriteDiff(&buf, deltas, 0.15, 0.10)
 	out := buf.String()
-	for _, want := range []string{"REGRESSED", "missing", "+30.0%", "tolerance: ±15%"} {
+	for _, want := range []string{
+		"REGRESSED (ns/op, allocs/op)", "missing", "+30.0%",
+		"200→260 (+30.0%)", "4000→4100 (+2.5%)",
+		"tolerance: ±15% on ns/op, ±10% on allocs/op and B/op",
+	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("diff output missing %q:\n%s", want, out)
 		}

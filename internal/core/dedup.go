@@ -1,0 +1,113 @@
+package core
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// Batch scans of real-world corpora are duplicate-heavy: the same vendored
+// library, CDN bundle, or template fragment appears under many paths (the
+// paper's wild set of 424k scripts deduplicates to a fraction of that). The
+// classification verdict is a pure function of the source bytes, so a
+// content-hash cache lets a Scanner pay the parse/flow/rules/features/infer
+// cost once per distinct content and replay the verdict for every repeat.
+
+// DefaultDedupCapacity is the number of distinct file contents a dedup-enabled
+// Scanner retains when ScanOptions.DedupCapacity is unset. At roughly one
+// cached FileResult per entry the bound keeps worst-case cache memory in the
+// low tens of megabytes even with Explain diagnostics attached.
+const DefaultDedupCapacity = 4096
+
+// dedupKey is the SHA-256 of a file's source text.
+type dedupKey [sha256.Size]byte
+
+// hashSource hashes src in fixed-size chunks so the string never needs to be
+// materialized as one []byte copy.
+func hashSource(src string) dedupKey {
+	h := sha256.New()
+	var buf [4096]byte
+	for len(src) > 0 {
+		n := copy(buf[:], src)
+		h.Write(buf[:n])
+		src = src[n:]
+	}
+	var k dedupKey
+	h.Sum(k[:0])
+	return k
+}
+
+// dedupCache is a bounded LRU of completed scan results keyed by content
+// hash. It caches only finished results (concurrent scans of the same new
+// content both miss and both compute; the last Put wins), which keeps the
+// fast path a single short critical section with no per-key waiting.
+type dedupCache struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List // front = most recently used; values are *dedupEntry
+	items map[dedupKey]*list.Element
+}
+
+type dedupEntry struct {
+	key dedupKey
+	res FileResult
+}
+
+func newDedupCache(capacity int) *dedupCache {
+	if capacity <= 0 {
+		capacity = DefaultDedupCapacity
+	}
+	return &dedupCache{
+		cap:   capacity,
+		order: list.New(),
+		items: make(map[dedupKey]*list.Element, capacity),
+	}
+}
+
+// get returns the cached result for k, marking it most recently used.
+func (c *dedupCache) get(k dedupKey) (FileResult, bool) {
+	c.mu.Lock()
+	el, ok := c.items[k]
+	if !ok {
+		c.mu.Unlock()
+		obs.Add("scan.cache.miss", 1)
+		return FileResult{}, false
+	}
+	c.order.MoveToFront(el)
+	res := el.Value.(*dedupEntry).res
+	c.mu.Unlock()
+	obs.Add("scan.cache.hit", 1)
+	return res, true
+}
+
+// put stores r under k, evicting the least recently used entry when the
+// cache is full.
+func (c *dedupCache) put(k dedupKey, r FileResult) {
+	var evicted bool
+	c.mu.Lock()
+	if el, ok := c.items[k]; ok {
+		el.Value.(*dedupEntry).res = r
+		c.order.MoveToFront(el)
+	} else {
+		c.items[k] = c.order.PushFront(&dedupEntry{key: k, res: r})
+		if c.order.Len() > c.cap {
+			oldest := c.order.Back()
+			c.order.Remove(oldest)
+			delete(c.items, oldest.Value.(*dedupEntry).key)
+			evicted = true
+		}
+	}
+	c.mu.Unlock()
+	if evicted {
+		obs.Add("scan.cache.evict", 1)
+	}
+}
+
+// len returns the current number of cached contents.
+func (c *dedupCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

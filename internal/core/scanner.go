@@ -33,6 +33,15 @@ type ScanOptions struct {
 	// setting, while the process-wide obs registry is enabled (jsdetect
 	// -metrics); otherwise the scan skips the per-file clock reads.
 	StageStats bool
+	// Dedup enables the content-hash result cache: files whose SHA-256
+	// matches an already-scanned file short-circuit the whole
+	// parse/flow/rules/features/infer pipeline and replay the cached verdict
+	// (with the repeat's own Path, and Deduped set). The cache lives on the
+	// Scanner, so hits carry across ScanBatch/ScanStream calls.
+	Dedup bool
+	// DedupCapacity bounds the number of distinct contents the cache
+	// retains (LRU eviction); <= 0 means DefaultDedupCapacity.
+	DedupCapacity int
 }
 
 func (o ScanOptions) workers() int {
@@ -66,6 +75,11 @@ type FileResult struct {
 	Diagnostics []analysis.Diagnostic
 	// Err is the per-file failure, typically a parse error.
 	Err error
+	// Deduped marks a verdict replayed from the content-hash cache
+	// (ScanOptions.Dedup): this input's bytes matched an earlier file, so
+	// Level1/Level2/Diagnostics are shared with that file's result and must
+	// be treated as read-only.
+	Deduped bool
 }
 
 // ScanStats aggregates one batch scan.
@@ -80,6 +94,9 @@ type ScanStats struct {
 	// the 0.5 decision threshold (Minified and Obfuscated can overlap;
 	// Regular means not transformed).
 	Regular, Minified, Obfuscated, Transformed int
+	// Deduped counts inputs answered from the content-hash cache. Those
+	// inputs still contribute to Files, Bytes, and the verdict counts.
+	Deduped int
 	// Duration is the wall-clock time of the scan.
 	Duration time.Duration
 	// Stages is the per-stage timing/bytes breakdown, in pipeline order.
@@ -115,6 +132,8 @@ type Scanner struct {
 	// same feature layout, so one vector per file feeds both.
 	ext  *features.Extractor
 	opts ScanOptions
+	// cache is the content-hash dedup cache; nil unless opts.Dedup is set.
+	cache *dedupCache
 }
 
 // NewScanner validates that l1 and l2 are the expected levels with matching
@@ -129,13 +148,37 @@ func NewScanner(l1, l2 *Detector, opts ScanOptions) (*Scanner, error) {
 	if o1, o2 := l1.extractor.Options(), l2.extractor.Options(); o1 != o2 {
 		return nil, fmt.Errorf("core: detectors use different feature options (%+v vs %+v); they cannot share a parse", o1, o2)
 	}
-	return &Scanner{l1: l1, l2: l2, ext: l1.extractor, opts: opts}, nil
+	s := &Scanner{l1: l1, l2: l2, ext: l1.extractor, opts: opts}
+	if opts.Dedup {
+		s.cache = newDedupCache(opts.DedupCapacity)
+	}
+	return s, nil
 }
 
-// scanOne classifies one input: a single parse and flow graph feed the
+// scanOne classifies one input, answering from the dedup cache when enabled
+// and the content has been scanned before. Parse failures are cached too:
+// the same bytes fail the same way.
+func (s *Scanner) scanOne(in Input, acc *stageAcc) FileResult {
+	if s.cache == nil {
+		return s.scanFile(in, acc)
+	}
+	key := hashSource(in.Source)
+	if r, ok := s.cache.get(key); ok {
+		r.Path = in.Path
+		r.Deduped = true
+		return r
+	}
+	out := s.scanFile(in, acc)
+	cached := out
+	cached.Path = "" // hits stamp their own Path
+	s.cache.put(key, cached)
+	return out
+}
+
+// scanFile classifies one input: a single parse and flow graph feed the
 // feature vector, both detectors, and (under Explain) the indicator rules.
 // acc, when non-nil, receives the per-stage cost breakdown.
-func (s *Scanner) scanOne(in Input, acc *stageAcc) FileResult {
+func (s *Scanner) scanFile(in Input, acc *stageAcc) FileResult {
 	out := FileResult{Path: in.Path, Bytes: len(in.Source)}
 	t := newStageTimer(acc, len(in.Source))
 	res, err := parser.ParseNoTokens(in.Source)
@@ -248,6 +291,9 @@ func (s *Scanner) ScanStreamContext(ctx context.Context, inputs []Input, emit fu
 		r := results[i]
 		stats.Files++
 		stats.Bytes += int64(r.Bytes)
+		if r.Deduped {
+			stats.Deduped++
+		}
 		switch {
 		case r.Err != nil:
 			stats.ParseFailures++

@@ -70,6 +70,66 @@ func BenchmarkScanBatch(b *testing.B) {
 	}
 }
 
+// benchDupInputs replicates the standard bench batch four times under
+// distinct paths: 75% of the inputs repeat earlier content, like a crawl that
+// finds the same bundles on many pages.
+func benchDupInputs(b *testing.B) []Input {
+	base := benchScanInputs(b)
+	inputs := make([]Input, 0, 4*len(base))
+	for copyNum := 0; copyNum < 4; copyNum++ {
+		for _, in := range base {
+			inputs = append(inputs, Input{
+				Path:   string(rune('a'+copyNum)) + "/" + in.Path,
+				Source: in.Source,
+			})
+		}
+	}
+	return inputs
+}
+
+// BenchmarkScanBatchDupes scans the duplicate-heavy batch without the dedup
+// cache: every repeat pays the full pipeline.
+func BenchmarkScanBatchDupes(b *testing.B) {
+	inputs := benchDupInputs(b)
+	l1, l2 := benchDetectors(b, features.Options{NGramDims: 1024})
+	s, err := NewScanner(l1, l2, ScanOptions{Explain: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(totalBytes(inputs))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, stats := s.ScanBatch(inputs)
+		if stats.ParseFailures != 0 {
+			b.Fatalf("parse failures: %d", stats.ParseFailures)
+		}
+	}
+}
+
+// BenchmarkScanBatchDupesDedup is the same batch with the content-hash cache
+// on. A fresh scanner per iteration keeps the cold misses inside the measured
+// region, so the number reflects one real batch (miss once, hit thrice), not
+// an eternally warm cache.
+func BenchmarkScanBatchDupesDedup(b *testing.B) {
+	inputs := benchDupInputs(b)
+	l1, l2 := benchDetectors(b, features.Options{NGramDims: 1024})
+	b.SetBytes(totalBytes(inputs))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := NewScanner(l1, l2, ScanOptions{Explain: true, Dedup: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, stats := s.ScanBatch(inputs)
+		if stats.ParseFailures != 0 {
+			b.Fatalf("parse failures: %d", stats.ParseFailures)
+		}
+		if want := len(inputs) * 3 / 4; stats.Deduped < want {
+			b.Fatalf("Deduped = %d, want >= %d", stats.Deduped, want)
+		}
+	}
+}
+
 // BenchmarkScanSerial3Parse is the pre-engine baseline the tentpole
 // replaces: the old CLI classified each file with ClassifyLevel1 (parse 1),
 // ClassifyLevel2 (parse 2), and analysis.Analyze under -explain (parse 3),

@@ -6,9 +6,9 @@ package features
 
 import (
 	"fmt"
-	"hash/fnv"
 	"math"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/analysis"
@@ -155,24 +155,30 @@ func (e *Extractor) ExtractFull(src string, res *parser.Result, g *flow.Graph, d
 
 // ngramFeatures hashes sliding windows over the pre-order sequence of AST
 // node types into the bucket space and stores normalized frequencies.
+//
+// This is the hottest loop of the extraction stage, so it is written to not
+// allocate: the pre-order walk records interned kinds into a pooled []uint16
+// buffer, and each window's FNV-1a hash is computed by an inlined byte loop
+// over the precomputed per-kind byte table. The bucket assignment is
+// bit-identical to hashing the Type() strings with hash/fnv (each node
+// contributes its type name followed by a 0 separator) — golden_test.go locks
+// this, because every trained model's fingerprint depends on the bucket
+// layout staying byte-stable.
 func (e *Extractor) ngramFeatures(prog *ast.Program, out []float64) {
-	var seq []string
-	walker.Walk(prog, func(n ast.Node, _ int) bool {
-		seq = append(seq, n.Type())
-		return true
-	})
+	w := kindWalkerPool.Get().(*kindWalker)
+	w.seq = w.seq[:0]
+	w.visit(prog)
+	seq := w.seq
 	n := e.opts.ngramLen()
-	if len(seq) < n {
-		return
-	}
 	total := 0
 	for i := 0; i+n <= len(seq); i++ {
-		h := fnv.New32a()
+		h := uint32(fnvOffset32)
 		for j := 0; j < n; j++ {
-			h.Write([]byte(seq[i+j]))
-			h.Write([]byte{0})
+			for _, b := range kindHashBytes[seq[i+j]] {
+				h = (h ^ uint32(b)) * fnvPrime32
+			}
 		}
-		out[int(h.Sum32())%len(out)]++
+		out[int(h)%len(out)]++
 		total++
 	}
 	if total > 0 {
@@ -180,7 +186,46 @@ func (e *Extractor) ngramFeatures(prog *ast.Program, out []float64) {
 			out[i] /= float64(total)
 		}
 	}
+	// No defer: the non-panicking hot path returns the buffer by hand to
+	// keep the function allocation-free (a deferred closure would escape).
+	kindWalkerPool.Put(w)
 }
+
+// FNV-1a parameters, matching hash/fnv's 32-bit variant.
+const (
+	fnvOffset32 = 2166136261
+	fnvPrime32  = 16777619
+)
+
+// kindHashBytes maps each interned kind to the exact bytes the n-gram hash
+// historically fed FNV-1a for one node: the ESTree type name plus the 0
+// separator.
+var kindHashBytes = func() [ast.KindCount][]byte {
+	var tbl [ast.KindCount][]byte
+	for k := ast.Kind(1); k < ast.KindCount; k++ {
+		tbl[k] = append([]byte(ast.KindName(k)), 0)
+	}
+	return tbl
+}()
+
+// kindWalker accumulates a program's pre-order kind sequence. The visit
+// closure is bound once per instance so the recursive walk allocates nothing;
+// instances recycle through kindWalkerPool across files within a scan worker,
+// so a warmed pool extracts n-grams with zero allocations per file (asserted
+// by TestNGramFeaturesZeroAlloc).
+type kindWalker struct {
+	seq   []uint16
+	visit func(ast.Node)
+}
+
+var kindWalkerPool = sync.Pool{New: func() any {
+	w := &kindWalker{seq: make([]uint16, 0, 4096)}
+	w.visit = func(n ast.Node) {
+		w.seq = append(w.seq, uint16(n.NodeKind()))
+		ast.EachChild(n, w.visit)
+	}
+	return w
+}}
 
 // ---------------------------------------------------------------------------
 // Hand-picked features

@@ -1,0 +1,7 @@
+//go:build race
+
+package features
+
+// raceEnabled reports whether the race detector instruments this build; the
+// allocation-count tests skip under it because instrumentation allocates.
+const raceEnabled = true

@@ -3,6 +3,7 @@ package features
 import (
 	"math"
 	"strings"
+	"sync"
 
 	"repro/internal/analysis"
 	"repro/internal/js/ast"
@@ -70,174 +71,212 @@ var builtinNames = map[string]bool{
 	"parseInt": true, "parseFloat": true,
 }
 
+// statsCollector holds the reusable scratch state of one collectStats run:
+// the seen-identifier set, the per-depth node counts, and the walk cursor.
+// Instances recycle through statsCollectorPool so the per-file cost is one
+// allocation for the returned stats value; the traversal itself runs over
+// ast.EachChild with a visit closure bound once per instance, so it neither
+// builds child slices (as ast.Children would) nor allocates closures per call.
+type statsCollector struct {
+	st          *stats
+	names       map[string]bool
+	levelCounts []int
+	depth       int
+	exprNesting int
+	visit       func(ast.Node)
+}
+
+var statsCollectorPool = sync.Pool{New: func() any {
+	c := &statsCollector{
+		names:       make(map[string]bool, 256),
+		levelCounts: make([]int, 0, 64),
+	}
+	c.visit = c.visitNode
+	return c
+}}
+
 func collectStats(prog *ast.Program) *stats {
+	c := statsCollectorPool.Get().(*statsCollector)
 	st := &stats{builtins: make(map[string]bool)}
-	names := make(map[string]bool)
-	levelCounts := make(map[int]int)
-	exprNesting := 0
+	c.st = st
+	c.depth = 0
+	c.exprNesting = 0
+	c.visit(prog)
 
-	var visit func(n ast.Node, depth int)
-	visit = func(n ast.Node, depth int) {
-		st.nodes++
-		levelCounts[depth]++
-		if depth > st.depth {
-			st.depth = depth
-		}
-
-		isExpr := !ast.IsStatement(n)
-		if isExpr {
-			exprNesting++
-			if exprNesting > st.maxExprNesting {
-				st.maxExprNesting = exprNesting
-			}
-		}
-
-		switch v := n.(type) {
-		case *ast.Identifier:
-			st.identCount++
-			st.identChars += len(v.Name)
-			names[v.Name] = true
-			if strings.HasPrefix(v.Name, "_0x") {
-				st.hexIdents++
-			}
-			if len(v.Name) <= 2 {
-				st.shortIdents++
-			}
-			for i := 0; i < len(v.Name); i++ {
-				if v.Name[i] < 128 {
-					st.identCharHist[v.Name[i]]++
-				}
-			}
-			if builtinNames[v.Name] {
-				st.builtins[v.Name] = true
-			}
-			if v.Name == "Function" {
-				st.functionCtor++
-			}
-		case *ast.Literal:
-			st.literalCount++
-			switch v.Kind {
-			case ast.LiteralString:
-				st.stringCount++
-				st.stringChars += len(v.String)
-				for i := 0; i < len(v.String); i++ {
-					if v.String[i] < 128 {
-						st.stringCharHist[v.String[i]]++
-					}
-				}
-				if looksEncoded(v.String) {
-					st.encodedStrings++
-				}
-				if looksBase64(v.String) {
-					st.base64Strings++
-				}
-				if v.String == "debugger" {
-					st.debuggerStrings++
-				}
-			case ast.LiteralNumber:
-				st.numberCount++
-			case ast.LiteralRegExp:
-				st.regexCount++
-			}
-		case *ast.CallExpression:
-			st.callCount++
-			if m, ok := v.Callee.(*ast.MemberExpression); ok && !m.Computed {
-				if id, ok := m.Property.(*ast.Identifier); ok {
-					if stringOpNames[id.Name] {
-						st.stringOps++
-					}
-					if id.Name == "fromCharCode" {
-						st.builtins["fromCharCode"] = true
-					}
-					if id.Name == "split" && len(v.Arguments) == 1 {
-						if lit, ok := v.Arguments[0].(*ast.Literal); ok && lit.Kind == ast.LiteralString && lit.String == "|" {
-							st.pipeSplit++
-						}
-					}
-					if id.Name == "constructor" {
-						st.functionCtor++
-					}
-				}
-			}
-			if len(v.Arguments) == 1 {
-				if lit, ok := v.Arguments[0].(*ast.Literal); ok && lit.Kind == ast.LiteralNumber {
-					if _, isID := v.Callee.(*ast.Identifier); isID {
-						st.numericArgCalls++
-					}
-				}
-			}
-		case *ast.MemberExpression:
-			st.memberCount++
-			if v.Computed {
-				st.bracketMember++
-			}
-			if id, ok := v.Property.(*ast.Identifier); ok && !v.Computed && id.Name == "constructor" {
-				st.functionCtor++
-			}
-		case *ast.ConditionalExpression:
-			st.ternaryCount++
-		case *ast.BinaryExpression:
-			st.binaryCount++
-			if v.Operator == "+" {
-				if isStringLit(v.Left) || isStringLit(v.Right) {
-					st.strConcat++
-				}
-			}
-		case *ast.ArrayExpression:
-			st.arrayCount++
-			st.arrayElems += len(v.Elements)
-			strElems := 0
-			for _, el := range v.Elements {
-				if isStringLit(el) {
-					strElems++
-				}
-			}
-			if strElems > st.largestStrArray {
-				st.largestStrArray = strElems
-			}
-		case *ast.SwitchStatement:
-			st.switchCount++
-			st.caseCount += len(v.Cases)
-		case *ast.WhileStatement:
-			if lit, ok := v.Test.(*ast.Literal); ok && lit.Kind == ast.LiteralBoolean && lit.Bool {
-				if blk, ok := v.Body.(*ast.BlockStatement); ok {
-					for _, s := range blk.Body {
-						if _, ok := s.(*ast.SwitchStatement); ok {
-							st.whileTrueSwitch++
-						}
-					}
-				}
-			}
-		case *ast.DebuggerStatement:
-			st.debuggerCount++
-		case *ast.TryStatement:
-			if v.Handler != nil && v.Handler.Body != nil && len(v.Handler.Body.Body) == 0 {
-				st.emptyCatch++
-			}
-		case *ast.FunctionDeclaration, *ast.FunctionExpression, *ast.ArrowFunctionExpression:
-			st.funcCount++
-		case *ast.NewExpression:
-			if id, ok := v.Callee.(*ast.Identifier); ok && id.Name == "Function" {
-				st.functionCtor++
-			}
-		}
-
-		for _, c := range ast.Children(n) {
-			visit(c, depth+1)
-		}
-		if isExpr {
-			exprNesting--
+	st.uniqueIdents = len(c.names)
+	for _, cnt := range c.levelCounts {
+		if cnt > st.breadth {
+			st.breadth = cnt
 		}
 	}
-	visit(prog, 0)
 
-	st.uniqueIdents = len(names)
-	for _, c := range levelCounts {
-		if c > st.breadth {
-			st.breadth = c
-		}
+	clear(c.names)
+	for i := range c.levelCounts {
+		c.levelCounts[i] = 0
 	}
+	c.levelCounts = c.levelCounts[:0]
+	c.st = nil
+	statsCollectorPool.Put(c)
 	return st
+}
+
+func (c *statsCollector) visitNode(n ast.Node) {
+	st := c.st
+	st.nodes++
+	// Depth-first order means depth can exceed the recorded levels by at
+	// most one, so a single append keeps levelCounts indexed by depth.
+	if c.depth == len(c.levelCounts) {
+		c.levelCounts = append(c.levelCounts, 0)
+	}
+	c.levelCounts[c.depth]++
+	if c.depth > st.depth {
+		st.depth = c.depth
+	}
+
+	isExpr := !ast.IsStatement(n)
+	if isExpr {
+		c.exprNesting++
+		if c.exprNesting > st.maxExprNesting {
+			st.maxExprNesting = c.exprNesting
+		}
+	}
+
+	switch v := n.(type) {
+	case *ast.Identifier:
+		st.identCount++
+		st.identChars += len(v.Name)
+		c.names[v.Name] = true
+		if strings.HasPrefix(v.Name, "_0x") {
+			st.hexIdents++
+		}
+		if len(v.Name) <= 2 {
+			st.shortIdents++
+		}
+		for i := 0; i < len(v.Name); i++ {
+			if v.Name[i] < 128 {
+				st.identCharHist[v.Name[i]]++
+			}
+		}
+		if builtinNames[v.Name] {
+			st.builtins[v.Name] = true
+		}
+		if v.Name == "Function" {
+			st.functionCtor++
+		}
+	case *ast.Literal:
+		st.literalCount++
+		switch v.Kind {
+		case ast.LiteralString:
+			st.stringCount++
+			st.stringChars += len(v.String)
+			for i := 0; i < len(v.String); i++ {
+				if v.String[i] < 128 {
+					st.stringCharHist[v.String[i]]++
+				}
+			}
+			if looksEncoded(v.String) {
+				st.encodedStrings++
+			}
+			if looksBase64(v.String) {
+				st.base64Strings++
+			}
+			if v.String == "debugger" {
+				st.debuggerStrings++
+			}
+		case ast.LiteralNumber:
+			st.numberCount++
+		case ast.LiteralRegExp:
+			st.regexCount++
+		}
+	case *ast.CallExpression:
+		st.callCount++
+		if m, ok := v.Callee.(*ast.MemberExpression); ok && !m.Computed {
+			if id, ok := m.Property.(*ast.Identifier); ok {
+				if stringOpNames[id.Name] {
+					st.stringOps++
+				}
+				if id.Name == "fromCharCode" {
+					st.builtins["fromCharCode"] = true
+				}
+				if id.Name == "split" && len(v.Arguments) == 1 {
+					if lit, ok := v.Arguments[0].(*ast.Literal); ok && lit.Kind == ast.LiteralString && lit.String == "|" {
+						st.pipeSplit++
+					}
+				}
+				if id.Name == "constructor" {
+					st.functionCtor++
+				}
+			}
+		}
+		if len(v.Arguments) == 1 {
+			if lit, ok := v.Arguments[0].(*ast.Literal); ok && lit.Kind == ast.LiteralNumber {
+				if _, isID := v.Callee.(*ast.Identifier); isID {
+					st.numericArgCalls++
+				}
+			}
+		}
+	case *ast.MemberExpression:
+		st.memberCount++
+		if v.Computed {
+			st.bracketMember++
+		}
+		if id, ok := v.Property.(*ast.Identifier); ok && !v.Computed && id.Name == "constructor" {
+			st.functionCtor++
+		}
+	case *ast.ConditionalExpression:
+		st.ternaryCount++
+	case *ast.BinaryExpression:
+		st.binaryCount++
+		if v.Operator == "+" {
+			if isStringLit(v.Left) || isStringLit(v.Right) {
+				st.strConcat++
+			}
+		}
+	case *ast.ArrayExpression:
+		st.arrayCount++
+		st.arrayElems += len(v.Elements)
+		strElems := 0
+		for _, el := range v.Elements {
+			if isStringLit(el) {
+				strElems++
+			}
+		}
+		if strElems > st.largestStrArray {
+			st.largestStrArray = strElems
+		}
+	case *ast.SwitchStatement:
+		st.switchCount++
+		st.caseCount += len(v.Cases)
+	case *ast.WhileStatement:
+		if lit, ok := v.Test.(*ast.Literal); ok && lit.Kind == ast.LiteralBoolean && lit.Bool {
+			if blk, ok := v.Body.(*ast.BlockStatement); ok {
+				for _, s := range blk.Body {
+					if _, ok := s.(*ast.SwitchStatement); ok {
+						st.whileTrueSwitch++
+					}
+				}
+			}
+		}
+	case *ast.DebuggerStatement:
+		st.debuggerCount++
+	case *ast.TryStatement:
+		if v.Handler != nil && v.Handler.Body != nil && len(v.Handler.Body.Body) == 0 {
+			st.emptyCatch++
+		}
+	case *ast.FunctionDeclaration, *ast.FunctionExpression, *ast.ArrowFunctionExpression:
+		st.funcCount++
+	case *ast.NewExpression:
+		if id, ok := v.Callee.(*ast.Identifier); ok && id.Name == "Function" {
+			st.functionCtor++
+		}
+	}
+
+	c.depth++
+	ast.EachChild(n, c.visit)
+	c.depth--
+	if isExpr {
+		c.exprNesting--
+	}
 }
 
 func isStringLit(n ast.Node) bool {

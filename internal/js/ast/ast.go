@@ -24,6 +24,11 @@ type Span struct {
 type Node interface {
 	// Type returns the ESTree node type name, e.g. "CallExpression".
 	Type() string
+	// NodeKind returns the interned node kind; KindName(NodeKind()) ==
+	// Type(). Hot traversal paths switch and index on it instead of the
+	// string. (Named NodeKind, not Kind, because ESTree mandates a Kind
+	// field on several node types.)
+	NodeKind() Kind
 	// Span returns the source range of the node.
 	Span() Span
 }

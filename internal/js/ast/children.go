@@ -225,56 +225,27 @@ func walkOne(n Node, f func(Node)) {
 // to statement nodes (plus CatchClause and ConditionalExpression, which the
 // flow package adds explicitly).
 func IsStatement(n Node) bool {
-	switch n.(type) {
-	case *Program, *ExpressionStatement, *BlockStatement, *EmptyStatement,
-		*DebuggerStatement, *WithStatement, *ReturnStatement,
-		*LabeledStatement, *BreakStatement, *ContinueStatement, *IfStatement,
-		*SwitchStatement, *SwitchCase, *ThrowStatement, *TryStatement,
-		*WhileStatement, *DoWhileStatement, *ForStatement, *ForInStatement,
-		*ForOfStatement, *FunctionDeclaration, *VariableDeclaration,
-		*ClassDeclaration, *ImportDeclaration, *ExportNamedDeclaration,
-		*ExportDefaultDeclaration, *ExportAllDeclaration:
-		return true
-	default:
-		return false
-	}
+	return n != nil && statementKinds[n.NodeKind()]
 }
 
 // IsConditionalControlFlow reports whether n is one of the conditional
 // control-flow node types the paper uses as a corpus filter (footnote 2):
 // loops, if, ternary, try, and switch.
 func IsConditionalControlFlow(n Node) bool {
-	switch n.(type) {
-	case *DoWhileStatement, *WhileStatement, *ForStatement, *ForOfStatement,
-		*ForInStatement, *IfStatement, *ConditionalExpression, *TryStatement,
-		*SwitchStatement:
-		return true
-	default:
-		return false
-	}
+	return n != nil && conditionalControlFlowKinds[n.NodeKind()]
 }
 
 // IsFunction reports whether n is one of the function node types from the
 // paper's corpus filter (footnote 3).
 func IsFunction(n Node) bool {
-	switch n.(type) {
-	case *ArrowFunctionExpression, *FunctionExpression, *FunctionDeclaration:
-		return true
-	default:
-		return false
-	}
+	return n != nil && functionKinds[n.NodeKind()]
 }
 
 // IsCallLike reports whether n is a CallExpression or a
 // TaggedTemplateExpression (footnote 4: the call filter includes tagged
 // templates).
 func IsCallLike(n Node) bool {
-	switch n.(type) {
-	case *CallExpression, *TaggedTemplateExpression:
-		return true
-	default:
-		return false
-	}
+	return n != nil && callLikeKinds[n.NodeKind()]
 }
 
 // The helpers below exist to turn possibly-nil typed pointers into Node

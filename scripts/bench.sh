@@ -3,7 +3,8 @@
 #
 #   ./scripts/bench.sh           compare a fresh run against the latest
 #                                checked-in BENCH_<n>.json; exit 2 on any
-#                                >TOLERANCE ns/op regression
+#                                >TOLERANCE ns/op regression or any
+#                                >ALLOC_TOLERANCE allocs/op / B/op regression
 #   ./scripts/bench.sh -update   run and write the next BENCH_<n>.json
 #                                baseline (check it in with the change that
 #                                moved the numbers)
@@ -13,6 +14,9 @@
 #                   the minimum per benchmark, so more runs = less noise)
 #   BENCH_PATTERN   -bench pattern (default . over the hot-path packages)
 #   TOLERANCE       relative ns/op gate for compare mode (default 0.15)
+#   ALLOC_TOLERANCE relative allocs/op and B/op gate (default 0.10; tighter
+#                   than timing because allocation counts are deterministic.
+#                   Set to -1 to disable memory gating)
 #
 # Numbers in a checked-in baseline came from one specific machine; after a
 # hardware change, refresh the baseline with -update rather than chasing
@@ -28,6 +32,7 @@ PKGS="./internal/core ./internal/js/parser ./internal/features ./internal/ml ./i
 BENCH_COUNT="${BENCH_COUNT:-3}"
 BENCH_PATTERN="${BENCH_PATTERN:-.}"
 TOLERANCE="${TOLERANCE:-0.15}"
+ALLOC_TOLERANCE="${ALLOC_TOLERANCE:-0.10}"
 
 # Latest checked-in baseline by trajectory number.
 latest=$(ls BENCH_*.json 2>/dev/null | sort -t_ -k2 -n | tail -1 || true)
@@ -50,7 +55,11 @@ case "$mode" in
     if [ -n "$latest" ]; then
         echo "== diff $latest -> $next =="
         # New baselines may move: report the diff but do not gate on it.
-        go run ./cmd/benchreg diff "$latest" "$next" -tolerance "$TOLERANCE" || true
+        # Flags must precede the positional files: the stdlib flag parser
+        # stops at the first non-flag argument.
+        go run ./cmd/benchreg diff \
+            -tolerance "$TOLERANCE" -alloc-tolerance "$ALLOC_TOLERANCE" \
+            "$latest" "$next" || true
     fi
     ;;
 check|-check)
@@ -58,9 +67,10 @@ check|-check)
         echo "no BENCH_*.json baseline found; run ./scripts/bench.sh -update first" >&2
         exit 1
     fi
-    echo "== benchreg compare vs $latest (count=$BENCH_COUNT, tolerance=$TOLERANCE) =="
+    echo "== benchreg compare vs $latest (count=$BENCH_COUNT, tolerance=$TOLERANCE, alloc-tolerance=$ALLOC_TOLERANCE) =="
     go run ./cmd/benchreg compare -baseline "$latest" \
-        -tolerance "$TOLERANCE" -count "$BENCH_COUNT" \
+        -tolerance "$TOLERANCE" -alloc-tolerance "$ALLOC_TOLERANCE" \
+        -count "$BENCH_COUNT" \
         -bench "$BENCH_PATTERN" \
         $PKGS
     ;;

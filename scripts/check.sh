@@ -23,9 +23,12 @@ go vet ./...
 
 # The batch scan engine and the CLI on top of it are the concurrency-heavy
 # paths; race-check them first and explicitly so a worker-pool regression
-# fails fast (the full -race suite below still covers everything).
-echo "== go test -race (batch scan) =="
-go test -race -run 'Scan|ParallelTrain' ./internal/core ./cmd/jsdetect
+# fails fast (the full -race suite below still covers everything). Dedup
+# covers the content-hash cache (shared LRU under concurrent workers) and
+# the pooled zero-alloc extractors feeding the same scan path.
+echo "== go test -race (batch scan + dedup) =="
+go test -race -run 'Scan|Dedup|ParallelTrain' ./internal/core ./cmd/jsdetect
+go test -race -run 'NGram|CollectStats|ExtractFull' ./internal/features
 
 echo "== go test -race =="
 go test -race ./...
@@ -63,6 +66,10 @@ check_floor() {
 check_floor ./internal/js/interp 80
 check_floor ./internal/flow      75
 check_floor ./internal/js/scope  75
+# The two packages the allocation overhaul rewrote: the floors keep the
+# pooled/zero-alloc paths and the dedup cache from shedding tests.
+check_floor ./internal/features  85
+check_floor ./internal/core      80
 
 # Informational per-package coverage summary (no gate): a shrinking number
 # here is the early warning before a floor trips.
@@ -73,7 +80,8 @@ go test -count=1 -cover ./internal/... 2>/dev/null | awk '
 
 # Benchmark-regression gate, opt-in via BENCH=1: compares a fresh run of the
 # hot-path benchmarks against the last checked-in BENCH_<n>.json and fails
-# on a >15% ns/op regression. Off by default — benchmark noise on shared CI
+# on a >15% ns/op or >10% allocs/op / B/op regression. Off by default —
+# benchmark noise on shared CI
 # machines makes it a poor always-on gate; run it when touching the scan
 # pipeline. See scripts/bench.sh.
 if [ "${BENCH:-0}" = "1" ]; then
