@@ -1,0 +1,171 @@
+// Command jslint runs the project-native static-analysis suite over the
+// module: the five analyzers in internal/lint that pin the pipeline's
+// hot-path, pool, observability, and concurrency invariants.
+//
+// Usage:
+//
+//	go run ./cmd/jslint ./...          # analyze the whole module (the CI gate)
+//	go run ./cmd/jslint ./internal/core
+//	go run ./cmd/jslint -analyzers hotpath-noalloc,pool-discipline ./...
+//	go run ./cmd/jslint -list          # print the analyzers and exit
+//	go run ./cmd/jslint -gen-metrics   # regenerate internal/obs/metrics.go
+//
+// Exit status: 0 when the tree is clean, 1 when findings were reported, 2 on
+// load or usage errors. Findings print as file:line:col: analyzer: message.
+//
+// Suppression: a finding can be silenced with
+//
+//	//jslint:ignore <analyzer> <reason>
+//
+// on the flagged line or the line above it. The reason is mandatory — a bare
+// ignore is itself a finding.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(argv []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("jslint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		analyzersFlag = fs.String("analyzers", "", "comma-separated analyzer names to run (default: all)")
+		listFlag      = fs.Bool("list", false, "list the analyzers and exit")
+		genMetrics    = fs.Bool("gen-metrics", false, "regenerate internal/obs/metrics.go from the tree's obs calls")
+		timingFlag    = fs.Bool("t", false, "print per-analyzer wall time to stderr")
+	)
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+
+	all := lint.Analyzers()
+	if *listFlag {
+		for _, a := range all {
+			fmt.Fprintf(stdout, "%-20s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	if *genMetrics {
+		return runGenMetrics(stdout, stderr)
+	}
+
+	selected := all
+	if *analyzersFlag != "" {
+		byName := make(map[string]*lint.Analyzer, len(all))
+		for _, a := range all {
+			byName[a.Name] = a
+		}
+		selected = nil
+		for _, name := range strings.Split(*analyzersFlag, ",") {
+			name = strings.TrimSpace(name)
+			a, ok := byName[name]
+			if !ok {
+				fmt.Fprintf(stderr, "jslint: unknown analyzer %q (run -list for the suite)\n", name)
+				return 2
+			}
+			selected = append(selected, a)
+		}
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	start := time.Now()
+	loader, err := lint.NewLoader(".")
+	if err != nil {
+		fmt.Fprintf(stderr, "jslint: %v\n", err)
+		return 2
+	}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "jslint: %v\n", err)
+		return 2
+	}
+	loadDone := time.Now()
+
+	diags := lint.Run(loader, pkgs, selected)
+	if *timingFlag {
+		fmt.Fprintf(stderr, "jslint: loaded %d packages in %v, analyzed in %v\n",
+			len(pkgs), loadDone.Sub(start).Round(time.Millisecond), time.Since(loadDone).Round(time.Millisecond))
+	}
+	if len(diags) == 0 {
+		return 0
+	}
+	for _, d := range diags {
+		fmt.Fprintln(stdout, d.String())
+	}
+	fmt.Fprintf(stderr, "jslint: %d finding(s)\n", len(diags))
+	return 1
+}
+
+// runGenMetrics regenerates internal/obs/metrics.go from the obs calls in the
+// tree. Unresolvable metric names are hard errors: the manifest must be
+// complete or it is worthless.
+func runGenMetrics(stdout, stderr *os.File) int {
+	moduleDir, err := findModuleDir(".")
+	if err != nil {
+		fmt.Fprintf(stderr, "jslint: %v\n", err)
+		return 2
+	}
+	uses, errs := lint.ScanMetricUses(moduleDir)
+	if len(errs) > 0 {
+		sort.Slice(errs, func(i, j int) bool { return errs[i].Error() < errs[j].Error() })
+		for _, e := range errs {
+			fmt.Fprintf(stderr, "jslint: %v\n", e)
+		}
+		return 2
+	}
+	src, err := lint.GenMetricsSource(uses)
+	if err != nil {
+		fmt.Fprintf(stderr, "jslint: %v\n", err)
+		return 2
+	}
+	out := filepath.Join(moduleDir, "internal", "obs", "metrics.go")
+	if err := os.WriteFile(out, src, 0o644); err != nil {
+		fmt.Fprintf(stderr, "jslint: %v\n", err)
+		return 2
+	}
+	fmt.Fprintf(stdout, "jslint: wrote %s (%d metrics)\n", out, countNames(uses))
+	return 0
+}
+
+func countNames(uses []lint.MetricUse) int {
+	seen := make(map[string]bool)
+	for _, u := range uses {
+		seen[u.Name] = true
+	}
+	return len(seen)
+}
+
+// findModuleDir walks up from dir to the directory holding go.mod.
+func findModuleDir(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for d := abs; ; {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("no go.mod found above %s", abs)
+		}
+		d = parent
+	}
+}

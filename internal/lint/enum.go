@@ -1,0 +1,245 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// EnumIndex records every //jslint:enum-marked type across the loaded
+// module packages, with its declared constants.
+type EnumIndex struct {
+	// enums maps the marked type's *types.TypeName to its constants.
+	enums map[*types.TypeName][]*types.Const
+}
+
+// BuildEnumIndex scans every module package the loader has seen for type
+// declarations carrying //jslint:enum and collects their constants. The
+// index spans packages, so a switch in internal/features over
+// ast.Kind (declared in internal/js/ast) is checked against the constants
+// of the declaring package.
+func BuildEnumIndex(l *Loader) *EnumIndex {
+	idx := &EnumIndex{enums: make(map[*types.TypeName][]*types.Const)}
+	if l == nil {
+		return idx
+	}
+	for _, entry := range l.byDir {
+		if entry.pkg == nil {
+			continue
+		}
+		idx.addPackage(entry.pkg)
+	}
+	return idx
+}
+
+func (idx *EnumIndex) addPackage(pkg *Package) {
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok || !(hasDirective(gd.Doc, "enum") || hasDirective(ts.Doc, "enum")) {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[ts.Name].(*types.TypeName)
+				if !ok {
+					continue
+				}
+				var consts []*types.Const
+				scope := pkg.Types.Scope()
+				for _, name := range scope.Names() {
+					c, ok := scope.Lookup(name).(*types.Const)
+					if ok && types.Identical(c.Type(), obj.Type()) {
+						consts = append(consts, c)
+					}
+				}
+				sort.Slice(consts, func(i, j int) bool {
+					vi, _ := constant.Int64Val(consts[i].Val())
+					vj, _ := constant.Int64Val(consts[j].Val())
+					return vi < vj
+				})
+				idx.enums[obj] = consts
+			}
+		}
+	}
+}
+
+// lookup returns the marked enum's constants when t is (or points to) a
+// marked enum type.
+func (idx *EnumIndex) lookup(t types.Type) (*types.TypeName, []*types.Const, bool) {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil, nil, false
+	}
+	consts, ok := idx.enums[named.Obj()]
+	return named.Obj(), consts, ok
+}
+
+// required returns the constants a switch or dense table must cover: every
+// declared constant except the zero value and the *Count/*Invalid
+// sentinels. includeZero adds the zero value back (dense tables index it).
+func requiredConsts(consts []*types.Const, includeZero bool) []*types.Const {
+	var out []*types.Const
+	for _, c := range consts {
+		if strings.HasSuffix(c.Name(), "Count") || strings.HasSuffix(c.Name(), "Invalid") {
+			continue
+		}
+		if v, ok := constant.Int64Val(c.Val()); ok && v == 0 && !includeZero {
+			continue
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// KindExhaustive checks that switches over //jslint:enum-marked types
+// (ast.Kind foremost) and dense kind-indexed tables cover every constant or
+// carry an explicit default. It is the lockstep guard for the interned-kind
+// layer from the allocation overhaul: adding a Kind without updating every
+// dispatch site becomes a compile-time finding instead of a silent
+// misclassification.
+//
+// Two shapes are checked:
+//   - switch statements whose tag is a marked enum: without a default
+//     clause, every non-sentinel constant (names ending in Count or Invalid
+//     are sentinels) must appear as a case;
+//   - composite literals of array type whose length is an enum constant
+//     (e.g. [KindCount]string): keyed entries must cover every non-sentinel
+//     constant, and unkeyed literals must supply exactly length elements.
+var KindExhaustive = &Analyzer{
+	Name: "kind-exhaustive",
+	Doc:  "switches and dense tables over //jslint:enum types must be exhaustive or carry a default",
+	Run:  runKindExhaustive,
+}
+
+func runKindExhaustive(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch v := n.(type) {
+			case *ast.SwitchStmt:
+				checkEnumSwitch(pass, v)
+			case *ast.CompositeLit:
+				checkEnumTable(pass, v)
+			}
+			return true
+		})
+	}
+	_ = info
+}
+
+func checkEnumSwitch(pass *Pass, sw *ast.SwitchStmt) {
+	if sw.Tag == nil {
+		return
+	}
+	t := pass.Pkg.Info.TypeOf(sw.Tag)
+	if t == nil {
+		return
+	}
+	tn, consts, ok := pass.Enums.lookup(t)
+	if !ok {
+		return
+	}
+	covered := make(map[int64]bool)
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			return // explicit default: any coverage is fine
+		}
+		for _, e := range cc.List {
+			if tv, ok := pass.Pkg.Info.Types[e]; ok && tv.Value != nil {
+				if v, ok := constant.Int64Val(tv.Value); ok {
+					covered[v] = true
+				}
+			}
+		}
+	}
+	var missing []string
+	for _, c := range requiredConsts(consts, false) {
+		if v, ok := constant.Int64Val(c.Val()); ok && !covered[v] {
+			missing = append(missing, c.Name())
+		}
+	}
+	if len(missing) > 0 {
+		pass.Reportf(sw.Pos(), "switch over %s has no default and is missing %s",
+			tn.Name(), summarizeMissing(missing))
+	}
+}
+
+func checkEnumTable(pass *Pass, cl *ast.CompositeLit) {
+	t := pass.Pkg.Info.TypeOf(cl)
+	if t == nil {
+		return
+	}
+	arr, ok := t.Underlying().(*types.Array)
+	if !ok {
+		return
+	}
+	// The literal's length must be spelled as an enum constant
+	// ([KindCount]T), not a plain number: that is what marks the table as
+	// kind-indexed.
+	at, ok := cl.Type.(*ast.ArrayType)
+	if !ok || at.Len == nil {
+		return
+	}
+	lenTV, ok := pass.Pkg.Info.Types[at.Len]
+	if !ok || lenTV.Type == nil {
+		return
+	}
+	tn, consts, ok := pass.Enums.lookup(lenTV.Type)
+	if !ok {
+		return
+	}
+
+	keyed := false
+	covered := make(map[int64]bool)
+	next := int64(0)
+	for _, el := range cl.Elts {
+		if kv, ok := el.(*ast.KeyValueExpr); ok {
+			keyed = true
+			if tv, ok := pass.Pkg.Info.Types[kv.Key]; ok && tv.Value != nil {
+				if v, ok := constant.Int64Val(tv.Value); ok {
+					covered[v] = true
+					next = v + 1
+				}
+			}
+			continue
+		}
+		covered[next] = true
+		next++
+	}
+
+	if !keyed {
+		if n := int64(len(cl.Elts)); n > 0 && n < arr.Len() {
+			pass.Reportf(cl.Pos(), "%s-indexed table has %d of %d entries; use keyed entries or fill the table",
+				tn.Name(), n, arr.Len())
+		}
+		return
+	}
+	var missing []string
+	for _, c := range requiredConsts(consts, true) {
+		if v, ok := constant.Int64Val(c.Val()); ok && !covered[v] {
+			missing = append(missing, c.Name())
+		}
+	}
+	if len(missing) > 0 {
+		pass.Reportf(cl.Pos(), "%s-indexed table is missing %s", tn.Name(), summarizeMissing(missing))
+	}
+}
+
+func summarizeMissing(missing []string) string {
+	sort.Strings(missing)
+	if len(missing) > 5 {
+		return fmt.Sprintf("%s and %d more", strings.Join(missing[:5], ", "), len(missing)-5)
+	}
+	return strings.Join(missing, ", ")
+}

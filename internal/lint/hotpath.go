@@ -1,0 +1,254 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotpathNoAlloc rejects heap-allocating constructs in functions annotated
+// //jslint:hotpath. It makes the allocation overhaul's 0-alloc property a
+// compile-time fact for every call site instead of a benchmark artifact: the
+// zero-alloc test only proves the inputs it runs, this proves the code.
+//
+// Flagged constructs:
+//   - new(T) and make(...)
+//   - slice and map composite literals, and &T{...} (the address makes the
+//     literal escape)
+//   - function literals (closure allocation)
+//   - go statements
+//   - string <-> []byte/[]rune conversions and rune -> string conversions
+//   - string concatenation with +
+//   - implicit interface conversions that box a non-pointer-shaped value
+//     (assignments, call arguments, returns, channel sends)
+//   - calls to non-builtin variadic functions (the argument slice allocates)
+//   - method values (x.M used as a value allocates the bound closure)
+//
+// The check is intra-procedural: a call into an unannotated function is not
+// followed. Annotate the callee too, or keep the end-to-end allocation
+// benchmarks as the outer gate. Amortized-growth constructs (append, map
+// insertion on an existing map) are deliberately allowed: pooled buffers and
+// clear()-reused maps warm up to steady-state zero allocations, which is
+// exactly the discipline the pool seeds in internal/features use.
+var HotpathNoAlloc = &Analyzer{
+	Name: "hotpath-noalloc",
+	Doc:  "functions marked //jslint:hotpath must not contain heap-allocating constructs",
+	Run:  runHotpath,
+}
+
+func runHotpath(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasDirective(fd.Doc, "hotpath") {
+				continue
+			}
+			checkHotpathFunc(pass, fd)
+		}
+	}
+}
+
+func checkHotpathFunc(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.Pkg.Info
+	parents := buildParents(fd)
+	var sig *types.Signature
+	if obj := info.Defs[fd.Name]; obj != nil {
+		sig, _ = obj.Type().(*types.Signature)
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.FuncLit:
+			pass.Reportf(v.Pos(), "function literal allocates a closure on the hot path")
+			return false // the closure body is cold until it is called
+
+		case *ast.GoStmt:
+			pass.Reportf(v.Pos(), "go statement allocates a goroutine on the hot path")
+
+		case *ast.CompositeLit:
+			t := info.TypeOf(v)
+			if t == nil {
+				return true
+			}
+			switch t.Underlying().(type) {
+			case *types.Slice:
+				pass.Reportf(v.Pos(), "slice literal allocates on the hot path")
+			case *types.Map:
+				pass.Reportf(v.Pos(), "map literal allocates on the hot path")
+			default:
+				if u, ok := parents[v].(*ast.UnaryExpr); ok && u.Op == token.AND {
+					pass.Reportf(u.Pos(), "&%s literal escapes to the heap", types.TypeString(t, types.RelativeTo(pass.Pkg.Types)))
+				}
+			}
+
+		case *ast.CallExpr:
+			checkHotpathCall(pass, info, v)
+
+		case *ast.BinaryExpr:
+			if v.Op == token.ADD {
+				if t := info.TypeOf(v); t != nil && isString(t) {
+					pass.Reportf(v.OpPos, "string concatenation allocates on the hot path")
+				}
+			}
+
+		case *ast.SelectorExpr:
+			if sel, ok := info.Selections[v]; ok && sel.Kind() == types.MethodVal {
+				if _, isCall := parents[v].(*ast.CallExpr); !isCall {
+					pass.Reportf(v.Pos(), "method value %s allocates a bound closure", v.Sel.Name)
+				}
+			}
+
+		case *ast.AssignStmt:
+			if len(v.Lhs) == len(v.Rhs) {
+				for i, rhs := range v.Rhs {
+					if id, ok := v.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+						continue
+					}
+					checkBoxing(pass, info, info.TypeOf(v.Lhs[i]), rhs)
+				}
+			}
+
+		case *ast.ValueSpec:
+			if v.Type != nil {
+				if t := info.TypeOf(v.Type); t != nil {
+					for _, val := range v.Values {
+						checkBoxing(pass, info, t, val)
+					}
+				}
+			}
+
+		case *ast.SendStmt:
+			if t := info.TypeOf(v.Chan); t != nil {
+				if ch, ok := t.Underlying().(*types.Chan); ok {
+					checkBoxing(pass, info, ch.Elem(), v.Value)
+				}
+			}
+
+		case *ast.ReturnStmt:
+			if sig != nil && len(v.Results) == sig.Results().Len() {
+				for i, res := range v.Results {
+					checkBoxing(pass, info, sig.Results().At(i).Type(), res)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkHotpathCall flags allocating builtins, allocating conversions,
+// variadic argument slices, and boxing call arguments.
+func checkHotpathCall(pass *Pass, info *types.Info, call *ast.CallExpr) {
+	// Conversions: T(x).
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		to, from := tv.Type, info.TypeOf(call.Args[0])
+		if to == nil || from == nil {
+			return
+		}
+		switch {
+		case isString(to) && (isByteOrRuneSlice(from) || isIntegerNotUntypedConst(info, call.Args[0], from)):
+			pass.Reportf(call.Pos(), "conversion to string allocates on the hot path")
+		case isByteOrRuneSlice(to) && isString(from):
+			pass.Reportf(call.Pos(), "string to %s conversion allocates on the hot path", to.String())
+		}
+		return
+	}
+
+	// Builtins.
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "new":
+				pass.Reportf(call.Pos(), "new allocates on the hot path")
+			case "make":
+				pass.Reportf(call.Pos(), "make allocates on the hot path")
+			}
+			return
+		}
+	}
+
+	sig, ok := info.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	if sig.Variadic() && call.Ellipsis == token.NoPos && len(call.Args) >= sig.Params().Len() {
+		pass.Reportf(call.Pos(), "variadic call allocates its argument slice on the hot path")
+	}
+	for i, arg := range call.Args {
+		var pt types.Type
+		if sig.Variadic() && i >= sig.Params().Len()-1 {
+			if call.Ellipsis != token.NoPos {
+				pt = sig.Params().At(sig.Params().Len() - 1).Type()
+			} else if s, ok := sig.Params().At(sig.Params().Len() - 1).Type().(*types.Slice); ok {
+				pt = s.Elem()
+			}
+		} else if i < sig.Params().Len() {
+			pt = sig.Params().At(i).Type()
+		}
+		checkBoxing(pass, info, pt, arg)
+	}
+}
+
+// checkBoxing reports when assigning src to a destination of type dst boxes
+// a concrete value on the heap: dst is an interface, src's concrete type is
+// not pointer-shaped, and src is not already an interface or nil.
+func checkBoxing(pass *Pass, info *types.Info, dst types.Type, src ast.Expr) {
+	if dst == nil || !types.IsInterface(dst) {
+		return
+	}
+	tv, ok := info.Types[src]
+	if !ok || tv.Type == nil {
+		return
+	}
+	st := tv.Type
+	if types.IsInterface(st) || isUntypedNil(st) || pointerShaped(st) {
+		return
+	}
+	pass.Reportf(src.Pos(), "implicit conversion to %s boxes a %s on the heap",
+		types.TypeString(dst, types.RelativeTo(pass.Pkg.Types)),
+		types.TypeString(st, types.RelativeTo(pass.Pkg.Types)))
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// isIntegerNotUntypedConst reports whether e is a non-constant integer
+// (rune/int) expression; string(r) over such a value allocates, while
+// string(65) is a compile-time constant string.
+func isIntegerNotUntypedConst(info *types.Info, e ast.Expr, t types.Type) bool {
+	if tv, ok := info.Types[e]; ok && tv.Value != nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune || b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+func isUntypedNil(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Kind() == types.UntypedNil
+}
+
+// pointerShaped reports whether values of t fit in an interface's data word
+// without allocating: pointers, channels, maps, functions, and unsafe
+// pointers.
+func pointerShaped(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature, *types.Basic:
+		b, ok := t.Underlying().(*types.Basic)
+		if ok {
+			return b.Kind() == types.UnsafePointer
+		}
+		return true
+	}
+	return false
+}

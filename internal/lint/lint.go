@@ -1,0 +1,261 @@
+// Package lint is the project-native static-analysis suite behind
+// cmd/jslint. It enforces, at compile time, the invariants the pipeline
+// otherwise guards only with runtime gates: the zero-allocation hot paths
+// from the allocation overhaul, sync.Pool Get/Put discipline, the manifest
+// of obs metric names, exhaustiveness of ast.Kind dispatch, and the
+// goroutine hygiene the batch scanner's cancellation machinery depends on.
+//
+// The suite follows the paper's own thesis — static signals beat sampling:
+// a benchmark gate fires only after a regression lands and only on the
+// inputs it happens to run, while these analyzers prove the property for
+// every call site on every build.
+//
+// Two comment directives drive it:
+//
+//	//jslint:hotpath
+//	    in a function's doc comment marks it as a zero-allocation hot path;
+//	    hotpath-noalloc then rejects heap-allocating constructs in its body.
+//
+//	//jslint:ignore <analyzer> <reason>
+//	    suppresses that analyzer's findings on the directive's line (or, when
+//	    the directive stands alone on its line, on the line below). The
+//	    reason is mandatory: a suppression without a recorded rationale is
+//	    itself a finding.
+//
+//	//jslint:enum
+//	    in a type declaration's doc comment marks an integer constant set as
+//	    a closed enum; kind-exhaustive then requires switches and dense
+//	    tables over it to cover every constant or carry an explicit default.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one analyzer finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Analyzer is one named check over a type-checked package.
+type Analyzer struct {
+	// Name is the identifier used in output and //jslint:ignore directives.
+	Name string
+	// Doc is a one-line description of the enforced invariant.
+	Doc string
+	// Run reports findings on pass.Pkg via pass.Reportf.
+	Run func(pass *Pass)
+}
+
+// Pass is one analyzer's view of one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	// Enums maps //jslint:enum-marked types (from every loaded module
+	// package, not just this one) to their declared constant names in
+	// declaration order.
+	Enums *EnumIndex
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Pkg.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzers returns the full suite in stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		HotpathNoAlloc,
+		PoolDiscipline,
+		ObsLiteral,
+		KindExhaustive,
+		GoroutineHygiene,
+	}
+}
+
+// Run applies analyzers to pkgs, resolves //jslint:ignore suppressions, and
+// returns the surviving diagnostics sorted by position. Malformed directives
+// are reported under the analyzer name "jslint".
+func Run(l *Loader, pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	known := map[string]bool{"jslint": true}
+	for _, a := range Analyzers() { // full suite: a partial run still validates directives
+		known[a.Name] = true
+	}
+
+	enums := BuildEnumIndex(l)
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Pkg: pkg, Enums: enums, diags: &diags}
+			a.Run(pass)
+		}
+	}
+
+	// Collect suppressions (and directive problems) across the analyzed
+	// packages.
+	type ignoreKey struct {
+		file string
+		line int
+		name string
+	}
+	ignores := make(map[ignoreKey]bool)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					rest, ok := strings.CutPrefix(c.Text, "//jslint:ignore")
+					if !ok {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					fields := strings.Fields(rest)
+					if len(fields) == 0 || !known[fields[0]] {
+						diags = append(diags, Diagnostic{
+							Pos:      pos,
+							Analyzer: "jslint",
+							Message:  fmt.Sprintf("malformed ignore directive: want //jslint:ignore <analyzer> <reason> with analyzer one of %s", strings.Join(sortedNames(known), ", ")),
+						})
+						continue
+					}
+					if len(fields) < 2 {
+						diags = append(diags, Diagnostic{
+							Pos:      pos,
+							Analyzer: "jslint",
+							Message:  "ignore directive needs a reason: //jslint:ignore " + fields[0] + " <reason>",
+						})
+						continue
+					}
+					ignores[ignoreKey{pos.Filename, pos.Line, fields[0]}] = true
+					// A directive alone on its line covers the next line.
+					if startsLine(pkg.Fset, f, c) {
+						ignores[ignoreKey{pos.Filename, pos.Line + 1, fields[0]}] = true
+					}
+				}
+			}
+		}
+	}
+
+	kept := diags[:0]
+	for _, d := range diags {
+		if d.Analyzer != "jslint" && ignores[ignoreKey{d.Pos.Filename, d.Pos.Line, d.Analyzer}] {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i], kept[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return kept
+}
+
+func sortedNames(set map[string]bool) []string {
+	names := make([]string, 0, len(set))
+	for n := range set {
+		if n != "jslint" {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// startsLine reports whether comment c is the first token on its line (i.e.
+// a standalone directive rather than a trailing one).
+func startsLine(fset *token.FileSet, f *ast.File, c *ast.Comment) bool {
+	pos := fset.Position(c.Pos())
+	// A trailing directive shares its line with code that starts earlier on
+	// the same line; scan the file's declarations for any node on that line
+	// starting before the comment.
+	onLine := false
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil || onLine {
+			return false
+		}
+		p := fset.Position(n.Pos())
+		if p.Line > pos.Line {
+			return false
+		}
+		end := fset.Position(n.End())
+		if end.Line < pos.Line {
+			return false
+		}
+		if p.Line == pos.Line && p.Column < pos.Column {
+			onLine = true
+			return false
+		}
+		return true
+	})
+	return !onLine
+}
+
+// hasDirective reports whether the doc comment carries //jslint:<name>.
+func hasDirective(doc *ast.CommentGroup, name string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		text := strings.TrimSpace(c.Text)
+		if text == "//jslint:"+name || strings.HasPrefix(text, "//jslint:"+name+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// parentMap records each node's syntactic parent within a subtree.
+type parentMap map[ast.Node]ast.Node
+
+func buildParents(root ast.Node) parentMap {
+	parents := make(parentMap)
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}
+
+// enclosingFunc returns the nearest enclosing function literal or
+// declaration of n, or nil.
+func (pm parentMap) enclosingFunc(n ast.Node) ast.Node {
+	for p := pm[n]; p != nil; p = pm[p] {
+		switch p.(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			return p
+		}
+	}
+	return nil
+}

@@ -1,0 +1,216 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// wantRE extracts expectations from testdata sources: a `// want "substr"`
+// comment on a line means the suite must report a finding on that line whose
+// message contains substr. Multiple quoted strings mean multiple findings.
+var wantRE = regexp.MustCompile(`// want (.+)$`)
+
+var quotedRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+type expectation struct {
+	file   string
+	line   int
+	substr string
+}
+
+// loadExpectations scans every .go file of dir for want comments.
+func loadExpectations(t *testing.T, dir string) []expectation {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wants []expectation
+	for _, ent := range entries {
+		if ent.IsDir() || !strings.HasSuffix(ent.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, ent.Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRE.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			quoted := quotedRE.FindAllStringSubmatch(m[1], -1)
+			if len(quoted) == 0 {
+				t.Fatalf("%s:%d: want comment with no quoted pattern", path, i+1)
+			}
+			for _, q := range quoted {
+				wants = append(wants, expectation{file: path, line: i + 1, substr: q[1]})
+			}
+		}
+	}
+	return wants
+}
+
+// runTestdata loads one testdata package and checks the analyzer's findings
+// against the want comments: every want must be matched by a finding on its
+// line, and every finding must be claimed by a want.
+func runTestdata(t *testing.T, pkg string, analyzers ...*Analyzer) {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.Load("./" + pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run(l, pkgs, analyzers)
+	wants := loadExpectations(t, filepath.Join(root, pkg))
+
+	matched := make([]bool, len(diags))
+	for _, w := range wants {
+		found := false
+		for i, d := range diags {
+			if matched[i] || d.Pos.Filename != w.file || d.Pos.Line != w.line {
+				continue
+			}
+			if strings.Contains(d.Message, w.substr) {
+				matched[i] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s:%d: expected finding containing %q, got none", w.file, w.line, w.substr)
+		}
+	}
+	for i, d := range diags {
+		if !matched[i] {
+			t.Errorf("unexpected finding: %s", d)
+		}
+	}
+}
+
+func TestHotpathNoAlloc(t *testing.T)   { runTestdata(t, "hotpath", HotpathNoAlloc) }
+func TestPoolDiscipline(t *testing.T)   { runTestdata(t, "pool", PoolDiscipline) }
+func TestObsLiteral(t *testing.T)       { runTestdata(t, "obslit", ObsLiteral) }
+func TestKindExhaustive(t *testing.T)   { runTestdata(t, "kind", KindExhaustive) }
+func TestGoroutineHygiene(t *testing.T) { runTestdata(t, "goroutine", GoroutineHygiene) }
+
+// TestDirectiveValidation pins the "jslint" diagnostics for malformed ignore
+// directives, and that a directive without a reason does not suppress.
+func TestDirectiveValidation(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.Load("./directives")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run(l, pkgs, []*Analyzer{HotpathNoAlloc})
+
+	var got []string
+	for _, d := range diags {
+		got = append(got, fmt.Sprintf("%d: %s: %s", d.Pos.Line, d.Analyzer, firstWords(d.Message, 4)))
+	}
+	want := []string{
+		"9: hotpath-noalloc: make allocates on the",
+		"9: jslint: ignore directive needs a",
+		"10: hotpath-noalloc: make allocates on the",
+		"10: jslint: malformed ignore directive: want",
+		"11: hotpath-noalloc: make allocates on the",
+		"11: jslint: malformed ignore directive: want",
+	}
+	sort.Strings(got)
+	sort.Strings(want)
+	if strings.Join(got, "\n") != strings.Join(want, "\n") {
+		t.Errorf("directive diagnostics mismatch:\ngot:\n  %s\nwant:\n  %s",
+			strings.Join(got, "\n  "), strings.Join(want, "\n  "))
+	}
+}
+
+func firstWords(s string, n int) string {
+	fields := strings.Fields(s)
+	if len(fields) > n {
+		fields = fields[:n]
+	}
+	return strings.Join(fields, " ")
+}
+
+// TestLoaderModulePaths pins the canonical package paths the analyzers
+// compare against: module packages under the module prefix, the standard
+// library under its plain path.
+func TestLoaderModulePaths(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.ModulePath() != "repro" {
+		t.Fatalf("module path = %q, want repro", l.ModulePath())
+	}
+	pkgs, err := l.Load("./goroutine")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 || pkgs[0].Path != "repro/goroutine" {
+		t.Fatalf("loaded %v, want [repro/goroutine]", pkgs)
+	}
+	sync2, err := l.Import("sync")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sync2.Path() != "sync" {
+		t.Fatalf("sync loaded under path %q", sync2.Path())
+	}
+	// Type identity must hold across packages: the sync.WaitGroup seen while
+	// type-checking testdata is the same object a second Import returns.
+	sync3, err := l.Import("sync")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sync2 != sync3 {
+		t.Fatal("repeated Import returned a distinct *types.Package")
+	}
+}
+
+// TestAnalyzersListed pins the suite's composition and naming.
+func TestAnalyzersListed(t *testing.T) {
+	want := []string{
+		"hotpath-noalloc",
+		"pool-discipline",
+		"obs-literal",
+		"kind-exhaustive",
+		"goroutine-hygiene",
+	}
+	got := Analyzers()
+	if len(got) != len(want) {
+		t.Fatalf("suite has %d analyzers, want %d", len(got), len(want))
+	}
+	for i, a := range got {
+		if a.Name != want[i] {
+			t.Errorf("analyzer %d = %q, want %q", i, a.Name, want[i])
+		}
+		if a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %q missing doc or run", a.Name)
+		}
+	}
+}

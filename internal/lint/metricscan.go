@@ -1,0 +1,362 @@
+package lint
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+// MetricUse is one metric name recorded somewhere in the tree, with the
+// instrument kind implied by the call that records it.
+type MetricUse struct {
+	Name string
+	Kind string   // "counter" or "histogram"
+	Unit obs.Unit // histograms only
+	Pos  token.Position
+}
+
+// ScanMetricUses walks the module tree syntactically (no type checking — it
+// must stay fast enough to run inside a test) and collects every metric name
+// recorded through the obs package. Names are resolved from string literals,
+// same-package string constants, and package-level tables of string literals;
+// any obs call whose name cannot be resolved that way is returned as an
+// error, which is the same property the obs-literal analyzer enforces with
+// full type information.
+func ScanMetricUses(moduleDir string) ([]MetricUse, []error) {
+	var uses []MetricUse
+	var errs []error
+	fset := token.NewFileSet()
+
+	err := filepath.WalkDir(moduleDir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != moduleDir && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+			name == "testdata" || name == "vendor") {
+			return filepath.SkipDir
+		}
+		u, e := scanDirMetricUses(fset, path)
+		uses = append(uses, u...)
+		errs = append(errs, e...)
+		return nil
+	})
+	if err != nil {
+		errs = append(errs, err)
+	}
+
+	sort.Slice(uses, func(i, j int) bool {
+		if uses[i].Name != uses[j].Name {
+			return uses[i].Name < uses[j].Name
+		}
+		return uses[i].Pos.Offset < uses[j].Pos.Offset
+	})
+	return uses, errs
+}
+
+// scanDirMetricUses parses every non-test Go file of one directory and
+// resolves the obs calls it contains. Constants and string tables are
+// package-scoped, so all files are parsed before any call is resolved.
+func scanDirMetricUses(fset *token.FileSet, dir string) ([]MetricUse, []error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, []error{err}
+	}
+	var files []*ast.File
+	for _, ent := range entries {
+		name := ent.Name()
+		if ent.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.SkipObjectResolution)
+		if err != nil {
+			return nil, []error{err}
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+
+	consts := make(map[string]string)   // package-level string constants
+	tables := make(map[string][]string) // package-level all-literal string tables
+	for _, f := range files {
+		collectStringDecls(f, consts, tables)
+	}
+
+	var uses []MetricUse
+	var errs []error
+	for _, f := range files {
+		obsName := obsImportName(f)
+		if obsName == "" {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !obsNameFuncs[sel.Sel.Name] {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok || id.Name != obsName {
+				return true
+			}
+			kind, unit := metricKindOf(sel.Sel.Name, call, obsName)
+			names, ok := resolveNameArg(call.Args[0], consts, tables)
+			if !ok {
+				errs = append(errs, fmt.Errorf("%s: cannot resolve obs.%s metric name syntactically",
+					fset.Position(call.Args[0].Pos()), sel.Sel.Name))
+				return true
+			}
+			for _, name := range names {
+				uses = append(uses, MetricUse{Name: name, Kind: kind, Unit: unit, Pos: fset.Position(call.Pos())})
+			}
+			return true
+		})
+	}
+	return uses, errs
+}
+
+// obsImportName returns the local name under which f imports the obs package,
+// or "" when it does not.
+func obsImportName(f *ast.File) string {
+	for _, imp := range f.Imports {
+		path, err := strconv.Unquote(imp.Path.Value)
+		if err != nil || path != obsPath {
+			continue
+		}
+		if imp.Name != nil {
+			return imp.Name.Name
+		}
+		return "obs"
+	}
+	return ""
+}
+
+// collectStringDecls records package-level string constants and package-level
+// vars initialized to composite literals whose elements are all string
+// literals.
+func collectStringDecls(f *ast.File, consts map[string]string, tables map[string][]string) {
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for i, name := range vs.Names {
+				if i >= len(vs.Values) {
+					continue
+				}
+				switch v := vs.Values[i].(type) {
+				case *ast.BasicLit:
+					if gd.Tok == token.CONST && v.Kind == token.STRING {
+						if s, err := strconv.Unquote(v.Value); err == nil {
+							consts[name.Name] = s
+						}
+					}
+				case *ast.CompositeLit:
+					var elems []string
+					ok := true
+					for _, el := range v.Elts {
+						if kv, isKV := el.(*ast.KeyValueExpr); isKV {
+							el = kv.Value
+						}
+						bl, isLit := el.(*ast.BasicLit)
+						if !isLit || bl.Kind != token.STRING {
+							ok = false
+							break
+						}
+						s, err := strconv.Unquote(bl.Value)
+						if err != nil {
+							ok = false
+							break
+						}
+						elems = append(elems, s)
+					}
+					if ok && len(elems) > 0 {
+						tables[name.Name] = elems
+					}
+				}
+			}
+		}
+	}
+}
+
+// resolveNameArg resolves a metric-name argument to the set of names it can
+// evaluate to, purely syntactically.
+func resolveNameArg(arg ast.Expr, consts map[string]string, tables map[string][]string) ([]string, bool) {
+	switch v := arg.(type) {
+	case *ast.BasicLit:
+		if v.Kind == token.STRING {
+			if s, err := strconv.Unquote(v.Value); err == nil {
+				return []string{s}, true
+			}
+		}
+	case *ast.Ident:
+		if s, ok := consts[v.Name]; ok {
+			return []string{s}, true
+		}
+	case *ast.IndexExpr:
+		if id, ok := v.X.(*ast.Ident); ok {
+			if elems, ok := tables[id.Name]; ok {
+				return elems, true
+			}
+		}
+	case *ast.ParenExpr:
+		return resolveNameArg(v.X, consts, tables)
+	}
+	return nil, false
+}
+
+// metricKindOf maps an obs entry point to the instrument kind it creates.
+func metricKindOf(fn string, call *ast.CallExpr, obsName string) (kind string, unit obs.Unit) {
+	switch fn {
+	case "Add":
+		return "counter", ""
+	case "ObserveDuration", "Time":
+		return "histogram", obs.UnitNanoseconds
+	case "Observe":
+		u := obs.Unit("")
+		if len(call.Args) >= 2 {
+			if sel, ok := call.Args[1].(*ast.SelectorExpr); ok {
+				if id, ok := sel.X.(*ast.Ident); ok && id.Name == obsName {
+					switch sel.Sel.Name {
+					case "UnitNanoseconds":
+						u = obs.UnitNanoseconds
+					case "UnitBytes":
+						u = obs.UnitBytes
+					case "UnitCount":
+						u = obs.UnitCount
+					}
+				}
+			}
+		}
+		return "histogram", u
+	}
+	return "", ""
+}
+
+// GenMetricsSource renders internal/obs/metrics.go from the scanned uses.
+// Help strings (and a histogram's unit, when the call site leaves it implicit)
+// are carried over from the compiled-in manifest, so regeneration never
+// discards documentation: new metrics appear with empty Help to be filled in,
+// removed metrics drop out, and everything else round-trips byte-for-byte.
+func GenMetricsSource(uses []MetricUse) ([]byte, error) {
+	type entry struct {
+		kind string
+		unit obs.Unit
+	}
+	merged := make(map[string]entry)
+	var order []string
+	for _, u := range uses {
+		prev, seen := merged[u.Name]
+		if !seen {
+			merged[u.Name] = entry{kind: u.Kind, unit: u.Unit}
+			order = append(order, u.Name)
+			continue
+		}
+		if prev.kind != u.Kind {
+			return nil, fmt.Errorf("metric %q recorded as both %s and %s (at %s)", u.Name, prev.kind, u.Kind, u.Pos)
+		}
+		if prev.unit == "" && u.Unit != "" {
+			merged[u.Name] = entry{kind: u.Kind, unit: u.Unit}
+		}
+	}
+	sort.Strings(order)
+
+	existing := make(map[string]obs.Metric, len(obs.Metrics))
+	for _, m := range obs.Metrics {
+		existing[m.Name] = m
+	}
+
+	var buf bytes.Buffer
+	buf.WriteString(`// Code generated by ` + "`go run ./cmd/jslint -gen-metrics`" + `; DO NOT EDIT names.
+// Help strings are preserved across regeneration — edit them here.
+//
+// This file is the checked-in manifest of every metric name the pipeline
+// records: the ` + "`-metrics`" + ` surface of jsdetect is exactly this list. Two
+// guards keep it honest: the jslint obs-literal analyzer rejects any
+// obs.Add/obs.Observe/obs.Time call whose name is not listed here, and
+// TestMetricsManifestInSync regenerates the file from the tree and fails on
+// any drift (a metric recorded anywhere but missing here, or a stale entry
+// no call site records anymore).
+
+package obs
+
+// Metric documents one registry instrument.
+type Metric struct {
+	// Name is the dotted-lowercase registry name.
+	Name string
+	// Kind is "counter" or "histogram".
+	Kind string
+	// Unit is what a histogram's values measure; empty for counters.
+	Unit Unit
+	// Help is a one-line human description.
+	Help string
+}
+
+// Metrics is the manifest of every metric the pipeline records, sorted by
+// name.
+var Metrics = []Metric{
+`)
+	unitConst := map[obs.Unit]string{
+		obs.UnitNanoseconds: "UnitNanoseconds",
+		obs.UnitBytes:       "UnitBytes",
+		obs.UnitCount:       "UnitCount",
+	}
+	for _, name := range order {
+		e := merged[name]
+		unit := e.unit
+		help := ""
+		if old, ok := existing[name]; ok {
+			help = old.Help
+			if unit == "" {
+				unit = old.Unit
+			}
+		}
+		fmt.Fprintf(&buf, "\t{Name: %q, Kind: %q", name, e.kind)
+		if unit != "" {
+			uc, ok := unitConst[unit]
+			if !ok {
+				return nil, fmt.Errorf("metric %q has unknown unit %q", name, unit)
+			}
+			fmt.Fprintf(&buf, ", Unit: %s", uc)
+		}
+		fmt.Fprintf(&buf, ", Help: %q},\n", help)
+	}
+	buf.WriteString(`}
+
+// metricNames indexes the manifest for KnownMetric.
+var metricNames = func() map[string]bool {
+	m := make(map[string]bool, len(Metrics))
+	for _, mt := range Metrics {
+		m[mt.Name] = true
+	}
+	return m
+}()
+
+// KnownMetric reports whether name is registered in the manifest. The jslint
+// obs-literal analyzer calls it for every metric-name literal in the tree.
+func KnownMetric(name string) bool { return metricNames[name] }
+`)
+	return buf.Bytes(), nil
+}

@@ -1,0 +1,165 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strconv"
+
+	"repro/internal/obs"
+)
+
+// obsPath is the import path of the observability package whose metric-name
+// arguments the analyzer checks.
+const obsPath = "repro/internal/obs"
+
+// obsNameFuncs are the obs entry points whose first argument is a metric
+// name.
+var obsNameFuncs = map[string]bool{
+	"Add":             true,
+	"Observe":         true,
+	"ObserveDuration": true,
+	"Time":            true,
+}
+
+// metricNameRE is the manifest grammar: dotted lowercase, two or more
+// segments, underscores allowed after the first character of a segment.
+var metricNameRE = regexp.MustCompile(`^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)+$`)
+
+// ObsLiteral pins the -metrics surface: every obs.Add/obs.Observe/obs.Time
+// name must be a dotted-lowercase string literal registered in the manifest
+// (internal/obs/metrics.go), so the full metric vocabulary is greppable and
+// cannot drift from its documentation. A name may also be an index into a
+// package-level array/slice of string literals (the batch scanner's
+// per-stage table) — each element is then checked against the grammar and
+// the manifest.
+var ObsLiteral = &Analyzer{
+	Name: "obs-literal",
+	Doc:  "obs metric names must be dotted-lowercase literals registered in internal/obs/metrics.go",
+	Run:  runObsLiteral,
+}
+
+func runObsLiteral(pass *Pass) {
+	if pass.Pkg.Path == obsPath {
+		return // the obs package's own internals record through unqualified calls
+	}
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !obsNameFuncs[sel.Sel.Name] {
+				return true
+			}
+			pkgID, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := info.Uses[pkgID].(*types.PkgName)
+			if !ok || pn.Imported().Path() != obsPath {
+				return true
+			}
+			checkMetricArg(pass, call.Args[0])
+			return true
+		})
+	}
+}
+
+// checkMetricArg validates one metric-name argument: a string literal, a
+// string constant, or an index into a package-level table of string
+// literals.
+func checkMetricArg(pass *Pass, arg ast.Expr) {
+	info := pass.Pkg.Info
+
+	// Constant-folded strings (literals and named constants).
+	if tv, ok := info.Types[arg]; ok && tv.Value != nil {
+		if s, err := strconv.Unquote(tv.Value.ExactString()); err == nil {
+			checkMetricName(pass, arg.Pos(), s)
+			return
+		}
+	}
+
+	// Index into a package-level string table: every element must pass.
+	if idx, ok := arg.(*ast.IndexExpr); ok {
+		if elems, ok := resolveStringTable(pass, idx.X); ok {
+			for _, el := range elems {
+				checkMetricName(pass, el.pos, el.val)
+			}
+			return
+		}
+	}
+
+	pass.Reportf(arg.Pos(), "obs metric name must be a string literal (or an index into a package-level table of string literals) registered in internal/obs/metrics.go")
+}
+
+type stringElem struct {
+	pos token.Pos
+	val string
+}
+
+// resolveStringTable resolves e to a package-level var declared as an
+// array/slice composite literal whose elements are all string literals.
+func resolveStringTable(pass *Pass, e ast.Expr) ([]stringElem, bool) {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil, false
+	}
+	obj := pass.Pkg.Info.Uses[id]
+	if obj == nil || obj.Parent() != pass.Pkg.Types.Scope() {
+		return nil, false
+	}
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					if pass.Pkg.Info.Defs[name] != obj || i >= len(vs.Values) {
+						continue
+					}
+					cl, ok := vs.Values[i].(*ast.CompositeLit)
+					if !ok {
+						return nil, false
+					}
+					var elems []stringElem
+					for _, el := range cl.Elts {
+						if kv, ok := el.(*ast.KeyValueExpr); ok {
+							el = kv.Value
+						}
+						tv, ok := pass.Pkg.Info.Types[el]
+						if !ok || tv.Value == nil {
+							return nil, false
+						}
+						s, err := strconv.Unquote(tv.Value.ExactString())
+						if err != nil {
+							return nil, false
+						}
+						elems = append(elems, stringElem{pos: el.Pos(), val: s})
+					}
+					return elems, true
+				}
+			}
+		}
+	}
+	return nil, false
+}
+
+func checkMetricName(pass *Pass, pos token.Pos, name string) {
+	if !metricNameRE.MatchString(name) {
+		pass.Reportf(pos, "obs metric name %q is not dotted-lowercase (want %s)", name, metricNameRE.String())
+		return
+	}
+	if !obs.KnownMetric(name) {
+		pass.Reportf(pos, "obs metric name %q is not registered in the internal/obs/metrics.go manifest", name)
+	}
+}

@@ -1,0 +1,12 @@
+// Package directives holds deliberately malformed //jslint:ignore directives;
+// the harness asserts the exact "jslint" diagnostics they produce (want
+// comments cannot share a line with a directive, so this package is checked
+// by explicit expectations instead).
+package directives
+
+//jslint:hotpath
+func bad() {
+	_ = make([]byte, 1) //jslint:ignore hotpath-noalloc
+	_ = make([]byte, 2) //jslint:ignore no-such-analyzer because reasons
+	_ = make([]byte, 3) //jslint:ignore
+}

@@ -1,0 +1,105 @@
+// Package goroutine exercises the goroutine-hygiene analyzer.
+package goroutine
+
+import (
+	"context"
+	"sync"
+)
+
+func work(i int) int { return i * i }
+
+// wgPool is the sanctioned worker-pool shape: Add before go, Done inside.
+func wgPool(n int) {
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for range jobs {
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+}
+
+// closeDrain signals through a channel close.
+func closeDrain() chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = work(1)
+	}()
+	return done
+}
+
+// sendDrain signals through a result send.
+func sendDrain() chan int {
+	out := make(chan int, 1)
+	go func() {
+		out <- work(2)
+	}()
+	return out
+}
+
+func named() {
+	go namedWorker() // want "named function is not tied to a tracked drain"
+}
+
+func namedWorker() {}
+
+func fireAndForget() {
+	go func() { // want "no tracked drain"
+		_ = work(3)
+	}()
+}
+
+func missingAdd() {
+	var wg sync.WaitGroup
+	go func() { // want "no wg.Add precedes the go statement"
+		defer wg.Done()
+	}()
+	wg.Wait()
+}
+
+// feeder is context-aware: its sends must be select-guarded.
+func feeder(ctx context.Context, n int) chan int {
+	out := make(chan int)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < n; i++ {
+			select {
+			case out <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	return out
+}
+
+func badFeeder(ctx context.Context, n int) chan int {
+	out := make(chan int)
+	go func() {
+		defer close(out)
+		for i := 0; i < n; i++ {
+			out <- i // want "must sit in a select with a cancellation receive"
+		}
+	}()
+	return out
+}
+
+// plainSend has no context parameter: bare sends are a fire-and-join pool's
+// prerogative.
+func plainSend(n int) {
+	ch := make(chan int, n)
+	for i := 0; i < n; i++ {
+		ch <- i
+	}
+	close(ch)
+}

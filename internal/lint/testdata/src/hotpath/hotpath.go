@@ -1,0 +1,86 @@
+// Package hotpath exercises the hotpath-noalloc analyzer: each `want`
+// comment marks a line the analyzer must flag, and unmarked code must stay
+// clean.
+package hotpath
+
+type point struct{ x, y int }
+
+type reader interface{ read() int }
+
+// clean is the shape the analyzer must accept: value locals, loops, amortized
+// append into a caller-owned buffer, map insertion, and calls with concrete
+// arguments.
+//
+//jslint:hotpath
+func clean(xs []int, buf []int, m map[int]int) ([]int, int) {
+	s := 0
+	for _, x := range xs {
+		s += x
+		buf = append(buf, x)
+		m[x] = s
+	}
+	p := point{x: s, y: s}
+	return buf, p.x + p.y
+}
+
+// unannotated may allocate freely.
+func unannotated() []int {
+	return []int{1, 2, 3}
+}
+
+//jslint:hotpath
+func literals() {
+	_ = []int{1, 2, 3}   // want "slice literal allocates"
+	_ = map[string]int{} // want "map literal allocates"
+	_ = &point{x: 1}     // want "literal escapes to the heap"
+	_ = make([]byte, 8)  // want "make allocates"
+	_ = new(point)       // want "new allocates"
+	f := func() {}       // want "function literal allocates a closure"
+	f()
+	go f() // want "go statement allocates a goroutine"
+}
+
+//jslint:hotpath
+func conversions(b []byte, r rune, s string) {
+	_ = string(b)    // want "conversion to string allocates"
+	_ = string(r)    // want "conversion to string allocates"
+	_ = string("ok") // constant conversion is free
+	_ = []byte(s)    // want "conversion allocates"
+	_ = []rune(s)    // want "conversion allocates"
+	_ = s + "!"      // want "string concatenation allocates"
+}
+
+func variadic(xs ...int) int { return len(xs) }
+
+func sink(v interface{}) { _ = v }
+
+//jslint:hotpath
+func calls(xs []int, p *point) {
+	_ = variadic(1, 2) // want "variadic call allocates its argument slice"
+	_ = variadic(xs...)
+	sink(p) // pointers do not box
+	sink(4) // want "boxes a int on the heap"
+}
+
+//jslint:hotpath
+func boxing(p point, pp *point) (v interface{}) {
+	var i interface{} = p // want "boxes a point on the heap"
+	_ = i
+	var j interface{} = pp // pointer-shaped: no boxing
+	_ = j
+	return p // want "boxes a point on the heap"
+}
+
+//jslint:hotpath
+func methodValue(r reader) func() int {
+	f := r.read // want "method value read allocates a bound closure"
+	_ = r.read()
+	return f
+}
+
+//jslint:hotpath
+func suppressed() {
+	_ = make([]byte, 1) //jslint:ignore hotpath-noalloc pool warm-up only
+	//jslint:ignore hotpath-noalloc standalone directive covers the next line
+	_ = make([]byte, 2)
+}

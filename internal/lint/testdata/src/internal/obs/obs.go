@@ -1,0 +1,31 @@
+// Package obs is a shrunk stand-in for the real repro/internal/obs: the
+// obs-literal analyzer matches call sites by import path, so the testdata
+// module declares itself "module repro" and ships this stub at the same
+// relative location. Metric names are still validated against the real
+// manifest compiled into the analyzer.
+package obs
+
+// Unit tags what a histogram's values measure.
+type Unit string
+
+// Histogram units.
+const (
+	UnitNanoseconds Unit = "ns"
+	UnitBytes       Unit = "bytes"
+	UnitCount       Unit = "count"
+)
+
+// Add increments the named counter.
+func Add(name string, n int64) { _, _ = name, n }
+
+// Observe records one histogram value.
+func Observe(name string, unit Unit, v int64) { _, _, _ = name, unit, v }
+
+// ObserveDuration records a nanosecond histogram value.
+func ObserveDuration(name string, d int64) { _, _ = name, d }
+
+// Time starts a duration measurement.
+func Time(name string) func() {
+	_ = name
+	return func() {}
+}

@@ -1,0 +1,81 @@
+// Package kind exercises the kind-exhaustive analyzer over a
+// //jslint:enum-marked constant set.
+package kind
+
+// Color is a closed enum in the shape of the pipeline's ast.Kind.
+//
+//jslint:enum
+type Color uint8
+
+// The color space. ColorInvalid and ColorCount are sentinels: switches need
+// not name them.
+const (
+	ColorInvalid Color = iota
+	ColorRed
+	ColorGreen
+	ColorBlue
+	ColorCount
+)
+
+// Shade is an ordinary type: switches over it are not checked.
+type Shade uint8
+
+// Shades.
+const (
+	ShadeLight Shade = iota
+	ShadeDark
+)
+
+func full(c Color) int {
+	switch c {
+	case ColorRed:
+		return 1
+	case ColorGreen:
+		return 2
+	case ColorBlue:
+		return 3
+	}
+	return 0
+}
+
+func defaulted(c Color) int {
+	switch c {
+	case ColorRed:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func missing(c Color) int {
+	switch c { // want "missing ColorBlue, ColorGreen"
+	case ColorRed:
+		return 1
+	}
+	return 0
+}
+
+func unchecked(s Shade) int {
+	switch s {
+	case ShadeLight:
+		return 1
+	}
+	return 0
+}
+
+// colorNames is the dense-table shape the interned-kind layer uses.
+var colorNames = [ColorCount]string{
+	ColorInvalid: "invalid",
+	ColorRed:     "red",
+	ColorGreen:   "green",
+	ColorBlue:    "blue",
+}
+
+var shortNames = [ColorCount]string{ // want "missing ColorBlue, ColorGreen"
+	ColorInvalid: "invalid",
+	ColorRed:     "red",
+}
+
+var sparseUnkeyed = [ColorCount]string{"invalid", "red"} // want "has 2 of 4 entries"
+
+func use(c Color) string { return colorNames[c] + shortNames[c] + sparseUnkeyed[c] }

@@ -1,0 +1,38 @@
+// Package obslit exercises the obs-literal analyzer. Positive names come
+// from the real manifest compiled into the analyzer (internal/obs/metrics.go
+// of the host module).
+package obslit
+
+import (
+	"repro/internal/obs"
+)
+
+// stageNames is the sanctioned table shape: package-level, all string
+// literals, every element a registered metric name.
+var stageNames = [...]string{
+	"scan.stage.parse",
+	"scan.stage.flow",
+}
+
+// badTable has one unregistered element.
+var badTable = []string{
+	"scan.stage.parse",
+	"scan.stage.bogus", // want "not registered"
+}
+
+const goodName = "parse.files"
+
+func record(stage int, names []string) {
+	obs.Add("parse.files", 1)
+	obs.Add(goodName, 1)
+	obs.ObserveDuration(stageNames[stage], 5)
+	obs.ObserveDuration(badTable[stage], 5)
+	defer obs.Time("flow.build")()
+	obs.Observe("parse.file_bytes", obs.UnitBytes, 10)
+
+	obs.Add("not.in.manifest", 1)        // want "not registered"
+	obs.Add("NotLowercase", 1)           // want "not dotted-lowercase"
+	obs.Add("plain", 1)                  // want "not dotted-lowercase"
+	obs.Add("scan.stage."+names[0], 1)   // want "must be a string literal"
+	obs.ObserveDuration(names[stage], 5) // want "must be a string literal"
+}

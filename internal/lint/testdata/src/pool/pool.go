@@ -1,0 +1,72 @@
+// Package pool exercises the pool-discipline analyzer.
+package pool
+
+import "sync"
+
+type buffer struct{ b []byte }
+
+var bufPool = sync.Pool{New: func() interface{} { return new(buffer) }}
+
+var stash *buffer
+
+// getPut is the canonical clean shape: Get, use, Put on the way out of every
+// path, no defer (the hot paths avoid the deferred-closure allocation).
+func getPut(n int) int {
+	buf := bufPool.Get().(*buffer)
+	if n < 0 {
+		bufPool.Put(buf)
+		return 0
+	}
+	buf.b = buf.b[:0]
+	bufPool.Put(buf)
+	return len(buf.b)
+}
+
+// deferPut satisfies every return path with a single deferred Put.
+func deferPut(n int) int {
+	buf := bufPool.Get().(*buffer)
+	defer bufPool.Put(buf)
+	if n < 0 {
+		return 0
+	}
+	return n
+}
+
+func noPut() {
+	buf := bufPool.Get().(*buffer) // want "bufPool.Get has no matching bufPool.Put"
+	_ = buf
+}
+
+func missedPath(n int) int {
+	buf := bufPool.Get().(*buffer)
+	if n < 0 {
+		return 0 // want "return without bufPool.Put"
+	}
+	bufPool.Put(buf)
+	return n
+}
+
+func returned() *buffer {
+	buf := bufPool.Get().(*buffer)
+	bufPool.Put(buf)
+	return buf // want "pooled value buf escapes: returned"
+}
+
+func stored() {
+	buf := bufPool.Get().(*buffer)
+	stash = buf // want "pooled value buf escapes: stored in package-level stash"
+	bufPool.Put(buf)
+}
+
+func sent(ch chan *buffer) {
+	buf := bufPool.Get().(*buffer)
+	ch <- buf // want "pooled value buf escapes: sent on a channel"
+	bufPool.Put(buf)
+}
+
+func captured() func() {
+	buf := bufPool.Get().(*buffer)
+	f := func() { buf.b = nil } // want "pooled value buf escapes: captured by a non-deferred closure"
+	bufPool.Put(buf)
+	return f
+}
