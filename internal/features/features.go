@@ -164,10 +164,12 @@ func (e *Extractor) ExtractFull(src string, res *parser.Result, g *flow.Graph, d
 // contributes its type name followed by a 0 separator) — golden_test.go locks
 // this, because every trained model's fingerprint depends on the bucket
 // layout staying byte-stable.
+//
+//jslint:hotpath
 func (e *Extractor) ngramFeatures(prog *ast.Program, out []float64) {
 	w := kindWalkerPool.Get().(*kindWalker)
 	w.seq = w.seq[:0]
-	w.visit(prog)
+	w.visitNode(prog)
 	seq := w.seq
 	n := e.opts.ngramLen()
 	total := 0
@@ -209,21 +211,30 @@ var kindHashBytes = func() [ast.KindCount][]byte {
 }()
 
 // kindWalker accumulates a program's pre-order kind sequence. The visit
-// closure is bound once per instance so the recursive walk allocates nothing;
-// instances recycle through kindWalkerPool across files within a scan worker,
-// so a warmed pool extracts n-grams with zero allocations per file (asserted
-// by TestNGramFeaturesZeroAlloc).
+// field holds visitNode as a method value bound once per instance (in the
+// pool's cold New path) so the recursive walk allocates nothing; instances
+// recycle through kindWalkerPool across files within a scan worker, so a
+// warmed pool extracts n-grams with zero allocations per file (asserted by
+// TestNGramFeaturesZeroAlloc and proven construct-by-construct by the jslint
+// hotpath-noalloc analyzer).
 type kindWalker struct {
 	seq   []uint16
 	visit func(ast.Node)
 }
 
+// visitNode records n's interned kind and recurses. The recursive step passes
+// the pre-bound w.visit field, not the visitNode method itself: a method
+// value in argument position would allocate its bound closure on every node.
+//
+//jslint:hotpath
+func (w *kindWalker) visitNode(n ast.Node) {
+	w.seq = append(w.seq, uint16(n.NodeKind()))
+	ast.EachChild(n, w.visit)
+}
+
 var kindWalkerPool = sync.Pool{New: func() any {
 	w := &kindWalker{seq: make([]uint16, 0, 4096)}
-	w.visit = func(n ast.Node) {
-		w.seq = append(w.seq, uint16(n.NodeKind()))
-		ast.EachChild(n, w.visit)
-	}
+	w.visit = w.visitNode
 	return w
 }}
 

@@ -8,6 +8,14 @@ package ast
 // KindName, and kinds_test.go locks the two representations together, so the
 // string vocabulary the paper's Esprima pipeline defines remains the source
 // of truth.
+//
+// The //jslint:enum directive marks the constant set as closed: the jslint
+// kind-exhaustive analyzer requires every switch and every dense
+// [KindCount]-sized table over Kind to cover all kinds or carry an explicit
+// default, keeping dispatch sites in lockstep with KindName/KindForName when
+// a kind is added.
+//
+//jslint:enum
 type Kind uint16
 
 // Node kinds. KindInvalid is the zero value so an unset kind is never

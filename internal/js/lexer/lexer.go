@@ -92,6 +92,8 @@ func (l *Lexer) advance(n int) {
 }
 
 // advanceRune consumes one rune, tracking line/column across terminators.
+//
+//jslint:hotpath
 func (l *Lexer) advanceRune() rune {
 	r, size := utf8.DecodeRuneInString(l.src[l.off:])
 	l.off += size
@@ -131,7 +133,12 @@ func isIdentPart(r rune) bool {
 }
 
 // skipTrivia consumes whitespace and comments, recording whether a line
-// terminator was crossed.
+// terminator was crossed. It runs once per token over every byte of trivia,
+// which makes it the lexer's inner loop: nothing here may allocate beyond the
+// amortized growth of the comments slice (and the error construction on the
+// unterminated-comment path, which aborts the scan anyway).
+//
+//jslint:hotpath
 func (l *Lexer) skipTrivia() error {
 	l.newlineBefore = false
 	for l.off < len(l.src) {
@@ -206,7 +213,7 @@ func (l *Lexer) skipTrivia() error {
 				}
 			}
 			if !closed {
-				return &Error{Pos: start, Msg: "unterminated block comment"}
+				return &Error{Pos: start, Msg: "unterminated block comment"} //jslint:ignore hotpath-noalloc error path terminates the scan
 			}
 			text := l.src[textStart:l.off]
 			l.advance(2)
@@ -291,6 +298,9 @@ func (l *Lexer) Next() (Token, error) {
 
 // regexAllowed applies the standard previous-token heuristic for deciding
 // whether a leading '/' starts a regular expression or a division operator.
+// It runs on every '/' the lexer meets, so it must stay branch-only.
+//
+//jslint:hotpath
 func (l *Lexer) regexAllowed() bool {
 	if !l.hasPrev {
 		return true
