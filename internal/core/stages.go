@@ -27,6 +27,19 @@ const (
 // stageNames are the external names of the pipeline stages, in order.
 var stageNames = [numStages]string{"parse", "flow", "rules", "features", "infer"}
 
+// stageMetricNames are the obs histogram names of the pipeline stages, in
+// order. They are spelled out as literals — not built as "scan.stage."+name
+// at record time — so the full metric vocabulary is greppable and the jslint
+// obs-literal analyzer can check every element against the manifest;
+// TestStageMetricNamesLockstep keeps the table in lockstep with stageNames.
+var stageMetricNames = [numStages]string{
+	"scan.stage.parse",
+	"scan.stage.flow",
+	"scan.stage.rules",
+	"scan.stage.features",
+	"scan.stage.infer",
+}
+
 // StageStats is one pipeline stage's aggregate cost across a scan.
 type StageStats struct {
 	// Stage is the pipeline stage name: parse, flow, rules, features, or
@@ -70,7 +83,7 @@ func (a *stageAcc) add(stage int, d time.Duration, fileBytes int) {
 	a.ns[stage].Add(int64(d))
 	a.files[stage].Add(1)
 	a.bytes[stage].Add(int64(fileBytes))
-	obs.ObserveDuration("scan.stage."+stageNames[stage], d)
+	obs.ObserveDuration(stageMetricNames[stage], d)
 }
 
 // stats folds the accumulator into the exported per-stage breakdown, in

@@ -131,3 +131,19 @@ func TestStageTotalSums(t *testing.T) {
 		t.Fatalf("empty StageTotal = %v", got)
 	}
 }
+
+// TestStageMetricNamesLockstep keeps the spelled-out obs histogram names in
+// lockstep with the stage-name table: the names are literals (so the jslint
+// obs-literal analyzer can check them against the manifest) and this test is
+// what makes adding a stage without updating both tables fail.
+func TestStageMetricNamesLockstep(t *testing.T) {
+	for i, name := range stageNames {
+		want := "scan.stage." + name
+		if stageMetricNames[i] != want {
+			t.Errorf("stageMetricNames[%d] = %q, want %q", i, stageMetricNames[i], want)
+		}
+		if !obs.KnownMetric(stageMetricNames[i]) {
+			t.Errorf("stage metric %q is not in the internal/obs/metrics.go manifest", stageMetricNames[i])
+		}
+	}
+}
