@@ -112,9 +112,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "jsdetect: -pprof: %v\n", err)
 			return 1
 		}
-		defer ln.Close()
 		fmt.Fprintf(stderr, "jsdetect: pprof listening on http://%s/debug/pprof/\n", ln.Addr())
-		go http.Serve(ln, nil)
+		// The server goroutine is tied to a tracked drain: closing the
+		// listener on the way out unblocks Serve, and the done channel is
+		// received before returning so the goroutine never outlives the run
+		// (goroutine-hygiene's contract for every go statement).
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			_ = http.Serve(ln, nil)
+		}()
+		defer func() {
+			ln.Close()
+			<-done
+		}()
 	}
 	if opts.traceFile != "" {
 		f, err := os.Create(opts.traceFile)
