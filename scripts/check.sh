@@ -1,25 +1,39 @@
 #!/usr/bin/env sh
-# Tier-2 quality gate: formatting, vet, and the full test suite under the
-# race detector. Run from the repository root:
+# Tier-2 quality gate: formatting, vet, the jslint static-analysis suite, and
+# the full test suite under the race detector. Run from the repository root:
 #
 #   ./scripts/check.sh
 #
 # Tier-1 (go build ./... && go test ./...) remains the fast gate; this script
 # is the slower pre-merge check.
+#
+# Knobs:
+#   FUZZTIME=2s   shorten (or lengthen) the differential fuzz step; CI's PR
+#                 gate uses a short burst, the default 10s is for pre-merge.
+#   BENCH=1       also run the benchmark-regression gate (scripts/bench.sh).
 set -eu
 
 cd "$(dirname "$0")/.."
 
 echo "== gofmt =="
-unformatted=$(gofmt -l .)
+unformatted=$(gofmt -s -l .)
 if [ -n "$unformatted" ]; then
-    echo "gofmt needed on:" >&2
+    echo "gofmt -s needed on:" >&2
     echo "$unformatted" >&2
     exit 1
 fi
 
 echo "== go vet =="
 go vet ./...
+
+# Project-native static analysis: the five jslint analyzers prove the
+# hot-path/pool/obs/kind/goroutine invariants on every build. The suite is
+# budgeted to stay under ~10s wall (loader plus analysis, currently ~2s); the
+# recorded runtime is the early warning before it outgrows the gate.
+echo "== jslint =="
+jslint_start=$(date +%s)
+go run ./cmd/jslint ./...
+echo "jslint clean in $(( $(date +%s) - jslint_start ))s"
 
 # The batch scan engine and the CLI on top of it are the concurrency-heavy
 # paths; race-check them first and explicitly so a worker-pool regression
@@ -42,8 +56,9 @@ go test -run 'Oracle|Differential' ./internal/oracle ./internal/js/interp
 # Short differential fuzz. -fuzzminimizetime is pinned low because corpus
 # minimization otherwise monopolizes the single fuzz worker on small
 # machines and starves actual exploration.
-echo "== fuzz (10s) =="
-go test -fuzz FuzzInterpDifferential -fuzztime 10s -fuzzminimizetime 5x -run '^$' ./internal/oracle
+fuzztime="${FUZZTIME:-10s}"
+echo "== fuzz ($fuzztime) =="
+go test -fuzz FuzzInterpDifferential -fuzztime "$fuzztime" -fuzzminimizetime 5x -run '^$' ./internal/oracle
 
 # Per-package coverage floors. The interpreter floor guards the oracle (the
 # sandbox is only as trustworthy as its coverage); the flow and scope floors
@@ -70,11 +85,18 @@ check_floor ./internal/js/scope  75
 # pooled/zero-alloc paths and the dedup cache from shedding tests.
 check_floor ./internal/features  85
 check_floor ./internal/core      80
+# The observability layer and the benchmark-diff parser the regression gate
+# trusts: both are plumbing other gates depend on, so they get floors too.
+check_floor ./internal/obs       75
+check_floor ./internal/benchfmt  75
 
 # Informational per-package coverage summary (no gate): a shrinking number
-# here is the early warning before a floor trips.
+# here is the early warning before a floor trips. The run's output is
+# captured first — with set -e a test failure aborts the script instead of
+# vanishing into the formatter.
 echo "== coverage summary =="
-go test -count=1 -cover ./internal/... 2>/dev/null | awk '
+cov_out=$(go test -count=1 -cover ./internal/...)
+echo "$cov_out" | awk '
     /^ok/ { cov = "-"; for (i=1; i<=NF; i++) if ($i ~ /%$/) cov = $i
             printf "%-40s %8s\n", $2, cov }'
 
