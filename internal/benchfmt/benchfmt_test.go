@@ -222,3 +222,91 @@ func TestFileRoundTripAndLookup(t *testing.T) {
 		t.Fatal("Lookup found a benchmark that does not exist")
 	}
 }
+
+// TestVerdictStrings pins every verdict label (the diff table greps for
+// REGRESSED) including the out-of-range fallback.
+func TestVerdictStrings(t *testing.T) {
+	cases := map[Verdict]string{
+		VerdictOK:        "ok",
+		VerdictImproved:  "improved",
+		VerdictRegressed: "REGRESSED",
+		VerdictMissing:   "missing",
+		VerdictNew:       "new",
+		Verdict(99):      "?",
+	}
+	for v, want := range cases {
+		if got := v.String(); got != want {
+			t.Errorf("Verdict(%d).String() = %q, want %q", v, got, want)
+		}
+	}
+}
+
+// TestMemCell covers the one-sided and empty memory-column renderings that a
+// baseline without -benchmem produces.
+func TestMemCell(t *testing.T) {
+	cases := []struct {
+		old, new, ratio float64
+		want            string
+	}{
+		{0, 0, 0, "-"},
+		{0, 128, 0, "0→128"},
+		{128, 0, 0, "128→0"},
+		{100, 110, 0.1, "100→110 (+10.0%)"},
+	}
+	for _, c := range cases {
+		if got := memCell(c.old, c.new, c.ratio); got != c.want {
+			t.Errorf("memCell(%v, %v, %v) = %q, want %q", c.old, c.new, c.ratio, got, c.want)
+		}
+	}
+}
+
+// TestParseLineEdges covers the malformed shapes parseLine must reject and
+// the odd ones it must keep.
+func TestParseLineEdges(t *testing.T) {
+	rejected := []string{
+		"",
+		"BenchmarkX-8",                     // too few fields
+		"BenchmarkX-8 notanumber 5 ns/op",  // bad iteration count
+		"BenchmarkX-8 10 notanumber ns/op", // bad value
+		"NotABenchmark 10 5 ns/op",         // wrong prefix
+		"BenchmarkX-8 10 tail",             // no value/unit pairs
+	}
+	for _, line := range rejected {
+		if m, ok := parseLine(line); ok {
+			t.Errorf("parseLine(%q) accepted: %+v", line, m)
+		}
+	}
+	// A trailing field without a unit partner is ignored, not fatal.
+	m, ok := parseLine("BenchmarkX-8 10 5 ns/op dangling")
+	if !ok || m.vals["ns/op"] != 5 {
+		t.Errorf("parseLine with dangling field = %+v, %v", m, ok)
+	}
+	// Unsuffixed names survive; the -N suffix must be numeric to be dropped.
+	m, ok = parseLine("BenchmarkX-abc 10 5 ns/op")
+	if !ok || m.name != "BenchmarkX-abc" {
+		t.Errorf("non-numeric suffix: got %+v, %v", m, ok)
+	}
+}
+
+// TestWriteDiffMixedColumns locks the table rendering across the verdict and
+// memory-column edge cases in one pass: a regressed row names its columns, a
+// new row renders without a baseline, and missing -benchmem data renders "-".
+func TestWriteDiffMixedColumns(t *testing.T) {
+	baseline := []Result{
+		{Name: "pkg.BenchmarkOld", NsPerOp: 100},
+		{Name: "pkg.BenchmarkSlow", NsPerOp: 100, AllocsPerOp: 10, BytesPerOp: 100},
+	}
+	current := []Result{
+		{Name: "pkg.BenchmarkSlow", NsPerOp: 200, AllocsPerOp: 20, BytesPerOp: 100},
+		{Name: "pkg.BenchmarkNew", NsPerOp: 50},
+	}
+	deltas := Compare(baseline, current, 0.15, 0.10)
+	var buf bytes.Buffer
+	WriteDiff(&buf, deltas, 0.15, 0.10)
+	out := buf.String()
+	for _, want := range []string{"REGRESSED", "missing", "new", "-"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("diff table missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+// External test package: the sync check imports internal/lint (whose
+// analyzers import obs for the manifest), so an in-package test file would
+// form an import cycle.
+package obs_test
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/obs"
+)
+
+// TestMetricsManifestInSync regenerates the metrics manifest from every obs
+// call in the tree and fails on any drift from the checked-in
+// internal/obs/metrics.go: a metric recorded anywhere but missing from the
+// manifest, a stale manifest entry nothing records anymore, or a hand edit to
+// the generated naming. `go run ./cmd/jslint -gen-metrics` refreshes the
+// file (Help strings are preserved).
+func TestMetricsManifestInSync(t *testing.T) {
+	moduleDir, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(moduleDir, "go.mod")); err != nil {
+		t.Fatalf("module root not at %s: %v", moduleDir, err)
+	}
+	uses, errs := lint.ScanMetricUses(moduleDir)
+	for _, e := range errs {
+		t.Errorf("unresolvable metric name: %v", e)
+	}
+	if len(uses) == 0 {
+		t.Fatal("metric scan found no obs calls in the tree")
+	}
+	want, err := lint.GenMetricsSource(uses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(filepath.Join(moduleDir, "internal", "obs", "metrics.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Error("internal/obs/metrics.go is out of sync with the tree's obs calls; run `go run ./cmd/jslint -gen-metrics`")
+	}
+}
+
+// TestManifestEntriesWellFormed pins the manifest's own invariants: sorted
+// unique dotted-lowercase names, valid kinds, units only on histograms, and
+// a Help string on every entry (regeneration preserves Help, so an empty one
+// means a new metric was registered without documentation).
+func TestManifestEntriesWellFormed(t *testing.T) {
+	nameRE := regexp.MustCompile(`^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)+$`)
+	if len(obs.Metrics) == 0 {
+		t.Fatal("empty manifest")
+	}
+	names := make([]string, 0, len(obs.Metrics))
+	for _, m := range obs.Metrics {
+		names = append(names, m.Name)
+		if !nameRE.MatchString(m.Name) {
+			t.Errorf("metric %q is not dotted-lowercase", m.Name)
+		}
+		switch m.Kind {
+		case "counter":
+			if m.Unit != "" {
+				t.Errorf("counter %q carries unit %q", m.Name, m.Unit)
+			}
+		case "histogram":
+			if m.Unit == "" {
+				t.Errorf("histogram %q has no unit", m.Name)
+			}
+		default:
+			t.Errorf("metric %q has unknown kind %q", m.Name, m.Kind)
+		}
+		if m.Help == "" {
+			t.Errorf("metric %q has no Help — document it in internal/obs/metrics.go", m.Name)
+		}
+	}
+	if !sort.StringsAreSorted(names) {
+		t.Error("manifest is not sorted by name")
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i] == names[i-1] {
+			t.Errorf("duplicate manifest entry %q", names[i])
+		}
+	}
+}
+
+// TestKnownMetric pins the lookup the obs-literal analyzer depends on.
+func TestKnownMetric(t *testing.T) {
+	for _, m := range obs.Metrics {
+		if !obs.KnownMetric(m.Name) {
+			t.Errorf("KnownMetric(%q) = false for a manifest entry", m.Name)
+		}
+	}
+	for _, name := range []string{"", "scan", "scan.stage.bogus", "SCAN.FILES"} {
+		if obs.KnownMetric(name) {
+			t.Errorf("KnownMetric(%q) = true, want false", name)
+		}
+	}
+}
