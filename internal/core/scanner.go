@@ -157,10 +157,11 @@ func NewScanner(l1, l2 *Detector, opts ScanOptions) (*Scanner, error) {
 
 // scanOne classifies one input, answering from the dedup cache when enabled
 // and the content has been scanned before. Parse failures are cached too:
-// the same bytes fail the same way.
-func (s *Scanner) scanOne(in Input, acc *stageAcc) FileResult {
+// the same bytes fail the same way. ps is the calling worker's reusable
+// parser session.
+func (s *Scanner) scanOne(in Input, acc *stageAcc, ps *parser.Session) FileResult {
 	if s.cache == nil {
-		return s.scanFile(in, acc)
+		return s.scanFile(in, acc, ps)
 	}
 	key := hashSource(in.Source)
 	if r, ok := s.cache.get(key); ok {
@@ -168,7 +169,7 @@ func (s *Scanner) scanOne(in Input, acc *stageAcc) FileResult {
 		r.Deduped = true
 		return r
 	}
-	out := s.scanFile(in, acc)
+	out := s.scanFile(in, acc, ps)
 	cached := out
 	cached.Path = "" // hits stamp their own Path
 	s.cache.put(key, cached)
@@ -177,11 +178,12 @@ func (s *Scanner) scanOne(in Input, acc *stageAcc) FileResult {
 
 // scanFile classifies one input: a single parse and flow graph feed the
 // feature vector, both detectors, and (under Explain) the indicator rules.
-// acc, when non-nil, receives the per-stage cost breakdown.
-func (s *Scanner) scanFile(in Input, acc *stageAcc) FileResult {
+// acc, when non-nil, receives the per-stage cost breakdown. ps amortizes
+// parser and lexer state across the files this worker scans.
+func (s *Scanner) scanFile(in Input, acc *stageAcc, ps *parser.Session) FileResult {
 	out := FileResult{Path: in.Path, Bytes: len(in.Source)}
 	t := newStageTimer(acc, len(in.Source))
-	res, err := parser.ParseNoTokens(in.Source)
+	res, err := ps.ParseNoTokens(in.Source)
 	t.tick(stageParse)
 	if err != nil {
 		out.Err = fmt.Errorf("parse: %w", err)
@@ -252,8 +254,11 @@ func (s *Scanner) ScanStreamContext(ctx context.Context, inputs []Input, emit fu
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// One parser session per worker: token buffer, memo table, and
+			// lexer state are reused across every file this worker scans.
+			ps := parser.NewSession()
 			for i := range work {
-				results[i] = s.scanOne(inputs[i], acc)
+				results[i] = s.scanOne(inputs[i], acc, ps)
 				close(ready[i])
 			}
 		}()

@@ -1,0 +1,597 @@
+package ast
+
+// Arena is a per-kind slab allocator for AST nodes. The parser allocates
+// every node of one file out of one Arena instead of minting ~100 distinct
+// heap objects per statement: each node type draws from its own backing
+// slice, so a file's nodes live in a few dozen contiguous chunks rather
+// than hundreds of thousands of individual allocations.
+//
+// Ownership: an Arena belongs to exactly one parse and dies with the
+// parser.Result built from it — the nodes keep their backing chunks alive
+// through ordinary GC reachability, so the arena needs no explicit free and
+// nothing downstream may retain node pointers past the Result they came
+// from. An Arena must never be reset or reused for a second file: handing
+// out a previous file's node storage again would corrupt any still-live
+// AST. The zero value is ready to use.
+//
+// Pointer stability: alloc never moves previously returned nodes. When a
+// chunk fills up, grow abandons it in place (the nodes already handed out
+// pin it) and starts a fresh, larger one.
+type Arena struct {
+	program                  []Program
+	expressionStatement      []ExpressionStatement
+	blockStatement           []BlockStatement
+	emptyStatement           []EmptyStatement
+	debuggerStatement        []DebuggerStatement
+	withStatement            []WithStatement
+	returnStatement          []ReturnStatement
+	labeledStatement         []LabeledStatement
+	breakStatement           []BreakStatement
+	continueStatement        []ContinueStatement
+	ifStatement              []IfStatement
+	switchStatement          []SwitchStatement
+	switchCase               []SwitchCase
+	throwStatement           []ThrowStatement
+	tryStatement             []TryStatement
+	catchClause              []CatchClause
+	whileStatement           []WhileStatement
+	doWhileStatement         []DoWhileStatement
+	forStatement             []ForStatement
+	forInStatement           []ForInStatement
+	forOfStatement           []ForOfStatement
+	functionDeclaration      []FunctionDeclaration
+	variableDeclaration      []VariableDeclaration
+	variableDeclarator       []VariableDeclarator
+	classDeclaration         []ClassDeclaration
+	classBody                []ClassBody
+	propertyDefinition       []PropertyDefinition
+	methodDefinition         []MethodDefinition
+	importDeclaration        []ImportDeclaration
+	importSpecifier          []ImportSpecifier
+	importDefaultSpecifier   []ImportDefaultSpecifier
+	importNamespaceSpecifier []ImportNamespaceSpecifier
+	exportNamedDeclaration   []ExportNamedDeclaration
+	exportSpecifier          []ExportSpecifier
+	exportDefaultDeclaration []ExportDefaultDeclaration
+	exportAllDeclaration     []ExportAllDeclaration
+	identifier               []Identifier
+	literal                  []Literal
+	thisExpression           []ThisExpression
+	super                    []Super
+	arrayExpression          []ArrayExpression
+	objectExpression         []ObjectExpression
+	property                 []Property
+	functionExpression       []FunctionExpression
+	arrowFunctionExpression  []ArrowFunctionExpression
+	classExpression          []ClassExpression
+	templateLiteral          []TemplateLiteral
+	templateElement          []TemplateElement
+	taggedTemplateExpression []TaggedTemplateExpression
+	memberExpression         []MemberExpression
+	callExpression           []CallExpression
+	newExpression            []NewExpression
+	spreadElement            []SpreadElement
+	unaryExpression          []UnaryExpression
+	updateExpression         []UpdateExpression
+	binaryExpression         []BinaryExpression
+	logicalExpression        []LogicalExpression
+	assignmentExpression     []AssignmentExpression
+	conditionalExpression    []ConditionalExpression
+	sequenceExpression       []SequenceExpression
+	restElement              []RestElement
+	assignmentPattern        []AssignmentPattern
+	arrayPattern             []ArrayPattern
+	objectPattern            []ObjectPattern
+	awaitExpression          []AwaitExpression
+	yieldExpression          []YieldExpression
+	metaProperty             []MetaProperty
+}
+
+// Slab chunk sizing: chunks double from arenaChunkMin nodes up to
+// arenaChunkMax, so tiny files pay for a handful of nodes while big
+// minified bundles settle into large chunks with O(log n) growths.
+const (
+	arenaChunkMin = 16
+	arenaChunkMax = 1024
+)
+
+// arenaAlloc returns a node slot from the slab, growing it when full. The
+// amortized cost is one bump and one bounds check per node.
+//
+//jslint:hotpath
+func arenaAlloc[T any](slab *[]T) *T {
+	buf := *slab
+	if len(buf) == cap(buf) {
+		buf = arenaGrow(buf)
+	}
+	buf = buf[:len(buf)+1]
+	*slab = buf
+	return &buf[len(buf)-1]
+}
+
+// arenaGrow starts a fresh, larger chunk. The filled chunk is abandoned
+// rather than copied: the nodes already handed out keep it reachable, and
+// copying would move them out from under their pointers.
+func arenaGrow[T any](old []T) []T {
+	n := 2 * cap(old)
+	if n < arenaChunkMin {
+		n = arenaChunkMin
+	}
+	if n > arenaChunkMax {
+		n = arenaChunkMax
+	}
+	return make([]T, 0, n)
+}
+
+// One constructor per node type. Each copies the given value into
+// arena-owned storage and returns the stable pointer, so call sites read
+// exactly like the &T{...} literals they replace.
+
+//jslint:hotpath
+func (a *Arena) NewProgram(v Program) *Program {
+	n := arenaAlloc(&a.program)
+	*n = v
+	return n
+}
+
+//jslint:hotpath
+func (a *Arena) NewExpressionStatement(v ExpressionStatement) *ExpressionStatement {
+	n := arenaAlloc(&a.expressionStatement)
+	*n = v
+	return n
+}
+
+//jslint:hotpath
+func (a *Arena) NewBlockStatement(v BlockStatement) *BlockStatement {
+	n := arenaAlloc(&a.blockStatement)
+	*n = v
+	return n
+}
+
+//jslint:hotpath
+func (a *Arena) NewEmptyStatement(v EmptyStatement) *EmptyStatement {
+	n := arenaAlloc(&a.emptyStatement)
+	*n = v
+	return n
+}
+
+//jslint:hotpath
+func (a *Arena) NewDebuggerStatement(v DebuggerStatement) *DebuggerStatement {
+	n := arenaAlloc(&a.debuggerStatement)
+	*n = v
+	return n
+}
+
+//jslint:hotpath
+func (a *Arena) NewWithStatement(v WithStatement) *WithStatement {
+	n := arenaAlloc(&a.withStatement)
+	*n = v
+	return n
+}
+
+//jslint:hotpath
+func (a *Arena) NewReturnStatement(v ReturnStatement) *ReturnStatement {
+	n := arenaAlloc(&a.returnStatement)
+	*n = v
+	return n
+}
+
+//jslint:hotpath
+func (a *Arena) NewLabeledStatement(v LabeledStatement) *LabeledStatement {
+	n := arenaAlloc(&a.labeledStatement)
+	*n = v
+	return n
+}
+
+//jslint:hotpath
+func (a *Arena) NewBreakStatement(v BreakStatement) *BreakStatement {
+	n := arenaAlloc(&a.breakStatement)
+	*n = v
+	return n
+}
+
+//jslint:hotpath
+func (a *Arena) NewContinueStatement(v ContinueStatement) *ContinueStatement {
+	n := arenaAlloc(&a.continueStatement)
+	*n = v
+	return n
+}
+
+//jslint:hotpath
+func (a *Arena) NewIfStatement(v IfStatement) *IfStatement {
+	n := arenaAlloc(&a.ifStatement)
+	*n = v
+	return n
+}
+
+//jslint:hotpath
+func (a *Arena) NewSwitchStatement(v SwitchStatement) *SwitchStatement {
+	n := arenaAlloc(&a.switchStatement)
+	*n = v
+	return n
+}
+
+//jslint:hotpath
+func (a *Arena) NewSwitchCase(v SwitchCase) *SwitchCase {
+	n := arenaAlloc(&a.switchCase)
+	*n = v
+	return n
+}
+
+//jslint:hotpath
+func (a *Arena) NewThrowStatement(v ThrowStatement) *ThrowStatement {
+	n := arenaAlloc(&a.throwStatement)
+	*n = v
+	return n
+}
+
+//jslint:hotpath
+func (a *Arena) NewTryStatement(v TryStatement) *TryStatement {
+	n := arenaAlloc(&a.tryStatement)
+	*n = v
+	return n
+}
+
+//jslint:hotpath
+func (a *Arena) NewCatchClause(v CatchClause) *CatchClause {
+	n := arenaAlloc(&a.catchClause)
+	*n = v
+	return n
+}
+
+//jslint:hotpath
+func (a *Arena) NewWhileStatement(v WhileStatement) *WhileStatement {
+	n := arenaAlloc(&a.whileStatement)
+	*n = v
+	return n
+}
+
+//jslint:hotpath
+func (a *Arena) NewDoWhileStatement(v DoWhileStatement) *DoWhileStatement {
+	n := arenaAlloc(&a.doWhileStatement)
+	*n = v
+	return n
+}
+
+//jslint:hotpath
+func (a *Arena) NewForStatement(v ForStatement) *ForStatement {
+	n := arenaAlloc(&a.forStatement)
+	*n = v
+	return n
+}
+
+//jslint:hotpath
+func (a *Arena) NewForInStatement(v ForInStatement) *ForInStatement {
+	n := arenaAlloc(&a.forInStatement)
+	*n = v
+	return n
+}
+
+//jslint:hotpath
+func (a *Arena) NewForOfStatement(v ForOfStatement) *ForOfStatement {
+	n := arenaAlloc(&a.forOfStatement)
+	*n = v
+	return n
+}
+
+//jslint:hotpath
+func (a *Arena) NewFunctionDeclaration(v FunctionDeclaration) *FunctionDeclaration {
+	n := arenaAlloc(&a.functionDeclaration)
+	*n = v
+	return n
+}
+
+//jslint:hotpath
+func (a *Arena) NewVariableDeclaration(v VariableDeclaration) *VariableDeclaration {
+	n := arenaAlloc(&a.variableDeclaration)
+	*n = v
+	return n
+}
+
+//jslint:hotpath
+func (a *Arena) NewVariableDeclarator(v VariableDeclarator) *VariableDeclarator {
+	n := arenaAlloc(&a.variableDeclarator)
+	*n = v
+	return n
+}
+
+//jslint:hotpath
+func (a *Arena) NewClassDeclaration(v ClassDeclaration) *ClassDeclaration {
+	n := arenaAlloc(&a.classDeclaration)
+	*n = v
+	return n
+}
+
+//jslint:hotpath
+func (a *Arena) NewClassBody(v ClassBody) *ClassBody {
+	n := arenaAlloc(&a.classBody)
+	*n = v
+	return n
+}
+
+//jslint:hotpath
+func (a *Arena) NewPropertyDefinition(v PropertyDefinition) *PropertyDefinition {
+	n := arenaAlloc(&a.propertyDefinition)
+	*n = v
+	return n
+}
+
+//jslint:hotpath
+func (a *Arena) NewMethodDefinition(v MethodDefinition) *MethodDefinition {
+	n := arenaAlloc(&a.methodDefinition)
+	*n = v
+	return n
+}
+
+//jslint:hotpath
+func (a *Arena) NewImportDeclaration(v ImportDeclaration) *ImportDeclaration {
+	n := arenaAlloc(&a.importDeclaration)
+	*n = v
+	return n
+}
+
+//jslint:hotpath
+func (a *Arena) NewImportSpecifier(v ImportSpecifier) *ImportSpecifier {
+	n := arenaAlloc(&a.importSpecifier)
+	*n = v
+	return n
+}
+
+//jslint:hotpath
+func (a *Arena) NewImportDefaultSpecifier(v ImportDefaultSpecifier) *ImportDefaultSpecifier {
+	n := arenaAlloc(&a.importDefaultSpecifier)
+	*n = v
+	return n
+}
+
+//jslint:hotpath
+func (a *Arena) NewImportNamespaceSpecifier(v ImportNamespaceSpecifier) *ImportNamespaceSpecifier {
+	n := arenaAlloc(&a.importNamespaceSpecifier)
+	*n = v
+	return n
+}
+
+//jslint:hotpath
+func (a *Arena) NewExportNamedDeclaration(v ExportNamedDeclaration) *ExportNamedDeclaration {
+	n := arenaAlloc(&a.exportNamedDeclaration)
+	*n = v
+	return n
+}
+
+//jslint:hotpath
+func (a *Arena) NewExportSpecifier(v ExportSpecifier) *ExportSpecifier {
+	n := arenaAlloc(&a.exportSpecifier)
+	*n = v
+	return n
+}
+
+//jslint:hotpath
+func (a *Arena) NewExportDefaultDeclaration(v ExportDefaultDeclaration) *ExportDefaultDeclaration {
+	n := arenaAlloc(&a.exportDefaultDeclaration)
+	*n = v
+	return n
+}
+
+//jslint:hotpath
+func (a *Arena) NewExportAllDeclaration(v ExportAllDeclaration) *ExportAllDeclaration {
+	n := arenaAlloc(&a.exportAllDeclaration)
+	*n = v
+	return n
+}
+
+//jslint:hotpath
+func (a *Arena) NewIdentifier(v Identifier) *Identifier {
+	n := arenaAlloc(&a.identifier)
+	*n = v
+	return n
+}
+
+//jslint:hotpath
+func (a *Arena) NewLiteral(v Literal) *Literal {
+	n := arenaAlloc(&a.literal)
+	*n = v
+	return n
+}
+
+//jslint:hotpath
+func (a *Arena) NewThisExpression(v ThisExpression) *ThisExpression {
+	n := arenaAlloc(&a.thisExpression)
+	*n = v
+	return n
+}
+
+//jslint:hotpath
+func (a *Arena) NewSuper(v Super) *Super {
+	n := arenaAlloc(&a.super)
+	*n = v
+	return n
+}
+
+//jslint:hotpath
+func (a *Arena) NewArrayExpression(v ArrayExpression) *ArrayExpression {
+	n := arenaAlloc(&a.arrayExpression)
+	*n = v
+	return n
+}
+
+//jslint:hotpath
+func (a *Arena) NewObjectExpression(v ObjectExpression) *ObjectExpression {
+	n := arenaAlloc(&a.objectExpression)
+	*n = v
+	return n
+}
+
+//jslint:hotpath
+func (a *Arena) NewProperty(v Property) *Property {
+	n := arenaAlloc(&a.property)
+	*n = v
+	return n
+}
+
+//jslint:hotpath
+func (a *Arena) NewFunctionExpression(v FunctionExpression) *FunctionExpression {
+	n := arenaAlloc(&a.functionExpression)
+	*n = v
+	return n
+}
+
+//jslint:hotpath
+func (a *Arena) NewArrowFunctionExpression(v ArrowFunctionExpression) *ArrowFunctionExpression {
+	n := arenaAlloc(&a.arrowFunctionExpression)
+	*n = v
+	return n
+}
+
+//jslint:hotpath
+func (a *Arena) NewClassExpression(v ClassExpression) *ClassExpression {
+	n := arenaAlloc(&a.classExpression)
+	*n = v
+	return n
+}
+
+//jslint:hotpath
+func (a *Arena) NewTemplateLiteral(v TemplateLiteral) *TemplateLiteral {
+	n := arenaAlloc(&a.templateLiteral)
+	*n = v
+	return n
+}
+
+//jslint:hotpath
+func (a *Arena) NewTemplateElement(v TemplateElement) *TemplateElement {
+	n := arenaAlloc(&a.templateElement)
+	*n = v
+	return n
+}
+
+//jslint:hotpath
+func (a *Arena) NewTaggedTemplateExpression(v TaggedTemplateExpression) *TaggedTemplateExpression {
+	n := arenaAlloc(&a.taggedTemplateExpression)
+	*n = v
+	return n
+}
+
+//jslint:hotpath
+func (a *Arena) NewMemberExpression(v MemberExpression) *MemberExpression {
+	n := arenaAlloc(&a.memberExpression)
+	*n = v
+	return n
+}
+
+//jslint:hotpath
+func (a *Arena) NewCallExpression(v CallExpression) *CallExpression {
+	n := arenaAlloc(&a.callExpression)
+	*n = v
+	return n
+}
+
+//jslint:hotpath
+func (a *Arena) NewNewExpression(v NewExpression) *NewExpression {
+	n := arenaAlloc(&a.newExpression)
+	*n = v
+	return n
+}
+
+//jslint:hotpath
+func (a *Arena) NewSpreadElement(v SpreadElement) *SpreadElement {
+	n := arenaAlloc(&a.spreadElement)
+	*n = v
+	return n
+}
+
+//jslint:hotpath
+func (a *Arena) NewUnaryExpression(v UnaryExpression) *UnaryExpression {
+	n := arenaAlloc(&a.unaryExpression)
+	*n = v
+	return n
+}
+
+//jslint:hotpath
+func (a *Arena) NewUpdateExpression(v UpdateExpression) *UpdateExpression {
+	n := arenaAlloc(&a.updateExpression)
+	*n = v
+	return n
+}
+
+//jslint:hotpath
+func (a *Arena) NewBinaryExpression(v BinaryExpression) *BinaryExpression {
+	n := arenaAlloc(&a.binaryExpression)
+	*n = v
+	return n
+}
+
+//jslint:hotpath
+func (a *Arena) NewLogicalExpression(v LogicalExpression) *LogicalExpression {
+	n := arenaAlloc(&a.logicalExpression)
+	*n = v
+	return n
+}
+
+//jslint:hotpath
+func (a *Arena) NewAssignmentExpression(v AssignmentExpression) *AssignmentExpression {
+	n := arenaAlloc(&a.assignmentExpression)
+	*n = v
+	return n
+}
+
+//jslint:hotpath
+func (a *Arena) NewConditionalExpression(v ConditionalExpression) *ConditionalExpression {
+	n := arenaAlloc(&a.conditionalExpression)
+	*n = v
+	return n
+}
+
+//jslint:hotpath
+func (a *Arena) NewSequenceExpression(v SequenceExpression) *SequenceExpression {
+	n := arenaAlloc(&a.sequenceExpression)
+	*n = v
+	return n
+}
+
+//jslint:hotpath
+func (a *Arena) NewRestElement(v RestElement) *RestElement {
+	n := arenaAlloc(&a.restElement)
+	*n = v
+	return n
+}
+
+//jslint:hotpath
+func (a *Arena) NewAssignmentPattern(v AssignmentPattern) *AssignmentPattern {
+	n := arenaAlloc(&a.assignmentPattern)
+	*n = v
+	return n
+}
+
+//jslint:hotpath
+func (a *Arena) NewArrayPattern(v ArrayPattern) *ArrayPattern {
+	n := arenaAlloc(&a.arrayPattern)
+	*n = v
+	return n
+}
+
+//jslint:hotpath
+func (a *Arena) NewObjectPattern(v ObjectPattern) *ObjectPattern {
+	n := arenaAlloc(&a.objectPattern)
+	*n = v
+	return n
+}
+
+//jslint:hotpath
+func (a *Arena) NewAwaitExpression(v AwaitExpression) *AwaitExpression {
+	n := arenaAlloc(&a.awaitExpression)
+	*n = v
+	return n
+}
+
+//jslint:hotpath
+func (a *Arena) NewYieldExpression(v YieldExpression) *YieldExpression {
+	n := arenaAlloc(&a.yieldExpression)
+	*n = v
+	return n
+}
+
+//jslint:hotpath
+func (a *Arena) NewMetaProperty(v MetaProperty) *MetaProperty {
+	n := arenaAlloc(&a.metaProperty)
+	*n = v
+	return n
+}

@@ -1,6 +1,7 @@
 package lexer
 
 import (
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -253,11 +254,15 @@ func TestPunctuatorMaximalMunch(t *testing.T) {
 
 func TestUnicodeIdentifiers(t *testing.T) {
 	toks := scanAll(t, "var café = 1; var \\u0041bc = 2;")
-	if toks[1].Lexeme != "café" {
-		t.Fatalf("unicode ident = %q", toks[1].Lexeme)
+	if toks[1].Lexeme != "café" || toks[1].StringValue != "café" {
+		t.Fatalf("unicode ident = %q / %q", toks[1].Lexeme, toks[1].StringValue)
 	}
-	if toks[6].Lexeme != "Abc" {
-		t.Fatalf("escaped ident = %q", toks[6].Lexeme)
+	// Lexeme is the raw source slice; StringValue carries the decoded name.
+	if toks[6].Lexeme != `\u0041bc` {
+		t.Fatalf("escaped ident lexeme = %q", toks[6].Lexeme)
+	}
+	if toks[6].StringValue != "Abc" {
+		t.Fatalf("escaped ident value = %q", toks[6].StringValue)
 	}
 }
 
@@ -356,6 +361,98 @@ func TestHTMLComments(t *testing.T) {
 	}
 	if len(l.Comments()) != 2 {
 		t.Fatalf("comments = %d, want 2", len(l.Comments()))
+	}
+}
+
+// TestZeroAllocScanning pins the zero-copy contract: once the comment
+// buffer is warm, scanning escape-free source must not allocate at all —
+// every Lexeme and StringValue is a slice of the source buffer.
+func TestZeroAllocScanning(t *testing.T) {
+	src := strings.Repeat("var abc = 'hello' + 12.5; // note\nfoo.bar(baz, `tpl`, #x); ", 40)
+	l := New(src)
+	drain := func() {
+		l.Reset(src)
+		for {
+			tok, err := l.Next()
+			if err != nil {
+				t.Fatalf("lex: %v", err)
+			}
+			if tok.Kind == EOF {
+				return
+			}
+		}
+	}
+	drain() // grow the comment buffer once
+	if avg := testing.AllocsPerRun(100, drain); avg != 0 {
+		t.Fatalf("escape-free scan allocates %v times per run, want 0", avg)
+	}
+}
+
+// TestResetMatchesFreshLexer: a reused lexer must behave exactly like a new
+// one — same tokens, same positions, same comments, no state leaking from
+// the previous source.
+func TestResetMatchesFreshLexer(t *testing.T) {
+	first := "let leftovers = `a${1}b`; // poison\n"
+	for _, src := range []string{
+		"var x = 1; /* b */",
+		"`plain` + 1",
+		"a\nb",
+		"x = /re/g;",
+	} {
+		reused := New(first)
+		for {
+			tok, err := reused.Next()
+			if err != nil || tok.Kind == EOF {
+				break
+			}
+		}
+		reused.Reset(src)
+		var got []Token
+		for {
+			tok, err := reused.Next()
+			if err != nil {
+				t.Fatalf("reused lex %q: %v", src, err)
+			}
+			if tok.Kind == EOF {
+				break
+			}
+			got = append(got, tok)
+		}
+		want := scanAll(t, src)
+		if len(got) != len(want) {
+			t.Fatalf("%q: reused lexer produced %d tokens, fresh %d", src, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%q: token %d = %+v, fresh %+v", src, i, got[i], want[i])
+			}
+		}
+		freshComments := func() []Comment {
+			l := New(src)
+			for {
+				tok, err := l.Next()
+				if err != nil || tok.Kind == EOF {
+					break
+				}
+			}
+			return l.Comments()
+		}()
+		if len(freshComments) != len(reused.Comments()) {
+			t.Fatalf("%q: reused lexer has %d comments, fresh %d", src, len(reused.Comments()), len(freshComments))
+		}
+	}
+}
+
+// TestEscapeFreePrivateIdentSlices: an escape-free #name token keeps both
+// its raw and decoded spellings as the same source slice.
+func TestEscapeFreePrivateIdentSlices(t *testing.T) {
+	toks := scanAll(t, "x.#abc")
+	last := toks[len(toks)-1]
+	if last.Kind != PrivateIdent {
+		t.Fatalf("kinds = %v", kinds(toks))
+	}
+	if last.Lexeme != "#abc" || last.StringValue != "#abc" {
+		t.Fatalf("private ident = %q / %q, want #abc for both", last.Lexeme, last.StringValue)
 	}
 }
 

@@ -3,11 +3,14 @@ package parser
 import (
 	"testing"
 
+	"repro/internal/js/parser/refspec"
 	"repro/internal/js/printer"
 )
 
-// FuzzParse checks the parser never panics and that anything it accepts
-// round-trips through the printer to a fixed point.
+// FuzzParse checks the parser never panics, that anything it accepts
+// round-trips through the printer to a fixed point, and that the arena
+// parser agrees with the refspec snapshot of the pre-arena parser on every
+// input the fuzzer invents.
 func FuzzParse(f *testing.F) {
 	seeds := []string{
 		`var x = 1;`,
@@ -25,15 +28,37 @@ func FuzzParse(f *testing.F) {
 		`x = 0x1fn + 1_000;`,
 		`try {} catch {} finally {}`,
 	}
+	// Escape-heavy seeds steer the fuzzer onto the lexer's slow paths,
+	// where StringValue must own decoded memory instead of slicing the
+	// source buffer. The backslashes are concatenated in ("\x5C") so the
+	// escapes stay in the JavaScript text rather than being decoded by Go.
+	const bs = "\x5C"
+	seeds = append(seeds,
+		"var "+bs+"u0041bc = "+bs+"u0041bc + 1;",
+		"s = 'a"+bs+"u0041"+bs+"x42"+bs+"n"+bs+"0';",
+		"s = \""+bs+"u{1F600}\";",
+		"s = 'a"+bs+"\r\nb';",
+		"t = `a\r\nb${1}c\rd`;",
+		"s = 'x"+string(rune(0x2028))+"y';",
+		"class E { #"+bs+"u0079 = 1; m() { return this.#"+bs+"u0079; } }",
+		"s = 'a\xFFb';",
+	)
 	for _, s := range seeds {
 		f.Add(s)
 	}
 	f.Fuzz(func(t *testing.T, src string) {
 		prog, err := ParseProgram(src)
+		refProg, refErr := refspec.ParseProgram(src)
+		if (err == nil) != (refErr == nil) {
+			t.Fatalf("arena/reference disagree on acceptance: arena %v, reference %v\ninput: %q", err, refErr, src)
+		}
 		if err != nil {
 			return // rejecting is fine; panicking is not
 		}
 		out := printer.Compact(prog)
+		if refOut := printer.Compact(refProg); refOut != out {
+			t.Fatalf("arena tree diverges from reference:\ninput: %q\narena: %q\nreference: %q", src, out, refOut)
+		}
 		prog2, err := ParseProgram(out)
 		if err != nil {
 			t.Fatalf("printer output does not reparse: %v\ninput: %q\nprinted: %q", err, src, out)

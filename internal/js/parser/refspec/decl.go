@@ -1,14 +1,13 @@
-package parser
+package refspec
 
 import (
 	"repro/internal/js/ast"
-	"repro/internal/js/lexer"
 )
 
 // saved is a parser backtracking checkpoint.
 type saved struct {
-	lexState   lexer.State
-	tok        lexer.Token
+	lexState   State
+	tok        Token
 	numStored  int
 	numTokens  int
 	lastEndPos ast.Pos
@@ -53,9 +52,9 @@ func (p *parser) parseFunctionDeclarationNamed(isAsync, allowAnon bool) (*ast.Fu
 	} else if ok {
 		gen = true
 	}
-	fn := p.arena.NewFunctionDeclaration(ast.FunctionDeclaration{Generator: gen, Async: isAsync})
-	if p.at(lexer.Ident) || p.tok.Kind == lexer.Keyword && isContextualName(p.tok.StringValue) {
-		fn.ID = p.identHere(p.tok.StringValue)
+	fn := &ast.FunctionDeclaration{Generator: gen, Async: isAsync}
+	if p.at(Ident) || p.tok.Kind == Keyword && isContextualName(p.tok.Lexeme) {
+		fn.ID = p.identHere(p.tok.Lexeme)
 		if err := p.next(); err != nil {
 			return nil, err
 		}
@@ -72,7 +71,7 @@ func (p *parser) parseFunctionDeclarationNamed(isAsync, allowAnon bool) (*ast.Fu
 		return nil, err
 	}
 	fn.Body = body
-	finish(p, fn, start)
+	p.finish(fn, start)
 	return fn, nil
 }
 
@@ -87,9 +86,9 @@ func (p *parser) parseFunctionExpression(isAsync bool) (*ast.FunctionExpression,
 	} else if ok {
 		gen = true
 	}
-	fn := p.arena.NewFunctionExpression(ast.FunctionExpression{Generator: gen, Async: isAsync})
-	if p.at(lexer.Ident) {
-		fn.ID = p.identHere(p.tok.StringValue)
+	fn := &ast.FunctionExpression{Generator: gen, Async: isAsync}
+	if p.at(Ident) {
+		fn.ID = p.identHere(p.tok.Lexeme)
 		if err := p.next(); err != nil {
 			return nil, err
 		}
@@ -104,7 +103,7 @@ func (p *parser) parseFunctionExpression(isAsync bool) (*ast.FunctionExpression,
 		return nil, err
 	}
 	fn.Body = body
-	finish(p, fn, start)
+	p.finish(fn, start)
 	return fn, nil
 }
 
@@ -152,7 +151,7 @@ func (p *parser) parseParam() (ast.Node, error) {
 		if err != nil {
 			return nil, err
 		}
-		return finish(p, p.arena.NewRestElement(ast.RestElement{Argument: arg}), start), nil
+		return p.finish(&ast.RestElement{Argument: arg}, start), nil
 	}
 	target, err := p.parseBindingTarget()
 	if err != nil {
@@ -165,7 +164,7 @@ func (p *parser) parseParam() (ast.Node, error) {
 		if err != nil {
 			return nil, err
 		}
-		return finish(p, p.arena.NewAssignmentPattern(ast.AssignmentPattern{Left: target, Right: dflt}), start), nil
+		return p.finish(&ast.AssignmentPattern{Left: target, Right: dflt}, start), nil
 	}
 	return target, nil
 }
@@ -175,12 +174,12 @@ func (p *parser) parseParam() (ast.Node, error) {
 func (p *parser) parseBindingTarget() (ast.Node, error) {
 	start := p.tok.Start
 	switch {
-	case p.at(lexer.Ident), p.tok.Kind == lexer.Keyword && isContextualName(p.tok.StringValue):
-		id := p.arena.NewIdentifier(ast.Identifier{Name: p.tok.StringValue})
+	case p.at(Ident), p.tok.Kind == Keyword && isContextualName(p.tok.Lexeme):
+		id := ast.NewIdentifier(p.tok.Lexeme)
 		if err := p.next(); err != nil {
 			return nil, err
 		}
-		return finish(p, id, start), nil
+		return p.finish(id, start), nil
 	case p.atPunct("["):
 		return p.parseArrayPattern()
 	case p.atPunct("{"):
@@ -195,7 +194,7 @@ func (p *parser) parseArrayPattern() (ast.Node, error) {
 	if err := p.expectPunct("["); err != nil {
 		return nil, err
 	}
-	pat := p.arena.NewArrayPattern(ast.ArrayPattern{})
+	pat := &ast.ArrayPattern{}
 	for !p.atPunct("]") {
 		if p.atPunct(",") {
 			pat.Elements = append(pat.Elements, nil) // hole
@@ -215,7 +214,7 @@ func (p *parser) parseArrayPattern() (ast.Node, error) {
 			if err != nil {
 				return nil, err
 			}
-			el = finish(p, p.arena.NewRestElement(ast.RestElement{Argument: arg}), eStart)
+			el = p.finish(&ast.RestElement{Argument: arg}, eStart)
 		} else {
 			el, err = p.parseParam() // binding target with optional default
 			if err != nil {
@@ -232,7 +231,7 @@ func (p *parser) parseArrayPattern() (ast.Node, error) {
 	if err := p.expectPunct("]"); err != nil {
 		return nil, err
 	}
-	return finish(p, pat, start), nil
+	return p.finish(pat, start), nil
 }
 
 func (p *parser) parseObjectPattern() (ast.Node, error) {
@@ -240,7 +239,7 @@ func (p *parser) parseObjectPattern() (ast.Node, error) {
 	if err := p.expectPunct("{"); err != nil {
 		return nil, err
 	}
-	pat := p.arena.NewObjectPattern(ast.ObjectPattern{})
+	pat := &ast.ObjectPattern{}
 	for !p.atPunct("}") {
 		if p.atPunct("...") {
 			eStart := p.tok.Start
@@ -251,7 +250,7 @@ func (p *parser) parseObjectPattern() (ast.Node, error) {
 			if err != nil {
 				return nil, err
 			}
-			pat.Properties = append(pat.Properties, finish(p, p.arena.NewRestElement(ast.RestElement{Argument: arg}), eStart))
+			pat.Properties = append(pat.Properties, p.finish(&ast.RestElement{Argument: arg}, eStart))
 		} else {
 			prop, err := p.parsePatternProperty()
 			if err != nil {
@@ -268,12 +267,12 @@ func (p *parser) parseObjectPattern() (ast.Node, error) {
 	if err := p.expectPunct("}"); err != nil {
 		return nil, err
 	}
-	return finish(p, pat, start), nil
+	return p.finish(pat, start), nil
 }
 
 func (p *parser) parsePatternProperty() (ast.Node, error) {
 	start := p.tok.Start
-	prop := p.arena.NewProperty(ast.Property{Kind: "init"})
+	prop := &ast.Property{Kind: "init"}
 	key, computed, err := p.parsePropertyKey()
 	if err != nil {
 		return nil, err
@@ -302,45 +301,45 @@ func (p *parser) parsePatternProperty() (ast.Node, error) {
 			if err != nil {
 				return nil, err
 			}
-			ap := p.arena.NewAssignmentPattern(ast.AssignmentPattern{Left: p.cloneIdent(id), Right: dflt})
-			finish(p, ap, start)
+			ap := &ast.AssignmentPattern{Left: cloneIdent(id), Right: dflt}
+			p.finish(ap, start)
 			prop.Value = ap
 		} else {
-			prop.Value = p.cloneIdent(id)
+			prop.Value = cloneIdent(id)
 		}
 	}
-	return finish(p, prop, start), nil
+	return p.finish(prop, start), nil
 }
 
 // parsePropertyKey parses an object-literal / class-member key.
 func (p *parser) parsePropertyKey() (ast.Node, bool, error) {
 	start := p.tok.Start
 	switch p.tok.Kind {
-	case lexer.Ident, lexer.Keyword:
-		id := p.arena.NewIdentifier(ast.Identifier{Name: p.tok.StringValue})
+	case Ident, Keyword:
+		id := ast.NewIdentifier(p.tok.Lexeme)
 		if err := p.next(); err != nil {
 			return nil, false, err
 		}
-		return finish(p, id, start), false, nil
-	case lexer.String:
+		return p.finish(id, start), false, nil
+	case String:
 		lit := p.stringLitHere()
 		if err := p.next(); err != nil {
 			return nil, false, err
 		}
-		return finish(p, lit, start), false, nil
-	case lexer.Number:
-		lit := p.arena.NewLiteral(ast.Literal{Kind: ast.LiteralNumber, Raw: p.tok.Lexeme, Number: p.tok.NumberValue})
+		return p.finish(lit, start), false, nil
+	case Number:
+		lit := &ast.Literal{Kind: ast.LiteralNumber, Raw: p.tok.Lexeme, Number: p.tok.NumberValue}
 		if err := p.next(); err != nil {
 			return nil, false, err
 		}
-		return finish(p, lit, start), false, nil
-	case lexer.PrivateIdent:
-		id := p.arena.NewIdentifier(ast.Identifier{Name: p.tok.StringValue})
+		return p.finish(lit, start), false, nil
+	case PrivateIdent:
+		id := ast.NewIdentifier(p.tok.Lexeme)
 		if err := p.next(); err != nil {
 			return nil, false, err
 		}
-		return finish(p, id, start), false, nil
-	case lexer.Punct:
+		return p.finish(id, start), false, nil
+	case Punct:
 		if p.atPunct("[") {
 			if err := p.next(); err != nil {
 				return nil, false, err
@@ -368,7 +367,7 @@ func (p *parser) parseClassDeclaration() (ast.Node, error) {
 	if err != nil {
 		return nil, err
 	}
-	return finish(p, p.arena.NewClassDeclaration(ast.ClassDeclaration{ID: id, SuperClass: super, Body: body}), start), nil
+	return p.finish(&ast.ClassDeclaration{ID: id, SuperClass: super, Body: body}, start), nil
 }
 
 func (p *parser) parseClassExpression() (ast.Node, error) {
@@ -377,7 +376,7 @@ func (p *parser) parseClassExpression() (ast.Node, error) {
 	if err != nil {
 		return nil, err
 	}
-	return finish(p, p.arena.NewClassExpression(ast.ClassExpression{ID: id, SuperClass: super, Body: body}), start), nil
+	return p.finish(&ast.ClassExpression{ID: id, SuperClass: super, Body: body}, start), nil
 }
 
 func (p *parser) parseClassTail() (*ast.Identifier, ast.Node, *ast.ClassBody, error) {
@@ -385,8 +384,8 @@ func (p *parser) parseClassTail() (*ast.Identifier, ast.Node, *ast.ClassBody, er
 		return nil, nil, nil, err
 	}
 	var id *ast.Identifier
-	if p.at(lexer.Ident) {
-		id = p.identHere(p.tok.StringValue)
+	if p.at(Ident) {
+		id = p.identHere(p.tok.Lexeme)
 		if err := p.next(); err != nil {
 			return nil, nil, nil, err
 		}
@@ -406,7 +405,7 @@ func (p *parser) parseClassTail() (*ast.Identifier, ast.Node, *ast.ClassBody, er
 	if err := p.expectPunct("{"); err != nil {
 		return nil, nil, nil, err
 	}
-	body := p.arena.NewClassBody(ast.ClassBody{})
+	body := &ast.ClassBody{}
 	for !p.atPunct("}") {
 		if ok, err := p.eatPunct(";"); err != nil {
 			return nil, nil, nil, err
@@ -422,15 +421,15 @@ func (p *parser) parseClassTail() (*ast.Identifier, ast.Node, *ast.ClassBody, er
 	if err := p.expectPunct("}"); err != nil {
 		return nil, nil, nil, err
 	}
-	finish(p, body, bStart)
+	p.finish(body, bStart)
 	return id, super, body, nil
 }
 
 // parseClassMember parses one method, accessor, or class field.
 func (p *parser) parseClassMember() (ast.Node, error) {
 	start := p.tok.Start
-	m := p.arena.NewMethodDefinition(ast.MethodDefinition{Kind: "method"})
-	if p.atIdentName("static") {
+	m := &ast.MethodDefinition{Kind: "method"}
+	if p.atIdentLexeme("static") {
 		save := p.save()
 		if err := p.next(); err != nil {
 			return nil, err
@@ -443,7 +442,7 @@ func (p *parser) parseClassMember() (ast.Node, error) {
 	}
 	isAsync := false
 	isGen := false
-	if p.atIdentName("async") {
+	if p.atIdentLexeme("async") {
 		save := p.save()
 		if err := p.next(); err != nil {
 			return nil, err
@@ -460,8 +459,8 @@ func (p *parser) parseClassMember() (ast.Node, error) {
 			return nil, err
 		}
 	}
-	if p.atIdentName("get") || p.atIdentName("set") {
-		accessor := p.tok.StringValue
+	if p.atIdentLexeme("get") || p.atIdentLexeme("set") {
+		accessor := p.tok.Lexeme
 		save := p.save()
 		if err := p.next(); err != nil {
 			return nil, err
@@ -481,7 +480,7 @@ func (p *parser) parseClassMember() (ast.Node, error) {
 	// Class field: `key = value;`, `key;`, or key followed by `}` / a new
 	// member on the next line (ES2022 PropertyDefinition).
 	if m.Kind == "method" && !p.atPunct("(") {
-		field := p.arena.NewPropertyDefinition(ast.PropertyDefinition{Key: key, Computed: computed, Static: m.Static})
+		field := &ast.PropertyDefinition{Key: key, Computed: computed, Static: m.Static}
 		if ok, err := p.eatPunct("="); err != nil {
 			return nil, err
 		} else if ok {
@@ -494,7 +493,7 @@ func (p *parser) parseClassMember() (ast.Node, error) {
 		if err := p.consumeSemicolon(); err != nil {
 			return nil, err
 		}
-		return finish(p, field, start), nil
+		return p.finish(field, start), nil
 	}
 	if id, ok := key.(*ast.Identifier); ok && !computed && id.Name == "constructor" && m.Kind == "method" && !m.Static {
 		m.Kind = "constructor"
@@ -508,10 +507,10 @@ func (p *parser) parseClassMember() (ast.Node, error) {
 	if err != nil {
 		return nil, err
 	}
-	fn := p.arena.NewFunctionExpression(ast.FunctionExpression{Params: params, Body: body, Generator: isGen, Async: isAsync})
-	finish(p, fn, fStart)
+	fn := &ast.FunctionExpression{Params: params, Body: body, Generator: isGen, Async: isAsync}
+	p.finish(fn, fStart)
 	m.Value = fn
-	finish(p, m, start)
+	p.finish(m, start)
 	return m, nil
 }
 
@@ -530,8 +529,8 @@ func (p *parser) parseImport() (ast.Node, error) {
 		p.restore(save)
 		return p.parseExpressionStatement()
 	}
-	decl := p.arena.NewImportDeclaration(ast.ImportDeclaration{})
-	if p.at(lexer.String) {
+	decl := &ast.ImportDeclaration{}
+	if p.at(String) {
 		// `import "mod";`
 		decl.Source = p.stringLitHere()
 		if err := p.next(); err != nil {
@@ -540,12 +539,12 @@ func (p *parser) parseImport() (ast.Node, error) {
 		if err := p.consumeSemicolon(); err != nil {
 			return nil, err
 		}
-		return finish(p, decl, start), nil
+		return p.finish(decl, start), nil
 	}
 	for {
 		switch {
-		case p.at(lexer.Ident):
-			spec := p.arena.NewImportDefaultSpecifier(ast.ImportDefaultSpecifier{Local: p.identHere(p.tok.StringValue)})
+		case p.at(Ident):
+			spec := &ast.ImportDefaultSpecifier{Local: p.identHere(p.tok.Lexeme)}
 			spec.SetSpan(spec.Local.Span())
 			if err := p.next(); err != nil {
 				return nil, err
@@ -555,13 +554,13 @@ func (p *parser) parseImport() (ast.Node, error) {
 			if err := p.next(); err != nil {
 				return nil, err
 			}
-			if !p.atIdentName("as") {
+			if !p.atIdentLexeme("as") {
 				return nil, p.errorf("expected 'as' in namespace import")
 			}
 			if err := p.next(); err != nil {
 				return nil, err
 			}
-			spec := p.arena.NewImportNamespaceSpecifier(ast.ImportNamespaceSpecifier{Local: p.identHere(p.tok.StringValue)})
+			spec := &ast.ImportNamespaceSpecifier{Local: p.identHere(p.tok.Lexeme)}
 			spec.SetSpan(spec.Local.Span())
 			if err := p.next(); err != nil {
 				return nil, err
@@ -572,21 +571,21 @@ func (p *parser) parseImport() (ast.Node, error) {
 				return nil, err
 			}
 			for !p.atPunct("}") {
-				imported := p.identHere(p.tok.StringValue)
+				imported := p.identHere(p.tok.Lexeme)
 				if err := p.next(); err != nil {
 					return nil, err
 				}
 				local := imported
-				if p.atIdentName("as") {
+				if p.atIdentLexeme("as") {
 					if err := p.next(); err != nil {
 						return nil, err
 					}
-					local = p.identHere(p.tok.StringValue)
+					local = p.identHere(p.tok.Lexeme)
 					if err := p.next(); err != nil {
 						return nil, err
 					}
 				}
-				spec := p.arena.NewImportSpecifier(ast.ImportSpecifier{Imported: imported, Local: local})
+				spec := &ast.ImportSpecifier{Imported: imported, Local: local}
 				spec.SetSpan(span(imported.Span().Start, local.Span().End))
 				decl.Specifiers = append(decl.Specifiers, spec)
 				if !p.atPunct("}") {
@@ -607,13 +606,13 @@ func (p *parser) parseImport() (ast.Node, error) {
 			break
 		}
 	}
-	if !p.atIdentName("from") {
+	if !p.atIdentLexeme("from") {
 		return nil, p.errorf("expected 'from' in import")
 	}
 	if err := p.next(); err != nil {
 		return nil, err
 	}
-	if !p.at(lexer.String) {
+	if !p.at(String) {
 		return nil, p.errorf("expected module string in import")
 	}
 	decl.Source = p.stringLitHere()
@@ -623,7 +622,7 @@ func (p *parser) parseImport() (ast.Node, error) {
 	if err := p.consumeSemicolon(); err != nil {
 		return nil, err
 	}
-	return finish(p, decl, start), nil
+	return p.finish(decl, start), nil
 }
 
 func (p *parser) parseExport() (ast.Node, error) {
@@ -652,18 +651,18 @@ func (p *parser) parseExport() (ast.Node, error) {
 		if err != nil {
 			return nil, err
 		}
-		return finish(p, p.arena.NewExportDefaultDeclaration(ast.ExportDefaultDeclaration{Declaration: decl}), start), nil
+		return p.finish(&ast.ExportDefaultDeclaration{Declaration: decl}, start), nil
 	case p.atPunct("*"):
 		if err := p.next(); err != nil {
 			return nil, err
 		}
-		if !p.atIdentName("from") {
+		if !p.atIdentLexeme("from") {
 			return nil, p.errorf("expected 'from' in export *")
 		}
 		if err := p.next(); err != nil {
 			return nil, err
 		}
-		if !p.at(lexer.String) {
+		if !p.at(String) {
 			return nil, p.errorf("expected module string in export *")
 		}
 		src := p.stringLitHere()
@@ -673,28 +672,28 @@ func (p *parser) parseExport() (ast.Node, error) {
 		if err := p.consumeSemicolon(); err != nil {
 			return nil, err
 		}
-		return finish(p, p.arena.NewExportAllDeclaration(ast.ExportAllDeclaration{Source: src}), start), nil
+		return p.finish(&ast.ExportAllDeclaration{Source: src}, start), nil
 	case p.atPunct("{"):
 		if err := p.next(); err != nil {
 			return nil, err
 		}
-		decl := p.arena.NewExportNamedDeclaration(ast.ExportNamedDeclaration{})
+		decl := &ast.ExportNamedDeclaration{}
 		for !p.atPunct("}") {
-			local := p.identHere(p.tok.StringValue)
+			local := p.identHere(p.tok.Lexeme)
 			if err := p.next(); err != nil {
 				return nil, err
 			}
 			exported := local
-			if p.atIdentName("as") {
+			if p.atIdentLexeme("as") {
 				if err := p.next(); err != nil {
 					return nil, err
 				}
-				exported = p.identHere(p.tok.StringValue)
+				exported = p.identHere(p.tok.Lexeme)
 				if err := p.next(); err != nil {
 					return nil, err
 				}
 			}
-			spec := p.arena.NewExportSpecifier(ast.ExportSpecifier{Local: local, Exported: exported})
+			spec := &ast.ExportSpecifier{Local: local, Exported: exported}
 			spec.SetSpan(span(local.Span().Start, exported.Span().End))
 			decl.Specifiers = append(decl.Specifiers, spec)
 			if !p.atPunct("}") {
@@ -706,11 +705,11 @@ func (p *parser) parseExport() (ast.Node, error) {
 		if err := p.expectPunct("}"); err != nil {
 			return nil, err
 		}
-		if p.atIdentName("from") {
+		if p.atIdentLexeme("from") {
 			if err := p.next(); err != nil {
 				return nil, err
 			}
-			if !p.at(lexer.String) {
+			if !p.at(String) {
 				return nil, p.errorf("expected module string")
 			}
 			decl.Source = p.stringLitHere()
@@ -721,7 +720,7 @@ func (p *parser) parseExport() (ast.Node, error) {
 		if err := p.consumeSemicolon(); err != nil {
 			return nil, err
 		}
-		return finish(p, decl, start), nil
+		return p.finish(decl, start), nil
 	default:
 		var inner ast.Node
 		var err error
@@ -732,7 +731,7 @@ func (p *parser) parseExport() (ast.Node, error) {
 			inner, err = p.parseFunctionDeclaration(false)
 		case p.atKeyword("class"):
 			inner, err = p.parseClassDeclaration()
-		case p.atIdentName("async"):
+		case p.atIdentLexeme("async"):
 			if err := p.next(); err != nil {
 				return nil, err
 			}
@@ -743,6 +742,6 @@ func (p *parser) parseExport() (ast.Node, error) {
 		if err != nil {
 			return nil, err
 		}
-		return finish(p, p.arena.NewExportNamedDeclaration(ast.ExportNamedDeclaration{Declaration: inner}), start), nil
+		return p.finish(&ast.ExportNamedDeclaration{Declaration: inner}, start), nil
 	}
 }

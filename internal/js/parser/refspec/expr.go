@@ -1,8 +1,7 @@
-package parser
+package refspec
 
 import (
 	"repro/internal/js/ast"
-	"repro/internal/js/lexer"
 )
 
 // parseExpression parses a (possibly comma-separated sequence) expression.
@@ -16,7 +15,7 @@ func (p *parser) parseExpression(noIn bool) (ast.Node, error) {
 	if !p.atPunct(",") {
 		return first, nil
 	}
-	seq := p.arena.NewSequenceExpression(ast.SequenceExpression{Expressions: []ast.Node{first}})
+	seq := &ast.SequenceExpression{Expressions: []ast.Node{first}}
 	for p.atPunct(",") {
 		if err := p.next(); err != nil {
 			return nil, err
@@ -27,24 +26,15 @@ func (p *parser) parseExpression(noIn bool) (ast.Node, error) {
 		}
 		seq.Expressions = append(seq.Expressions, next)
 	}
-	return finish(p, seq, start), nil
+	return p.finish(seq, start), nil
 }
 
 func (p *parser) parseAssignmentNoIn() (ast.Node, error) { return p.parseAssignment(true) }
 
-// isAssignOp reports whether op is an assignment operator. A string switch
-// (length dispatch plus memory compare) keeps the per-expression test off
-// the map-hashing path.
-//
-//jslint:hotpath
-func isAssignOp(op string) bool {
-	switch op {
-	case "=", "+=", "-=", "*=", "/=", "%=",
-		"<<=", ">>=", ">>>=", "&=", "|=", "^=",
-		"**=", "&&=", "||=", "??=":
-		return true
-	}
-	return false
+var assignOps = map[string]bool{
+	"=": true, "+=": true, "-=": true, "*=": true, "/=": true, "%=": true,
+	"<<=": true, ">>=": true, ">>>=": true, "&=": true, "|=": true, "^=": true,
+	"**=": true, "&&=": true, "||=": true, "??=": true,
 }
 
 // parseAssignment parses an AssignmentExpression (the non-comma expression
@@ -72,7 +62,7 @@ func (p *parser) parseAssignment(noIn bool) (ast.Node, error) {
 		return nil, err
 	}
 
-	if p.tok.Kind == lexer.Punct && isAssignOp(p.tok.Lexeme) {
+	if p.tok.Kind == Punct && assignOps[p.tok.Lexeme] {
 		op := p.tok.Lexeme
 		if err := p.next(); err != nil {
 			return nil, err
@@ -92,7 +82,7 @@ func (p *parser) parseAssignment(noIn bool) (ast.Node, error) {
 		if err != nil {
 			return nil, err
 		}
-		return finish(p, p.arena.NewAssignmentExpression(ast.AssignmentExpression{Operator: op, Left: target, Right: right}), start), nil
+		return p.finish(&ast.AssignmentExpression{Operator: op, Left: target, Right: right}, start), nil
 	}
 	return left, nil
 }
@@ -102,7 +92,7 @@ func (p *parser) parseYield() (ast.Node, error) {
 	if err := p.expectKeyword("yield"); err != nil {
 		return nil, err
 	}
-	y := p.arena.NewYieldExpression(ast.YieldExpression{})
+	y := &ast.YieldExpression{}
 	if p.atPunct("*") {
 		y.Delegate = true
 		if err := p.next(); err != nil {
@@ -110,14 +100,14 @@ func (p *parser) parseYield() (ast.Node, error) {
 		}
 	}
 	if !p.tok.NewlineBefore && !p.atPunct(")") && !p.atPunct("]") && !p.atPunct("}") &&
-		!p.atPunct(",") && !p.atPunct(";") && !p.atPunct(":") && !p.at(lexer.EOF) {
+		!p.atPunct(",") && !p.atPunct(";") && !p.atPunct(":") && !p.at(EOF) {
 		arg, err := p.parseAssignment(false)
 		if err != nil {
 			return nil, err
 		}
 		y.Argument = arg
 	}
-	return finish(p, y, start), nil
+	return p.finish(y, start), nil
 }
 
 // tryParseArrow recognizes the three arrow-function head shapes with bounded
@@ -126,12 +116,12 @@ func (p *parser) tryParseArrow() (ast.Node, bool, error) {
 	start := p.tok.Start
 
 	// `async` prefixed arrows.
-	if p.atIdentName("async") {
+	if p.atIdentLexeme("async") {
 		save := p.save()
 		if err := p.next(); err != nil {
 			return nil, false, err
 		}
-		if !p.tok.NewlineBefore && (p.at(lexer.Ident) || p.atPunct("(")) && !p.atKeyword("function") {
+		if !p.tok.NewlineBefore && (p.at(Ident) || p.atPunct("(")) && !p.atKeyword("function") {
 			if arrow, ok, err := p.tryParseArrowTail(start, true); err == nil && ok {
 				return arrow, true, nil
 			}
@@ -146,9 +136,9 @@ func (p *parser) tryParseArrow() (ast.Node, bool, error) {
 // position; it restores the parser state and reports ok=false when the input
 // is not an arrow function.
 func (p *parser) tryParseArrowTail(start ast.Pos, isAsync bool) (ast.Node, bool, error) {
-	if p.at(lexer.Ident) || (p.tok.Kind == lexer.Keyword && isContextualName(p.tok.StringValue)) {
+	if p.at(Ident) || (p.tok.Kind == Keyword && isContextualName(p.tok.Lexeme)) {
 		save := p.save()
-		name := p.identHere(p.tok.StringValue)
+		name := p.identHere(p.tok.Lexeme)
 		if err := p.next(); err != nil {
 			return nil, false, err
 		}
@@ -219,7 +209,7 @@ func (p *parser) parseArrowBody(start ast.Pos, params []ast.Node, isAsync bool) 
 	if err := p.expectPunct("=>"); err != nil {
 		return nil, err
 	}
-	arrow := p.arena.NewArrowFunctionExpression(ast.ArrowFunctionExpression{Params: params, Async: isAsync})
+	arrow := &ast.ArrowFunctionExpression{Params: params, Async: isAsync}
 	if p.atPunct("{") {
 		body, err := p.parseBlock()
 		if err != nil {
@@ -234,7 +224,7 @@ func (p *parser) parseArrowBody(start ast.Pos, params []ast.Node, isAsync bool) 
 		arrow.Body = body
 		arrow.Expression = true
 	}
-	return finish(p, arrow, start), nil
+	return p.finish(arrow, start), nil
 }
 
 func (p *parser) parseConditional(noIn bool) (ast.Node, error) {
@@ -260,43 +250,21 @@ func (p *parser) parseConditional(noIn bool) (ast.Node, error) {
 	if err != nil {
 		return nil, err
 	}
-	return finish(p, p.arena.NewConditionalExpression(ast.ConditionalExpression{Test: test, Consequent: cons, Alternate: alt}), start), nil
+	return p.finish(&ast.ConditionalExpression{Test: test, Consequent: cons, Alternate: alt}, start), nil
 }
 
 // binaryPrec maps binary/logical operators to precedence levels. Higher binds
-// tighter. Zero means "not a binary operator". The precedence climber asks
-// this for every operator position, so it is a string switch rather than a
-// map: no hashing, just length dispatch and a compare.
-//
-//jslint:hotpath
-func binaryPrec(op string) int {
-	switch op {
-	case "??":
-		return 1
-	case "||":
-		return 2
-	case "&&":
-		return 3
-	case "|":
-		return 4
-	case "^":
-		return 5
-	case "&":
-		return 6
-	case "==", "!=", "===", "!==":
-		return 7
-	case "<", ">", "<=", ">=", "in", "instanceof":
-		return 8
-	case "<<", ">>", ">>>":
-		return 9
-	case "+", "-":
-		return 10
-	case "*", "/", "%":
-		return 11
-	case "**":
-		return 12
-	}
-	return 0
+// tighter. Zero means "not a binary operator".
+var binaryPrec = map[string]int{
+	"??": 1,
+	"||": 2, "&&": 3,
+	"|": 4, "^": 5, "&": 6,
+	"==": 7, "!=": 7, "===": 7, "!==": 7,
+	"<": 8, ">": 8, "<=": 8, ">=": 8, "in": 8, "instanceof": 8,
+	"<<": 9, ">>": 9, ">>>": 9,
+	"+": 10, "-": 10,
+	"*": 11, "/": 11, "%": 11,
+	"**": 12,
 }
 
 func isLogicalOp(op string) bool { return op == "&&" || op == "||" || op == "??" }
@@ -304,7 +272,7 @@ func isLogicalOp(op string) bool { return op == "&&" || op == "||" || op == "??"
 func (p *parser) binaryOp(noIn bool) (string, int) {
 	var op string
 	switch {
-	case p.tok.Kind == lexer.Punct:
+	case p.tok.Kind == Punct:
 		op = p.tok.Lexeme
 	case p.atKeyword("in"):
 		if noIn {
@@ -316,7 +284,7 @@ func (p *parser) binaryOp(noIn bool) (string, int) {
 	default:
 		return "", 0
 	}
-	return op, binaryPrec(op)
+	return op, binaryPrec[op]
 }
 
 // parseBinary is a precedence climber over binary and logical operators.
@@ -344,39 +312,27 @@ func (p *parser) parseBinary(minPrec int, noIn bool) (ast.Node, error) {
 			return nil, err
 		}
 		if isLogicalOp(op) {
-			left = finish(p, p.arena.NewLogicalExpression(ast.LogicalExpression{Operator: op, Left: left, Right: right}), start)
+			left = &ast.LogicalExpression{Operator: op, Left: left, Right: right}
 		} else {
-			left = finish(p, p.arena.NewBinaryExpression(ast.BinaryExpression{Operator: op, Left: left, Right: right}), start)
+			left = &ast.BinaryExpression{Operator: op, Left: left, Right: right}
 		}
+		p.finish(left, start)
 	}
 }
 
-// isUnaryOp reports whether op is a (non-keyword) unary prefix operator.
-// parseUnary asks this for every operand, so it is a branch, not a map.
-//
-//jslint:hotpath
-func isUnaryOp(op string) bool {
-	return len(op) == 1 && (op[0] == '+' || op[0] == '-' || op[0] == '~' || op[0] == '!')
+var unaryOps = map[string]bool{
+	"+": true, "-": true, "~": true, "!": true,
 }
 
-// parseUnary guards the recursion depth around parseUnaryInner. The wrapper
-// exists so the depth bookkeeping is a plain call pair instead of a defer:
-// parseUnary runs once per operand, and the defer machinery was a visible
-// slice of the parse profile.
 func (p *parser) parseUnary() (ast.Node, error) {
 	if err := p.enter(); err != nil {
 		return nil, err
 	}
-	n, err := p.parseUnaryInner()
-	p.leave()
-	return n, err
-}
-
-func (p *parser) parseUnaryInner() (ast.Node, error) {
+	defer p.leave()
 	start := p.tok.Start
 
 	switch {
-	case p.tok.Kind == lexer.Punct && isUnaryOp(p.tok.Lexeme):
+	case p.tok.Kind == Punct && unaryOps[p.tok.Lexeme]:
 		op := p.tok.Lexeme
 		if err := p.next(); err != nil {
 			return nil, err
@@ -385,9 +341,9 @@ func (p *parser) parseUnaryInner() (ast.Node, error) {
 		if err != nil {
 			return nil, err
 		}
-		return finish(p, p.arena.NewUnaryExpression(ast.UnaryExpression{Operator: op, Argument: arg}), start), nil
+		return p.finish(&ast.UnaryExpression{Operator: op, Argument: arg}, start), nil
 	case p.atKeyword("typeof"), p.atKeyword("void"), p.atKeyword("delete"):
-		op := p.tok.StringValue
+		op := p.tok.Lexeme
 		if err := p.next(); err != nil {
 			return nil, err
 		}
@@ -395,7 +351,7 @@ func (p *parser) parseUnaryInner() (ast.Node, error) {
 		if err != nil {
 			return nil, err
 		}
-		return finish(p, p.arena.NewUnaryExpression(ast.UnaryExpression{Operator: op, Argument: arg}), start), nil
+		return p.finish(&ast.UnaryExpression{Operator: op, Argument: arg}, start), nil
 	case p.atPunct("++"), p.atPunct("--"):
 		op := p.tok.Lexeme
 		if err := p.next(); err != nil {
@@ -405,7 +361,7 @@ func (p *parser) parseUnaryInner() (ast.Node, error) {
 		if err != nil {
 			return nil, err
 		}
-		return finish(p, p.arena.NewUpdateExpression(ast.UpdateExpression{Operator: op, Argument: arg, Prefix: true}), start), nil
+		return p.finish(&ast.UpdateExpression{Operator: op, Argument: arg, Prefix: true}, start), nil
 	case p.atKeyword("await"):
 		if err := p.next(); err != nil {
 			return nil, err
@@ -414,7 +370,7 @@ func (p *parser) parseUnaryInner() (ast.Node, error) {
 		if err != nil {
 			return nil, err
 		}
-		return finish(p, p.arena.NewAwaitExpression(ast.AwaitExpression{Argument: arg}), start), nil
+		return p.finish(&ast.AwaitExpression{Argument: arg}, start), nil
 	}
 
 	expr, err := p.parseLeftHandSide()
@@ -427,7 +383,7 @@ func (p *parser) parseUnaryInner() (ast.Node, error) {
 		if err := p.next(); err != nil {
 			return nil, err
 		}
-		return finish(p, p.arena.NewUpdateExpression(ast.UpdateExpression{Operator: op, Argument: expr, Prefix: false}), start), nil
+		return p.finish(&ast.UpdateExpression{Operator: op, Argument: expr, Prefix: false}, start), nil
 	}
 	return expr, nil
 }
@@ -460,13 +416,13 @@ func (p *parser) parseNew() (ast.Node, error) {
 		if err := p.next(); err != nil {
 			return nil, err
 		}
-		prop := p.identHere(p.tok.StringValue)
+		prop := p.identHere(p.tok.Lexeme)
 		if err := p.next(); err != nil {
 			return nil, err
 		}
-		meta := p.arena.NewIdentifier(ast.Identifier{Name: "new"})
+		meta := ast.NewIdentifier("new")
 		meta.SetSpan(span(start, newEnd))
-		return finish(p, p.arena.NewMetaProperty(ast.MetaProperty{Meta: meta, Property: prop}), start), nil
+		return p.finish(&ast.MetaProperty{Meta: meta, Property: prop}, start), nil
 	}
 	var callee ast.Node
 	var err error
@@ -483,7 +439,7 @@ func (p *parser) parseNew() (ast.Node, error) {
 	if err != nil {
 		return nil, err
 	}
-	ne := p.arena.NewNewExpression(ast.NewExpression{Callee: callee})
+	ne := &ast.NewExpression{Callee: callee}
 	if p.atPunct("(") {
 		args, err := p.parseArguments()
 		if err != nil {
@@ -491,7 +447,7 @@ func (p *parser) parseNew() (ast.Node, error) {
 		}
 		ne.Arguments = args
 	}
-	return finish(p, ne, start), nil
+	return p.finish(ne, start), nil
 }
 
 // parseMemberTail extends expr with `.name`, `[expr]`, and template tags, but
@@ -503,14 +459,14 @@ func (p *parser) parseMemberTail(expr ast.Node, start ast.Pos) (ast.Node, error)
 			if err := p.next(); err != nil {
 				return nil, err
 			}
-			if p.tok.Kind != lexer.Ident && p.tok.Kind != lexer.Keyword && p.tok.Kind != lexer.PrivateIdent {
+			if p.tok.Kind != Ident && p.tok.Kind != Keyword && p.tok.Kind != PrivateIdent {
 				return nil, p.errorf("expected property name, found %q", p.tok.Lexeme)
 			}
-			prop := p.identHere(p.tok.StringValue)
+			prop := p.identHere(p.tok.Lexeme)
 			if err := p.next(); err != nil {
 				return nil, err
 			}
-			expr = finish(p, p.arena.NewMemberExpression(ast.MemberExpression{Object: expr, Property: prop}), start)
+			expr = p.finish(&ast.MemberExpression{Object: expr, Property: prop}, start)
 		case p.atPunct("["):
 			if err := p.next(); err != nil {
 				return nil, err
@@ -522,7 +478,7 @@ func (p *parser) parseMemberTail(expr ast.Node, start ast.Pos) (ast.Node, error)
 			if err := p.expectPunct("]"); err != nil {
 				return nil, err
 			}
-			expr = finish(p, p.arena.NewMemberExpression(ast.MemberExpression{Object: expr, Property: prop, Computed: true}), start)
+			expr = p.finish(&ast.MemberExpression{Object: expr, Property: prop, Computed: true}, start)
 		default:
 			return expr, nil
 		}
@@ -550,7 +506,7 @@ func (p *parser) parseCallTail(expr ast.Node, start ast.Pos) (ast.Node, error) {
 				if err != nil {
 					return nil, err
 				}
-				expr = finish(p, p.arena.NewCallExpression(ast.CallExpression{Callee: expr, Arguments: args, Optional: true}), start)
+				expr = p.finish(&ast.CallExpression{Callee: expr, Arguments: args, Optional: true}, start)
 			case p.atPunct("["):
 				if err := p.next(); err != nil {
 					return nil, err
@@ -562,29 +518,29 @@ func (p *parser) parseCallTail(expr ast.Node, start ast.Pos) (ast.Node, error) {
 				if err := p.expectPunct("]"); err != nil {
 					return nil, err
 				}
-				expr = finish(p, p.arena.NewMemberExpression(ast.MemberExpression{Object: expr, Property: prop, Computed: true, Optional: true}), start)
+				expr = p.finish(&ast.MemberExpression{Object: expr, Property: prop, Computed: true, Optional: true}, start)
 			default:
-				if p.tok.Kind != lexer.Ident && p.tok.Kind != lexer.Keyword && p.tok.Kind != lexer.PrivateIdent {
+				if p.tok.Kind != Ident && p.tok.Kind != Keyword && p.tok.Kind != PrivateIdent {
 					return nil, p.errorf("expected property name after ?., found %q", p.tok.Lexeme)
 				}
-				prop := p.identHere(p.tok.StringValue)
+				prop := p.identHere(p.tok.Lexeme)
 				if err := p.next(); err != nil {
 					return nil, err
 				}
-				expr = finish(p, p.arena.NewMemberExpression(ast.MemberExpression{Object: expr, Property: prop, Optional: true}), start)
+				expr = p.finish(&ast.MemberExpression{Object: expr, Property: prop, Optional: true}, start)
 			}
 		case p.atPunct("("):
 			args, err := p.parseArguments()
 			if err != nil {
 				return nil, err
 			}
-			expr = finish(p, p.arena.NewCallExpression(ast.CallExpression{Callee: expr, Arguments: args}), start)
-		case p.at(lexer.NoSubstTemplate), p.at(lexer.TemplateHead):
+			expr = p.finish(&ast.CallExpression{Callee: expr, Arguments: args}, start)
+		case p.at(NoSubstTemplate), p.at(TemplateHead):
 			quasi, err := p.parseTemplateLiteral()
 			if err != nil {
 				return nil, err
 			}
-			expr = finish(p, p.arena.NewTaggedTemplateExpression(ast.TaggedTemplateExpression{Tag: expr, Quasi: quasi}), start)
+			expr = p.finish(&ast.TaggedTemplateExpression{Tag: expr, Quasi: quasi}, start)
 		default:
 			return expr, nil
 		}
@@ -596,14 +552,14 @@ func (p *parser) parseMemberTailOne(expr ast.Node, start ast.Pos) (ast.Node, err
 		if err := p.next(); err != nil {
 			return nil, err
 		}
-		if p.tok.Kind != lexer.Ident && p.tok.Kind != lexer.Keyword && p.tok.Kind != lexer.PrivateIdent {
+		if p.tok.Kind != Ident && p.tok.Kind != Keyword && p.tok.Kind != PrivateIdent {
 			return nil, p.errorf("expected property name, found %q", p.tok.Lexeme)
 		}
-		prop := p.identHere(p.tok.StringValue)
+		prop := p.identHere(p.tok.Lexeme)
 		if err := p.next(); err != nil {
 			return nil, err
 		}
-		return finish(p, p.arena.NewMemberExpression(ast.MemberExpression{Object: expr, Property: prop}), start), nil
+		return p.finish(&ast.MemberExpression{Object: expr, Property: prop}, start), nil
 	}
 	if err := p.next(); err != nil { // '['
 		return nil, err
@@ -615,7 +571,7 @@ func (p *parser) parseMemberTailOne(expr ast.Node, start ast.Pos) (ast.Node, err
 	if err := p.expectPunct("]"); err != nil {
 		return nil, err
 	}
-	return finish(p, p.arena.NewMemberExpression(ast.MemberExpression{Object: expr, Property: prop, Computed: true}), start), nil
+	return p.finish(&ast.MemberExpression{Object: expr, Property: prop, Computed: true}, start), nil
 }
 
 func (p *parser) parseArguments() ([]ast.Node, error) {
@@ -633,7 +589,7 @@ func (p *parser) parseArguments() ([]ast.Node, error) {
 			if err != nil {
 				return nil, err
 			}
-			args = append(args, finish(p, p.arena.NewSpreadElement(ast.SpreadElement{Argument: arg}), sStart))
+			args = append(args, p.finish(&ast.SpreadElement{Argument: arg}, sStart))
 		} else {
 			arg, err := p.parseAssignment(false)
 			if err != nil {
@@ -660,8 +616,8 @@ func (p *parser) parseArguments() ([]ast.Node, error) {
 func (p *parser) parsePrimary() (ast.Node, error) {
 	start := p.tok.Start
 	switch p.tok.Kind {
-	case lexer.Ident:
-		name := p.tok.StringValue
+	case Ident:
+		name := p.tok.Lexeme
 		if name == "async" {
 			save := p.save()
 			if err := p.next(); err != nil {
@@ -672,69 +628,69 @@ func (p *parser) parsePrimary() (ast.Node, error) {
 				if err != nil {
 					return nil, err
 				}
-				finish(p, fn, start)
+				p.finish(fn, start)
 				return fn, nil
 			}
 			p.restore(save)
 		}
-		id := p.arena.NewIdentifier(ast.Identifier{Name: name})
+		id := ast.NewIdentifier(name)
 		if err := p.next(); err != nil {
 			return nil, err
 		}
-		return finish(p, id, start), nil
-	case lexer.Number:
-		lit := p.arena.NewLiteral(ast.Literal{Kind: ast.LiteralNumber, Raw: p.tok.Lexeme, Number: p.tok.NumberValue})
+		return p.finish(id, start), nil
+	case Number:
+		lit := &ast.Literal{Kind: ast.LiteralNumber, Raw: p.tok.Lexeme, Number: p.tok.NumberValue}
 		if err := p.next(); err != nil {
 			return nil, err
 		}
-		return finish(p, lit, start), nil
-	case lexer.String:
-		lit := p.arena.NewLiteral(ast.Literal{Kind: ast.LiteralString, Raw: p.tok.Lexeme, String: p.tok.StringValue})
+		return p.finish(lit, start), nil
+	case String:
+		lit := &ast.Literal{Kind: ast.LiteralString, Raw: p.tok.Lexeme, String: p.tok.StringValue}
 		if err := p.next(); err != nil {
 			return nil, err
 		}
-		return finish(p, lit, start), nil
-	case lexer.Regex:
-		lit := p.arena.NewLiteral(ast.Literal{Kind: ast.LiteralRegExp, Raw: p.tok.Lexeme})
+		return p.finish(lit, start), nil
+	case Regex:
+		lit := &ast.Literal{Kind: ast.LiteralRegExp, Raw: p.tok.Lexeme}
 		lit.Regex.Pattern = p.tok.RegexPattern
 		lit.Regex.Flags = p.tok.RegexFlags
 		if err := p.next(); err != nil {
 			return nil, err
 		}
-		return finish(p, lit, start), nil
-	case lexer.NoSubstTemplate, lexer.TemplateHead:
+		return p.finish(lit, start), nil
+	case NoSubstTemplate, TemplateHead:
 		return p.parseTemplateLiteral()
-	case lexer.PrivateIdent:
+	case PrivateIdent:
 		// `#field in obj` (ES2022): treat as identifier reference.
-		id := p.arena.NewIdentifier(ast.Identifier{Name: p.tok.Lexeme})
+		id := ast.NewIdentifier(p.tok.Lexeme)
 		if err := p.next(); err != nil {
 			return nil, err
 		}
-		return finish(p, id, start), nil
-	case lexer.Keyword:
-		switch p.tok.StringValue {
+		return p.finish(id, start), nil
+	case Keyword:
+		switch p.tok.Lexeme {
 		case "this":
 			if err := p.next(); err != nil {
 				return nil, err
 			}
-			return finish(p, p.arena.NewThisExpression(ast.ThisExpression{}), start), nil
+			return p.finish(&ast.ThisExpression{}, start), nil
 		case "super":
 			if err := p.next(); err != nil {
 				return nil, err
 			}
-			return finish(p, p.arena.NewSuper(ast.Super{}), start), nil
+			return p.finish(&ast.Super{}, start), nil
 		case "true", "false":
-			lit := p.arena.NewLiteral(ast.Literal{Kind: ast.LiteralBoolean, Raw: p.tok.StringValue, Bool: p.tok.StringValue == "true"})
+			lit := &ast.Literal{Kind: ast.LiteralBoolean, Raw: p.tok.Lexeme, Bool: p.tok.Lexeme == "true"}
 			if err := p.next(); err != nil {
 				return nil, err
 			}
-			return finish(p, lit, start), nil
+			return p.finish(lit, start), nil
 		case "null":
-			lit := p.arena.NewLiteral(ast.Literal{Kind: ast.LiteralNull, Raw: "null"})
+			lit := &ast.Literal{Kind: ast.LiteralNull, Raw: "null"}
 			if err := p.next(); err != nil {
 				return nil, err
 			}
-			return finish(p, lit, start), nil
+			return p.finish(lit, start), nil
 		case "function":
 			return p.parseFunctionExpression(false)
 		case "class":
@@ -751,25 +707,25 @@ func (p *parser) parsePrimary() (ast.Node, error) {
 				if err := p.next(); err != nil {
 					return nil, err
 				}
-				prop := p.identHere(p.tok.StringValue)
+				prop := p.identHere(p.tok.Lexeme)
 				if err := p.next(); err != nil {
 					return nil, err
 				}
-				meta := p.arena.NewIdentifier(ast.Identifier{Name: "import"})
+				meta := ast.NewIdentifier("import")
 				meta.SetSpan(span(start, importEnd))
-				return finish(p, p.arena.NewMetaProperty(ast.MetaProperty{Meta: meta, Property: prop}), start), nil
+				return p.finish(&ast.MetaProperty{Meta: meta, Property: prop}, start), nil
 			}
-			return finish(p, p.arena.NewIdentifier(ast.Identifier{Name: "import"}), start), nil
+			return p.finish(ast.NewIdentifier("import"), start), nil
 		case "let", "yield", "await":
 			// Sloppy-mode identifier usage.
-			id := p.arena.NewIdentifier(ast.Identifier{Name: p.tok.StringValue})
+			id := ast.NewIdentifier(p.tok.Lexeme)
 			if err := p.next(); err != nil {
 				return nil, err
 			}
-			return finish(p, id, start), nil
+			return p.finish(id, start), nil
 		}
 		return nil, p.errorf("unexpected keyword %q", p.tok.Lexeme)
-	case lexer.Punct:
+	case Punct:
 		switch p.tok.Lexeme {
 		case "(":
 			return p.parseParenExpression()
@@ -804,7 +760,7 @@ func (p *parser) parseArrayLiteral() (ast.Node, error) {
 	if err := p.expectPunct("["); err != nil {
 		return nil, err
 	}
-	arr := p.arena.NewArrayExpression(ast.ArrayExpression{})
+	arr := &ast.ArrayExpression{}
 	for !p.atPunct("]") {
 		if p.atPunct(",") {
 			arr.Elements = append(arr.Elements, nil) // elision
@@ -822,7 +778,7 @@ func (p *parser) parseArrayLiteral() (ast.Node, error) {
 			if err != nil {
 				return nil, err
 			}
-			arr.Elements = append(arr.Elements, finish(p, p.arena.NewSpreadElement(ast.SpreadElement{Argument: arg}), sStart))
+			arr.Elements = append(arr.Elements, p.finish(&ast.SpreadElement{Argument: arg}, sStart))
 		} else {
 			el, err := p.parseAssignment(false)
 			if err != nil {
@@ -839,7 +795,7 @@ func (p *parser) parseArrayLiteral() (ast.Node, error) {
 	if err := p.expectPunct("]"); err != nil {
 		return nil, err
 	}
-	return finish(p, arr, start), nil
+	return p.finish(arr, start), nil
 }
 
 func (p *parser) parseObjectLiteral() (ast.Node, error) {
@@ -847,7 +803,7 @@ func (p *parser) parseObjectLiteral() (ast.Node, error) {
 	if err := p.expectPunct("{"); err != nil {
 		return nil, err
 	}
-	obj := p.arena.NewObjectExpression(ast.ObjectExpression{})
+	obj := &ast.ObjectExpression{}
 	for !p.atPunct("}") {
 		if p.atPunct("...") {
 			sStart := p.tok.Start
@@ -858,7 +814,7 @@ func (p *parser) parseObjectLiteral() (ast.Node, error) {
 			if err != nil {
 				return nil, err
 			}
-			obj.Properties = append(obj.Properties, finish(p, p.arena.NewSpreadElement(ast.SpreadElement{Argument: arg}), sStart))
+			obj.Properties = append(obj.Properties, p.finish(&ast.SpreadElement{Argument: arg}, sStart))
 		} else {
 			prop, err := p.parseObjectProperty()
 			if err != nil {
@@ -875,16 +831,16 @@ func (p *parser) parseObjectLiteral() (ast.Node, error) {
 	if err := p.expectPunct("}"); err != nil {
 		return nil, err
 	}
-	return finish(p, obj, start), nil
+	return p.finish(obj, start), nil
 }
 
 func (p *parser) parseObjectProperty() (ast.Node, error) {
 	start := p.tok.Start
-	prop := p.arena.NewProperty(ast.Property{Kind: "init"})
+	prop := &ast.Property{Kind: "init"}
 
 	isAsync := false
 	isGen := false
-	if p.atIdentName("async") {
+	if p.atIdentLexeme("async") {
 		save := p.save()
 		if err := p.next(); err != nil {
 			return nil, err
@@ -901,8 +857,8 @@ func (p *parser) parseObjectProperty() (ast.Node, error) {
 			return nil, err
 		}
 	}
-	if (p.atIdentName("get") || p.atIdentName("set")) && !isAsync && !isGen {
-		accessor := p.tok.StringValue
+	if (p.atIdentLexeme("get") || p.atIdentLexeme("set")) && !isAsync && !isGen {
+		accessor := p.tok.Lexeme
 		save := p.save()
 		if err := p.next(); err != nil {
 			return nil, err
@@ -933,8 +889,8 @@ func (p *parser) parseObjectProperty() (ast.Node, error) {
 		if err != nil {
 			return nil, err
 		}
-		fn := p.arena.NewFunctionExpression(ast.FunctionExpression{Params: params, Body: body, Generator: isGen, Async: isAsync})
-		finish(p, fn, fStart)
+		fn := &ast.FunctionExpression{Params: params, Body: body, Generator: isGen, Async: isAsync}
+		p.finish(fn, fStart)
 		prop.Value = fn
 		if prop.Kind == "init" {
 			prop.Method = true
@@ -963,33 +919,33 @@ func (p *parser) parseObjectProperty() (ast.Node, error) {
 			if err != nil {
 				return nil, err
 			}
-			ap := p.arena.NewAssignmentPattern(ast.AssignmentPattern{Left: p.cloneIdent(id), Right: dflt})
-			finish(p, ap, start)
+			ap := &ast.AssignmentPattern{Left: cloneIdent(id), Right: dflt}
+			p.finish(ap, start)
 			prop.Value = ap
 		} else {
-			prop.Value = p.cloneIdent(id)
+			prop.Value = cloneIdent(id)
 		}
 	}
-	return finish(p, prop, start), nil
+	return p.finish(prop, start), nil
 }
 
 func (p *parser) parseTemplateLiteral() (*ast.TemplateLiteral, error) {
 	start := p.tok.Start
-	tpl := p.arena.NewTemplateLiteral(ast.TemplateLiteral{})
-	if p.at(lexer.NoSubstTemplate) {
-		el := p.arena.NewTemplateElement(ast.TemplateElement{Raw: p.tok.Lexeme, Cooked: p.tok.StringValue, Tail: true})
+	tpl := &ast.TemplateLiteral{}
+	if p.at(NoSubstTemplate) {
+		el := &ast.TemplateElement{Raw: p.tok.Lexeme, Cooked: p.tok.StringValue, Tail: true}
 		el.SetSpan(span(p.tok.Start, p.tok.End))
 		if err := p.next(); err != nil {
 			return nil, err
 		}
 		tpl.Quasis = append(tpl.Quasis, el)
-		finish(p, tpl, start)
+		p.finish(tpl, start)
 		return tpl, nil
 	}
-	if !p.at(lexer.TemplateHead) {
+	if !p.at(TemplateHead) {
 		return nil, p.errorf("expected template literal")
 	}
-	head := p.arena.NewTemplateElement(ast.TemplateElement{Raw: p.tok.Lexeme, Cooked: p.tok.StringValue})
+	head := &ast.TemplateElement{Raw: p.tok.Lexeme, Cooked: p.tok.StringValue}
 	head.SetSpan(span(p.tok.Start, p.tok.End))
 	tpl.Quasis = append(tpl.Quasis, head)
 	if err := p.next(); err != nil {
@@ -1011,15 +967,15 @@ func (p *parser) parseTemplateLiteral() (*ast.TemplateLiteral, error) {
 		// Replace the '}' with the rescanned template chunk and fetch the
 		// token after it.
 		p.tok = tok
-		el := p.arena.NewTemplateElement(ast.TemplateElement{Raw: tok.Lexeme, Cooked: tok.StringValue, Tail: tok.Kind == lexer.TemplateTail})
+		el := &ast.TemplateElement{Raw: tok.Lexeme, Cooked: tok.StringValue, Tail: tok.Kind == TemplateTail}
 		el.SetSpan(span(tok.Start, tok.End))
 		tpl.Quasis = append(tpl.Quasis, el)
-		isTail := tok.Kind == lexer.TemplateTail
+		isTail := tok.Kind == TemplateTail
 		if err := p.next(); err != nil {
 			return nil, err
 		}
 		if isTail {
-			finish(p, tpl, start)
+			p.finish(tpl, start)
 			return tpl, nil
 		}
 	}
@@ -1035,7 +991,7 @@ func (p *parser) toPattern(expr ast.Node) (ast.Node, error) {
 		*ast.AssignmentPattern, *ast.RestElement:
 		return expr, nil
 	case *ast.ArrayExpression:
-		pat := p.arena.NewArrayPattern(ast.ArrayPattern{})
+		pat := &ast.ArrayPattern{}
 		pat.SetSpan(v.Span())
 		for i, el := range v.Elements {
 			if el == nil {
@@ -1050,7 +1006,7 @@ func (p *parser) toPattern(expr ast.Node) (ast.Node, error) {
 				if err != nil {
 					return nil, err
 				}
-				rest := p.arena.NewRestElement(ast.RestElement{Argument: arg})
+				rest := &ast.RestElement{Argument: arg}
 				rest.SetSpan(sp.Span())
 				pat.Elements = append(pat.Elements, rest)
 				continue
@@ -1063,7 +1019,7 @@ func (p *parser) toPattern(expr ast.Node) (ast.Node, error) {
 		}
 		return pat, nil
 	case *ast.ObjectExpression:
-		pat := p.arena.NewObjectPattern(ast.ObjectPattern{})
+		pat := &ast.ObjectPattern{}
 		pat.SetSpan(v.Span())
 		for _, prop := range v.Properties {
 			switch pv := prop.(type) {
@@ -1072,7 +1028,7 @@ func (p *parser) toPattern(expr ast.Node) (ast.Node, error) {
 				if err != nil {
 					return nil, err
 				}
-				rest := p.arena.NewRestElement(ast.RestElement{Argument: arg})
+				rest := &ast.RestElement{Argument: arg}
 				rest.SetSpan(pv.Span())
 				pat.Properties = append(pat.Properties, rest)
 			case *ast.Property:
@@ -1080,10 +1036,10 @@ func (p *parser) toPattern(expr ast.Node) (ast.Node, error) {
 				if err != nil {
 					return nil, err
 				}
-				np := p.arena.NewProperty(ast.Property{
+				np := &ast.Property{
 					Key: pv.Key, Value: val, Kind: "init",
 					Computed: pv.Computed, Shorthand: pv.Shorthand,
-				})
+				}
 				np.SetSpan(pv.Span())
 				pat.Properties = append(pat.Properties, np)
 			default:
@@ -1099,7 +1055,7 @@ func (p *parser) toPattern(expr ast.Node) (ast.Node, error) {
 		if err != nil {
 			return nil, err
 		}
-		ap := p.arena.NewAssignmentPattern(ast.AssignmentPattern{Left: left, Right: v.Right})
+		ap := &ast.AssignmentPattern{Left: left, Right: v.Right}
 		ap.SetSpan(v.Span())
 		return ap, nil
 	default:

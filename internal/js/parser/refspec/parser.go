@@ -1,147 +1,61 @@
-// Package parser implements a recursive-descent JavaScript parser producing
-// the Esprima-compatible AST from internal/js/ast. It covers ES5 plus the
-// ES2015+ constructs that appear in real-world transformed code: let/const,
-// arrow functions, classes, template literals, destructuring patterns,
-// default/rest parameters, spread, for-of, async/await, optional chaining,
-// and exponentiation. Automatic semicolon insertion follows the standard
-// rules, including the restricted productions.
-package parser
+// Package refspec is a verbatim snapshot of the lexer and parser as they
+// stood before the arena/zero-copy overhaul. It is the executable
+// specification the differential golden tests compare the live parser
+// against (same role as the old n-gram implementation kept by PR 5's golden
+// vectors): both packages build ASTs out of the shared internal/js/ast
+// types, so printer output, spans, and NodeKind streams can be compared
+// node for node.
+//
+// Nothing outside tests may import this package. The snapshot drops the
+// production instrumentation (obs metrics, the Parses counter) so that
+// running the spec does not double-count pipeline metrics, but is otherwise
+// byte-for-byte the old allocation behavior: every identifier and string
+// materialized through a strings.Builder, one heap allocation per AST node.
+package refspec
 
 import (
 	"fmt"
-	"sync"
-	"sync/atomic"
 
 	"repro/internal/js/ast"
-	"repro/internal/js/lexer"
-	"repro/internal/obs"
 )
 
-// parses counts completed parse attempts (successful or not) process-wide.
-// The batch scanner's tests read it through Parses to assert that a scan
-// touches each input exactly once, even when classification, explanation,
-// and feature extraction all consume the same file.
-var parses atomic.Int64
-
-// Parses returns the number of parse attempts since process start. It is a
-// test hook for parse-once assertions, not a performance counter.
-func Parses() int64 { return parses.Load() }
-
-// Error is a parse error with a source position.
-type Error struct {
+// parseError is a parse error with a source position.
+type parseError struct {
 	Pos ast.Pos
 	Msg string
 }
 
-func (e *Error) Error() string {
+func (e *parseError) Error() string {
 	return fmt.Sprintf("parse error at line %d col %d: %s", e.Pos.Line, e.Pos.Column, e.Msg)
 }
 
 // Result bundles the AST with the lexical information gathered while parsing,
 // which the feature extractor consumes (tokens and comments mirror the
-// Esprima token collection in the paper's pipeline). Every AST node hangs
-// off the arena embedded in the Result, so the whole tree dies with it;
-// nothing may retain node pointers past the Result they came from.
+// Esprima token collection in the paper's pipeline).
 type Result struct {
 	Program *ast.Program
 	// Tokens holds every lexical unit, in order. It is nil when parsing
 	// with ParseNoTokens; NumTokens is filled either way.
-	Tokens    []lexer.Token
+	Tokens    []Token
 	NumTokens int
-	Comments  []lexer.Comment
-
-	// arena owns the storage of every node reachable from Program. It
-	// lives in the Result (not the reusable parser) so a pooled parser
-	// cannot hand one file's nodes to the next.
-	arena ast.Arena
+	Comments  []Comment
 }
-
-// Session is a reusable parser. A Session parses one file at a time and
-// recycles its token buffer, lexer state, comment buffer, and arrow-head
-// memo table across parses — a scanner worker that parses many files
-// should hold one Session instead of paying the warm-up allocations per
-// file. The zero value is ready to use; Sessions are not safe for
-// concurrent use.
-type Session struct {
-	p parser
-}
-
-// NewSession returns an empty parser session.
-func NewSession() *Session { return &Session{} }
 
 // Parse parses JavaScript source text, collecting all tokens.
-func (s *Session) Parse(src string) (*Result, error) { return s.p.parse(src, true) }
+func Parse(src string) (*Result, error) {
+	return parse(src, true)
+}
 
 // ParseNoTokens parses without materializing the token slice. The feature
 // pipeline uses it: on megabyte-scale minified or JSFuck inputs, storing
 // every token costs more than parsing itself, and the features only need
 // the token count and the comments.
-func (s *Session) ParseNoTokens(src string) (*Result, error) { return s.p.parse(src, false) }
-
-// sessions recycles parser state for the package-level entry points, so
-// one-shot callers still amortize parser warm-up across files.
-var sessions = sync.Pool{New: func() any { return NewSession() }}
-
-// Parse parses JavaScript source text, collecting all tokens.
-func Parse(src string) (*Result, error) {
-	s := sessions.Get().(*Session)
-	defer sessions.Put(s)
-	return s.Parse(src)
-}
-
-// ParseNoTokens parses without materializing the token slice; see
-// Session.ParseNoTokens.
 func ParseNoTokens(src string) (*Result, error) {
-	s := sessions.Get().(*Session)
-	defer sessions.Put(s)
-	return s.ParseNoTokens(src)
+	return parse(src, false)
 }
 
-// reset re-arms the parser for a new file. This is the hard reset contract
-// behind Session reuse: every piece of per-file state is cleared here (the
-// token buffer, memo table, and comment buffer keep their capacity but not
-// their contents), and the arena is never reused — it belongs to the
-// previous Result.
-func (p *parser) reset(src string, collectTokens bool) {
-	p.lex.Reset(src)
-	p.src = src
-	p.tok = lexer.Token{}
-	p.collect = collectTokens
-	p.tokens = p.tokens[:0]
-	p.numTokens = 0
-	p.lastEnd_ = ast.Pos{}
-	p.depth = 0
-	clear(p.arrowFail)
-	p.arena = nil
-}
-
-func (p *parser) parse(src string, collectTokens bool) (res *Result, err error) {
-	parses.Add(1)
-	p.reset(src, collectTokens)
-	out := &Result{}
-	p.arena = &out.arena
-	if obs.Enabled() {
-		stop := obs.Time("parse.duration")
-		defer func() {
-			stop()
-			obs.Add("parse.files", 1)
-			obs.Add("parse.bytes", int64(len(src)))
-			obs.Observe("parse.file_bytes", obs.UnitBytes, int64(len(src)))
-			obs.Add("lex.tokens", int64(p.lex.TokensScanned()))
-			obs.Add("lex.comments", int64(len(p.lex.Comments())))
-			if err != nil {
-				obs.Add("parse.errors", 1)
-			} else {
-				obs.Add("parse.tokens", int64(p.numTokens))
-			}
-			// Backtracking happens on failed parses too; recording the
-			// re-scan count only on success would skew lexer metrics on
-			// error-heavy corpora.
-			if rescans := p.lex.TokensScanned() - p.numTokens; rescans > 0 {
-				obs.Add("lex.tokens_rescanned", int64(rescans))
-			}
-		}()
-	}
+func parse(src string, collectTokens bool) (*Result, error) {
+	p := &parser{lex: newLexer(src), src: src, collect: collectTokens}
 	if err := p.next(); err != nil {
 		return nil, err
 	}
@@ -149,15 +63,12 @@ func (p *parser) parse(src string, collectTokens bool) (res *Result, err error) 
 	if err != nil {
 		return nil, err
 	}
-	out.Program = prog
-	// The token and comment buffers belong to the reusable parser; the
-	// Result must own its slices so the next parse cannot clobber them.
-	if p.collect {
-		out.Tokens = append([]lexer.Token(nil), p.tokens...)
-	}
-	out.NumTokens = p.numTokens
-	out.Comments = append([]lexer.Comment(nil), p.lex.Comments()...)
-	return out, nil
+	return &Result{
+		Program:   prog,
+		Tokens:    p.tokens,
+		NumTokens: p.numTokens,
+		Comments:  p.lex.Comments(),
+	}, nil
 }
 
 // ParseProgram parses source and returns only the AST root (tokens are not
@@ -171,13 +82,11 @@ func ParseProgram(src string) (*ast.Program, error) {
 }
 
 type parser struct {
-	// lex is embedded by value so a Session is one object: resetting it
-	// reuses the lexer's comment buffer in place.
-	lex     lexer.Lexer
+	lex     *Lexer
 	src     string
-	tok     lexer.Token
+	tok     Token
 	collect bool
-	tokens  []lexer.Token
+	tokens  []Token
 	// numTokens counts consumed tokens even when collect is false.
 	numTokens int
 	// lastEnd is the end position of the last consumed token, for span
@@ -191,17 +100,15 @@ type parser struct {
 	// already failed, so backtracking retries skip the re-attempt (keeps
 	// nested cover-grammar input from going exponential).
 	arrowFail map[int]bool
-
-	// arena allocates every AST node of the current parse. It points into
-	// the Result under construction and is never pooled: a fresh parse
-	// gets a fresh arena so earlier Results keep sole ownership of their
-	// nodes.
-	arena *ast.Arena
 }
 
 const maxDepth = 2500
 
 func (p *parser) next() error {
+	tok, err := p.lex.Next()
+	if err != nil {
+		return err
+	}
 	if p.tok.Kind != 0 {
 		p.numTokens++
 		p.lastEnd_ = p.tok.End
@@ -209,29 +116,18 @@ func (p *parser) next() error {
 			p.tokens = append(p.tokens, p.tok)
 		}
 	}
-	// NextInto writes the new token straight into p.tok — the lexer and
-	// parser share the one Token slot, so no ~130-byte struct is copied
-	// per token.
-	return p.lex.NextInto(&p.tok)
+	p.tok = tok
+	return nil
 }
 
 func (p *parser) errorf(format string, args ...any) error {
-	return &Error{Pos: p.tok.Start, Msg: fmt.Sprintf(format, args...)}
+	return &parseError{Pos: p.tok.Start, Msg: fmt.Sprintf(format, args...)}
 }
 
-// at, atPunct, and atKeyword test fields on p.tok directly rather than
-// going through the Token value-receiver helpers, which would copy the
-// whole ~130-byte struct on every probe.
-func (p *parser) at(kind lexer.Kind) bool { return p.tok.Kind == kind }
-func (p *parser) atPunct(s string) bool {
-	return p.tok.Kind == lexer.Punct && p.tok.Lexeme == s
-}
-func (p *parser) atKeyword(s string) bool {
-	return p.tok.Kind == lexer.Keyword && p.tok.StringValue == s
-}
-func (p *parser) atIdentName(s string) bool {
-	return p.tok.Kind == lexer.Ident && p.tok.StringValue == s
-}
+func (p *parser) at(kind Kind) bool           { return p.tok.Kind == kind }
+func (p *parser) atPunct(s string) bool       { return p.tok.IsPunct(s) }
+func (p *parser) atKeyword(s string) bool     { return p.tok.IsKeyword(s) }
+func (p *parser) atIdentLexeme(s string) bool { return p.tok.Kind == Ident && p.tok.Lexeme == s }
 
 func (p *parser) expectPunct(s string) error {
 	if !p.atPunct(s) {
@@ -268,15 +164,10 @@ func span(start ast.Pos, end ast.Pos) ast.Span { return ast.Span{Start: start, E
 
 type spanSetter interface{ SetSpan(ast.Span) }
 
-// finish stamps the node's source range and hands it back. It is generic
-// over the concrete node type: the old signature took an ast.Node and
-// asserted to spanSetter, which cost an interface-to-interface itab
-// lookup on every node built (visible on the parse profile). Every
-// concrete node embeds ast.base, so the constraint is always satisfied.
-//
-//jslint:hotpath
-func finish[T spanSetter](p *parser, n T, start ast.Pos) T {
-	n.SetSpan(span(start, p.lastEnd()))
+func (p *parser) finish(n ast.Node, start ast.Pos) ast.Node {
+	if s, ok := n.(spanSetter); ok {
+		s.SetSpan(span(start, p.lastEnd()))
+	}
 	return n
 }
 
@@ -291,7 +182,7 @@ func (p *parser) lastEnd() ast.Pos {
 // called before that token is consumed, so the rules and diagnostics always
 // see a real source range (position fidelity: no zero-span nodes).
 func (p *parser) identHere(name string) *ast.Identifier {
-	id := p.arena.NewIdentifier(ast.Identifier{Name: name})
+	id := ast.NewIdentifier(name)
 	id.SetSpan(span(p.tok.Start, p.tok.End))
 	return id
 }
@@ -299,15 +190,15 @@ func (p *parser) identHere(name string) *ast.Identifier {
 // stringLitHere builds a string Literal spanning the current token. Like
 // identHere, it must be called before the token is consumed.
 func (p *parser) stringLitHere() *ast.Literal {
-	lit := p.arena.NewLiteral(ast.Literal{Kind: ast.LiteralString, Raw: p.tok.Lexeme, String: p.tok.StringValue})
+	lit := &ast.Literal{Kind: ast.LiteralString, Raw: p.tok.Lexeme, String: p.tok.StringValue}
 	lit.SetSpan(span(p.tok.Start, p.tok.End))
 	return lit
 }
 
 // cloneIdent copies an identifier including its span (used where patterns
 // reuse a parsed name, e.g. shorthand object properties).
-func (p *parser) cloneIdent(id *ast.Identifier) *ast.Identifier {
-	c := p.arena.NewIdentifier(ast.Identifier{Name: id.Name})
+func cloneIdent(id *ast.Identifier) *ast.Identifier {
+	c := ast.NewIdentifier(id.Name)
 	c.SetSpan(id.Span())
 	return c
 }
@@ -318,13 +209,13 @@ func (p *parser) cloneIdent(id *ast.Identifier) *ast.Identifier {
 
 func (p *parser) parseProgram() (*ast.Program, error) {
 	start := p.tok.Start
-	prog := p.arena.NewProgram(ast.Program{})
+	prog := &ast.Program{}
 	body, err := p.parseStatementList(true)
 	if err != nil {
 		return nil, err
 	}
 	prog.Body = body
-	finish(p, prog, start)
+	p.finish(prog, start)
 	return prog, nil
 }
 
@@ -333,7 +224,7 @@ func (p *parser) parseStatementList(top bool) ([]ast.Node, error) {
 	var body []ast.Node
 	directives := true
 	for {
-		if p.at(lexer.EOF) {
+		if p.at(EOF) {
 			if top {
 				return body, nil
 			}
@@ -375,7 +266,7 @@ func (p *parser) parseStatement() (ast.Node, error) {
 		if err := p.next(); err != nil {
 			return nil, err
 		}
-		return finish(p, p.arena.NewEmptyStatement(ast.EmptyStatement{}), start), nil
+		return p.finish(&ast.EmptyStatement{}, start), nil
 	case p.atKeyword("var"), p.atKeyword("let"), p.atKeyword("const"):
 		decl, err := p.parseVariableDeclaration(true)
 		if err != nil {
@@ -413,14 +304,14 @@ func (p *parser) parseStatement() (ast.Node, error) {
 		if err := p.consumeSemicolon(); err != nil {
 			return nil, err
 		}
-		return finish(p, p.arena.NewDebuggerStatement(ast.DebuggerStatement{}), start), nil
+		return p.finish(&ast.DebuggerStatement{}, start), nil
 	case p.atKeyword("with"):
 		return p.parseWith()
 	case p.atKeyword("import"):
 		return p.parseImport()
 	case p.atKeyword("export"):
 		return p.parseExport()
-	case p.atIdentName("async"):
+	case p.atIdentLexeme("async"):
 		// `async function` declaration; otherwise fall through to expression.
 		save := p.save()
 		if err := p.next(); err != nil {
@@ -431,15 +322,15 @@ func (p *parser) parseStatement() (ast.Node, error) {
 			if err != nil {
 				return nil, err
 			}
-			finish(p, fn, start)
+			p.finish(fn, start)
 			return fn, nil
 		}
 		p.restore(save)
 		return p.parseExpressionStatement()
-	case p.at(lexer.Ident):
+	case p.at(Ident):
 		// Possible labeled statement: `ident :`.
 		save := p.save()
-		name := p.identHere(p.tok.StringValue)
+		name := p.identHere(p.tok.Lexeme)
 		if err := p.next(); err != nil {
 			return nil, err
 		}
@@ -451,8 +342,8 @@ func (p *parser) parseStatement() (ast.Node, error) {
 			if err != nil {
 				return nil, err
 			}
-			lbl := p.arena.NewLabeledStatement(ast.LabeledStatement{Label: name, Body: body})
-			return finish(p, lbl, start), nil
+			lbl := &ast.LabeledStatement{Label: name, Body: body}
+			return p.finish(lbl, start), nil
 		}
 		p.restore(save)
 		return p.parseExpressionStatement()
@@ -473,8 +364,8 @@ func (p *parser) parseBlock() (*ast.BlockStatement, error) {
 	if err := p.expectPunct("}"); err != nil {
 		return nil, err
 	}
-	blk := p.arena.NewBlockStatement(ast.BlockStatement{Body: body})
-	finish(p, blk, start)
+	blk := &ast.BlockStatement{Body: body}
+	p.finish(blk, start)
 	return blk, nil
 }
 
@@ -487,7 +378,7 @@ func (p *parser) parseExpressionStatement() (ast.Node, error) {
 	if err := p.consumeSemicolon(); err != nil {
 		return nil, err
 	}
-	return finish(p, p.arena.NewExpressionStatement(ast.ExpressionStatement{Expression: expr}), start), nil
+	return p.finish(&ast.ExpressionStatement{Expression: expr}, start), nil
 }
 
 // consumeSemicolon applies automatic semicolon insertion.
@@ -495,7 +386,7 @@ func (p *parser) consumeSemicolon() error {
 	if p.atPunct(";") {
 		return p.next()
 	}
-	if p.atPunct("}") || p.at(lexer.EOF) || p.tok.NewlineBefore {
+	if p.atPunct("}") || p.at(EOF) || p.tok.NewlineBefore {
 		return nil
 	}
 	return p.errorf("missing semicolon before %q", p.tok.Lexeme)
@@ -503,18 +394,18 @@ func (p *parser) consumeSemicolon() error {
 
 func (p *parser) parseVariableDeclaration(consumeSemi bool) (*ast.VariableDeclaration, error) {
 	start := p.tok.Start
-	kind := p.tok.StringValue
+	kind := p.tok.Lexeme
 	if err := p.next(); err != nil {
 		return nil, err
 	}
-	decl := p.arena.NewVariableDeclaration(ast.VariableDeclaration{Kind: kind})
+	decl := &ast.VariableDeclaration{Kind: kind}
 	for {
 		dStart := p.tok.Start
 		id, err := p.parseBindingTarget()
 		if err != nil {
 			return nil, err
 		}
-		d := p.arena.NewVariableDeclarator(ast.VariableDeclarator{ID: id})
+		d := &ast.VariableDeclarator{ID: id}
 		if ok, err := p.eatPunct("="); err != nil {
 			return nil, err
 		} else if ok {
@@ -524,7 +415,7 @@ func (p *parser) parseVariableDeclaration(consumeSemi bool) (*ast.VariableDeclar
 			}
 			d.Init = init
 		}
-		finish(p, d, dStart)
+		p.finish(d, dStart)
 		decl.Declarations = append(decl.Declarations, d)
 		if ok, err := p.eatPunct(","); err != nil {
 			return nil, err
@@ -537,7 +428,7 @@ func (p *parser) parseVariableDeclaration(consumeSemi bool) (*ast.VariableDeclar
 			return nil, err
 		}
 	}
-	finish(p, decl, start)
+	p.finish(decl, start)
 	return decl, nil
 }
 
@@ -560,7 +451,7 @@ func (p *parser) parseIf() (ast.Node, error) {
 	if err != nil {
 		return nil, err
 	}
-	stmt := p.arena.NewIfStatement(ast.IfStatement{Test: test, Consequent: cons})
+	stmt := &ast.IfStatement{Test: test, Consequent: cons}
 	if p.atKeyword("else") {
 		if err := p.next(); err != nil {
 			return nil, err
@@ -571,7 +462,7 @@ func (p *parser) parseIf() (ast.Node, error) {
 		}
 		stmt.Alternate = alt
 	}
-	return finish(p, stmt, start), nil
+	return p.finish(stmt, start), nil
 }
 
 func (p *parser) parseWhile() (ast.Node, error) {
@@ -593,7 +484,7 @@ func (p *parser) parseWhile() (ast.Node, error) {
 	if err != nil {
 		return nil, err
 	}
-	return finish(p, p.arena.NewWhileStatement(ast.WhileStatement{Test: test, Body: body}), start), nil
+	return p.finish(&ast.WhileStatement{Test: test, Body: body}, start), nil
 }
 
 func (p *parser) parseDoWhile() (ast.Node, error) {
@@ -622,7 +513,7 @@ func (p *parser) parseDoWhile() (ast.Node, error) {
 	if _, err := p.eatPunct(";"); err != nil {
 		return nil, err
 	}
-	return finish(p, p.arena.NewDoWhileStatement(ast.DoWhileStatement{Body: body, Test: test}), start), nil
+	return p.finish(&ast.DoWhileStatement{Body: body, Test: test}, start), nil
 }
 
 func (p *parser) parseFor() (ast.Node, error) {
@@ -678,9 +569,9 @@ func (p *parser) parseFor() (ast.Node, error) {
 		if err != nil {
 			return nil, err
 		}
-		return finish(p, p.arena.NewForInStatement(ast.ForInStatement{Left: left, Right: right, Body: body}), start), nil
+		return p.finish(&ast.ForInStatement{Left: left, Right: right, Body: body}, start), nil
 	}
-	if p.atIdentName("of") {
+	if p.atIdentLexeme("of") {
 		if err := p.next(); err != nil {
 			return nil, err
 		}
@@ -699,7 +590,7 @@ func (p *parser) parseFor() (ast.Node, error) {
 		if err != nil {
 			return nil, err
 		}
-		return finish(p, p.arena.NewForOfStatement(ast.ForOfStatement{Left: left, Right: right, Body: body, Await: isAwait}), start), nil
+		return p.finish(&ast.ForOfStatement{Left: left, Right: right, Body: body, Await: isAwait}, start), nil
 	}
 
 	if err := p.expectPunct(";"); err != nil {
@@ -730,25 +621,25 @@ func (p *parser) parseFor() (ast.Node, error) {
 	if err != nil {
 		return nil, err
 	}
-	return finish(p, p.arena.NewForStatement(ast.ForStatement{Init: init, Test: test, Update: update, Body: body}), start), nil
+	return p.finish(&ast.ForStatement{Init: init, Test: test, Update: update, Body: body}, start), nil
 }
 
 // parseForDeclaration parses `var/let/const target [= init]` without
 // consuming a semicolon, stopping before `in`/`of` when appropriate.
 func (p *parser) parseForDeclaration() (*ast.VariableDeclaration, error) {
 	start := p.tok.Start
-	kind := p.tok.StringValue
+	kind := p.tok.Lexeme
 	if err := p.next(); err != nil {
 		return nil, err
 	}
-	decl := p.arena.NewVariableDeclaration(ast.VariableDeclaration{Kind: kind})
+	decl := &ast.VariableDeclaration{Kind: kind}
 	for {
 		dStart := p.tok.Start
 		id, err := p.parseBindingTarget()
 		if err != nil {
 			return nil, err
 		}
-		d := p.arena.NewVariableDeclarator(ast.VariableDeclarator{ID: id})
+		d := &ast.VariableDeclarator{ID: id}
 		if ok, err := p.eatPunct("="); err != nil {
 			return nil, err
 		} else if ok {
@@ -758,7 +649,7 @@ func (p *parser) parseForDeclaration() (*ast.VariableDeclaration, error) {
 			}
 			d.Init = init
 		}
-		finish(p, d, dStart)
+		p.finish(d, dStart)
 		decl.Declarations = append(decl.Declarations, d)
 		if ok, err := p.eatPunct(","); err != nil {
 			return nil, err
@@ -766,7 +657,7 @@ func (p *parser) parseForDeclaration() (*ast.VariableDeclaration, error) {
 			break
 		}
 	}
-	finish(p, decl, start)
+	p.finish(decl, start)
 	return decl, nil
 }
 
@@ -799,10 +690,10 @@ func (p *parser) parseSwitch() (ast.Node, error) {
 	if err := p.expectPunct("{"); err != nil {
 		return nil, err
 	}
-	sw := p.arena.NewSwitchStatement(ast.SwitchStatement{Discriminant: disc})
+	sw := &ast.SwitchStatement{Discriminant: disc}
 	for !p.atPunct("}") {
 		cStart := p.tok.Start
-		c := p.arena.NewSwitchCase(ast.SwitchCase{})
+		c := &ast.SwitchCase{}
 		if p.atKeyword("case") {
 			if err := p.next(); err != nil {
 				return nil, err
@@ -829,13 +720,13 @@ func (p *parser) parseSwitch() (ast.Node, error) {
 			}
 			c.Consequent = append(c.Consequent, stmt)
 		}
-		finish(p, c, cStart)
+		p.finish(c, cStart)
 		sw.Cases = append(sw.Cases, c)
 	}
 	if err := p.expectPunct("}"); err != nil {
 		return nil, err
 	}
-	return finish(p, sw, start), nil
+	return p.finish(sw, start), nil
 }
 
 func (p *parser) parseReturn() (ast.Node, error) {
@@ -843,9 +734,9 @@ func (p *parser) parseReturn() (ast.Node, error) {
 	if err := p.expectKeyword("return"); err != nil {
 		return nil, err
 	}
-	ret := p.arena.NewReturnStatement(ast.ReturnStatement{})
+	ret := &ast.ReturnStatement{}
 	// Restricted production: a newline after `return` terminates it.
-	if !p.tok.NewlineBefore && !p.atPunct(";") && !p.atPunct("}") && !p.at(lexer.EOF) {
+	if !p.tok.NewlineBefore && !p.atPunct(";") && !p.atPunct("}") && !p.at(EOF) {
 		arg, err := p.parseExpression(false)
 		if err != nil {
 			return nil, err
@@ -855,7 +746,7 @@ func (p *parser) parseReturn() (ast.Node, error) {
 	if err := p.consumeSemicolon(); err != nil {
 		return nil, err
 	}
-	return finish(p, ret, start), nil
+	return p.finish(ret, start), nil
 }
 
 func (p *parser) parseThrow() (ast.Node, error) {
@@ -873,7 +764,7 @@ func (p *parser) parseThrow() (ast.Node, error) {
 	if err := p.consumeSemicolon(); err != nil {
 		return nil, err
 	}
-	return finish(p, p.arena.NewThrowStatement(ast.ThrowStatement{Argument: arg}), start), nil
+	return p.finish(&ast.ThrowStatement{Argument: arg}, start), nil
 }
 
 func (p *parser) parseTry() (ast.Node, error) {
@@ -885,13 +776,13 @@ func (p *parser) parseTry() (ast.Node, error) {
 	if err != nil {
 		return nil, err
 	}
-	stmt := p.arena.NewTryStatement(ast.TryStatement{Block: block})
+	stmt := &ast.TryStatement{Block: block}
 	if p.atKeyword("catch") {
 		cStart := p.tok.Start
 		if err := p.next(); err != nil {
 			return nil, err
 		}
-		clause := p.arena.NewCatchClause(ast.CatchClause{})
+		clause := &ast.CatchClause{}
 		if ok, err := p.eatPunct("("); err != nil {
 			return nil, err
 		} else if ok {
@@ -909,7 +800,7 @@ func (p *parser) parseTry() (ast.Node, error) {
 			return nil, err
 		}
 		clause.Body = body
-		finish(p, clause, cStart)
+		p.finish(clause, cStart)
 		stmt.Handler = clause
 	}
 	if p.atKeyword("finally") {
@@ -925,7 +816,7 @@ func (p *parser) parseTry() (ast.Node, error) {
 	if stmt.Handler == nil && stmt.Finalizer == nil {
 		return nil, p.errorf("try needs catch or finally")
 	}
-	return finish(p, stmt, start), nil
+	return p.finish(stmt, start), nil
 }
 
 func (p *parser) parseBreakContinue(isBreak bool) (ast.Node, error) {
@@ -934,8 +825,8 @@ func (p *parser) parseBreakContinue(isBreak bool) (ast.Node, error) {
 		return nil, err
 	}
 	var label *ast.Identifier
-	if p.at(lexer.Ident) && !p.tok.NewlineBefore {
-		label = p.identHere(p.tok.StringValue)
+	if p.at(Ident) && !p.tok.NewlineBefore {
+		label = p.identHere(p.tok.Lexeme)
 		if err := p.next(); err != nil {
 			return nil, err
 		}
@@ -944,9 +835,9 @@ func (p *parser) parseBreakContinue(isBreak bool) (ast.Node, error) {
 		return nil, err
 	}
 	if isBreak {
-		return finish(p, p.arena.NewBreakStatement(ast.BreakStatement{Label: label}), start), nil
+		return p.finish(&ast.BreakStatement{Label: label}, start), nil
 	}
-	return finish(p, p.arena.NewContinueStatement(ast.ContinueStatement{Label: label}), start), nil
+	return p.finish(&ast.ContinueStatement{Label: label}, start), nil
 }
 
 func (p *parser) parseWith() (ast.Node, error) {
@@ -968,5 +859,5 @@ func (p *parser) parseWith() (ast.Node, error) {
 	if err != nil {
 		return nil, err
 	}
-	return finish(p, p.arena.NewWithStatement(ast.WithStatement{Object: obj, Body: body}), start), nil
+	return p.finish(&ast.WithStatement{Object: obj, Body: body}, start), nil
 }

@@ -1,7 +1,6 @@
-// Package lexer tokenizes JavaScript source text. It produces the lexical
-// units ("tokens") that the parser consumes and that the feature extractor
-// counts, mirroring the token collection the paper performs with Esprima.
-package lexer
+// Token kinds and token/comment types of the snapshot lexer, copied
+// verbatim from internal/js/lexer at the pre-arena revision.
+package refspec
 
 import (
 	"fmt"
@@ -65,9 +64,7 @@ func (k Kind) String() string {
 	}
 }
 
-// Token is one lexical unit. Both Lexeme and StringValue are slices of the
-// source buffer unless the token contains escape sequences, in which case
-// StringValue owns the decoded memory.
+// Token is one lexical unit.
 type Token struct {
 	Kind   Kind
 	Lexeme string // raw source text of the token
@@ -77,11 +74,8 @@ type Token struct {
 	// previous token and this one; the parser needs it for automatic
 	// semicolon insertion.
 	NewlineBefore bool
-	// StringValue is the decoded value for String, Ident, Keyword, and
-	// PrivateIdent tokens (escapes applied; PrivateIdent keeps its '#')
-	// and the cooked value for template tokens. Anything comparing or
-	// storing identifier or keyword names must use it, never Lexeme,
-	// which keeps the raw \uXXXX spelling.
+	// StringValue is the decoded value for String tokens and the cooked
+	// value for template tokens.
 	StringValue string
 	// NumberValue is the numeric value for Number tokens.
 	NumberValue float64
@@ -93,9 +87,8 @@ type Token struct {
 // IsPunct reports whether the token is the given punctuator.
 func (t Token) IsPunct(s string) bool { return t.Kind == Punct && t.Lexeme == s }
 
-// IsKeyword reports whether the token is the given keyword. It compares the
-// decoded StringValue, so escaped spellings like \u0069f still match.
-func (t Token) IsKeyword(s string) bool { return t.Kind == Keyword && t.StringValue == s }
+// IsKeyword reports whether the token is the given keyword.
+func (t Token) IsKeyword(s string) bool { return t.Kind == Keyword && t.Lexeme == s }
 
 // Comment is a source comment, retained for token-level features such as the
 // comment-to-code ratio that distinguishes minified from regular scripts.
@@ -105,25 +98,16 @@ type Comment struct {
 	Block bool   // true for /* */ comments
 }
 
-// isKeywordName reports whether name is a reserved word tokenized as
-// Keyword. Contextual keywords (of, async, get, set, static, from, as) stay
-// Ident and are recognized by the parser from the decoded name. Every
-// identifier the lexer scans takes this test, so it is a string switch —
-// length dispatch plus memory compare — rather than a map lookup, which
-// would hash the name on every call.
-//
-//jslint:hotpath
-func isKeywordName(name string) bool {
-	switch name {
-	case "await", "break", "case", "catch", "class",
-		"const", "continue", "debugger", "default",
-		"delete", "do", "else", "export", "extends",
-		"finally", "for", "function", "if", "import",
-		"in", "instanceof", "let", "new", "return",
-		"super", "switch", "this", "throw", "try",
-		"typeof", "var", "void", "while", "with",
-		"yield", "true", "false", "null":
-		return true
-	}
-	return false
+// keywords is the set of reserved words tokenized as Keyword. Contextual
+// keywords (of, async, get, set, static, from, as) stay Ident and are
+// recognized by the parser from the lexeme.
+var keywords = map[string]bool{
+	"await": true, "break": true, "case": true, "catch": true, "class": true,
+	"const": true, "continue": true, "debugger": true, "default": true,
+	"delete": true, "do": true, "else": true, "export": true, "extends": true,
+	"finally": true, "for": true, "function": true, "if": true, "import": true,
+	"in": true, "instanceof": true, "let": true, "new": true, "return": true,
+	"super": true, "switch": true, "this": true, "throw": true, "try": true,
+	"typeof": true, "var": true, "void": true, "while": true, "with": true,
+	"yield": true, "true": true, "false": true, "null": true,
 }
