@@ -43,7 +43,6 @@ import (
 	"io"
 	"io/fs"
 	"net"
-	"net/http"
 	_ "net/http/pprof"
 	"os"
 	"path/filepath"
@@ -56,6 +55,7 @@ import (
 	"repro/internal/features"
 	"repro/internal/htmlext"
 	"repro/internal/obs"
+	"repro/internal/service"
 )
 
 func main() {
@@ -113,19 +113,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 		fmt.Fprintf(stderr, "jsdetect: pprof listening on http://%s/debug/pprof/\n", ln.Addr())
-		// The server goroutine is tied to a tracked drain: closing the
-		// listener on the way out unblocks Serve, and the done channel is
-		// received before returning so the goroutine never outlives the run
-		// (goroutine-hygiene's contract for every go statement).
-		done := make(chan struct{})
-		go func() {
-			defer close(done)
-			_ = http.Serve(ln, nil)
-		}()
-		defer func() {
-			ln.Close()
-			<-done
-		}()
+		// The shared shutdown helper ties the server goroutine to a tracked
+		// drain: stop closes the listener (unblocking Serve) and waits for
+		// the goroutine, so it never outlives the run (goroutine-hygiene's
+		// contract for every go statement). jsscand -pprof uses the same
+		// helper.
+		stop := service.StartHTTP(ln, nil)
+		defer stop()
 	}
 	if opts.traceFile != "" {
 		f, err := os.Create(opts.traceFile)

@@ -111,3 +111,21 @@ func (c *dedupCache) len() int {
 	defer c.mu.Unlock()
 	return c.order.Len()
 }
+
+// DedupStats is a point-in-time view of a Scanner's content-hash cache,
+// surfaced on the scan service's admin endpoint.
+type DedupStats struct {
+	// Entries is the number of distinct contents currently cached.
+	Entries int `json:"entries"`
+	// Capacity is the LRU bound the cache evicts at.
+	Capacity int `json:"capacity"`
+}
+
+// DedupStats reports the dedup cache's occupancy; ok is false when the
+// Scanner runs without ScanOptions.Dedup.
+func (s *Scanner) DedupStats() (stats DedupStats, ok bool) {
+	if s.cache == nil {
+		return DedupStats{}, false
+	}
+	return DedupStats{Entries: s.cache.len(), Capacity: s.cache.cap}, true
+}

@@ -218,6 +218,24 @@ func TestDedupCancellationWarmCache(t *testing.T) {
 	t.Errorf("goroutines grew from %d to %d after cancelled scan", goroutinesBefore, runtime.NumGoroutine())
 }
 
+// TestDedupStats covers the admin-endpoint accessor: occupancy and capacity
+// for a dedup scanner, ok=false without the cache.
+func TestDedupStats(t *testing.T) {
+	swapOutObs(t)
+	s := tinyScanner(t, ScanOptions{Workers: 1, Dedup: true, DedupCapacity: 8}, features.Options{NGramDims: 256})
+	if st, ok := s.DedupStats(); !ok || st.Entries != 0 || st.Capacity != 8 {
+		t.Fatalf("fresh cache stats = %+v, %v", st, ok)
+	}
+	s.ScanBatch(dupInputs(6, 3))
+	if st, ok := s.DedupStats(); !ok || st.Entries != 3 || st.Capacity != 8 {
+		t.Fatalf("warm cache stats = %+v, %v, want 3 entries", st, ok)
+	}
+	plain := tinyScanner(t, ScanOptions{Workers: 1}, features.Options{NGramDims: 256})
+	if _, ok := plain.DedupStats(); ok {
+		t.Fatal("scanner without dedup must report ok=false")
+	}
+}
+
 // TestDedupOffByDefault guards the opt-in: without ScanOptions.Dedup every
 // repeat is scanned in full.
 func TestDedupOffByDefault(t *testing.T) {

@@ -1,11 +1,7 @@
 package core
 
 import (
-	"math/rand"
 	"testing"
-
-	"repro/internal/corpus"
-	"repro/internal/transform"
 )
 
 // TestMetamorphicTechniqueProbability checks the metamorphic property behind
@@ -13,14 +9,13 @@ import (
 // not *decrease* the predicted probability of T's own label. The transformed
 // variant carries strictly more of T's signal than the original, so a drop
 // beyond noise means the label head is keying on something other than the
-// technique. Tolerance (0.15 per file) and the seed policy are documented in
-// EXPERIMENTS.md ("Metamorphic detector check").
+// technique. The sweep (and its tolerance) lives in MetamorphicSweep so the
+// scan-service test enforces the identical property over HTTP; tolerance and
+// the seed policy are documented in EXPERIMENTS.md ("Metamorphic detector
+// check").
 func TestMetamorphicTechniqueProbability(t *testing.T) {
 	tr := getTrained(t)
-	const (
-		tolerance = 0.15 // per-file allowed drop, small-forest vote noise
-		maxFiles  = 8    // held-out regular files sampled per technique
-	)
+	const maxFiles = 8 // held-out regular files sampled per technique
 
 	files := tr.TestRegular
 	if len(files) > maxFiles {
@@ -30,31 +25,11 @@ func TestMetamorphicTechniqueProbability(t *testing.T) {
 		t.Fatal("no held-out regular files")
 	}
 
-	for ti, tech := range transform.Techniques {
-		tech := tech
-		ti := ti
-		t.Run(tech.String(), func(t *testing.T) {
-			// One deterministic stream per technique so adding a technique or
-			// a file never reshuffles another subtest's randomness.
-			rng := rand.New(rand.NewSource(1000 + int64(ti)))
-			for _, f := range files {
-				before, err := tr.Level2.Probs(f.Source)
-				if err != nil {
-					t.Fatalf("probs(%s): %v", f.Name, err)
-				}
-				tf, err := corpus.Apply(f, rng, tech)
-				if err != nil {
-					t.Fatalf("apply %s to %s: %v", tech, f.Name, err)
-				}
-				after, err := tr.Level2.Probs(tf.Source)
-				if err != nil {
-					t.Fatalf("probs(transformed %s): %v", f.Name, err)
-				}
-				if after[ti] < before[ti]-tolerance {
-					t.Errorf("%s: P(%s) dropped %.3f -> %.3f (tolerance %.2f)",
-						f.Name, tech, before[ti], after[ti], tolerance)
-				}
-			}
-		})
+	violations, err := MetamorphicSweep(files, tr.Level2.Probs)
+	if err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	for _, v := range violations {
+		t.Error(v)
 	}
 }

@@ -33,6 +33,12 @@ type ScanOptions struct {
 	// setting, while the process-wide obs registry is enabled (jsdetect
 	// -metrics); otherwise the scan skips the per-file clock reads.
 	StageStats bool
+	// ForceLevel2 ranks the transformation techniques for every parsed
+	// file, not only the ones level 1 flags as transformed. The scan
+	// service uses it so every response carries the full per-technique
+	// probability vector; inference is ~0.1% of pipeline cost, so the
+	// always-on ranking is effectively free.
+	ForceLevel2 bool
 	// Dedup enables the content-hash result cache: files whose SHA-256
 	// matches an already-scanned file short-circuit the whole
 	// parse/flow/rules/features/infer pipeline and replay the cached verdict
@@ -68,7 +74,7 @@ type FileResult struct {
 	// Level1 is the regular/minified/obfuscated verdict.
 	Level1 Level1Result
 	// Level2 ranks the transformation techniques; nil when level 1 did not
-	// flag the file as transformed.
+	// flag the file as transformed (unless the scan runs with ForceLevel2).
 	Level2 *Level2Result
 	// Diagnostics carries the static indicator findings when the scanner
 	// runs with Explain.
@@ -199,7 +205,7 @@ func (s *Scanner) scanFile(in Input, acc *stageAcc, ps *parser.Session) FileResu
 	vec := s.ext.ExtractFull(in.Source, res, g, diags)
 	t.tick(stageFeatures)
 	out.Level1 = level1FromProbs(s.l1.ProbsVec(vec))
-	if out.Level1.IsTransformed() {
+	if out.Level1.IsTransformed() || s.opts.ForceLevel2 {
 		r := Level2FromProbs(s.l2.ProbsVec(vec))
 		out.Level2 = &r
 	}

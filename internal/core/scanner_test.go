@@ -99,6 +99,53 @@ func TestScanBatchParseOnceWithRuleFeatures(t *testing.T) {
 	}
 }
 
+// TestScanForceLevel2 pins the ForceLevel2 contract: every parsed file gets
+// a technique ranking, even ones level 1 calls regular, while the default
+// keeps level 2 gated on the transformed verdict.
+func TestScanForceLevel2(t *testing.T) {
+	featOpts := features.Options{NGramDims: 256}
+	// A level 1 that calls everything regular: level 2 only runs when forced.
+	l1 := tinyDetector(Level1Labels, []float64{0.9, 0.1, 0.1}, featOpts)
+	l2probs := make([]float64, len(transform.Techniques))
+	for i := range l2probs {
+		l2probs[i] = 0.3
+	}
+	l2 := tinyDetector(Level2Labels(), l2probs, featOpts)
+
+	plain, err := NewScanner(l1, l2, ScanOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	forced, err := NewScanner(l1, l2, ScanOptions{Workers: 1, ForceLevel2: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	inputs := scanInputs(3)
+	inputs[1] = Input{Path: "broken.js", Source: "function ( {{{"}
+	got, _ := plain.ScanBatch(inputs)
+	for i, r := range got {
+		if r.Level2 != nil {
+			t.Errorf("default scan attached level 2 to regular file %d", i)
+		}
+	}
+	got, _ = forced.ScanBatch(inputs)
+	for i, r := range got {
+		if i == 1 {
+			if r.Level2 != nil {
+				t.Error("forced level 2 must still skip parse failures")
+			}
+			continue
+		}
+		if r.Level2 == nil {
+			t.Fatalf("forced scan missing level 2 on file %d", i)
+		}
+		if n := len(r.Level2.Ranked); n != len(transform.Techniques) {
+			t.Fatalf("forced level 2 ranked %d techniques, want %d", n, len(transform.Techniques))
+		}
+	}
+}
+
 // TestScanBatchErrorIsolation checks that one unparseable file is reported
 // in place without aborting or shifting the rest of the batch.
 func TestScanBatchErrorIsolation(t *testing.T) {

@@ -1,0 +1,155 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Service-layer dedup: the scanner's content-hash LRU is shared across HTTP
+// requests, so a script scanned in one request answers from the cache in the
+// next — including under the contiguous-prefix cancellation contract when a
+// request times out mid-batch.
+
+// TestServiceDedupAcrossRequests: two concurrent identical submissions
+// through a single worker produce exactly one full scan and one cache hit,
+// and the cache's occupancy shows up on the admin endpoint.
+func TestServiceDedupAcrossRequests(t *testing.T) {
+	reg := swapObs(t)
+	scanner := tinyScanner(t, core.ScanOptions{Workers: 1, Dedup: true, DedupCapacity: 32})
+	_, ts := newTestServer(t, scanner, Config{Concurrency: 1})
+
+	// One worker serializes the two jobs, so the second identical body is
+	// deterministically a replay of the first.
+	const src = "var shared = 1; function f(x) { return x + shared; } f(1);"
+	first := asyncPost(ts.URL, src)
+	second := asyncPost(ts.URL, src)
+	var dedupedCount int
+	for _, ch := range []chan postResult{first, second} {
+		r := <-ch
+		if r.err != nil || r.status != http.StatusOK {
+			t.Fatalf("submission failed: status %d err %v", r.status, r.err)
+		}
+		var rep Report
+		if err := json.Unmarshal(r.body, &rep); err != nil {
+			t.Fatal(err)
+		}
+		if rep.Deduped {
+			dedupedCount++
+		}
+		// Replayed or not, the verdict is the same.
+		if !rep.Transformed || rep.Minified != tinyL1Probs[1] {
+			t.Errorf("verdict diverged on replay: %+v", rep)
+		}
+	}
+	if dedupedCount != 1 {
+		t.Errorf("%d of 2 identical submissions deduped, want exactly 1", dedupedCount)
+	}
+	if got := reg.Counter("scan.cache.hit").Value(); got != 1 {
+		t.Errorf("scan.cache.hit = %d, want 1", got)
+	}
+
+	resp, err := http.Get(ts.URL + "/admin/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var rep AdminReport
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Cache == nil {
+		t.Fatal("dedup daemon reports no cache stats on the admin endpoint")
+	}
+	if rep.Cache.Entries != 1 || rep.Cache.Capacity != 32 {
+		t.Errorf("cache stats = %+v, want 1 entry of 32", rep.Cache)
+	}
+	if rep.Deduped != 1 {
+		t.Errorf("admin deduped total = %d, want 1", rep.Deduped)
+	}
+}
+
+// TestServiceDedupWarmCacheThenTimeout is the service-layer version of the
+// core warm-cache cancellation test: a batch of cached scripts with one
+// huge, uncached file spliced into the middle, scanned under a request
+// timeout the huge file cannot meet. The response must be the truncated,
+// contiguous, input-ordered prefix of cache replays that precede it.
+//
+// Two servers share one scanner: the warm server's generous timeout fills
+// the cache, the cancel server's 50ms budget forces the cut — which also
+// pins that the cache lives on the scanner, not on any one HTTP front end.
+func TestServiceDedupWarmCacheThenTimeout(t *testing.T) {
+	swapObs(t)
+	scanner := tinyScanner(t, core.ScanOptions{Workers: 4, Dedup: true})
+	_, warm := newTestServer(t, scanner, Config{Concurrency: 1, RequestTimeout: time.Minute, MaxRequestBytes: 64 << 20})
+	_, cancel := newTestServer(t, scanner, Config{Concurrency: 1, RequestTimeout: 50 * time.Millisecond, MaxRequestBytes: 64 << 20})
+
+	small := make([]ScanFile, 40)
+	for i := range small {
+		small[i] = ScanFile{
+			Path:   fmt.Sprintf("warm_%02d.js", i),
+			Source: fmt.Sprintf("var w%d = %d; function g%d(x) { return x - w%d; } g%d(9);", i, i, i, i, i),
+		}
+	}
+	resp, body := postBatch(t, warm.URL, ScanRequest{Files: small})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm request: status %d body %s", resp.StatusCode, body)
+	}
+	var warmed BatchResponse
+	if err := json.Unmarshal(body, &warmed); err != nil {
+		t.Fatal(err)
+	}
+	if warmed.Stats.Truncated || warmed.Stats.Deduped != 0 {
+		t.Fatalf("warm request stats = %+v", warmed.Stats)
+	}
+
+	// The cut request: cached files 0..19, then a large uncached script the
+	// 50ms budget cannot cover, then cached files 20..39.
+	var big strings.Builder
+	for i := 0; i < 200000; i++ {
+		fmt.Fprintf(&big, "var v%d = %d; v%d += v%d * 2;\n", i, i, i, i)
+	}
+	files := make([]ScanFile, 0, len(small)+1)
+	files = append(files, small[:20]...)
+	files = append(files, ScanFile{Path: "big.js", Source: big.String()})
+	files = append(files, small[20:]...)
+
+	resp, body = postBatch(t, cancel.URL, ScanRequest{Files: files})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cut request: status %d body %s", resp.StatusCode, body)
+	}
+	var out BatchResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !out.Stats.Truncated {
+		t.Fatal("request outlived its 50ms budget without truncation (big.js finished implausibly fast)")
+	}
+	if !strings.Contains(out.Error, "scan cut short") {
+		t.Errorf("truncated batch error = %q", out.Error)
+	}
+	// The contiguous prefix stops at big.js: everything before it replays
+	// from the warm cache in microseconds, big.js never finishes.
+	if len(out.Results) != 20 {
+		t.Fatalf("truncated batch returned %d results, want the 20 warm files before big.js", len(out.Results))
+	}
+	for i, r := range out.Results {
+		if r.Path != files[i].Path {
+			t.Fatalf("result %d is %q, want %q: truncated prefix not input-ordered", i, r.Path, files[i].Path)
+		}
+		if !r.Deduped {
+			t.Errorf("result %d (%s) not served from the warm cache", i, r.Path)
+		}
+		if r.Error != "" {
+			t.Errorf("result %d: %s", i, r.Error)
+		}
+	}
+	if out.Stats.Deduped != len(out.Results) {
+		t.Errorf("stats.Deduped = %d, want %d", out.Stats.Deduped, len(out.Results))
+	}
+}

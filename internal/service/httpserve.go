@@ -1,0 +1,26 @@
+package service
+
+import (
+	"net"
+	"net/http"
+)
+
+// StartHTTP serves handler (nil means http.DefaultServeMux, where pprof
+// registers) on ln in a background goroutine whose exit is tracked: the
+// returned stop function closes the listener, which unblocks Serve, and then
+// waits for the goroutine to return — so the server can never outlive its
+// owner. This is the shared shutdown helper behind jsdetect -pprof and
+// jsscand -pprof; the goroutine-hygiene analyzer's drain contract is what it
+// packages up.
+func StartHTTP(ln net.Listener, handler http.Handler) (stop func()) {
+	srv := &http.Server{Handler: handler}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = srv.Serve(ln)
+	}()
+	return func() {
+		ln.Close()
+		<-done
+	}
+}

@@ -1,0 +1,160 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// TestStartHTTPStopDrainsServer pins the contract of the shared shutdown
+// helper behind jsdetect -pprof and jsscand -pprof: the server answers while
+// running, and stop() both closes the listener and waits for the serve
+// goroutine to retire — no orphaned goroutine, no half-open listener.
+func TestStartHTTPStopDrainsServer(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := runtime.NumGoroutine()
+	stop := StartHTTP(ln, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "pong")
+	}))
+
+	url := fmt.Sprintf("http://%s/", ln.Addr())
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET while running: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "pong" {
+		t.Errorf("body = %q, want pong", body)
+	}
+
+	stop()
+	checkNoGoroutineLeak(t, before)
+	if _, err := net.DialTimeout("tcp", ln.Addr().String(), 100*time.Millisecond); err == nil {
+		t.Error("listener still accepting after stop")
+	}
+	// stop is safe to call twice (idempotent close path would panic if the
+	// helper closed the done channel from both sides).
+	defer func() {
+		if r := recover(); r != nil {
+			t.Errorf("second stop panicked: %v", r)
+		}
+	}()
+	stop()
+}
+
+// TestStartHTTPNilHandler: nil means the default mux, which is where
+// net/http/pprof registers — the reason both binaries pass nil.
+func TestStartHTTPNilHandler(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := StartHTTP(ln, nil)
+	defer stop()
+	resp, err := http.Get(fmt.Sprintf("http://%s/nonexistent-path-404", ln.Addr()))
+	if err != nil {
+		t.Fatalf("GET: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("default mux status = %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestServeGracefulShutdown runs the whole daemon lifecycle the way jsscand
+// does — Serve on a real listener, traffic, then context cancellation — and
+// checks the SIGTERM path: Serve returns nil, the listener is closed, the
+// pool has drained, and no goroutines outlive the run.
+func TestServeGracefulShutdown(t *testing.T) {
+	swapObs(t)
+	before := runtime.NumGoroutine()
+
+	s := New(tinyScanner(t, core.ScanOptions{Workers: 1}), Config{Concurrency: 1})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- s.Serve(ctx, ln, 10*time.Second) }()
+
+	url := fmt.Sprintf("http://%s", ln.Addr())
+	waitFor(t, "server to answer", func() bool {
+		resp, err := http.Get(url + "/healthz")
+		if err != nil {
+			return false
+		}
+		resp.Body.Close()
+		return resp.StatusCode == http.StatusOK
+	})
+	resp, err := http.Post(url+"/v1/scan", "application/javascript", strings.NewReader("var a = 1;"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("scan via Serve: status %d", resp.StatusCode)
+	}
+
+	cancel()
+	select {
+	case err := <-serveErr:
+		if err != nil {
+			t.Fatalf("Serve returned %v on graceful shutdown, want nil", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("Serve did not return after cancellation")
+	}
+	if !s.Draining() {
+		t.Error("server not draining after Serve returned")
+	}
+	if _, err := net.DialTimeout("tcp", ln.Addr().String(), 100*time.Millisecond); err == nil {
+		t.Error("listener still accepting after shutdown")
+	}
+	checkNoGoroutineLeak(t, before)
+}
+
+// TestServeListenerFailure: when the listener dies underneath Serve (not via
+// the context), Serve drains the pool and reports the listener error.
+func TestServeListenerFailure(t *testing.T) {
+	swapObs(t)
+	s := New(tinyScanner(t, core.ScanOptions{Workers: 1}), Config{Concurrency: 1})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- s.Serve(context.Background(), ln, 5*time.Second) }()
+	waitFor(t, "server to start", func() bool {
+		resp, err := http.Get(fmt.Sprintf("http://%s/healthz", ln.Addr()))
+		if err != nil {
+			return false
+		}
+		resp.Body.Close()
+		return true
+	})
+	ln.Close()
+	select {
+	case err := <-serveErr:
+		if err == nil {
+			t.Error("Serve returned nil after its listener died")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Serve did not return after listener close")
+	}
+	if !s.Draining() {
+		t.Error("pool not drained after listener failure")
+	}
+}

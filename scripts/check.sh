@@ -44,6 +44,16 @@ echo "== go test -race (batch scan + dedup) =="
 go test -race -run 'Scan|Dedup|ParallelTrain' ./internal/core ./cmd/jsdetect
 go test -race -run 'NGram|CollectStats|ExtractFull' ./internal/features
 
+# The scan service is the worker-pool-over-HTTP layer: the soak test compares
+# concurrent /v1/scan verdicts bit-for-bit against a direct ScanBatch, and
+# the drain/backpressure tests pin the shutdown and 429 paths. Like jslint,
+# the gate is budgeted (~60s wall under -race on a small machine) and the
+# recorded runtime is the early warning before it outgrows that.
+echo "== go test -race (scan service) =="
+service_start=$(date +%s)
+go test -race -short ./internal/service ./cmd/jsscand
+echo "service suite clean in $(( $(date +%s) - service_start ))s (budget 60s)"
+
 echo "== go test -race =="
 go test -race ./...
 
@@ -89,6 +99,9 @@ check_floor ./internal/core      80
 # trusts: both are plumbing other gates depend on, so they get floors too.
 check_floor ./internal/obs       75
 check_floor ./internal/benchfmt  75
+# The scan service: the daemon's correctness harness (soak, drain,
+# backpressure, dedup-over-HTTP) must keep covering the package it proves.
+check_floor ./internal/service   80
 
 # Informational per-package coverage summary (no gate): a shrinking number
 # here is the early warning before a floor trips. The run's output is
