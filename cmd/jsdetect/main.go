@@ -12,6 +12,8 @@
 //	jsdetect -models models/ -explain file.js   # attach static indicators
 //	jsdetect -models models/ -workers 8 dir/    # parallel batch scan
 //	jsdetect -models models/ -dedup dir/        # classify duplicate files once
+//	jsdetect -models models/ -triage dir/       # stage-0 cascade: easy files skip the pipeline
+//	jsdetect -models models/ -store cache/ dir/ # persist verdicts across invocations
 //	jsdetect -models models/ -metrics dir/      # per-stage metrics dump
 //	jsdetect -models models/ -pprof :6060 dir/  # live pprof endpoints
 //	jsdetect -models models/ -trace out.tr dir/ # runtime execution trace
@@ -56,6 +58,7 @@ import (
 	"repro/internal/htmlext"
 	"repro/internal/obs"
 	"repro/internal/service"
+	"repro/internal/store"
 )
 
 func main() {
@@ -71,6 +74,8 @@ type options struct {
 	explain   bool
 	workers   int
 	dedup     bool
+	triage    bool
+	storeDir  string
 	stats     bool
 	metrics   bool
 	pprofAddr string
@@ -90,6 +95,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	flags.BoolVar(&opts.explain, "explain", false, "run the static indicator rules and attach attributable diagnostics")
 	flags.IntVar(&opts.workers, "workers", 0, "batch scan worker pool size (0 = GOMAXPROCS)")
 	flags.BoolVar(&opts.dedup, "dedup", false, "cache verdicts by content hash so duplicate files are classified once")
+	flags.BoolVar(&opts.triage, "triage", false, "route high-confidence regular/minified files around the full pipeline")
+	flags.StringVar(&opts.storeDir, "store", "", "persist verdicts to this directory so repeat scans answer from disk")
 	flags.BoolVar(&opts.stats, "stats", false, "print aggregate scan statistics to stderr")
 	flags.BoolVar(&opts.metrics, "metrics", false, "collect pipeline metrics and print the per-stage breakdown to stderr (JSON with -json)")
 	flags.StringVar(&opts.pprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for the scan's lifetime")
@@ -151,7 +158,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "jsdetect: load level 2: %v\n", err)
 		return 1
 	}
-	scanner, err := core.NewScanner(l1, l2, core.ScanOptions{Workers: opts.workers, Explain: opts.explain, StageStats: opts.metrics, Dedup: opts.dedup})
+	scanOpts := core.ScanOptions{Workers: opts.workers, Explain: opts.explain, StageStats: opts.metrics, Dedup: opts.dedup, Triage: opts.triage}
+	if opts.storeDir != "" {
+		vs, err := store.Open(opts.storeDir)
+		if err != nil {
+			fmt.Fprintf(stderr, "jsdetect: -store: %v\n", err)
+			return 1
+		}
+		defer func() {
+			if err := vs.Close(); err != nil {
+				fmt.Fprintf(stderr, "jsdetect: close store: %v\n", err)
+			}
+		}()
+		scanOpts.VerdictStore = vs
+	}
+	scanner, err := core.NewScanner(l1, l2, scanOpts)
 	if err != nil {
 		fmt.Fprintf(stderr, "jsdetect: %v\n", err)
 		return 1
@@ -206,6 +227,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		dedup := ""
 		if opts.dedup {
 			dedup = fmt.Sprintf(", %d deduped", stats.Deduped)
+		}
+		if opts.triage {
+			dedup += fmt.Sprintf(", %d bypassed", stats.Bypassed)
+		}
+		if opts.storeDir != "" {
+			dedup += fmt.Sprintf(", %d from store", stats.StoreHits)
 		}
 		fmt.Fprintf(stderr,
 			"jsdetect: scanned %d files (%d bytes) in %v: %d regular, %d minified, %d obfuscated, %d transformed, %d parse failures%s (%.1f files/s, %.1f KB/s)\n",
@@ -326,6 +353,7 @@ func emitResult(it item, r core.FileResult, opts options, stdout, stderr io.Writ
 	}
 	rep := buildReport(it.path, r.Level1, r.Level2, r.Diagnostics, opts)
 	rep.HTMLScripts = it.htmlScripts
+	rep.Bypassed = r.Bypassed
 	if opts.jsonOut {
 		json.NewEncoder(stdout).Encode(rep)
 		return
@@ -383,6 +411,9 @@ type report struct {
 	Obfuscated  float64           `json:"obfuscated"`
 	Techniques  []techniqueReport `json:"techniques,omitempty"`
 	HTMLScripts int               `json:"htmlScripts,omitempty"`
+	// Bypassed marks a verdict the stage-0 triage router synthesized
+	// without running the full pipeline (-triage).
+	Bypassed bool `json:"bypassed,omitempty"`
 	// Diagnostics carries the static indicator findings under -explain.
 	Diagnostics []analysis.Diagnostic `json:"diagnostics,omitempty"`
 	// Error is the per-file failure (parse or read error), when any.

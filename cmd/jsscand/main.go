@@ -16,9 +16,14 @@
 // worker pool (-concurrent) over a bounded job queue (-queue) that rejects
 // with 429 + Retry-After under saturation, a per-request scan budget
 // (-timeout), a request-size limit (-max-bytes), and the content-hash dedup
-// LRU (-dedup) shared across all requests. SIGINT/SIGTERM trigger a graceful
-// drain: the listener stops accepting, queued and in-flight scans finish
-// (bounded by -grace), and the final metrics line is flushed.
+// LRU (-dedup) shared across all requests. -triage enables the stage-0
+// cascade (high-confidence regular/minified submissions skip the full
+// pipeline), and -store dir/ persists verdicts on disk so a redeployed
+// daemon answers repeat content without rescanning — responses are identical
+// across the restart; store traffic shows on /admin/metrics.
+// SIGINT/SIGTERM trigger a graceful drain: the listener stops accepting,
+// queued and in-flight scans finish (bounded by -grace), and the final
+// metrics line is flushed.
 //
 // Models come from the trainer command; v2 model files embed the feature
 // fingerprint they were trained with, and startup fails loudly on mismatch.
@@ -42,6 +47,7 @@ import (
 	"repro/internal/features"
 	"repro/internal/obs"
 	"repro/internal/service"
+	"repro/internal/store"
 )
 
 func main() {
@@ -64,6 +70,8 @@ func run(ctx context.Context, args []string, stderr io.Writer) int {
 	grace := flags.Duration("grace", 30*time.Second, "shutdown drain budget")
 	dedup := flags.Bool("dedup", true, "share the content-hash verdict cache across requests")
 	dedupCap := flags.Int("dedup-cap", core.DefaultDedupCapacity, "distinct contents the dedup cache retains")
+	triage := flags.Bool("triage", false, "route high-confidence regular/minified files around the full pipeline")
+	storeDir := flags.String("store", "", "persist verdicts to this directory so repeat content survives restarts")
 	explain := flags.Bool("explain", false, "run the static indicator rules so requests can ask for diagnostics")
 	fullProbs := flags.Bool("full-probs", true, "rank all techniques for every file, not only transformed ones")
 	pprofAddr := flags.String("pprof", "", "serve net/http/pprof on this address for the daemon's lifetime")
@@ -103,13 +111,31 @@ func run(ctx context.Context, args []string, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "jsscand: load level 2: %v\n", err)
 		return 1
 	}
-	scanner, err := core.NewScanner(l1, l2, core.ScanOptions{
+	scanOpts := core.ScanOptions{
 		Workers:       *workers,
 		Explain:       *explain,
 		ForceLevel2:   *fullProbs,
 		Dedup:         *dedup,
 		DedupCapacity: *dedupCap,
-	})
+		Triage:        *triage,
+	}
+	if *storeDir != "" {
+		vs, err := store.Open(*storeDir)
+		if err != nil {
+			fmt.Fprintf(stderr, "jsscand: -store: %v\n", err)
+			return 1
+		}
+		defer func() {
+			if err := vs.Close(); err != nil {
+				fmt.Fprintf(stderr, "jsscand: close store: %v\n", err)
+			}
+		}()
+		st := vs.Stats()
+		logger.Printf("event=store dir=%s entries=%d recovered=%d dropped_bytes=%d",
+			*storeDir, st.Entries, st.Recovered, st.DroppedBytes)
+		scanOpts.VerdictStore = vs
+	}
+	scanner, err := core.NewScanner(l1, l2, scanOpts)
 	if err != nil {
 		fmt.Fprintf(stderr, "jsscand: %v\n", err)
 		return 1

@@ -95,6 +95,13 @@ func startDaemon(t *testing.T, ctx context.Context, stderr *syncBuffer, extraArg
 	t.Helper()
 	models := t.TempDir()
 	writeTinyModels(t, models)
+	return startDaemonAt(t, ctx, stderr, models, extraArgs...)
+}
+
+// startDaemonAt is startDaemon with a caller-owned models directory, for
+// tests that restart the daemon against the same models and state.
+func startDaemonAt(t *testing.T, ctx context.Context, stderr *syncBuffer, models string, extraArgs ...string) (url string, exit chan int) {
+	t.Helper()
 	args := append([]string{"-addr", "127.0.0.1:0", "-models", models}, extraArgs...)
 	exit = make(chan int, 1)
 	go func() { exit <- run(ctx, args, stderr) }()

@@ -1,0 +1,190 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// The warm-restart contract: a daemon brought back up over the same -store
+// directory answers a repeat batch entirely from persisted verdicts — zero
+// full-pipeline scans — and the response is byte-identical to the cold run.
+// Store provenance is visible only on /admin/metrics, never in scan
+// responses, so a load balancer cannot tell the two daemons apart.
+
+// scanBatch POSTs a JSON batch and returns the split response: the raw
+// results array (the byte-stability surface) and the stats envelope.
+func scanBatch(t *testing.T, url, body string) (results json.RawMessage, stats map[string]any) {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/scan", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("scan status = %d", resp.StatusCode)
+	}
+	var envelope struct {
+		Results json.RawMessage `json:"results"`
+		Stats   map[string]any  `json:"stats"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&envelope); err != nil {
+		t.Fatal(err)
+	}
+	return envelope.Results, envelope.Stats
+}
+
+// adminSnapshot fetches /admin/metrics, returning the server-level aggregates
+// and the obs counter values by name. The obs registry is process-global in
+// this test binary (it outlives each run()), so callers compare deltas.
+type adminSnapshot struct {
+	Files     int64             `json:"files"`
+	Deduped   int64             `json:"deduped"`
+	Bypassed  int64             `json:"bypassed"`
+	StoreHits int64             `json:"storeHits"`
+	Stages    []json.RawMessage `json:"stages"`
+	Store     *struct {
+		Entries int `json:"entries"`
+	} `json:"store"`
+	Metrics struct {
+		Counters []struct {
+			Name  string `json:"name"`
+			Value int64  `json:"value"`
+		} `json:"counters"`
+	} `json:"metrics"`
+}
+
+func fetchAdmin(t *testing.T, url string) adminSnapshot {
+	t.Helper()
+	resp, err := http.Get(url + "/admin/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap adminSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	return snap
+}
+
+func (s adminSnapshot) counter(name string) int64 {
+	for _, c := range s.Metrics.Counters {
+		if c.Name == name {
+			return c.Value
+		}
+	}
+	return 0
+}
+
+// stopDaemon cancels the daemon's context and waits for a clean exit, which
+// runs the deferred store close (the fsync-and-release half of a restart).
+func stopDaemon(t *testing.T, cancel context.CancelFunc, exit chan int, stderr *syncBuffer) {
+	t.Helper()
+	cancel()
+	select {
+	case code := <-exit:
+		if code != 0 {
+			t.Fatalf("daemon exit = %d:\n%s", code, stderr.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not exit after cancellation")
+	}
+}
+
+func TestDaemonWarmStoreRestart(t *testing.T) {
+	models := t.TempDir()
+	writeTinyModels(t, models)
+	storeDir := t.TempDir()
+
+	// Distinct contents so the cold run's in-batch dedup and store both stay
+	// out of the picture: every cold verdict is computed, every warm verdict
+	// replayed. The mix exercises both cascade outcomes — a hand-shaped
+	// regular source the triage router bypasses, a file too small to bypass,
+	// and an eval-heavy one escalated on suspicion — all through the full
+	// pipeline on the cold run.
+	const batch = `{"files":[` +
+		`{"path":"a.js","source":"var alpha = 1;\nvar beta = alpha + 2;\nfunction gamma(value) {\n  return value * beta;\n}\ngamma(alpha);\n"},` +
+		`{"path":"b.js","source":"function beta(x) { return x + 2; }"},` +
+		`{"path":"c.js","source":"eval(atob('aGVsbG8=')); eval(atob('d29ybGQ=')); eval(atob('YWdhaW4=')); eval(atob('bW9yZQ=='));"}]}`
+	const nfiles = 3
+
+	ctx1, cancel1 := context.WithCancel(context.Background())
+	defer cancel1()
+	var stderr1 syncBuffer
+	url1, exit1 := startDaemonAt(t, ctx1, &stderr1, models, "-triage", "-store", storeDir)
+
+	coldResults, coldStats := scanBatch(t, url1, batch)
+	coldAdmin := fetchAdmin(t, url1)
+	if coldAdmin.StoreHits != 0 {
+		t.Fatalf("cold daemon reported %d store hits", coldAdmin.StoreHits)
+	}
+	if coldAdmin.Store == nil || coldAdmin.Store.Entries != nfiles {
+		t.Fatalf("cold store state = %+v, want %d entries", coldAdmin.Store, nfiles)
+	}
+	stopDaemon(t, cancel1, exit1, &stderr1)
+
+	// Restart: same models, same store directory, fresh process state (empty
+	// dedup cache, zeroed server aggregates).
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	var stderr2 syncBuffer
+	url2, exit2 := startDaemonAt(t, ctx2, &stderr2, models, "-triage", "-store", storeDir)
+	if !strings.Contains(stderr2.String(), "event=store") {
+		t.Errorf("restarted daemon did not log its store recovery:\n%s", stderr2.String())
+	}
+
+	warmResults, warmStats := scanBatch(t, url2, batch)
+
+	// Byte-identical results: provenance (FromStore) is deliberately absent
+	// from responses, and Bypassed is part of the persisted verdict.
+	if !bytes.Equal(coldResults, warmResults) {
+		t.Errorf("warm results differ from cold run:\n cold %s\n warm %s", coldResults, warmResults)
+	}
+	// The stats envelope matches too, except the wall-clock field.
+	delete(coldStats, "durationNs")
+	delete(warmStats, "durationNs")
+	coldJSON, _ := json.Marshal(coldStats)
+	warmJSON, _ := json.Marshal(warmStats)
+	if !bytes.Equal(coldJSON, warmJSON) {
+		t.Errorf("warm stats differ from cold run:\n cold %s\n warm %s", coldJSON, warmJSON)
+	}
+
+	// Zero full-pipeline scans on the warm daemon: every verdict came off
+	// disk, so nothing reached triage or the pipeline stages.
+	warmAdmin := fetchAdmin(t, url2)
+	if warmAdmin.StoreHits != nfiles {
+		t.Errorf("warm daemon store hits = %d, want %d", warmAdmin.StoreHits, nfiles)
+	}
+	if warmAdmin.Files != nfiles {
+		t.Errorf("warm daemon files = %d, want %d", warmAdmin.Files, nfiles)
+	}
+	if len(warmAdmin.Stages) != 0 {
+		t.Errorf("warm daemon ran %d pipeline stages, want none", len(warmAdmin.Stages))
+	}
+	for name, want := range map[string]int64{
+		"scan.store.hit":       nfiles,
+		"scan.store.miss":      0,
+		"scan.triage.bypass":   0,
+		"scan.triage.escalate": 0,
+	} {
+		if delta := warmAdmin.counter(name) - coldAdmin.counter(name); delta != want {
+			t.Errorf("counter %s moved by %d across the warm batch, want %d", name, delta, want)
+		}
+	}
+
+	// And the cold run did exercise both cascade paths, so the warm-run
+	// assertions above covered bypassed and escalated verdicts alike.
+	if coldAdmin.counter("scan.triage.bypass") == 0 {
+		t.Error("cold batch produced no triage bypasses; warm test lost its easy-path coverage")
+	}
+	if coldAdmin.counter("scan.triage.escalate") == 0 {
+		t.Error("cold batch produced no escalations; warm test lost its hard-path coverage")
+	}
+
+	stopDaemon(t, cancel2, exit2, &stderr2)
+}

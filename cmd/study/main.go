@@ -8,6 +8,8 @@
 //	study                    # everything, quick scale
 //	study -scale 3           # bigger corpora (closer to the paper)
 //	study -experiment alexa  # one experiment
+//	study -experiment cascade -shards 8 -store verdicts/
+//	                         # sharded crawl through triage + the verdict store
 package main
 
 import (
@@ -27,7 +29,9 @@ func run() int {
 	scale := flag.Int("scale", 1, "corpus scale multiplier")
 	seed := flag.Int64("seed", 42, "study seed")
 	experiment := flag.String("experiment", "all",
-		"one of: all, tableI, level1, level2, figure1, packer, alexa, npm, malicious, longitudinal, unmonitored, importance, ablation")
+		"one of: all, tableI, level1, level2, figure1, packer, alexa, npm, malicious, longitudinal, unmonitored, importance, ablation, cascade")
+	shards := flag.Int("shards", 4, "scanner shards for the cascade experiment")
+	storeDir := flag.String("store", "", "cascade verdict store directory (empty: a fresh temp dir, removed afterwards)")
 	flag.Parse()
 
 	start := time.Now()
@@ -145,6 +149,23 @@ func run() int {
 	})
 	exit |= run("ablation", func() error {
 		c, err := runner.RunChainAblation()
+		if err != nil {
+			return err
+		}
+		c.Print(os.Stdout)
+		return nil
+	})
+	exit |= run("cascade", func() error {
+		dir := *storeDir
+		if dir == "" {
+			tmp, err := os.MkdirTemp("", "study-store-")
+			if err != nil {
+				return err
+			}
+			defer os.RemoveAll(tmp)
+			dir = tmp
+		}
+		c, err := runner.RunCascade(dir, *shards)
 		if err != nil {
 			return err
 		}

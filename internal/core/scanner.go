@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"crypto/sha256"
 	"fmt"
 	"runtime"
 	"sync"
@@ -11,6 +12,8 @@ import (
 	"repro/internal/features"
 	"repro/internal/js/parser"
 	"repro/internal/obs"
+	"repro/internal/store"
+	"repro/internal/triage"
 )
 
 // The batch scan engine classifies whole directories the way the paper's
@@ -48,6 +51,25 @@ type ScanOptions struct {
 	// DedupCapacity bounds the number of distinct contents the cache
 	// retains (LRU eviction); <= 0 means DefaultDedupCapacity.
 	DedupCapacity int
+	// Triage enables the stage-0 pre-classifier: a single cheap pass over
+	// the text routes high-confidence regular or plainly minified files
+	// around the full parse→flow→features→infer pipeline, synthesizing the
+	// verdict directly (FileResult.Bypassed). The router is conservative —
+	// any obfuscation signal escalates to the full pipeline — and its
+	// honesty is measured by TestTriageFalseBypassGate.
+	Triage bool
+	// TriageConfig tunes the triage router; the zero value uses the
+	// documented defaults the false-bypass gate validates.
+	TriageConfig triage.Config
+	// VerdictStore, when non-nil, extends the in-memory dedup cache across
+	// process restarts: completed verdicts are persisted to the store keyed
+	// by content hash (salted with the model identity, so a store directory
+	// can never serve verdicts computed by a different model or triage
+	// configuration), and repeat content is answered from disk without
+	// re-running the pipeline (FileResult.FromStore). The caller owns the
+	// store's lifecycle; writes are best-effort (a failed append costs a
+	// future rescan, never a wrong answer).
+	VerdictStore *store.Store
 }
 
 func (o ScanOptions) workers() int {
@@ -86,6 +108,17 @@ type FileResult struct {
 	// Level1/Level2/Diagnostics are shared with that file's result and must
 	// be treated as read-only.
 	Deduped bool
+	// Bypassed marks a verdict synthesized by the stage-0 triage router
+	// (ScanOptions.Triage) without running the full pipeline: Level1 carries
+	// the routed class at full confidence and Level2/Diagnostics are empty.
+	// The flag is part of the verdict — it survives the verdict store and
+	// the dedup cache — so a replayed bypass still reports as one.
+	Bypassed bool
+	// FromStore marks a verdict answered from the on-disk verdict store
+	// (ScanOptions.VerdictStore) rather than computed in this process. It
+	// describes provenance, not the verdict: it is not persisted, and cache
+	// replays of a store hit do not carry it.
+	FromStore bool
 }
 
 // ScanStats aggregates one batch scan.
@@ -103,6 +136,12 @@ type ScanStats struct {
 	// Deduped counts inputs answered from the content-hash cache. Those
 	// inputs still contribute to Files, Bytes, and the verdict counts.
 	Deduped int
+	// Bypassed counts inputs whose verdict the triage router synthesized
+	// without the full pipeline (including bypassed verdicts replayed from
+	// the cache or the store).
+	Bypassed int
+	// StoreHits counts inputs answered from the on-disk verdict store.
+	StoreHits int
 	// Duration is the wall-clock time of the scan.
 	Duration time.Duration
 	// Stages is the per-stage timing/bytes breakdown, in pipeline order.
@@ -140,6 +179,12 @@ type Scanner struct {
 	opts ScanOptions
 	// cache is the content-hash dedup cache; nil unless opts.Dedup is set.
 	cache *dedupCache
+	// vstore is the persistent verdict store; nil unless the options carry
+	// one. storeSalt folds the model identity (both serialized models) and
+	// the triage configuration into every store key, so a shared store
+	// directory can never serve a verdict this scanner would not produce.
+	vstore    *store.Store
+	storeSalt [sha256.Size]byte
 }
 
 // NewScanner validates that l1 and l2 are the expected levels with matching
@@ -158,28 +203,126 @@ func NewScanner(l1, l2 *Detector, opts ScanOptions) (*Scanner, error) {
 	if opts.Dedup {
 		s.cache = newDedupCache(opts.DedupCapacity)
 	}
+	if opts.VerdictStore != nil {
+		s.vstore = opts.VerdictStore
+		// The salt is a digest of everything a stored verdict depends on
+		// besides the content: the serialized models (weights, not just
+		// layout) and the cascade configuration. Serializing the models once
+		// at construction costs milliseconds and buys the guarantee that a
+		// retrained model silently misses instead of silently lying.
+		h := sha256.New()
+		if err := l1.Save(h); err != nil {
+			return nil, fmt.Errorf("core: fingerprint level 1 model: %w", err)
+		}
+		if err := l2.Save(h); err != nil {
+			return nil, fmt.Errorf("core: fingerprint level 2 model: %w", err)
+		}
+		fmt.Fprintf(h, "triage:%v:%+v;explain:%v;force2:%v",
+			opts.Triage, opts.TriageConfig, opts.Explain, opts.ForceLevel2)
+		h.Sum(s.storeSalt[:0])
+	}
 	return s, nil
 }
 
-// scanOne classifies one input, answering from the dedup cache when enabled
-// and the content has been scanned before. Parse failures are cached too:
-// the same bytes fail the same way. ps is the calling worker's reusable
-// parser session.
+// scanOne classifies one input through the cascade: in-memory dedup cache,
+// then the on-disk verdict store, then the stage-0 triage router, then the
+// full pipeline. Parse failures are cached and persisted too: the same bytes
+// fail the same way. ps is the calling worker's reusable parser session.
 func (s *Scanner) scanOne(in Input, acc *stageAcc, ps *parser.Session) FileResult {
-	if s.cache == nil {
+	if s.cache == nil && s.vstore == nil && !s.opts.Triage {
 		return s.scanFile(in, acc, ps)
 	}
-	key := hashSource(in.Source)
-	if r, ok := s.cache.get(key); ok {
-		r.Path = in.Path
-		r.Deduped = true
-		return r
+	var key dedupKey
+	if s.cache != nil || s.vstore != nil {
+		key = hashSource(in.Source)
+	}
+	if s.cache != nil {
+		if r, ok := s.cache.get(key); ok {
+			r.Path = in.Path
+			r.Deduped = true
+			return r
+		}
+	}
+	if s.vstore != nil {
+		if raw, ok := s.vstore.Get(s.storeKey(key)); ok {
+			if r, err := decodeVerdict(raw); err == nil {
+				obs.Add("scan.store.hit", 1)
+				r.Path = in.Path
+				r.Bytes = len(in.Source)
+				r.FromStore = true
+				s.cachePut(key, r)
+				return r
+			}
+			// Undecodable (written by another codec version): treat as a
+			// miss and overwrite with a fresh verdict below.
+		}
+		obs.Add("scan.store.miss", 1)
+	}
+	if s.opts.Triage {
+		if d, _ := triage.Route(in.Source, s.opts.TriageConfig); d.Bypassed() {
+			obs.Add("scan.triage.bypass", 1)
+			out := FileResult{Path: in.Path, Bytes: len(in.Source), Bypassed: true}
+			if d == triage.BypassMinified {
+				out.Level1 = Level1Result{Minified: 1}
+			} else {
+				out.Level1 = Level1Result{Regular: 1}
+			}
+			s.persist(key, out)
+			s.cachePut(key, out)
+			return out
+		}
+		obs.Add("scan.triage.escalate", 1)
 	}
 	out := s.scanFile(in, acc, ps)
-	cached := out
-	cached.Path = "" // hits stamp their own Path
-	s.cache.put(key, cached)
+	s.persist(key, out)
+	s.cachePut(key, out)
 	return out
+}
+
+// cachePut stores a completed result in the dedup cache. The Path is
+// stripped (hits stamp their own) and so is FromStore: a memory replay of a
+// store hit is a cache hit, not another store hit.
+func (s *Scanner) cachePut(key dedupKey, r FileResult) {
+	if s.cache == nil {
+		return
+	}
+	r.Path = ""
+	r.FromStore = false
+	s.cache.put(key, r)
+}
+
+// persist writes a completed verdict to the store, best-effort: an encode or
+// append failure costs a future rescan of the same content, never a wrong
+// answer, so the scan does not abort on it.
+func (s *Scanner) persist(key dedupKey, r FileResult) {
+	if s.vstore == nil {
+		return
+	}
+	raw, err := encodeVerdict(r)
+	if err != nil {
+		return
+	}
+	_ = s.vstore.Put(s.storeKey(key), raw)
+}
+
+// storeKey derives the verdict-store key for a content hash by folding in
+// the scanner's model/config salt.
+func (s *Scanner) storeKey(k dedupKey) store.Key {
+	h := sha256.New()
+	h.Write(k[:])
+	h.Write(s.storeSalt[:])
+	var out store.Key
+	h.Sum(out[:0])
+	return out
+}
+
+// StoreStats reports the verdict store's state; ok is false when the Scanner
+// runs without one.
+func (s *Scanner) StoreStats() (stats store.Stats, ok bool) {
+	if s.vstore == nil {
+		return store.Stats{}, false
+	}
+	return s.vstore.Stats(), true
 }
 
 // scanFile classifies one input: a single parse and flow graph feed the
@@ -304,6 +447,12 @@ func (s *Scanner) ScanStreamContext(ctx context.Context, inputs []Input, emit fu
 		stats.Bytes += int64(r.Bytes)
 		if r.Deduped {
 			stats.Deduped++
+		}
+		if r.Bypassed {
+			stats.Bypassed++
+		}
+		if r.FromStore {
+			stats.StoreHits++
 		}
 		switch {
 		case r.Err != nil:

@@ -156,3 +156,81 @@ func BenchmarkScanSerial3Parse(b *testing.B) {
 		}
 	}
 }
+
+// benchMixedInputs builds the 80/20 easy/hard mix the triage cascade is
+// designed for: 80% of the files are easy (hand-formatted regular scripts
+// plus simply minified ones — the mass a crawl actually sees), 20% are hard
+// (obfuscating transforms that must escalate to the full pipeline).
+func benchMixedInputs(b *testing.B) []Input {
+	b.Helper()
+	rng := rand.New(rand.NewSource(23))
+	bases := corpus.RegularSet(40, rng)
+	hardTechs := []transform.Technique{
+		transform.StringObfuscation, transform.ControlFlowFlattening,
+		transform.DeadCodeInjection, transform.GlobalArray,
+	}
+	inputs := make([]Input, 0, len(bases))
+	for i, base := range bases {
+		switch {
+		case i%5 == 0: // 20% hard: obfuscated
+			tf, err := corpus.Apply(base, rng, hardTechs[i%len(hardTechs)])
+			if err != nil {
+				b.Fatal(err)
+			}
+			inputs = append(inputs, Input{Path: tf.Name, Source: tf.Source})
+		case i%5 == 1: // 16% easy: minified
+			tf, err := corpus.Apply(base, rng, transform.MinifySimple)
+			if err != nil {
+				b.Fatal(err)
+			}
+			inputs = append(inputs, Input{Path: tf.Name, Source: tf.Source})
+		default: // 64% easy: regular
+			inputs = append(inputs, Input{Path: base.Name, Source: base.Source})
+		}
+	}
+	return inputs
+}
+
+// BenchmarkScanBatchMixed is the no-triage control for the 80/20 mix: every
+// file, easy or hard, pays the full parse→flow→features→infer pipeline.
+func BenchmarkScanBatchMixed(b *testing.B) {
+	inputs := benchMixedInputs(b)
+	l1, l2 := benchDetectors(b, features.Options{NGramDims: 1024})
+	s, err := NewScanner(l1, l2, ScanOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(totalBytes(inputs))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, stats := s.ScanBatch(inputs)
+		if stats.ParseFailures != 0 {
+			b.Fatalf("parse failures: %d", stats.ParseFailures)
+		}
+	}
+}
+
+// BenchmarkScanBatchTriage is the same 80/20 mix with the stage-0 cascade
+// on: high-confidence easy files route around the pipeline, hard files
+// escalate. The headline number the tentpole claims — ≥2× over
+// BenchmarkScanBatchMixed — comes from this pair; the false-bypass gate
+// (TestTriageFalseBypassGate) is what makes the shortcut honest.
+func BenchmarkScanBatchTriage(b *testing.B) {
+	inputs := benchMixedInputs(b)
+	l1, l2 := benchDetectors(b, features.Options{NGramDims: 1024})
+	s, err := NewScanner(l1, l2, ScanOptions{Triage: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(totalBytes(inputs))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, stats := s.ScanBatch(inputs)
+		if stats.ParseFailures != 0 {
+			b.Fatalf("parse failures: %d", stats.ParseFailures)
+		}
+		if stats.Bypassed < len(inputs)/2 {
+			b.Fatalf("only %d/%d bypassed; the mix is not exercising the cascade", stats.Bypassed, len(inputs))
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/transform"
+	"repro/internal/triage"
+)
+
+// TriageFalseBypassBudget is the disagreement rate the stage-0 cascade must
+// stay under to earn its bypasses: across the gate corpus (regular files plus
+// every technique's transform outputs), fewer than 1% of all files may be
+// routed around the full pipeline with a verdict the pipeline itself would
+// not have produced. The gate is a checked-in test, not a one-off calibration
+// script: any threshold or feature change in internal/triage has to re-prove
+// the budget here.
+const TriageFalseBypassBudget = 0.01
+
+// triageAgrees reports whether a stage-0 bypass verdict matches the full
+// pipeline's level 1 verdict on the same bytes.
+func triageAgrees(d triage.Decision, l1 Level1Result) bool {
+	switch d {
+	case triage.BypassRegular:
+		return !l1.IsTransformed()
+	case triage.BypassMinified:
+		return l1.IsMinified() && !l1.IsObfuscated()
+	default:
+		return true // escalation always agrees: the pipeline decides
+	}
+}
+
+// TestTriageFalseBypassGate measures the cascade's false-bypass rate against
+// the full pipeline over regular corpus files plus all ten transform outputs
+// and fails when it reaches TriageFalseBypassBudget. It also requires the
+// cascade to actually bypass a useful fraction of the easy mass — a router
+// that escalates everything passes any honesty gate and saves nothing.
+func TestTriageFalseBypassGate(t *testing.T) {
+	tr := getTrained(t)
+	scanner, err := NewScanner(tr.Level1, tr.Level2, ScanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := triage.Config{}
+
+	rng := rand.New(rand.NewSource(8080))
+	regular := corpus.RegularSet(60, rng)
+	pool, err := corpus.TransformPool(regular, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type classStats struct {
+		files, bypassed, disagree int
+	}
+	var total classStats
+	perClass := make(map[string]*classStats)
+
+	check := func(class string, files []corpus.File) {
+		cs := &classStats{}
+		perClass[class] = cs
+		inputs := make([]Input, len(files))
+		for i, f := range files {
+			inputs[i] = Input{Path: f.Name, Source: f.Source}
+		}
+		results, _ := scanner.ScanBatch(inputs)
+		for i, f := range files {
+			if results[i].Err != nil {
+				t.Fatalf("%s: pipeline failed: %v", f.Name, results[i].Err)
+			}
+			d, _ := triage.Route(f.Source, cfg)
+			cs.files++
+			total.files++
+			if !d.Bypassed() {
+				continue
+			}
+			cs.bypassed++
+			total.bypassed++
+			if !triageAgrees(d, results[i].Level1) {
+				cs.disagree++
+				total.disagree++
+			}
+		}
+	}
+
+	check("regular", regular)
+	for _, tech := range transform.Techniques {
+		check(tech.String(), pool[tech])
+	}
+
+	rate := float64(total.disagree) / float64(total.files)
+	bypassRate := float64(total.bypassed) / float64(total.files)
+	t.Logf("triage gate: %d files, %d bypassed (%.1f%%), %d disagreements (%.3f%%)",
+		total.files, total.bypassed, 100*bypassRate, total.disagree, 100*rate)
+	classes := make([]string, 0, len(perClass))
+	for class := range perClass {
+		classes = append(classes, class)
+	}
+	sort.Strings(classes)
+	for _, class := range classes {
+		cs := perClass[class]
+		t.Logf("  %-24s files=%d bypassed=%d disagree=%d", class, cs.files, cs.bypassed, cs.disagree)
+	}
+	if rate >= TriageFalseBypassBudget {
+		t.Errorf("false-bypass rate %.3f%% breaches the %.0f%% budget", 100*rate, 100*TriageFalseBypassBudget)
+	}
+	if bypassRate < 0.25 {
+		t.Errorf("bypass rate %.1f%% is uselessly low: the cascade must route a real fraction of easy files", 100*bypassRate)
+	}
+}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"repro/internal/analysis"
+	"repro/internal/transform"
+)
+
+// The verdict codec serializes one FileResult (minus its Path, which belongs
+// to the input, not the content) for the on-disk verdict store. The store
+// itself is value-agnostic (internal/store holds opaque bytes); this file owns
+// the meaning of those bytes.
+//
+// The format is versioned JSON. JSON keeps the stored value debuggable with
+// standard tools, and encoding/json renders float64 with the shortest
+// round-tripping representation, so probabilities survive a store round trip
+// bit-for-bit — a warm scan replays exactly the verdict the cold scan
+// computed, which the service's restart test pins end to end.
+
+// verdictVersion guards the stored-verdict layout. A decoder finding any
+// other version treats the value as a miss and rescans; it never guesses.
+const verdictVersion = 1
+
+// storedPrediction is one level 2 ranking entry, with the technique persisted
+// by name so the stored form survives enum reordering.
+type storedPrediction struct {
+	Technique   string  `json:"technique"`
+	Probability float64 `json:"probability"`
+}
+
+// storedVerdict is the wire form of a FileResult.
+type storedVerdict struct {
+	V           int                   `json:"v"`
+	Bytes       int                   `json:"bytes"`
+	Level1      [3]float64            `json:"level1"` // regular, minified, obfuscated
+	Level2      []storedPrediction    `json:"level2,omitempty"`
+	Diagnostics []analysis.Diagnostic `json:"diagnostics,omitempty"`
+	Err         string                `json:"err,omitempty"`
+	Bypassed    bool                  `json:"bypassed,omitempty"`
+}
+
+// encodeVerdict serializes r for the verdict store. Path, Deduped and
+// FromStore are deliberately not stored: the first is per-input, the other
+// two describe how this process obtained the verdict, not the verdict.
+func encodeVerdict(r FileResult) ([]byte, error) {
+	sv := storedVerdict{
+		V:           verdictVersion,
+		Bytes:       r.Bytes,
+		Level1:      [3]float64{r.Level1.Regular, r.Level1.Minified, r.Level1.Obfuscated},
+		Diagnostics: r.Diagnostics,
+		Bypassed:    r.Bypassed,
+	}
+	if r.Err != nil {
+		sv.Err = r.Err.Error()
+	}
+	if r.Level2 != nil {
+		sv.Level2 = make([]storedPrediction, len(r.Level2.Ranked))
+		for i, p := range r.Level2.Ranked {
+			sv.Level2[i] = storedPrediction{Technique: p.Technique.String(), Probability: p.Probability}
+		}
+	}
+	return json.Marshal(sv)
+}
+
+// decodeVerdict deserializes a stored verdict. Any malformed input — bad
+// JSON, wrong version, unknown technique name — is an error; the caller
+// treats it as a store miss and rescans.
+func decodeVerdict(data []byte) (FileResult, error) {
+	var sv storedVerdict
+	if err := json.Unmarshal(data, &sv); err != nil {
+		return FileResult{}, fmt.Errorf("core: stored verdict: %w", err)
+	}
+	if sv.V != verdictVersion {
+		return FileResult{}, fmt.Errorf("core: stored verdict version %d, want %d", sv.V, verdictVersion)
+	}
+	out := FileResult{
+		Bytes:       sv.Bytes,
+		Level1:      Level1Result{Regular: sv.Level1[0], Minified: sv.Level1[1], Obfuscated: sv.Level1[2]},
+		Diagnostics: sv.Diagnostics,
+		Bypassed:    sv.Bypassed,
+	}
+	if sv.Err != "" {
+		out.Err = errors.New(sv.Err)
+	}
+	if sv.Level2 != nil {
+		res := Level2Result{Ranked: make([]TechniquePrediction, len(sv.Level2))}
+		for i, p := range sv.Level2 {
+			tech, err := transform.ParseTechnique(p.Technique)
+			if err != nil {
+				return FileResult{}, fmt.Errorf("core: stored verdict: %w", err)
+			}
+			res.Ranked[i] = TechniquePrediction{Technique: tech, Probability: p.Probability}
+		}
+		out.Level2 = &res
+	}
+	return out, nil
+}

@@ -15,6 +15,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/store"
 )
 
 // ScanRequest is the JSON batch form of POST /v1/scan. A request whose
@@ -52,6 +53,11 @@ type Report struct {
 	Diagnostics []analysis.Diagnostic `json:"diagnostics,omitempty"`
 	// Deduped marks a verdict replayed from the shared content-hash cache.
 	Deduped bool `json:"deduped,omitempty"`
+	// Bypassed marks a verdict the stage-0 triage router synthesized
+	// without the full pipeline (daemon running with -triage). It is part
+	// of the verdict — a store or cache replay of a bypassed verdict reports
+	// it identically — so responses stay byte-stable across daemon restarts.
+	Bypassed bool `json:"bypassed,omitempty"`
 	// Error is the per-file failure (typically a parse error); the
 	// classification fields are zero when set.
 	Error string `json:"error,omitempty"`
@@ -80,7 +86,13 @@ type BatchStats struct {
 	ParseFailures int   `json:"parseFailures"`
 	Transformed   int   `json:"transformed"`
 	Deduped       int   `json:"deduped"`
-	DurationNs    int64 `json:"durationNs"`
+	// Bypassed counts verdicts the triage router synthesized. StoreHits is
+	// deliberately NOT part of the response: whether a verdict came from
+	// disk or was computed is provenance, and responses must be identical
+	// across a daemon restart against a warm store. Store traffic shows on
+	// /admin/metrics instead.
+	Bypassed   int   `json:"bypassed"`
+	DurationNs int64 `json:"durationNs"`
 	// Truncated marks a batch the per-request timeout cut short: Results
 	// is the contiguous prefix that finished.
 	Truncated bool `json:"truncated,omitempty"`
@@ -164,6 +176,7 @@ func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
 			ParseFailures: j.stats.ParseFailures,
 			Transformed:   j.stats.Transformed,
 			Deduped:       j.stats.Deduped,
+			Bypassed:      j.stats.Bypassed,
 			DurationNs:    int64(j.stats.Duration),
 			Truncated:     j.err != nil,
 		},
@@ -256,7 +269,7 @@ func (s *Server) parseScanRequest(w http.ResponseWriter, r *http.Request) (input
 // buildReport renders one scan result. Diagnostics are attached only when
 // the request asked for them (and the daemon collects them).
 func (s *Server) buildReport(r *core.FileResult, explain bool) Report {
-	rep := Report{Path: r.Path, Deduped: r.Deduped}
+	rep := Report{Path: r.Path, Deduped: r.Deduped, Bypassed: r.Bypassed}
 	if r.Err != nil {
 		rep.Error = r.Err.Error()
 		return rep
@@ -315,16 +328,24 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // AdminReport is the /admin/metrics body: the obs registry dump plus the
 // service-level aggregates that exist even without a registry installed.
 type AdminReport struct {
-	Uptime   string     `json:"uptime"`
-	Draining bool       `json:"draining"`
-	Requests int64      `json:"requests"`
-	Rejected int64      `json:"rejected"`
-	Files    int64      `json:"files"`
-	Deduped  int64      `json:"deduped"`
-	Queue    QueueStats `json:"queue"`
+	Uptime   string `json:"uptime"`
+	Draining bool   `json:"draining"`
+	Requests int64  `json:"requests"`
+	Rejected int64  `json:"rejected"`
+	Files    int64  `json:"files"`
+	Deduped  int64  `json:"deduped"`
+	// Bypassed counts verdicts the triage router synthesized; StoreHits
+	// counts verdicts answered from the on-disk store. This is where store
+	// provenance is observable — scan responses deliberately omit it.
+	Bypassed  int64      `json:"bypassed"`
+	StoreHits int64      `json:"storeHits"`
+	Queue     QueueStats `json:"queue"`
 	// Cache is the shared dedup LRU's occupancy; nil when the daemon runs
 	// without -dedup.
 	Cache *core.DedupStats `json:"cache,omitempty"`
+	// Store is the on-disk verdict store's state; nil when the daemon runs
+	// without -store.
+	Store *store.Stats `json:"store,omitempty"`
 	// Stages is the cumulative per-stage pipeline breakdown across every
 	// request served (durations summed across workers).
 	Stages []core.StageStats `json:"stages,omitempty"`
@@ -343,16 +364,21 @@ type QueueStats struct {
 
 func (s *Server) handleAdmin(w http.ResponseWriter, r *http.Request) {
 	rep := AdminReport{
-		Uptime:   time.Since(s.start).String(),
-		Draining: s.draining.Load(),
-		Requests: s.requests.Load(),
-		Rejected: s.rejected.Load(),
-		Files:    s.scanned.Load(),
-		Deduped:  s.deduped.Load(),
-		Queue:    QueueStats{Depth: len(s.jobs), Active: s.active.Load(), Capacity: cap(s.jobs)},
+		Uptime:    time.Since(s.start).String(),
+		Draining:  s.draining.Load(),
+		Requests:  s.requests.Load(),
+		Rejected:  s.rejected.Load(),
+		Files:     s.scanned.Load(),
+		Deduped:   s.deduped.Load(),
+		Bypassed:  s.bypassed.Load(),
+		StoreHits: s.storeHits.Load(),
+		Queue:     QueueStats{Depth: len(s.jobs), Active: s.active.Load(), Capacity: cap(s.jobs)},
 	}
 	if st, ok := s.scanner.DedupStats(); ok {
 		rep.Cache = &st
+	}
+	if st, ok := s.scanner.StoreStats(); ok {
+		rep.Store = &st
 	}
 	s.stageMu.Lock()
 	rep.Stages = append([]core.StageStats(nil), s.stages...)

@@ -165,10 +165,12 @@ type Server struct {
 	active atomic.Int64
 	// requests/rejected/scanned mirror the service.* obs counters for the
 	// admin endpoint, which must work even when no registry is installed.
-	requests atomic.Int64
-	rejected atomic.Int64
-	scanned  atomic.Int64
-	deduped  atomic.Int64
+	requests  atomic.Int64
+	rejected  atomic.Int64
+	scanned   atomic.Int64
+	deduped   atomic.Int64
+	bypassed  atomic.Int64
+	storeHits atomic.Int64
 
 	// stageMu guards the cumulative per-stage breakdown folded in from
 	// every scan's ScanStats.Stages.
@@ -219,6 +221,8 @@ func (s *Server) runScan(j *job) {
 	j.results, j.stats, j.err = s.scanner.ScanBatchContext(j.ctx, j.inputs)
 	s.scanned.Add(int64(j.stats.Files))
 	s.deduped.Add(int64(j.stats.Deduped))
+	s.bypassed.Add(int64(j.stats.Bypassed))
+	s.storeHits.Add(int64(j.stats.StoreHits))
 	s.foldStages(j.stats.Stages)
 }
 
@@ -296,9 +300,10 @@ func (s *Server) Drain(ctx context.Context) error {
 	case <-ctx.Done():
 		return ctx.Err()
 	}
-	s.log.Printf("event=drained uptime=%s requests=%d rejected=%d files=%d deduped=%d",
+	s.log.Printf("event=drained uptime=%s requests=%d rejected=%d files=%d deduped=%d bypassed=%d storehits=%d",
 		time.Since(s.start).Round(time.Millisecond),
-		s.requests.Load(), s.rejected.Load(), s.scanned.Load(), s.deduped.Load())
+		s.requests.Load(), s.rejected.Load(), s.scanned.Load(), s.deduped.Load(),
+		s.bypassed.Load(), s.storeHits.Load())
 	return nil
 }
 

@@ -1,0 +1,78 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+)
+
+// Log record wire format. Every record is length-prefixed and checksummed so
+// a reader can always tell a torn or corrupted tail from valid data:
+//
+//	| 4B payload length (LE) | 4B CRC32-IEEE of payload | payload |
+//	payload = 32-byte key || value
+//
+// The length covers the payload only. A record is valid iff the length is in
+// [KeySize, KeySize+MaxValueSize] and the checksum matches; anything else
+// marks the end of the recoverable prefix.
+
+const (
+	// KeySize is the fixed key width: a SHA-256 content hash.
+	KeySize = 32
+	// MaxValueSize bounds a single value. It exists so a corrupted length
+	// field can never drive a multi-gigabyte allocation.
+	MaxValueSize = 16 << 20
+
+	recordHeaderSize = 8
+)
+
+var (
+	// errShortRecord means the buffer ends before the record does: a torn
+	// write, not corruption — the bytes so far may still be a valid prefix.
+	errShortRecord = errors.New("store: short record")
+	// errBadLength means the length field is outside the valid range.
+	errBadLength = errors.New("store: invalid record length")
+	// errBadChecksum means the payload does not match its checksum.
+	errBadChecksum = errors.New("store: checksum mismatch")
+)
+
+// appendRecord encodes one key/value record onto dst and returns the extended
+// slice. The value may be empty; it must not exceed MaxValueSize.
+func appendRecord(dst []byte, key [KeySize]byte, value []byte) []byte {
+	payloadLen := KeySize + len(value)
+	var hdr [recordHeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(payloadLen))
+
+	crc := crc32.NewIEEE()
+	crc.Write(key[:])
+	crc.Write(value)
+	binary.LittleEndian.PutUint32(hdr[4:8], crc.Sum32())
+
+	dst = append(dst, hdr[:]...)
+	dst = append(dst, key[:]...)
+	return append(dst, value...)
+}
+
+// decodeRecord reads one record from the front of b. It returns the key, the
+// value (aliasing b), and the total encoded size. The error classifies what
+// stopped it: errShortRecord for a truncated tail, errBadLength or
+// errBadChecksum for corruption.
+func decodeRecord(b []byte) (key [KeySize]byte, value []byte, n int, err error) {
+	if len(b) < recordHeaderSize {
+		return key, nil, 0, errShortRecord
+	}
+	payloadLen := int(binary.LittleEndian.Uint32(b[0:4]))
+	if payloadLen < KeySize || payloadLen > KeySize+MaxValueSize {
+		return key, nil, 0, errBadLength
+	}
+	if len(b) < recordHeaderSize+payloadLen {
+		return key, nil, 0, errShortRecord
+	}
+	payload := b[recordHeaderSize : recordHeaderSize+payloadLen]
+	want := binary.LittleEndian.Uint32(b[4:8])
+	if crc32.ChecksumIEEE(payload) != want {
+		return key, nil, 0, errBadChecksum
+	}
+	copy(key[:], payload[:KeySize])
+	return key, payload[KeySize:], recordHeaderSize + payloadLen, nil
+}

@@ -1,0 +1,333 @@
+// Package store is a crash-safe on-disk key/value store for scan verdicts:
+// an append-only record log with checksummed records, recovery to the longest
+// valid prefix, and compaction. It extends the scanner's in-memory
+// content-hash cache across process restarts — a re-crawl or a redeployed
+// scan service answers repeat content from disk instead of re-running the
+// full pipeline.
+//
+// Keys are fixed 32-byte content hashes; values are opaque bytes (the verdict
+// codec lives with the scanner, keeping this package free of scan types).
+//
+// The recovery contract: Open replays the log, keeps every record up to the
+// first invalid byte (torn write, bad length, bad checksum), truncates the
+// rest, and reports what it kept and dropped in Stats. A record is either
+// fully valid — length in range and checksum matching — or it and everything
+// after it is discarded; a corrupt value is never served. The log file is
+// exclusively flocked, so a second Open of the same directory fails fast
+// instead of interleaving appends.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"syscall"
+)
+
+// logName is the record log's file name inside the store directory.
+const logName = "verdicts.log"
+
+// logMagic identifies a verdict log; the version digit guards the record
+// format.
+const logMagic = "jsvstor1"
+
+// compactGarbageRatio is the fraction of dead bytes (overwritten records)
+// above which Open compacts the log before serving.
+const compactGarbageRatio = 0.5
+
+// ErrLocked reports that another process holds the store open.
+var ErrLocked = errors.New("store: directory locked by another process")
+
+// Key is a content hash identifying one stored value.
+type Key = [KeySize]byte
+
+// Stats describes the store's state and what recovery did at Open.
+type Stats struct {
+	// Entries is the number of distinct keys currently stored.
+	Entries int `json:"entries"`
+	// LogBytes is the current size of the record log, including dead
+	// (overwritten) records not yet compacted.
+	LogBytes int64 `json:"log_bytes"`
+	// Recovered is the number of valid records replayed at Open.
+	Recovered int `json:"recovered"`
+	// DroppedBytes is the size of the invalid tail truncated at Open: torn
+	// writes and corrupt records.
+	DroppedBytes int64 `json:"dropped_bytes"`
+	// Compactions counts log rewrites over this store's lifetime.
+	Compactions int `json:"compactions"`
+}
+
+// Store is a disk-backed key/value map. All methods are safe for concurrent
+// use.
+type Store struct {
+	mu        sync.Mutex
+	dir       string
+	f         *os.File
+	index     map[Key][]byte
+	liveBytes int64 // encoded size of the latest record per key
+	logBytes  int64 // total log size including dead records
+	recovered int
+	dropped   int64
+	compacts  int
+	closed    bool
+}
+
+// Open opens (creating if needed) the store in dir, recovers the record log
+// to its longest valid prefix, and compacts it when more than half the log is
+// dead. It fails with ErrLocked when another process has the store open.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	path := filepath.Join(dir, logName)
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	if err := lockFile(f); err != nil {
+		f.Close()
+		return nil, err
+	}
+	s := &Store{dir: dir, f: f, index: make(map[Key][]byte)}
+	if err := s.recover(); err != nil {
+		s.unlockAndClose()
+		return nil, err
+	}
+	if s.garbageRatio() > compactGarbageRatio {
+		s.mu.Lock()
+		err := s.compactLocked()
+		s.mu.Unlock()
+		if err != nil {
+			s.unlockAndClose()
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+func lockFile(f *os.File) error {
+	err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB)
+	if err == syscall.EWOULDBLOCK {
+		return ErrLocked
+	}
+	if err != nil {
+		return fmt.Errorf("store: flock: %w", err)
+	}
+	return nil
+}
+
+func (s *Store) unlockAndClose() {
+	syscall.Flock(int(s.f.Fd()), syscall.LOCK_UN)
+	s.f.Close()
+}
+
+// recover replays the log, builds the index, and truncates any invalid tail.
+func (s *Store) recover() error {
+	data, err := io.ReadAll(s.f)
+	if err != nil {
+		return fmt.Errorf("store: read log: %w", err)
+	}
+	if len(data) < len(logMagic) {
+		// New (or torn-at-birth) log: start fresh.
+		if err := s.rewriteHeaderOnly(); err != nil {
+			return err
+		}
+		s.dropped = int64(len(data))
+		return nil
+	}
+	if string(data[:len(logMagic)]) != logMagic {
+		return fmt.Errorf("store: %s is not a verdict log (bad magic)", logName)
+	}
+
+	off := int64(len(logMagic))
+	rest := data[off:]
+	for len(rest) > 0 {
+		key, value, n, err := decodeRecord(rest)
+		if err != nil {
+			break // torn or corrupt: everything from off on is dropped
+		}
+		if old, ok := s.index[key]; ok {
+			s.liveBytes -= encodedSize(old)
+		}
+		// Copy the value out of the read buffer so the index never aliases
+		// scratch memory.
+		s.index[key] = append([]byte(nil), value...)
+		s.liveBytes += int64(n)
+		s.recovered++
+		off += int64(n)
+		rest = rest[n:]
+	}
+	s.dropped = int64(len(data)) - off
+	if s.dropped > 0 {
+		if err := s.f.Truncate(off); err != nil {
+			return fmt.Errorf("store: truncate invalid tail: %w", err)
+		}
+	}
+	if _, err := s.f.Seek(off, io.SeekStart); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	s.logBytes = off
+	return nil
+}
+
+// rewriteHeaderOnly resets the log to just its magic header.
+func (s *Store) rewriteHeaderOnly() error {
+	if err := s.f.Truncate(0); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if _, err := s.f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if _, err := s.f.WriteString(logMagic); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	s.logBytes = int64(len(logMagic))
+	return nil
+}
+
+func encodedSize(value []byte) int64 {
+	return int64(recordHeaderSize + KeySize + len(value))
+}
+
+// garbageRatio is the dead fraction of the log body.
+func (s *Store) garbageRatio() float64 {
+	body := s.logBytes - int64(len(logMagic))
+	if body <= 0 {
+		return 0
+	}
+	return float64(body-s.liveBytes) / float64(body)
+}
+
+// Get returns a copy of the value stored under key.
+func (s *Store) Get(key Key) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.index[key]
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), v...), true
+}
+
+// Len returns the number of distinct keys stored.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.index)
+}
+
+// Put appends a record for key and updates the index. Re-putting a key
+// appends a newer record; the old one becomes garbage until compaction.
+func (s *Store) Put(key Key, value []byte) error {
+	if len(value) > MaxValueSize {
+		return fmt.Errorf("store: value too large (%d bytes)", len(value))
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errors.New("store: closed")
+	}
+	rec := appendRecord(nil, key, value)
+	if _, err := s.f.Write(rec); err != nil {
+		return fmt.Errorf("store: append: %w", err)
+	}
+	if old, ok := s.index[key]; ok {
+		s.liveBytes -= encodedSize(old)
+	}
+	s.index[key] = append([]byte(nil), value...)
+	s.liveBytes += int64(len(rec))
+	s.logBytes += int64(len(rec))
+	return nil
+}
+
+// Sync flushes appended records to stable storage.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errors.New("store: closed")
+	}
+	return s.f.Sync()
+}
+
+// Compact rewrites the log to contain exactly the live records, dropping
+// garbage from overwrites and reclaiming disk space.
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errors.New("store: closed")
+	}
+	return s.compactLocked()
+}
+
+// compactLocked writes the live index to a temp file, locks it, and renames
+// it over the log so there is never a moment without a valid, locked log.
+func (s *Store) compactLocked() error {
+	tmp, err := os.CreateTemp(s.dir, logName+".compact-*")
+	if err != nil {
+		return fmt.Errorf("store: compact: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+
+	buf := []byte(logMagic)
+	var live int64
+	for key, value := range s.index {
+		buf = appendRecord(buf, key, value)
+	}
+	live = int64(len(buf)) - int64(len(logMagic))
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: compact: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: compact: %w", err)
+	}
+	// Lock the replacement before it becomes the log: a concurrent Open
+	// must never find the path unlocked.
+	if err := lockFile(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(s.dir, logName)); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: compact: %w", err)
+	}
+	s.unlockAndClose() // old file: unlink already happened via rename
+	s.f = tmp
+	s.logBytes = int64(len(buf))
+	s.liveBytes = live
+	s.compacts++
+	return nil
+}
+
+// Stats returns a point-in-time view of the store.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Entries:      len(s.index),
+		LogBytes:     s.logBytes,
+		Recovered:    s.recovered,
+		DroppedBytes: s.dropped,
+		Compactions:  s.compacts,
+	}
+}
+
+// Close syncs, releases the lock, and closes the log. The store is unusable
+// afterwards.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	err := s.f.Sync()
+	s.unlockAndClose()
+	return err
+}

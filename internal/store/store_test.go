@@ -1,0 +1,435 @@
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func key(s string) Key {
+	return sha256.Sum256([]byte(s))
+}
+
+func openT(t *testing.T, dir string) *Store {
+	t.Helper()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	return s
+}
+
+func logPath(dir string) string { return filepath.Join(dir, logName) }
+
+func TestPutGetAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir)
+	want := map[string]string{
+		"a": "verdict-a",
+		"b": "verdict-b",
+		"c": "",
+	}
+	for k, v := range want {
+		if err := s.Put(key(k), []byte(v)); err != nil {
+			t.Fatalf("Put(%s): %v", k, err)
+		}
+	}
+	if got, ok := s.Get(key("a")); !ok || string(got) != "verdict-a" {
+		t.Fatalf("Get(a) = %q, %v", got, ok)
+	}
+	if _, ok := s.Get(key("missing")); ok {
+		t.Fatal("Get(missing) = ok")
+	}
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", s.Len())
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	s = openT(t, dir)
+	defer s.Close()
+	for k, v := range want {
+		got, ok := s.Get(key(k))
+		if !ok || string(got) != v {
+			t.Errorf("after reopen Get(%s) = %q, %v; want %q", k, got, ok, v)
+		}
+	}
+	st := s.Stats()
+	if st.Recovered != 3 || st.DroppedBytes != 0 || st.Entries != 3 {
+		t.Errorf("Stats after clean reopen = %+v", st)
+	}
+}
+
+func TestOverwriteLatestWins(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir)
+	k := key("k")
+	for i := 0; i < 5; i++ {
+		if err := s.Put(k, []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got, _ := s.Get(k); string(got) != "v4" {
+		t.Fatalf("Get = %q, want v4", got)
+	}
+	s.Close()
+
+	s = openT(t, dir)
+	defer s.Close()
+	if got, _ := s.Get(k); string(got) != "v4" {
+		t.Fatalf("after reopen Get = %q, want v4", got)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", s.Len())
+	}
+}
+
+func TestGetReturnsCopy(t *testing.T) {
+	s := openT(t, t.TempDir())
+	defer s.Close()
+	k := key("k")
+	if err := s.Put(k, []byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := s.Get(k)
+	got[0] = 'X'
+	again, _ := s.Get(k)
+	if string(again) != "abc" {
+		t.Fatalf("mutating a Get result corrupted the store: %q", again)
+	}
+}
+
+func TestValueTooLarge(t *testing.T) {
+	s := openT(t, t.TempDir())
+	defer s.Close()
+	if err := s.Put(key("k"), make([]byte, MaxValueSize+1)); err == nil {
+		t.Fatal("Put of oversized value succeeded")
+	}
+}
+
+func TestClosedStoreRefusesWrites(t *testing.T) {
+	s := openT(t, t.TempDir())
+	s.Close()
+	if err := s.Put(key("k"), []byte("v")); err == nil {
+		t.Fatal("Put on closed store succeeded")
+	}
+	if err := s.Sync(); err == nil {
+		t.Fatal("Sync on closed store succeeded")
+	}
+	if err := s.Compact(); err == nil {
+		t.Fatal("Compact on closed store succeeded")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+// TestCrashTruncatedMidRecord cuts the log inside the last record, as a crash
+// mid-append would. The store must recover every earlier record and drop the
+// torn tail.
+func TestCrashTruncatedMidRecord(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir)
+	for i := 0; i < 10; i++ {
+		if err := s.Put(key(fmt.Sprintf("k%d", i)), bytes.Repeat([]byte{byte(i)}, 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+
+	fi, err := os.Stat(logPath(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cut 30 bytes into the middle of the final record's value.
+	if err := os.Truncate(logPath(dir), fi.Size()-30); err != nil {
+		t.Fatal(err)
+	}
+
+	s = openT(t, dir)
+	defer s.Close()
+	st := s.Stats()
+	if st.Recovered != 9 {
+		t.Errorf("Recovered = %d, want 9", st.Recovered)
+	}
+	if st.DroppedBytes == 0 {
+		t.Error("DroppedBytes = 0, want > 0")
+	}
+	for i := 0; i < 9; i++ {
+		if _, ok := s.Get(key(fmt.Sprintf("k%d", i))); !ok {
+			t.Errorf("k%d lost in recovery", i)
+		}
+	}
+	if _, ok := s.Get(key("k9")); ok {
+		t.Error("torn record k9 served after recovery")
+	}
+
+	// The truncated tail is gone from disk: a further clean reopen drops
+	// nothing.
+	s.Close()
+	s = openT(t, dir)
+	if st := s.Stats(); st.Recovered != 9 || st.DroppedBytes != 0 {
+		t.Errorf("second reopen Stats = %+v, want 9 recovered, 0 dropped", st)
+	}
+}
+
+// TestCrashCorruptChecksum flips one byte inside a record's payload. The
+// store must never serve that record — it and everything after it is dropped.
+func TestCrashCorruptChecksum(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir)
+	var offsets []int64
+	for i := 0; i < 5; i++ {
+		before := s.Stats().LogBytes
+		if err := s.Put(key(fmt.Sprintf("k%d", i)), bytes.Repeat([]byte{0xAA}, 64)); err != nil {
+			t.Fatal(err)
+		}
+		offsets = append(offsets, before)
+	}
+	s.Close()
+
+	// Flip a byte in record 2's value (header + key skipped).
+	f, err := os.OpenFile(logPath(dir), os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte{0x55}, offsets[2]+recordHeaderSize+KeySize+10); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s = openT(t, dir)
+	defer s.Close()
+	st := s.Stats()
+	if st.Recovered != 2 {
+		t.Errorf("Recovered = %d, want 2 (records before the corrupt one)", st.Recovered)
+	}
+	if st.DroppedBytes == 0 {
+		t.Error("DroppedBytes = 0, want > 0")
+	}
+	for i := 0; i < 2; i++ {
+		got, ok := s.Get(key(fmt.Sprintf("k%d", i)))
+		if !ok || !bytes.Equal(got, bytes.Repeat([]byte{0xAA}, 64)) {
+			t.Errorf("k%d corrupted or lost: %x, %v", i, got, ok)
+		}
+	}
+	for i := 2; i < 5; i++ {
+		if _, ok := s.Get(key(fmt.Sprintf("k%d", i))); ok {
+			t.Errorf("k%d served from the corrupt region", i)
+		}
+	}
+}
+
+// TestCrashCorruptLength writes garbage over a record's length field; the
+// decoder must classify it as corruption, not attempt a huge allocation.
+func TestCrashCorruptLength(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir)
+	if err := s.Put(key("k0"), []byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	second := s.Stats().LogBytes
+	if err := s.Put(key("k1"), []byte("second")); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	f, err := os.OpenFile(logPath(dir), os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte{0xFF, 0xFF, 0xFF, 0xFF}, second); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s = openT(t, dir)
+	defer s.Close()
+	if st := s.Stats(); st.Recovered != 1 {
+		t.Errorf("Recovered = %d, want 1", st.Recovered)
+	}
+	if got, ok := s.Get(key("k0")); !ok || string(got) != "first" {
+		t.Errorf("k0 = %q, %v", got, ok)
+	}
+	if _, ok := s.Get(key("k1")); ok {
+		t.Error("k1 served despite corrupt length")
+	}
+}
+
+// TestCrashEmptyAndTornHeader covers a zero-byte log and one cut inside the
+// magic itself: both recover to an empty store.
+func TestCrashEmptyAndTornHeader(t *testing.T) {
+	for _, size := range []int{0, 3} {
+		dir := t.TempDir()
+		if err := os.WriteFile(logPath(dir), []byte(logMagic)[:size], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		s := openT(t, dir)
+		if s.Len() != 0 {
+			t.Errorf("size %d: Len = %d, want 0", size, s.Len())
+		}
+		if err := s.Put(key("k"), []byte("v")); err != nil {
+			t.Errorf("size %d: Put after torn-header recovery: %v", size, err)
+		}
+		s.Close()
+	}
+}
+
+// TestBadMagicRefused: a file that is not a verdict log must not be silently
+// clobbered.
+func TestBadMagicRefused(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(logPath(dir), []byte("definitely-not-a-log"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil {
+		t.Fatal("Open succeeded on a foreign file")
+	}
+}
+
+// TestDoubleOpenLocked: the second Open of a live store directory must fail
+// with ErrLocked, and succeed once the first holder closes.
+func TestDoubleOpenLocked(t *testing.T) {
+	dir := t.TempDir()
+	s1 := openT(t, dir)
+	if _, err := Open(dir); !errors.Is(err, ErrLocked) {
+		t.Fatalf("second Open error = %v, want ErrLocked", err)
+	}
+	s1.Close()
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open after Close: %v", err)
+	}
+	s2.Close()
+}
+
+func TestCompactDropsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir)
+	k := key("k")
+	for i := 0; i < 100; i++ {
+		if err := s.Put(k, bytes.Repeat([]byte{byte(i)}, 200)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Put(key("other"), []byte("keep")); err != nil {
+		t.Fatal(err)
+	}
+	before := s.Stats().LogBytes
+	if err := s.Compact(); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	st := s.Stats()
+	if st.LogBytes >= before {
+		t.Errorf("LogBytes %d did not shrink from %d", st.LogBytes, before)
+	}
+	if st.Compactions != 1 {
+		t.Errorf("Compactions = %d, want 1", st.Compactions)
+	}
+	if got, _ := s.Get(k); !bytes.Equal(got, bytes.Repeat([]byte{99}, 200)) {
+		t.Error("latest value lost in compaction")
+	}
+
+	// The lock survives compaction: a second Open still fails.
+	if _, err := Open(dir); !errors.Is(err, ErrLocked) {
+		t.Errorf("Open during post-compact store = %v, want ErrLocked", err)
+	}
+
+	// Appends after compaction land in the new file and survive reopen.
+	if err := s.Put(key("after"), []byte("compact")); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	s = openT(t, dir)
+	defer s.Close()
+	for _, kk := range []string{"other", "after"} {
+		if _, ok := s.Get(key(kk)); !ok {
+			t.Errorf("%s lost across compact+reopen", kk)
+		}
+	}
+	if got, _ := s.Get(k); !bytes.Equal(got, bytes.Repeat([]byte{99}, 200)) {
+		t.Error("latest value lost across compact+reopen")
+	}
+}
+
+// TestAutoCompactOnOpen: a log that is mostly overwrites gets compacted by
+// Open itself.
+func TestAutoCompactOnOpen(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir)
+	k := key("k")
+	for i := 0; i < 50; i++ {
+		if err := s.Put(k, bytes.Repeat([]byte{byte(i)}, 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := s.Stats().LogBytes
+	s.Close()
+
+	s = openT(t, dir)
+	defer s.Close()
+	st := s.Stats()
+	if st.Compactions != 1 {
+		t.Errorf("Compactions = %d, want 1 (auto-compact at open)", st.Compactions)
+	}
+	if st.LogBytes >= before {
+		t.Errorf("LogBytes %d did not shrink from %d", st.LogBytes, before)
+	}
+	if got, _ := s.Get(k); !bytes.Equal(got, bytes.Repeat([]byte{49}, 100)) {
+		t.Error("latest value lost in auto-compaction")
+	}
+}
+
+func TestConcurrentPutGet(t *testing.T) {
+	s := openT(t, t.TempDir())
+	defer s.Close()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				k := key(fmt.Sprintf("g%d-i%d", g, i%10))
+				if err := s.Put(k, []byte(fmt.Sprintf("%d:%d", g, i))); err != nil {
+					t.Errorf("Put: %v", err)
+					return
+				}
+				s.Get(k)
+				s.Len()
+				s.Stats()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s.Len() != 80 {
+		t.Errorf("Len = %d, want 80", s.Len())
+	}
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	var buf []byte
+	keys := []Key{key("a"), key("b"), key("c")}
+	vals := [][]byte{[]byte("x"), {}, bytes.Repeat([]byte{7}, 1000)}
+	for i, k := range keys {
+		buf = appendRecord(buf, k, vals[i])
+	}
+	for i, k := range keys {
+		gotKey, gotVal, n, err := decodeRecord(buf)
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if gotKey != k || !bytes.Equal(gotVal, vals[i]) {
+			t.Fatalf("record %d: got %x/%q", i, gotKey, gotVal)
+		}
+		buf = buf[n:]
+	}
+	if len(buf) != 0 {
+		t.Fatalf("%d trailing bytes", len(buf))
+	}
+}

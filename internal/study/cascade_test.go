@@ -1,0 +1,56 @@
+package study
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCascadeExperiment pins the sharded-crawl contract: shards persist into
+// the shared store as they go, and the re-crawl never pays full pipeline
+// cost — every verdict comes from disk or the in-batch dedup cache.
+func TestCascadeExperiment(t *testing.T) {
+	r := getRunner(t)
+	c, err := r.RunCascade(t.TempDir(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Shards) != 3 {
+		t.Fatalf("shards = %d, want 3", len(c.Shards))
+	}
+
+	totalFiles, totalBypassed := 0, 0
+	for _, s := range c.Shards {
+		if s.Files == 0 {
+			t.Fatalf("shard %d scanned no files", s.Shard)
+		}
+		totalFiles += s.Files
+		totalBypassed += s.Bypassed
+	}
+	// The wild mix is mostly regular/minified, so the cascade must route a
+	// real fraction of the crawl around the pipeline.
+	if totalBypassed == 0 {
+		t.Error("no shard bypassed anything; triage is wired but inert")
+	}
+
+	if c.Recrawl.Files != totalFiles {
+		t.Fatalf("re-crawl covered %d files, shards scanned %d", c.Recrawl.Files, totalFiles)
+	}
+	if got := c.Recrawl.FullScans(); got != 0 {
+		t.Errorf("re-crawl paid full pipeline cost for %d files, want 0", got)
+	}
+	if c.Recrawl.StoreHits == 0 {
+		t.Error("re-crawl hit the store zero times")
+	}
+	// Every distinct content scanned in the shards is persisted.
+	if c.Store.Entries == 0 || c.Store.Entries > totalFiles {
+		t.Errorf("store entries = %d after a %d-file crawl", c.Store.Entries, totalFiles)
+	}
+
+	var sb strings.Builder
+	c.Print(&sb)
+	for _, want := range []string{"shard 0", "shard 2", "re-crawl", "store:"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Fatalf("cascade report missing %q:\n%s", want, sb.String())
+		}
+	}
+}

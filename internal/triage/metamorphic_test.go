@@ -1,0 +1,44 @@
+package triage
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/transform"
+)
+
+// metamorphicScoreTolerance bounds how much a transformation may lower the
+// escalation propensity of a file. Transforms re-print the whole program, so
+// densities computed per canonical byte wobble slightly; they must never
+// wobble enough to walk a file away from escalation.
+const metamorphicScoreTolerance = 0.05
+
+// TestTriageMetamorphicEscalation pins the router's one-way property: applying
+// an obfuscating or minifying transformation never lowers a file's escalation
+// propensity (Features.Score). Together with the conservative bypass rule —
+// bypasses are only granted at near-zero scores — this means a transformation
+// can cost a file its bypass but never earn one. Seeds follow the
+// core.MetamorphicSweep policy: one deterministic source per technique at
+// 1000+ti, so failures reproduce exactly.
+func TestTriageMetamorphicEscalation(t *testing.T) {
+	bases := corpus.RegularSet(25, rand.New(rand.NewSource(4242)))
+	for ti, tech := range transform.Techniques {
+		tech := tech
+		rng := rand.New(rand.NewSource(1000 + int64(ti)))
+		t.Run(tech.String(), func(t *testing.T) {
+			for _, base := range bases {
+				tf, err := corpus.Apply(base, rng, tech)
+				if err != nil {
+					t.Fatalf("%s: apply: %v", base.Name, err)
+				}
+				sBase := Compute(base.Source)
+				sTf := Compute(tf.Source)
+				if sTf.Score() < sBase.Score()-metamorphicScoreTolerance {
+					t.Errorf("%s: score dropped %.3f -> %.3f under %s",
+						base.Name, sBase.Score(), sTf.Score(), tech)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,730 @@
+// Package triage is the stage-0 pre-classifier of the scan cascade: a single
+// pass over the raw source text computes cheap features (Shannon entropy,
+// escape densities, dynamic-code token counts, line-shape statistics,
+// base64/data-URI hits) and routes high-confidence regular or plainly
+// minified files around the full parse→flow→features→infer pipeline. The
+// premise is the paper's own: most in-the-wild JavaScript is easy, and the
+// expensive detectors only earn their cost on the hard tail.
+//
+// The router is deliberately conservative — any suspicion signal escalates —
+// and its honesty is measured, not assumed: TestTriageFalseBypassGate in
+// internal/core compares cascade verdicts against full-pipeline verdicts over
+// the training corpus plus all ten transform outputs and fails the build when
+// the disagreement rate on bypassed files reaches 1%.
+//
+// Features are computed over a canonicalized view of the text (CR dropped,
+// horizontal whitespace runs collapsed to one space, trailing spaces
+// stripped), so routing decisions are invariant under whitespace-only
+// re-renderings of the same file: retabbing, re-indenting, or converting line
+// endings never flips a decision. TestTriageWhitespaceInvariance pins that
+// property.
+package triage
+
+import "math"
+
+// Decision is a stage-0 routing verdict.
+type Decision int
+
+const (
+	// Escalate sends the file through the full pipeline: it is either
+	// suspicious or not confidently classifiable from text shape alone.
+	Escalate Decision = iota
+	// BypassRegular skips the pipeline: the file is high-confidence regular.
+	BypassRegular
+	// BypassMinified skips the pipeline: the file is high-confidence
+	// minified (and nothing suggests obfuscation on top).
+	BypassMinified
+)
+
+// String names the decision for stats and logs.
+func (d Decision) String() string {
+	switch d {
+	case BypassRegular:
+		return "bypass-regular"
+	case BypassMinified:
+		return "bypass-minified"
+	default:
+		return "escalate"
+	}
+}
+
+// Bypassed reports whether the decision routes around the full pipeline.
+func (d Decision) Bypassed() bool { return d != Escalate }
+
+// Features are the cheap single-pass text statistics the router decides on.
+// All densities are per canonical byte; see the package comment for the
+// canonical view.
+type Features struct {
+	// Bytes is the canonical text size; Lines the number of (non-empty or
+	// empty) physical lines.
+	Bytes int
+	Lines int
+	// MaxLineLen and MeanLineLen describe line shape after canonicalization:
+	// minified files have one enormous line, regular files short ones.
+	MaxLineLen  int
+	MeanLineLen float64
+	// WhitespaceRatio is the fraction of canonical bytes that are spaces or
+	// newlines. Minifiers drive it toward zero.
+	WhitespaceRatio float64
+	// Entropy is the Shannon entropy of the canonical bytes, in bits.
+	Entropy float64
+	// AlnumRatio is the fraction of canonical bytes that are ASCII
+	// letters or digits; symbol-soup encodings (no-alphanumeric) crater it.
+	AlnumRatio float64
+	// NonASCIIRatio is the fraction of canonical bytes >= 0x80.
+	NonASCIIRatio float64
+	// HexEscapes and UnicodeEscapes count \xNN and \uNNNN (or \u{...})
+	// sequences; HexIdents counts _0x occurrences (the obfuscator-idiom
+	// identifier prefix, also used by flattening dispatchers).
+	HexEscapes     int
+	UnicodeEscapes int
+	HexIdents      int
+	// EvalCount, FunctionCount, AtobCount count whole-word occurrences of
+	// the dynamic-code sinks the paper's indicators key on.
+	EvalCount     int
+	FunctionCount int
+	AtobCount     int
+	// CaseCount counts whole-word `case` occurrences; flattened dispatch
+	// loops inflate it far beyond hand-written switches.
+	CaseCount int
+	// Base64Runs counts maximal [A-Za-z0-9+/=]{24,} runs; DataURIHits
+	// counts "base64," markers (data: URI payload signatures).
+	Base64Runs  int
+	DataURIHits int
+	// ConstCmps counts equality comparisons whose both operands are
+	// literals (`500 === 501`, `"xk" == "xq"`): the opaque-predicate idiom
+	// dead-code injectors guard never-taken branches with. Hand-written
+	// code compares variables, not constants.
+	ConstCmps int
+	// StrConcats counts `+` operators joining two string literals
+	// (`"hel" + "lo"`): the split-and-concat idiom string obfuscators use
+	// to keep literals out of plain text.
+	StrConcats int
+	// CharCodeHits counts `fromCharCode` occurrences: the paper's indicator
+	// for character-code string encoding.
+	CharCodeHits int
+	// QuoteCalls counts method calls on string literals
+	// (`"tcejbo".split("")...`): hand-written code rarely calls methods on
+	// literals, reverse/join decoders always do.
+	QuoteCalls int
+	// PercentEscapes counts %XX hex pairs inside string literals: the
+	// percent-encoding family of string obfuscators.
+	PercentEscapes int
+}
+
+// density returns count per canonical kilobyte.
+func (f *Features) density(count int) float64 {
+	if f.Bytes == 0 {
+		return 0
+	}
+	return float64(count) * 1024 / float64(f.Bytes)
+}
+
+// Score is the escalation propensity in [0, 1]: 0 means nothing about the
+// text suggests obfuscation, 1 means overwhelming signal. Every component is
+// a density or ratio, so transformations that add obfuscation signal can only
+// raise it — the metamorphic property TestTriageMetamorphicEscalation pins.
+// The router escalates at any positive score worth acting on
+// (Config.MaxSuspicion), so Score doubles as the "how close to escalation"
+// measurement the metamorphic test needs.
+func (f *Features) Score() float64 {
+	s := 0.0
+	// Escape sequences: legitimate code has a handful; string-obfuscated
+	// code has hundreds per KB. Saturates at ~4/KB.
+	s += 0.25 * clamp01((f.density(f.HexEscapes)+f.density(f.UnicodeEscapes))/4)
+	// Obfuscator-idiom identifiers (_0x...): any real density is damning.
+	s += 0.25 * clamp01(f.density(f.HexIdents)/2)
+	// Dynamic-code sinks per KB: eval / Function / atob.
+	s += 0.2 * clamp01(f.density(f.EvalCount+f.FunctionCount+f.AtobCount)/2)
+	// Dense case labels: flattening dispatchers produce switches with far
+	// more arms per KB than hand-written code. Saturates at ~8/KB.
+	s += 0.15 * clamp01(f.density(f.CaseCount)/8)
+	// Base64 payloads and data: URIs.
+	s += 0.15 * clamp01(f.density(f.Base64Runs)/1)
+	s += 0.1 * clamp01(float64(f.DataURIHits))
+	// Opaque predicates: even one literal-vs-literal equality in a few KB
+	// is enough to escalate — nobody writes `500 === 501` by hand.
+	s += 0.25 * clamp01(f.density(f.ConstCmps)/0.25)
+	// Split-string concatenation chains.
+	s += 0.2 * clamp01(f.density(f.StrConcats)/2)
+	// Character-code decoding, method calls on string literals, and
+	// percent-encoded payloads: the string-obfuscation decoder idioms.
+	s += 0.2 * clamp01(f.density(f.CharCodeHits)/0.5)
+	s += 0.2 * clamp01(f.density(f.QuoteCalls)/0.5)
+	s += 0.2 * clamp01(f.density(f.PercentEscapes)/2)
+	// Entropy outside the band of plain source text.
+	s += 0.2 * clamp01((f.Entropy-5.1)/0.9)
+	// Symbol soup: alphanumeric ratio collapses under no-alphanumeric
+	// style encodings (JSFuck, aaencode).
+	s += 0.3 * clamp01((0.38-f.AlnumRatio)/0.38)
+	// Non-ASCII payloads (aaencode, packed unicode strings).
+	s += 0.2 * clamp01(f.NonASCIIRatio/0.05)
+	return clamp01(s)
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// Config tunes the router. The zero value uses the documented defaults,
+// which the false-bypass gate in internal/core validates against the
+// training corpus and all ten transform outputs.
+type Config struct {
+	// MaxSuspicion is the Score above which a file always escalates,
+	// whatever its shape. <= 0 means DefaultMaxSuspicion.
+	MaxSuspicion float64
+	// MinBytes is the smallest file the router will bypass: tiny files are
+	// cheap to scan and their text statistics are noise. <= 0 means
+	// DefaultMinBytes.
+	MinBytes int
+	// MaxRegularLineLen is the longest canonical line a bypass-regular file
+	// may have. <= 0 means DefaultMaxRegularLineLen.
+	MaxRegularLineLen int
+	// MinRegularWhitespace is the lowest whitespace ratio still considered
+	// hand-formatted. <= 0 means DefaultMinRegularWhitespace.
+	MinRegularWhitespace float64
+	// MaxRegularEntropy bounds the entropy of a bypass-regular file.
+	// <= 0 means DefaultMaxRegularEntropy.
+	MaxRegularEntropy float64
+	// MinMinifiedLineLen is the shortest max-line a bypass-minified file
+	// may have. <= 0 means DefaultMinMinifiedLineLen.
+	MinMinifiedLineLen int
+	// MaxMinifiedWhitespace is the highest whitespace ratio a
+	// bypass-minified file may have. <= 0 means DefaultMaxMinifiedWhitespace.
+	MaxMinifiedWhitespace float64
+}
+
+// Router defaults; see Config.
+const (
+	DefaultMaxSuspicion          = 0.10
+	DefaultMinBytes              = 64
+	DefaultMaxRegularLineLen     = 300
+	DefaultMinRegularWhitespace  = 0.10
+	DefaultMaxRegularEntropy     = 5.2
+	DefaultMinMinifiedLineLen    = 250
+	DefaultMaxMinifiedWhitespace = 0.06
+)
+
+func (c Config) maxSuspicion() float64 {
+	if c.MaxSuspicion <= 0 {
+		return DefaultMaxSuspicion
+	}
+	return c.MaxSuspicion
+}
+
+func (c Config) minBytes() int {
+	if c.MinBytes <= 0 {
+		return DefaultMinBytes
+	}
+	return c.MinBytes
+}
+
+func (c Config) maxRegularLineLen() int {
+	if c.MaxRegularLineLen <= 0 {
+		return DefaultMaxRegularLineLen
+	}
+	return c.MaxRegularLineLen
+}
+
+func (c Config) minRegularWhitespace() float64 {
+	if c.MinRegularWhitespace <= 0 {
+		return DefaultMinRegularWhitespace
+	}
+	return c.MinRegularWhitespace
+}
+
+func (c Config) maxRegularEntropy() float64 {
+	if c.MaxRegularEntropy <= 0 {
+		return DefaultMaxRegularEntropy
+	}
+	return c.MaxRegularEntropy
+}
+
+func (c Config) minMinifiedLineLen() int {
+	if c.MinMinifiedLineLen <= 0 {
+		return DefaultMinMinifiedLineLen
+	}
+	return c.MinMinifiedLineLen
+}
+
+func (c Config) maxMinifiedWhitespace() float64 {
+	if c.MaxMinifiedWhitespace <= 0 {
+		return DefaultMaxMinifiedWhitespace
+	}
+	return c.MaxMinifiedWhitespace
+}
+
+// Route computes the features of src and decides where it goes. This is the
+// whole stage-0 cost: one pass over the bytes, no allocation beyond the
+// Features value.
+func Route(src string, cfg Config) (Decision, Features) {
+	f := Compute(src)
+	return cfg.Route(&f), f
+}
+
+// Route decides from already-computed features.
+func (c Config) Route(f *Features) Decision {
+	if f.Bytes < c.minBytes() {
+		return Escalate
+	}
+	// Any obfuscation signal disqualifies both bypass routes: a bypass is
+	// only ever granted to files with a near-zero suspicion score, so
+	// applying an obfuscating transformation can remove a bypass but never
+	// grant one.
+	if f.Score() > c.maxSuspicion() {
+		return Escalate
+	}
+	if f.MaxLineLen >= c.minMinifiedLineLen() && f.WhitespaceRatio <= c.maxMinifiedWhitespace() {
+		return BypassMinified
+	}
+	if f.MaxLineLen <= c.maxRegularLineLen() &&
+		f.WhitespaceRatio >= c.minRegularWhitespace() &&
+		f.Entropy <= c.maxRegularEntropy() {
+		return BypassRegular
+	}
+	return Escalate
+}
+
+// Compute runs the single feature pass over src. The scan works on a
+// canonical view of the text — CR dropped, [ \t]+ runs collapsed to one
+// space, trailing spaces stripped — without materializing it: a pending-space
+// state machine feeds the histogram, the line accounting, and the token
+// matchers one canonical byte at a time.
+//
+//jslint:ignore hotpath-noalloc Features is the return value, built once.
+func Compute(src string) Features {
+	var f Features
+	var hist [256]int32
+
+	canon := 0    // canonical bytes emitted
+	wsBytes := 0  // canonical whitespace bytes (space or \n)
+	alnum := 0    // canonical ASCII alphanumeric bytes
+	nonASCII := 0 // canonical bytes >= 0x80
+	lineLen := 0  // current canonical line length
+	pendingWS := false
+	m := matchState{}
+
+	emit := func(b byte) {
+		hist[b]++
+		canon++
+		switch {
+		case b == ' ':
+			wsBytes++
+			lineLen++
+		case b == '\n':
+			wsBytes++
+			f.Lines++
+			if lineLen > f.MaxLineLen {
+				f.MaxLineLen = lineLen
+			}
+			lineLen = 0
+		default:
+			lineLen++
+			if b >= 0x80 {
+				nonASCII++
+			} else if isAlnumByte(b) {
+				alnum++
+			}
+		}
+		m.feed(b, &f)
+	}
+
+	for i := 0; i < len(src); i++ {
+		b := src[i]
+		switch b {
+		case '\r':
+			// dropped: CRLF and LF render identically.
+		case ' ', '\t':
+			pendingWS = true
+		case '\n':
+			pendingWS = false // trailing whitespace stripped
+			emit('\n')
+		default:
+			if pendingWS {
+				emit(' ')
+				pendingWS = false
+			}
+			emit(b)
+		}
+	}
+	if lineLen > 0 || (canon > 0 && src[len(src)-1] != '\n') {
+		f.Lines++
+		if lineLen > f.MaxLineLen {
+			f.MaxLineLen = lineLen
+		}
+	}
+	m.flush(&f)
+
+	f.Bytes = canon
+	if canon == 0 {
+		return f
+	}
+	f.WhitespaceRatio = float64(wsBytes) / float64(canon)
+	f.AlnumRatio = float64(alnum) / float64(canon)
+	f.NonASCIIRatio = float64(nonASCII) / float64(canon)
+	if f.Lines > 0 {
+		// Mean over canonical content bytes (newlines excluded).
+		f.MeanLineLen = float64(canon-f.Lines) / float64(f.Lines)
+		if f.MeanLineLen < 0 {
+			f.MeanLineLen = 0
+		}
+	}
+	total := float64(canon)
+	for _, n := range hist {
+		if n == 0 {
+			continue
+		}
+		p := float64(n) / total
+		f.Entropy -= p * math.Log2(p)
+	}
+	return f
+}
+
+// matchState runs the token matchers over the canonical byte stream: word
+// matching for eval/Function/atob/case, escape sequences, _0x prefixes,
+// base64 runs, and the "base64," data-URI marker.
+type matchState struct {
+	prevWord bool // previous byte was a word byte (identifier continuation)
+	word     [8]byte
+	wordLen  int // 0..8; 9 means "too long, not a keyword"
+
+	escape int // position in a \xNN or \uNNNN match; 0 = idle
+	escHex bool
+
+	b64Run int // current [A-Za-z0-9+/=] run length
+
+	uriPos int // position in "base64," marker
+
+	inStr  byte // 0 = outside any string literal, else the quote byte
+	strEsc bool // inside a string, previous byte was an unconsumed backslash
+
+	// Literal-operator-literal matcher for ConstCmps and StrConcats. States:
+	// 0 idle, 1 literal just closed, 2 inside an ==/===/!=/!== run after a
+	// literal, 3 equality operator complete, 4 `+` seen after a string
+	// literal. A single canonical space is transparent; anything else resets.
+	litCmp int
+	litStr bool // the literal that opened the match was a string
+	cmpLen int  // operator run length in state 2
+	cmpRel bool // state-2 run is relational (< >) rather than equality
+	// litTaint marks that the next literal is glued to a larger expression
+	// by a preceding arithmetic or bitwise operator (`row.id % 3 !== 0`):
+	// such a literal is an operand, not the comparison's left side.
+	litTaint bool
+
+	ccPos  int // position in "fromCharCode" marker
+	pctPos int // position in a %XX percent-escape inside a string
+}
+
+// wordByte reports identifier-ish bytes.
+func isWordByte(b byte) bool {
+	return b == '_' || b == '$' || isAlnumByte(b)
+}
+
+func isAlnumByte(b byte) bool {
+	return (b >= 'a' && b <= 'z') || (b >= 'A' && b <= 'Z') || (b >= '0' && b <= '9')
+}
+
+func isHexByte(b byte) bool {
+	return (b >= '0' && b <= '9') || (b >= 'a' && b <= 'f') || (b >= 'A' && b <= 'F')
+}
+
+// feed consumes one canonical byte.
+func (m *matchState) feed(b byte, f *Features) {
+	// Payload matchers (escapes, base64 runs, data-URI markers) see every
+	// byte: their targets live inside string literals.
+	m.feedPayload(b, f)
+
+	// The word and comparison matchers skip string contents: an identifier
+	// or `===` inside a string is data, not code.
+	if m.inStr != 0 {
+		switch {
+		case m.strEsc:
+			m.strEsc = false
+		case b == '\\':
+			m.strEsc = true
+		case b == m.inStr:
+			// String literal closed: it can be the left operand of a
+			// comparison or concatenation.
+			m.inStr = 0
+			if m.litTaint {
+				m.litTaint = false
+				m.litCmp = 0
+			} else {
+				m.litCmp = 1
+				m.litStr = true
+			}
+		case b == '\n':
+			// Unterminated on this line (template or desync): bail out.
+			m.inStr = 0
+			m.litCmp = 0
+		}
+		return
+	}
+
+	wasWord := m.prevWord
+
+	// Whole-word matcher: collect runs of word bytes (bounded at 8; longer
+	// words cannot be one of the monitored keywords).
+	if isWordByte(b) {
+		if !m.prevWord {
+			m.wordLen = 0
+		}
+		if m.wordLen < len(m.word) {
+			m.word[m.wordLen] = b
+			m.wordLen++
+		} else {
+			m.wordLen = len(m.word) + 1 // poison: too long
+		}
+		m.prevWord = true
+	} else {
+		if m.prevWord {
+			m.closeWord(f)
+		}
+		m.prevWord = false
+	}
+
+	m.feedCmp(b, wasWord, f)
+}
+
+// cmpValid reports whether the operator run collected in state 2 spells a
+// comparison: ==, ===, != or !== for equality runs, < or <= (and > / >=) for
+// relational runs. A lone = is assignment; << and >> are shifts.
+func (m *matchState) cmpValid() bool {
+	if m.cmpRel {
+		return m.cmpLen == 1 || m.cmpLen == 2
+	}
+	return m.cmpLen == 2 || m.cmpLen == 3
+}
+
+// feedCmp advances the literal-operator-literal matcher; wasWord is the word
+// state before this byte, so a digit is only a literal start when it begins a
+// token.
+func (m *matchState) feedCmp(b byte, wasWord bool, f *Features) {
+	switch {
+	case b == '"' || b == '\'':
+		if m.litCmp == 3 || (m.litCmp == 2 && m.cmpValid()) {
+			f.ConstCmps++
+		} else if m.litCmp == 4 && m.litStr {
+			f.StrConcats++
+		}
+		m.litCmp = 0
+		m.inStr = b
+		m.strEsc = false
+	case b == ' ':
+		if m.litCmp == 2 {
+			if m.cmpValid() {
+				m.litCmp = 3
+			} else {
+				m.litCmp = 0
+			}
+		}
+		// States 1, 3 and 4 see through a single canonical space.
+	case b == '=' || b == '!':
+		switch m.litCmp {
+		case 1:
+			m.litCmp = 2
+			m.cmpLen = 1
+			m.cmpRel = false
+		case 2:
+			max := 3
+			if m.cmpRel {
+				max = 2 // <= / >=
+			}
+			if b == '!' || m.cmpLen >= max {
+				m.litCmp = 0
+			} else {
+				m.cmpLen++
+			}
+		default:
+			m.litCmp = 0
+		}
+	case b == '<' || b == '>':
+		if m.litCmp == 1 && !m.litStr {
+			m.litCmp = 2
+			m.cmpLen = 1
+			m.cmpRel = true
+		} else {
+			// A second < or > is a shift (1 << 2), not a comparison.
+			m.litCmp = 0
+			m.litTaint = true
+		}
+	case b == '.':
+		if m.litCmp == 1 && m.litStr {
+			f.QuoteCalls++
+		}
+		m.litCmp = 0
+	case b == '+':
+		switch {
+		case m.litCmp == 1 && m.litStr:
+			m.litCmp = 4
+		case m.litCmp == 1:
+			m.litCmp = 0 // numeric const chain: 1 + 2 === 3 stays constant
+		default:
+			m.litCmp = 0
+			m.litTaint = true
+		}
+	case b == '%' || b == '*' || b == '/' || b == '-' ||
+		b == '&' || b == '|' || b == '^':
+		if m.litCmp == 1 && !m.litStr {
+			m.litCmp = 0 // numeric const chain: 8 * 8 < 8 stays constant
+		} else {
+			m.litCmp = 0
+			m.litTaint = true
+		}
+	case !wasWord && b >= '0' && b <= '9':
+		if m.litCmp == 3 || (m.litCmp == 2 && m.cmpValid()) {
+			f.ConstCmps++
+		}
+		m.litCmp = 0
+	default:
+		if !isWordByte(b) || !wasWord {
+			m.litCmp = 0
+		}
+		// A word continuing (wasWord && word byte) leaves the matcher
+		// alone: closeWord decides what the token was.
+	}
+}
+
+// feedPayload runs the matchers that inspect string payloads and raw text.
+func (m *matchState) feedPayload(b byte, f *Features) {
+	// Escape sequences: backslash starts, x/u selects, hex digits confirm.
+	switch {
+	case m.escape == 0:
+		if b == '\\' {
+			m.escape = 1
+		}
+	case m.escape == 1:
+		switch b {
+		case 'x':
+			m.escHex = true
+			m.escape = 2
+		case 'u':
+			m.escHex = false
+			m.escape = 2
+		case '\\':
+			m.escape = 1 // \\\x still starts an escape at the second slash
+		default:
+			m.escape = 0
+		}
+	default:
+		if !isHexByte(b) && !(b == '{' && m.escape == 2 && !m.escHex) {
+			m.escape = 0
+			if b == '\\' {
+				m.escape = 1
+			}
+			break
+		}
+		m.escape++
+		if m.escHex && m.escape == 4 { // \xNN
+			f.HexEscapes++
+			m.escape = 0
+		} else if !m.escHex && m.escape == 6 { // \uNNNN (or \u{NNNN)
+			f.UnicodeEscapes++
+			m.escape = 0
+		}
+	}
+
+	// Base64 runs: count maximal runs of the base64 alphabet >= 24 bytes.
+	if isAlnumByte(b) || b == '+' || b == '/' || b == '=' {
+		m.b64Run++
+	} else {
+		if m.b64Run >= 24 {
+			f.Base64Runs++
+		}
+		m.b64Run = 0
+	}
+
+	// data: URI payload marker "base64,".
+	const marker = "base64,"
+	if b == marker[m.uriPos] {
+		m.uriPos++
+		if m.uriPos == len(marker) {
+			f.DataURIHits++
+			m.uriPos = 0
+		}
+	} else if b == marker[0] {
+		m.uriPos = 1
+	} else {
+		m.uriPos = 0
+	}
+
+	// Character-code decoder marker "fromCharCode".
+	const ccMarker = "fromCharCode"
+	if b == ccMarker[m.ccPos] {
+		m.ccPos++
+		if m.ccPos == len(ccMarker) {
+			f.CharCodeHits++
+			m.ccPos = 0
+		}
+	} else if b == ccMarker[0] {
+		m.ccPos = 1
+	} else {
+		m.ccPos = 0
+	}
+
+	// %XX percent escapes, only inside string literals.
+	switch {
+	case m.inStr == 0 || b == '%':
+		if b == '%' && m.inStr != 0 {
+			m.pctPos = 1
+		} else {
+			m.pctPos = 0
+		}
+	case m.pctPos > 0 && isHexByte(b):
+		m.pctPos++
+		if m.pctPos == 3 {
+			f.PercentEscapes++
+			m.pctPos = 0
+		}
+	default:
+		m.pctPos = 0
+	}
+}
+
+// closeWord scores a completed word run.
+func (m *matchState) closeWord(f *Features) {
+	switch {
+	case m.wordLen == 4 && string(m.word[:4]) == "eval":
+		f.EvalCount++
+	case m.wordLen == 8 && string(m.word[:8]) == "Function":
+		f.FunctionCount++
+	case m.wordLen == 4 && string(m.word[:4]) == "atob":
+		f.AtobCount++
+	case m.wordLen == 4 && string(m.word[:4]) == "case":
+		f.CaseCount++
+	}
+	// _0x prefix: the obfuscator-idiom identifier family. The first bytes of
+	// a too-long word are still in the buffer, so the prefix check covers
+	// realistic _0x1a2b3c-style names too.
+	if m.wordLen >= 3 && m.word[0] == '_' && m.word[1] == '0' && m.word[2] == 'x' {
+		f.HexIdents++
+	}
+	// A token starting with a digit is a numeric literal: it can open a
+	// literal-vs-literal comparison — unless it is glued to a larger
+	// expression by a preceding operator. Any other word resets the
+	// matcher: identifiers are not literals.
+	if m.wordLen >= 1 && m.word[0] >= '0' && m.word[0] <= '9' && !m.litTaint {
+		m.litCmp = 1
+		m.litStr = false
+	} else {
+		m.litCmp = 0
+	}
+	m.litTaint = false
+	m.wordLen = 0
+}
+
+// flush closes any run still open at end of input.
+func (m *matchState) flush(f *Features) {
+	if m.prevWord {
+		m.closeWord(f)
+	}
+	if m.b64Run >= 24 {
+		f.Base64Runs++
+	}
+}

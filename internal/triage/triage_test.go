@@ -1,0 +1,341 @@
+package triage
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestDecisionString(t *testing.T) {
+	cases := map[Decision]string{
+		Escalate:       "escalate",
+		BypassRegular:  "bypass-regular",
+		BypassMinified: "bypass-minified",
+		Decision(99):   "escalate",
+	}
+	for d, want := range cases {
+		if got := d.String(); got != want {
+			t.Errorf("Decision(%d).String() = %q, want %q", d, got, want)
+		}
+	}
+	if Escalate.Bypassed() {
+		t.Error("Escalate.Bypassed() = true")
+	}
+	if !BypassRegular.Bypassed() || !BypassMinified.Bypassed() {
+		t.Error("bypass decisions must report Bypassed")
+	}
+}
+
+// TestComputeCounters drives each token matcher with a minimal positive and
+// negative case.
+func TestComputeCounters(t *testing.T) {
+	get := func(f Features) map[string]int {
+		return map[string]int{
+			"HexEscapes":     f.HexEscapes,
+			"UnicodeEscapes": f.UnicodeEscapes,
+			"HexIdents":      f.HexIdents,
+			"EvalCount":      f.EvalCount,
+			"FunctionCount":  f.FunctionCount,
+			"AtobCount":      f.AtobCount,
+			"CaseCount":      f.CaseCount,
+			"Base64Runs":     f.Base64Runs,
+			"DataURIHits":    f.DataURIHits,
+			"ConstCmps":      f.ConstCmps,
+			"StrConcats":     f.StrConcats,
+			"CharCodeHits":   f.CharCodeHits,
+			"QuoteCalls":     f.QuoteCalls,
+			"PercentEscapes": f.PercentEscapes,
+		}
+	}
+	cases := []struct {
+		name    string
+		src     string
+		counter string
+		want    int
+	}{
+		{"hex escape", `var s = "\x41\x42";`, "HexEscapes", 2},
+		{"unicode escape", `var s = "\u0041";`, "UnicodeEscapes", 1},
+		{"unicode brace escape", `var s = "\u{1F600}";`, "UnicodeEscapes", 1},
+		{"double backslash not escape", `var s = "a\\nb";`, "HexEscapes", 0},
+		{"hex ident short", `var _0x1 = 1;`, "HexIdents", 1},
+		{"hex ident long", `_0x1a2b3c4d['push'](_0xabc123);`, "HexIdents", 2},
+		{"underscore alone", `var _x0 = 1;`, "HexIdents", 0},
+		{"eval word", `eval(code);`, "EvalCount", 1},
+		{"eval substring", `medieval(code); evaluate();`, "EvalCount", 0},
+		{"Function", `new Function("return 1")();`, "FunctionCount", 1},
+		{"function keyword is not Function", `function f() {}`, "FunctionCount", 0},
+		{"atob", `atob(payload);`, "AtobCount", 1},
+		{"case labels", "switch (x) { case 1: case 2: break; }", "CaseCount", 2},
+		{"base64 run", `var p = "` + strings.Repeat("Ab0+", 6) + `";`, "Base64Runs", 1},
+		{"short run no hit", `var p = "` + strings.Repeat("Ab0+", 5) + `";`, "Base64Runs", 0},
+		{"data uri", `u = "data:text/javascript;base64,QUJD";`, "DataURIHits", 1},
+		{"const cmp strict eq", `if (500 === 501) { x(); }`, "ConstCmps", 1},
+		{"const cmp loose eq nospace", `if (500==501) { x(); }`, "ConstCmps", 1},
+		{"const cmp noteq", `if (500 !== 501) { x(); }`, "ConstCmps", 1},
+		{"const cmp strings", `while ("xk" == "xq") { x(); }`, "ConstCmps", 1},
+		{"const cmp string vs num", `if ("a" === 5) { x(); }`, "ConstCmps", 1},
+		{"const chain multiply", `if (4 * 4 < 4) { x(); }`, "ConstCmps", 1},
+		{"const chain add", `if (1 + 2 === 4) { x(); }`, "ConstCmps", 1},
+		{"const relational le", `if (9 <= 2) { x(); }`, "ConstCmps", 1},
+		{"ident left no cmp", `if (x === 501) { y(); }`, "ConstCmps", 0},
+		{"ident right no cmp", `if (501 === x) { y(); }`, "ConstCmps", 0},
+		{"typeof cmp no hit", `if (typeof v === "number") { y(); }`, "ConstCmps", 0},
+		{"modulo operand no cmp", `ok = row.id % 3 !== 0;`, "ConstCmps", 0},
+		{"shift is not cmp", `mask = 1 << 2;`, "ConstCmps", 0},
+		{"assignment is not cmp", `a[0] = 1;`, "ConstCmps", 0},
+		{"cmp inside string ignored", `s = "500 === 501";`, "ConstCmps", 0},
+		{"str concat", `s = "hel" + "lo w" + "orld";`, "StrConcats", 2},
+		{"concat with ident no hit", `s = "hello " + name;`, "StrConcats", 0},
+		{"num add no concat", `n = 1 + 2;`, "StrConcats", 0},
+		{"fromCharCode", `String.fromCharCode(104, 105);`, "CharCodeHits", 1},
+		{"quote call", `"tcejbo".split("").reverse().join("");`, "QuoteCalls", 1},
+		{"decimal literal no quote call", `x = 3.14;`, "QuoteCalls", 0},
+		{"percent escapes", `decodeURIComponent("%68%69%21");`, "PercentEscapes", 3},
+		{"percent outside string", `x = a % 68;`, "PercentEscapes", 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f := Compute(tc.src)
+			if got := get(f)[tc.counter]; got != tc.want {
+				t.Errorf("Compute(%q).%s = %d, want %d", tc.src, tc.counter, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestComputeShapeStats(t *testing.T) {
+	src := "var a = 1;\nvar bb = 22;\n"
+	f := Compute(src)
+	if f.Lines != 2 {
+		t.Errorf("Lines = %d, want 2", f.Lines)
+	}
+	if f.MaxLineLen != len("var bb = 22;") {
+		t.Errorf("MaxLineLen = %d, want %d", f.MaxLineLen, len("var bb = 22;"))
+	}
+	if f.Bytes != len(src) {
+		t.Errorf("Bytes = %d, want %d (input is already canonical)", f.Bytes, len(src))
+	}
+	if f.WhitespaceRatio <= 0 || f.WhitespaceRatio >= 1 {
+		t.Errorf("WhitespaceRatio = %f out of range", f.WhitespaceRatio)
+	}
+	if f.AlnumRatio <= 0 || f.AlnumRatio >= 1 {
+		t.Errorf("AlnumRatio = %f out of range", f.AlnumRatio)
+	}
+	if f.MeanLineLen <= 0 {
+		t.Errorf("MeanLineLen = %f, want > 0", f.MeanLineLen)
+	}
+
+	// Final line without trailing newline still counts.
+	if g := Compute("a = 1;"); g.Lines != 1 {
+		t.Errorf("no-newline file: Lines = %d, want 1", g.Lines)
+	}
+
+	// Uniform byte text has zero entropy; richer text has more.
+	if g := Compute(strings.Repeat("a", 256)); g.Entropy != 0 {
+		t.Errorf("uniform text entropy = %f, want 0", g.Entropy)
+	}
+	if f.Entropy <= 1 || f.Entropy > 8 {
+		t.Errorf("source entropy = %f, want in (1, 8]", f.Entropy)
+	}
+	if g := Compute(""); g.Bytes != 0 || g.Lines != 0 {
+		t.Errorf("empty input: Bytes=%d Lines=%d, want 0,0", g.Bytes, g.Lines)
+	}
+
+	// Non-ASCII bytes are tracked.
+	if g := Compute("var x = \"ééé\";\n"); g.NonASCIIRatio == 0 {
+		t.Error("NonASCIIRatio = 0 for non-ASCII content")
+	}
+}
+
+func TestScoreMonotoneAndBounded(t *testing.T) {
+	f := Features{Bytes: 4096, AlnumRatio: 0.6}
+	if s := f.Score(); s != 0 {
+		t.Errorf("zero features score = %f, want 0", s)
+	}
+	f.HexEscapes = 1000
+	f.HexIdents = 1000
+	f.EvalCount = 1000
+	f.CaseCount = 1000
+	f.Base64Runs = 1000
+	f.DataURIHits = 10
+	f.ConstCmps = 100
+	f.Entropy = 8
+	if s := f.Score(); s != 1 {
+		t.Errorf("saturated score = %f, want 1", s)
+	}
+	// Each counter alone moves the score.
+	for name, set := range map[string]func(*Features){
+		"HexEscapes":     func(f *Features) { f.HexEscapes = 50 },
+		"UnicodeEscapes": func(f *Features) { f.UnicodeEscapes = 50 },
+		"HexIdents":      func(f *Features) { f.HexIdents = 50 },
+		"EvalCount":      func(f *Features) { f.EvalCount = 50 },
+		"CaseCount":      func(f *Features) { f.CaseCount = 50 },
+		"Base64Runs":     func(f *Features) { f.Base64Runs = 50 },
+		"DataURIHits":    func(f *Features) { f.DataURIHits = 5 },
+		"ConstCmps":      func(f *Features) { f.ConstCmps = 5 },
+		"StrConcats":     func(f *Features) { f.StrConcats = 50 },
+		"CharCodeHits":   func(f *Features) { f.CharCodeHits = 50 },
+		"QuoteCalls":     func(f *Features) { f.QuoteCalls = 50 },
+		"PercentEscapes": func(f *Features) { f.PercentEscapes = 50 },
+	} {
+		g := Features{Bytes: 4096, AlnumRatio: 0.6}
+		base := g.Score()
+		set(&g)
+		if g.Score() <= base {
+			t.Errorf("%s: score did not increase (%f -> %f)", name, base, g.Score())
+		}
+	}
+}
+
+func TestRouteDecisions(t *testing.T) {
+	cfg := Config{}
+
+	// Tiny files always escalate: their statistics are noise.
+	if d, _ := Route("x=1", cfg); d != Escalate {
+		t.Errorf("tiny file routed %v, want escalate", d)
+	}
+
+	// A plain, hand-formatted file bypasses as regular.
+	regular := strings.Repeat("function add(a, b) {\n  return a + b;\n}\n", 10)
+	if d, _ := Route(regular, cfg); d != BypassRegular {
+		t.Errorf("plain source routed %v, want bypass-regular", d)
+	}
+
+	// One long line with almost no whitespace bypasses as minified.
+	var b strings.Builder
+	for i := 0; i < 120; i++ {
+		b.WriteString("x")
+		b.WriteByte(byte('0' + i%10))
+		b.WriteString("=function(a,b){return a+b};")
+	}
+	if d, f := Route(b.String(), cfg); d != BypassMinified {
+		t.Errorf("minified source routed %v (score %.3f, maxline %d, ws %.3f), want bypass-minified",
+			d, f.Score(), f.MaxLineLen, f.WhitespaceRatio)
+	}
+
+	// The same minified line laced with obfuscation signal escalates.
+	laced := b.String() + `;eval(atob("` + strings.Repeat("QUJD", 10) + `"));eval(x);eval(y);`
+	if d, _ := Route(laced, cfg); d != Escalate {
+		t.Errorf("obfuscation-laced minified source routed %v, want escalate", d)
+	}
+
+	// A regular-shaped file with opaque predicates escalates.
+	dead := regular + "if (500 === 501) { x = 1; }\nif (\"xk\" == \"xq\") { y = 2; }\n"
+	if d, _ := Route(dead, cfg); d != Escalate {
+		t.Errorf("opaque-predicate source routed %v, want escalate", d)
+	}
+
+	// In-between shapes (neither clearly regular nor minified) escalate.
+	mid := strings.Repeat("var abc = 1; var def = 2; var ghi = 3;\n", 4) +
+		strings.Repeat("x", 400) + "\n"
+	if d, _ := Route(mid, cfg); d != Escalate {
+		t.Errorf("ambiguous-shape source routed %v, want escalate", d)
+	}
+}
+
+func TestConfigOverrides(t *testing.T) {
+	cfg := Config{
+		MaxSuspicion:          0.5,
+		MinBytes:              1,
+		MaxRegularLineLen:     1000,
+		MinRegularWhitespace:  0.01,
+		MaxRegularEntropy:     7.9,
+		MinMinifiedLineLen:    10,
+		MaxMinifiedWhitespace: 0.9,
+	}
+	if got := cfg.maxSuspicion(); got != 0.5 {
+		t.Errorf("maxSuspicion() = %f", got)
+	}
+	if got := cfg.minBytes(); got != 1 {
+		t.Errorf("minBytes() = %d", got)
+	}
+	if got := cfg.maxRegularLineLen(); got != 1000 {
+		t.Errorf("maxRegularLineLen() = %d", got)
+	}
+	if got := cfg.minRegularWhitespace(); got != 0.01 {
+		t.Errorf("minRegularWhitespace() = %f", got)
+	}
+	if got := cfg.maxRegularEntropy(); got != 7.9 {
+		t.Errorf("maxRegularEntropy() = %f", got)
+	}
+	if got := cfg.minMinifiedLineLen(); got != 10 {
+		t.Errorf("minMinifiedLineLen() = %d", got)
+	}
+	if got := cfg.maxMinifiedWhitespace(); got != 0.9 {
+		t.Errorf("maxMinifiedWhitespace() = %f", got)
+	}
+
+	var zero Config
+	if zero.maxSuspicion() != DefaultMaxSuspicion ||
+		zero.minBytes() != DefaultMinBytes ||
+		zero.maxRegularLineLen() != DefaultMaxRegularLineLen ||
+		zero.minRegularWhitespace() != DefaultMinRegularWhitespace ||
+		zero.maxRegularEntropy() != DefaultMaxRegularEntropy ||
+		zero.minMinifiedLineLen() != DefaultMinMinifiedLineLen ||
+		zero.maxMinifiedWhitespace() != DefaultMaxMinifiedWhitespace {
+		t.Error("zero Config does not resolve to the documented defaults")
+	}
+
+	// With a permissive config a short snippet can bypass; the minified
+	// shape is checked before the regular one, so the 10-byte line floor
+	// claims it.
+	if d, _ := Route("var aaa = 1; var bbb = 2; var ccc = 3;\n", cfg); d != BypassMinified {
+		t.Errorf("permissive config routed %v, want bypass-minified", d)
+	}
+}
+
+// TestTriageWhitespaceInvariance pins the canonicalization contract: routing
+// decisions and every feature except raw line statistics are invariant under
+// whitespace-only re-renderings (tabs for spaces, CRLF for LF, trailing
+// whitespace, run-length changes of horizontal whitespace).
+func TestTriageWhitespaceInvariance(t *testing.T) {
+	src := "function greet(name) {\n" +
+		"  if (name === undefined) { name = \"world\"; }\n" +
+		"  var msg = \"hello \" + name;\n" +
+		"  return msg;\n" +
+		"}\n" +
+		"var out = [1, 2, 3].map(function (n) { return n * 2; });\n" +
+		"if (500 === 501) { broken(); }\n"
+
+	renders := map[string]func(string) string{
+		"tabs for double spaces": func(s string) string {
+			return strings.ReplaceAll(s, "  ", "\t")
+		},
+		"crlf": func(s string) string {
+			return strings.ReplaceAll(s, "\n", "\r\n")
+		},
+		"trailing spaces": func(s string) string {
+			return strings.ReplaceAll(s, "\n", "   \n")
+		},
+		"wide indents": func(s string) string {
+			return strings.ReplaceAll(s, "  ", "        ")
+		},
+		"space runs inside lines": func(s string) string {
+			return strings.ReplaceAll(s, " = ", "   =   ")
+		},
+	}
+
+	base := Compute(src)
+	baseDecision, _ := Route(src, Config{})
+	for name, render := range renders {
+		t.Run(name, func(t *testing.T) {
+			got := Compute(render(src))
+			if got != base {
+				t.Errorf("features differ from base:\n base %+v\n  got %+v", base, got)
+			}
+			if d, _ := Route(render(src), Config{}); d != baseDecision {
+				t.Errorf("decision %v differs from base %v", d, baseDecision)
+			}
+		})
+	}
+}
+
+func TestDensityZeroBytes(t *testing.T) {
+	var f Features
+	if got := f.density(10); got != 0 {
+		t.Errorf("density on empty file = %f, want 0", got)
+	}
+	if s := f.Score(); math.IsNaN(s) || s < 0 || s > 1 {
+		t.Errorf("empty-file score = %f, want finite in [0,1]", s)
+	}
+}

@@ -54,6 +54,16 @@ service_start=$(date +%s)
 go test -race -short ./internal/service ./cmd/jsscand
 echo "service suite clean in $(( $(date +%s) - service_start ))s (budget 60s)"
 
+# The stage-0 cascade and the on-disk verdict store: the crash-recovery
+# suite (torn writes, flipped checksums, double-open) must hold under the
+# race detector, and the false-bypass gate is the measured license for the
+# triage bypass to exist at all (<1% disagreement vs the full pipeline over
+# the corpus plus all ten transforms).
+echo "== go test -race (triage + verdict store) =="
+go test -race ./internal/triage ./internal/store
+echo "== triage false-bypass gate =="
+go test -run TestTriageFalseBypassGate -count=1 ./internal/core
+
 echo "== go test -race =="
 go test -race ./...
 
@@ -69,6 +79,10 @@ go test -run 'Oracle|Differential' ./internal/oracle ./internal/js/interp
 fuzztime="${FUZZTIME:-10s}"
 echo "== fuzz ($fuzztime) =="
 go test -fuzz FuzzInterpDifferential -fuzztime "$fuzztime" -fuzzminimizetime 5x -run '^$' ./internal/oracle
+# The store record codec: decode must never panic on arbitrary bytes, and
+# encode→decode must be the identity (the crash-recovery contract rests on
+# both).
+go test -fuzz FuzzStoreRecordRoundTrip -fuzztime "$fuzztime" -fuzzminimizetime 5x -run '^$' ./internal/store
 
 # Per-package coverage floors. The interpreter floor guards the oracle (the
 # sandbox is only as trustworthy as its coverage); the flow and scope floors
@@ -102,6 +116,10 @@ check_floor ./internal/benchfmt  75
 # The scan service: the daemon's correctness harness (soak, drain,
 # backpressure, dedup-over-HTTP) must keep covering the package it proves.
 check_floor ./internal/service   80
+# The stage-0 router and the verdict store: a bypass decision nobody tests
+# is a silent misclassification, and an untested recovery path is data loss.
+check_floor ./internal/triage    80
+check_floor ./internal/store     80
 
 # Informational per-package coverage summary (no gate): a shrinking number
 # here is the early warning before a floor trips. The run's output is
