@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/features"
+	"repro/internal/flow"
 	"repro/internal/js/parser"
 	"repro/internal/obs"
 	"repro/internal/store"
@@ -61,6 +62,14 @@ type ScanOptions struct {
 	// TriageConfig tunes the triage router; the zero value uses the
 	// documented defaults the false-bypass gate validates.
 	TriageConfig triage.Config
+	// DetachedGraphs opts out of the pooled flow plane: each file's flow
+	// graph is deep-copied into self-contained storage instead of aliasing
+	// the worker's flow.Session. The default (false) is safe for the
+	// pipeline itself — the graph is consumed before the worker moves to
+	// the next file and nothing in FileResult retains it — so this knob
+	// exists for embedders who hook custom rules that stash graph or scope
+	// pointers past the per-file scan.
+	DetachedGraphs bool
 	// VerdictStore, when non-nil, extends the in-memory dedup cache across
 	// process restarts: completed verdicts are persisted to the store keyed
 	// by content hash (salted with the model identity, so a store directory
@@ -228,9 +237,9 @@ func NewScanner(l1, l2 *Detector, opts ScanOptions) (*Scanner, error) {
 // then the on-disk verdict store, then the stage-0 triage router, then the
 // full pipeline. Parse failures are cached and persisted too: the same bytes
 // fail the same way. ps is the calling worker's reusable parser session.
-func (s *Scanner) scanOne(in Input, acc *stageAcc, ps *parser.Session) FileResult {
+func (s *Scanner) scanOne(in Input, acc *stageAcc, ps *parser.Session, fs *flow.Session) FileResult {
 	if s.cache == nil && s.vstore == nil && !s.opts.Triage {
-		return s.scanFile(in, acc, ps)
+		return s.scanFile(in, acc, ps, fs)
 	}
 	var key dedupKey
 	if s.cache != nil || s.vstore != nil {
@@ -273,7 +282,7 @@ func (s *Scanner) scanOne(in Input, acc *stageAcc, ps *parser.Session) FileResul
 		}
 		obs.Add("scan.triage.escalate", 1)
 	}
-	out := s.scanFile(in, acc, ps)
+	out := s.scanFile(in, acc, ps, fs)
 	s.persist(key, out)
 	s.cachePut(key, out)
 	return out
@@ -327,9 +336,11 @@ func (s *Scanner) StoreStats() (stats store.Stats, ok bool) {
 
 // scanFile classifies one input: a single parse and flow graph feed the
 // feature vector, both detectors, and (under Explain) the indicator rules.
-// acc, when non-nil, receives the per-stage cost breakdown. ps amortizes
-// parser and lexer state across the files this worker scans.
-func (s *Scanner) scanFile(in Input, acc *stageAcc, ps *parser.Session) FileResult {
+// acc, when non-nil, receives the per-stage cost breakdown. ps and fs
+// amortize parser, lexer, scope, and flow-graph state across the files this
+// worker scans; the session-backed graph never outlives this call (see
+// ScanOptions.DetachedGraphs for the opt-out).
+func (s *Scanner) scanFile(in Input, acc *stageAcc, ps *parser.Session, fs *flow.Session) FileResult {
 	out := FileResult{Path: in.Path, Bytes: len(in.Source)}
 	t := newStageTimer(acc, len(in.Source))
 	res, err := ps.ParseNoTokens(in.Source)
@@ -338,7 +349,10 @@ func (s *Scanner) scanFile(in Input, acc *stageAcc, ps *parser.Session) FileResu
 		out.Err = fmt.Errorf("parse: %w", err)
 		return out
 	}
-	g := s.ext.Flow(res)
+	g := s.ext.FlowSession(fs, res)
+	if s.opts.DetachedGraphs {
+		g = g.Detach()
+	}
 	t.tick(stageFlow)
 	var diags []analysis.Diagnostic
 	if s.opts.Explain || s.ext.Options().RuleFeatures {
@@ -403,11 +417,13 @@ func (s *Scanner) ScanStreamContext(ctx context.Context, inputs []Input, emit fu
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			// One parser session per worker: token buffer, memo table, and
-			// lexer state are reused across every file this worker scans.
+			// One parser session and one flow session per worker: token
+			// buffers, memo tables, lexer state, and the whole scope/flow
+			// storage plane are reused across every file this worker scans.
 			ps := parser.NewSession()
+			fs := flow.NewSession()
 			for i := range work {
-				results[i] = s.scanOne(inputs[i], acc, ps)
+				results[i] = s.scanOne(inputs[i], acc, ps, fs)
 				close(ready[i])
 			}
 		}()

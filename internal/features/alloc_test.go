@@ -41,13 +41,13 @@ func TestNGramFeaturesZeroAlloc(t *testing.T) {
 	}
 	e := NewExtractor(Options{})
 	out := make([]float64, e.opts.dims())
-	e.ngramFeatures(res.Program, out) // warm the pool
+	e.ngramFeatures(res, out) // warm the pool
 
 	avg := testing.AllocsPerRun(200, func() {
 		for i := range out {
 			out[i] = 0
 		}
-		e.ngramFeatures(res.Program, out)
+		e.ngramFeatures(res, out)
 	})
 	if avg != 0 {
 		t.Errorf("ngramFeatures allocates %.2f times per run on a warmed pool, want 0", avg)

@@ -114,9 +114,18 @@ func (e *Extractor) Extract(src string) (Vector, error) {
 
 // Flow builds the flow graph the extractor would use for res, honoring the
 // configured data-flow deadline. Exposed so callers that also need the graph
-// (e.g. core.Detector.Explain) can build it once and share it.
+// (e.g. core.Detector.Explain) can build it once and share it. The returned
+// graph is self-contained.
 func (e *Extractor) Flow(res *parser.Result) *flow.Graph {
 	return flow.Build(res.Program, flow.Options{DataFlowDeadline: e.opts.DataFlowDeadline})
+}
+
+// FlowSession is Flow with the caller's reusable flow session: the scan
+// worker loop holds one per worker, so graph storage is recycled across
+// files. The returned graph aliases fs's storage and is invalidated by fs's
+// next Build.
+func (e *Extractor) FlowSession(fs *flow.Session, res *parser.Result) *flow.Graph {
+	return fs.Build(res.Program, flow.Options{DataFlowDeadline: e.opts.DataFlowDeadline})
 }
 
 // ExtractParsed computes the feature vector from an already-parsed file.
@@ -131,7 +140,7 @@ func (e *Extractor) ExtractFull(src string, res *parser.Result, g *flow.Graph, d
 	defer obs.Time("features.extract")()
 	obs.Add("features.vectors", 1)
 	vec := make(Vector, e.Dim())
-	e.ngramFeatures(res.Program, vec[:e.opts.dims()])
+	e.ngramFeatures(res, vec[:e.opts.dims()])
 	if g == nil {
 		g = e.Flow(res)
 	}
@@ -157,20 +166,27 @@ func (e *Extractor) ExtractFull(src string, res *parser.Result, g *flow.Graph, d
 // node types into the bucket space and stores normalized frequencies.
 //
 // This is the hottest loop of the extraction stage, so it is written to not
-// allocate: the pre-order walk records interned kinds into a pooled []uint16
-// buffer, and each window's FNV-1a hash is computed by an inlined byte loop
-// over the precomputed per-kind byte table. The bucket assignment is
-// bit-identical to hashing the Type() strings with hash/fnv (each node
-// contributes its type name followed by a 0 separator) — golden_test.go locks
-// this, because every trained model's fingerprint depends on the bucket
-// layout staying byte-stable.
+// allocate: the pre-order kind stream comes straight from the parser's
+// NodeID-stamping walk (Result.Kinds) when available — zero re-traversal —
+// with a pooled walk as the fallback for hand-built Results. Each window's
+// FNV-1a hash is computed by an inlined byte loop over the precomputed
+// per-kind byte table. The bucket assignment is bit-identical to hashing
+// the Type() strings with hash/fnv (each node contributes its type name
+// followed by a 0 separator) — golden_test.go locks this, because every
+// trained model's fingerprint depends on the bucket layout staying
+// byte-stable; the stamper and the fallback walk share ast.EachChild, so
+// the two streams are identical (TestKindStreamMatchesWalk).
 //
 //jslint:hotpath
-func (e *Extractor) ngramFeatures(prog *ast.Program, out []float64) {
-	w := kindWalkerPool.Get().(*kindWalker)
-	w.seq = w.seq[:0]
-	w.visitNode(prog)
-	seq := w.seq
+func (e *Extractor) ngramFeatures(res *parser.Result, out []float64) {
+	seq := res.Kinds
+	var w *kindWalker
+	if seq == nil {
+		w = kindWalkerPool.Get().(*kindWalker)
+		w.seq = w.seq[:0]
+		w.visitNode(res.Program)
+		seq = w.seq
+	}
 	n := e.opts.ngramLen()
 	total := 0
 	for i := 0; i+n <= len(seq); i++ {
@@ -190,7 +206,9 @@ func (e *Extractor) ngramFeatures(prog *ast.Program, out []float64) {
 	}
 	// No defer: the non-panicking hot path returns the buffer by hand to
 	// keep the function allocation-free (a deferred closure would escape).
-	kindWalkerPool.Put(w)
+	if w != nil {
+		kindWalkerPool.Put(w)
+	}
 }
 
 // FNV-1a parameters, matching hash/fnv's 32-bit variant.

@@ -76,7 +76,7 @@ func TestNGramGoldenVectors(t *testing.T) {
 					t.Fatalf("%s: parse: %v", f.Name, err)
 				}
 				got := make([]float64, dims)
-				e.ngramFeatures(res.Program, got)
+				e.ngramFeatures(res, got)
 				want := refNgram(res.Program, dims, ngramLen)
 				for i := range want {
 					if got[i] != want[i] {

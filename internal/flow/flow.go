@@ -6,22 +6,28 @@
 // there is an edge from a definition site to each use site of the same
 // binding. Data-flow construction honors a configurable deadline (the paper
 // uses two minutes); on timeout the graph falls back to control flow only.
+//
+// Construction is one fused traversal: scope.Session.AnalyzeFlow emits the
+// control edges while it resolves scopes (what used to be two walks), and
+// the data edges are then read straight off the binding list. A Session
+// draws all edge and scope storage from per-session pools; the package-
+// level Build wraps a pooled Session and detaches the result, so one-shot
+// callers still get a self-contained Graph.
 package flow
 
 import (
+	"sync"
 	"time"
 
 	"repro/internal/js/ast"
 	"repro/internal/js/scope"
-	"repro/internal/js/walker"
 	"repro/internal/obs"
 )
 
-// Edge is a directed edge between two AST nodes.
-type Edge struct {
-	From ast.Node
-	To   ast.Node
-}
+// Edge is a directed edge between two AST nodes. It is an alias for
+// scope.Edge: the fused walk emits control edges during scope analysis, so
+// the type lives in the lower layer.
+type Edge = scope.Edge
 
 // Graph is the AST enhanced with control and data flows.
 type Graph struct {
@@ -37,6 +43,23 @@ type Graph struct {
 	DataFlowTimedOut bool
 }
 
+// Detach deep-copies a session-backed Graph into self-contained storage
+// (edges copied, scope info detached). AST node pointers are shared, as
+// ever — the nodes belong to the parser.Result.
+func (g *Graph) Detach() *Graph {
+	out := &Graph{Root: g.Root, DataFlowTimedOut: g.DataFlowTimedOut}
+	if g.Control != nil {
+		out.Control = append([]Edge(nil), g.Control...)
+	}
+	if g.Data != nil {
+		out.Data = append([]Edge(nil), g.Data...)
+	}
+	if g.Scopes != nil {
+		out.Scopes = g.Scopes.Detach()
+	}
+	return out
+}
+
 // Options configures graph construction.
 type Options struct {
 	// DataFlowDeadline bounds data-flow construction; zero means the
@@ -49,230 +72,111 @@ type Options struct {
 // DefaultDataFlowDeadline matches the two-minute timeout from the paper.
 const DefaultDataFlowDeadline = 2 * time.Minute
 
-// Build constructs the enhanced graph for a program.
-func Build(prog *ast.Program, opts Options) *Graph {
+// dataFlowCheckEvery is the number of data edges between deadline checks.
+// It is a plain edges-since-last-check counter: the old sampling scheme
+// (len(Data)%4096 == 0) never fired for files whose per-binding ref bursts
+// stepped over the multiple, leaving the deadline unenforced.
+const dataFlowCheckEvery = 4096
+
+// Session is a reusable graph builder. It owns a scope.Session plus pooled
+// edge storage, so a scan worker that flows many files pays steady-state
+// zero allocations for graph construction.
+//
+// Ownership contract (mirroring parser.Session): the Graph returned by
+// Build aliases session storage and is valid only until the next Build on
+// the same Session. Use Graph.Detach (or the package-level Build) for a
+// self-contained copy. Sessions are not safe for concurrent use.
+type Session struct {
+	sc   *scope.Session
+	data []Edge
+	g    Graph
+}
+
+// NewSession returns an empty flow session.
+func NewSession() *Session {
+	return &Session{sc: scope.NewSession()}
+}
+
+// Build constructs the enhanced graph for a program, reusing the session's
+// pooled storage. It trusts the parser's NodeID stamping (stamping only
+// unstamped trees); a tree mutated after stamping must be re-stamped first
+// (see DESIGN.md "Dense node plane"). The result is invalidated by the
+// next Build on the same Session.
+func (s *Session) Build(prog *ast.Program, opts Options) *Graph {
 	defer obs.Time("flow.build")()
-	g := &Graph{Root: prog}
-	g.Control = controlEdges(prog)
-	if opts.SkipDataFlow {
-		flushStats(g)
-		return g
-	}
 	deadline := opts.DataFlowDeadline
 	if deadline <= 0 {
 		deadline = DefaultDataFlowDeadline
 	}
 	start := time.Now()
-	info := scope.Analyze(prog)
+	info, control := s.sc.AnalyzeFlow(prog)
+	g := &s.g
+	*g = Graph{Root: prog, Control: control}
+	if opts.SkipDataFlow {
+		flushStats(g, info)
+		return g
+	}
 	g.Scopes = info
+	// One deadline check covers the fused walk itself; inside the edge loop
+	// the counter below takes over.
+	if time.Since(start) > deadline {
+		g.DataFlowTimedOut = true
+		flushStats(g, info)
+		return g
+	}
+	s.data = s.data[:0]
+	sinceCheck := 0
 	for _, b := range info.Bindings {
 		if b.Decl == nil {
 			continue
 		}
 		for _, ref := range b.Refs {
-			g.Data = append(g.Data, Edge{From: b.Decl, To: ref})
+			s.data = append(s.data, Edge{From: b.Decl, To: ref})
 		}
-		if len(g.Data)%4096 == 0 && time.Since(start) > deadline {
-			g.Data = nil
-			g.DataFlowTimedOut = true
-			flushStats(g)
-			return g
+		sinceCheck += len(b.Refs)
+		if sinceCheck >= dataFlowCheckEvery {
+			sinceCheck = 0
+			if time.Since(start) > deadline {
+				s.data = s.data[:0]
+				g.DataFlowTimedOut = true
+				flushStats(g, info)
+				return g
+			}
 		}
 	}
-	flushStats(g)
+	g.Data = s.data
+	flushStats(g, info)
+	return g
+}
+
+// sessions recycles flow sessions for the package-level Build, so one-shot
+// callers amortize warm-up and still receive self-contained graphs.
+var sessions = sync.Pool{New: func() any { return NewSession() }}
+
+// Build constructs the enhanced graph for a program. The returned Graph is
+// self-contained; callers that build many graphs should hold a Session.
+func Build(prog *ast.Program, opts Options) *Graph {
+	s := sessions.Get().(*Session)
+	g := s.Build(prog, opts).Detach()
+	sessions.Put(s)
 	return g
 }
 
 // flushStats records one built graph into the obs registry (no-ops when
-// metrics are disabled).
-func flushStats(g *Graph) {
+// metrics are disabled). info is the fused walk's scope result, recorded
+// even when the caller drops it (SkipDataFlow).
+func flushStats(g *Graph, info *scope.Info) {
 	if !obs.Enabled() {
 		return
 	}
 	obs.Add("flow.graphs", 1)
+	obs.Add("flow.walk.fused", 1)
 	obs.Add("flow.control_edges", int64(len(g.Control)))
 	obs.Add("flow.data_edges", int64(len(g.Data)))
+	if info != nil {
+		obs.Add("flow.scope.bindings", int64(len(info.Bindings)))
+	}
 	if g.DataFlowTimedOut {
 		obs.Add("flow.dataflow_timeouts", 1)
 	}
-}
-
-// controlEdges builds intra-procedural control-flow edges over statement
-// nodes, CatchClause, and ConditionalExpression.
-func controlEdges(prog *ast.Program) []Edge {
-	b := &cfgBuilder{}
-	b.stmtList(prog, prog.Body)
-	// ConditionalExpression nodes participate in control flow: add an edge
-	// from each ternary to its consequent/alternate roots.
-	walker.Walk(prog, func(n ast.Node, _ int) bool {
-		if cond, ok := n.(*ast.ConditionalExpression); ok {
-			b.edges = append(b.edges,
-				Edge{From: cond, To: cond.Consequent},
-				Edge{From: cond, To: cond.Alternate})
-		}
-		return true
-	})
-	return b.edges
-}
-
-type cfgBuilder struct {
-	edges []Edge
-}
-
-func (b *cfgBuilder) edge(from, to ast.Node) {
-	if from == nil || to == nil {
-		return
-	}
-	b.edges = append(b.edges, Edge{From: from, To: to})
-}
-
-// stmtList wires parent→first, sequential, and structural edges for a
-// statement list owned by parent.
-func (b *cfgBuilder) stmtList(parent ast.Node, stmts []ast.Node) {
-	var prev ast.Node
-	for _, s := range stmts {
-		if prev == nil {
-			b.edge(parent, s)
-		} else {
-			b.edge(prev, s)
-		}
-		b.stmt(s)
-		if terminates(s) {
-			prev = nil
-		} else {
-			prev = s
-		}
-	}
-}
-
-// terminates reports whether control cannot fall through s.
-func terminates(s ast.Node) bool {
-	switch v := s.(type) {
-	case *ast.ReturnStatement, *ast.ThrowStatement, *ast.BreakStatement, *ast.ContinueStatement:
-		return true
-	case *ast.BlockStatement:
-		if len(v.Body) == 0 {
-			return false
-		}
-		return terminates(v.Body[len(v.Body)-1])
-	default:
-		return false
-	}
-}
-
-// stmt adds the internal control edges of one statement.
-func (b *cfgBuilder) stmt(n ast.Node) {
-	switch v := n.(type) {
-	case *ast.BlockStatement:
-		b.stmtList(v, v.Body)
-	case *ast.IfStatement:
-		b.funcBodies(v.Test)
-		b.edge(v, v.Consequent)
-		b.stmt(v.Consequent)
-		if v.Alternate != nil {
-			b.edge(v, v.Alternate)
-			b.stmt(v.Alternate)
-		}
-	case *ast.WhileStatement:
-		b.funcBodies(v.Test)
-		b.edge(v, v.Body)
-		b.stmt(v.Body)
-		b.edge(v.Body, v) // back edge
-	case *ast.DoWhileStatement:
-		b.edge(v, v.Body)
-		b.stmt(v.Body)
-		b.edge(v.Body, v)
-	case *ast.ForStatement:
-		b.funcBodies(v.Init)
-		b.funcBodies(v.Test)
-		b.funcBodies(v.Update)
-		b.edge(v, v.Body)
-		b.stmt(v.Body)
-		b.edge(v.Body, v)
-	case *ast.ForInStatement:
-		b.edge(v, v.Body)
-		b.stmt(v.Body)
-		b.edge(v.Body, v)
-	case *ast.ForOfStatement:
-		b.edge(v, v.Body)
-		b.stmt(v.Body)
-		b.edge(v.Body, v)
-	case *ast.SwitchStatement:
-		b.funcBodies(v.Discriminant)
-		for _, c := range v.Cases {
-			b.edge(v, c)
-			b.stmtList(c, c.Consequent)
-		}
-	case *ast.TryStatement:
-		b.edge(v, v.Block)
-		b.stmt(v.Block)
-		if v.Handler != nil {
-			b.edge(v, v.Handler)
-			if v.Handler.Body != nil {
-				b.edge(v.Handler, v.Handler.Body)
-				b.stmt(v.Handler.Body)
-			}
-		}
-		if v.Finalizer != nil {
-			b.edge(v, v.Finalizer)
-			b.stmt(v.Finalizer)
-		}
-	case *ast.LabeledStatement:
-		b.edge(v, v.Body)
-		b.stmt(v.Body)
-	case *ast.WithStatement:
-		b.edge(v, v.Body)
-		b.stmt(v.Body)
-	case *ast.FunctionDeclaration:
-		if v.Body != nil {
-			b.edge(v, v.Body)
-			b.stmt(v.Body)
-		}
-	case *ast.ExpressionStatement:
-		b.funcBodies(v.Expression)
-	case *ast.VariableDeclaration:
-		for _, d := range v.Declarations {
-			if d.Init != nil {
-				b.funcBodies(d.Init)
-			}
-		}
-	case *ast.ReturnStatement:
-		if v.Argument != nil {
-			b.funcBodies(v.Argument)
-		}
-	case *ast.ExportNamedDeclaration:
-		if v.Declaration != nil {
-			b.stmt(v.Declaration)
-		}
-	case *ast.ExportDefaultDeclaration:
-		b.funcBodies(v.Declaration)
-	}
-}
-
-// funcBodies descends into function expressions nested in an expression and
-// wires their bodies (each function body is its own control-flow region).
-func (b *cfgBuilder) funcBodies(expr ast.Node) {
-	walker.Walk(expr, func(n ast.Node, _ int) bool {
-		switch v := n.(type) {
-		case *ast.FunctionExpression:
-			if v.Body != nil {
-				b.edge(v, v.Body)
-				b.stmtList(v.Body, v.Body.Body)
-			}
-			return false
-		case *ast.ArrowFunctionExpression:
-			if blk, ok := v.Body.(*ast.BlockStatement); ok {
-				b.edge(v, blk)
-				b.stmtList(blk, blk.Body)
-			}
-			return false
-		case *ast.FunctionDeclaration:
-			if v.Body != nil {
-				b.edge(v, v.Body)
-				b.stmtList(v.Body, v.Body.Body)
-			}
-			return false
-		}
-		return true
-	})
 }

@@ -214,7 +214,7 @@ func TestGraphInvariantsControlFlowOnly(t *testing.T) {
 		t.Fatalf("SkipDataFlow graph carries data flow: %d edges", len(g.Data))
 	}
 
-	// A 1ns deadline has expired by the time the first modulo check runs
+	// A 1ns deadline has expired by the time the post-walk check runs
 	// (negative/zero deadlines mean "use the default", so the smallest
 	// positive duration is the way to force the fallback).
 	g = Build(prog, Options{DataFlowDeadline: time.Nanosecond})

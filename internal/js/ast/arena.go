@@ -85,7 +85,15 @@ type Arena struct {
 	awaitExpression          []AwaitExpression
 	yieldExpression          []YieldExpression
 	metaProperty             []MetaProperty
+
+	// count is the total number of nodes handed out, across every slab.
+	// StampIDs uses it (via NodeCount) to pre-size the dense ID table and
+	// the parse-order kind stream exactly.
+	count int
 }
+
+// NodeCount reports how many nodes this arena has allocated.
+func (a *Arena) NodeCount() int { return a.count }
 
 // Slab chunk sizing: chunks double from arenaChunkMin nodes up to
 // arenaChunkMax, so tiny files pay for a handful of nodes while big
@@ -99,13 +107,14 @@ const (
 // amortized cost is one bump and one bounds check per node.
 //
 //jslint:hotpath
-func arenaAlloc[T any](slab *[]T) *T {
+func arenaAlloc[T any](count *int, slab *[]T) *T {
 	buf := *slab
 	if len(buf) == cap(buf) {
 		buf = arenaGrow(buf)
 	}
 	buf = buf[:len(buf)+1]
 	*slab = buf
+	*count++
 	return &buf[len(buf)-1]
 }
 
@@ -129,469 +138,469 @@ func arenaGrow[T any](old []T) []T {
 
 //jslint:hotpath
 func (a *Arena) NewProgram(v Program) *Program {
-	n := arenaAlloc(&a.program)
+	n := arenaAlloc(&a.count, &a.program)
 	*n = v
 	return n
 }
 
 //jslint:hotpath
 func (a *Arena) NewExpressionStatement(v ExpressionStatement) *ExpressionStatement {
-	n := arenaAlloc(&a.expressionStatement)
+	n := arenaAlloc(&a.count, &a.expressionStatement)
 	*n = v
 	return n
 }
 
 //jslint:hotpath
 func (a *Arena) NewBlockStatement(v BlockStatement) *BlockStatement {
-	n := arenaAlloc(&a.blockStatement)
+	n := arenaAlloc(&a.count, &a.blockStatement)
 	*n = v
 	return n
 }
 
 //jslint:hotpath
 func (a *Arena) NewEmptyStatement(v EmptyStatement) *EmptyStatement {
-	n := arenaAlloc(&a.emptyStatement)
+	n := arenaAlloc(&a.count, &a.emptyStatement)
 	*n = v
 	return n
 }
 
 //jslint:hotpath
 func (a *Arena) NewDebuggerStatement(v DebuggerStatement) *DebuggerStatement {
-	n := arenaAlloc(&a.debuggerStatement)
+	n := arenaAlloc(&a.count, &a.debuggerStatement)
 	*n = v
 	return n
 }
 
 //jslint:hotpath
 func (a *Arena) NewWithStatement(v WithStatement) *WithStatement {
-	n := arenaAlloc(&a.withStatement)
+	n := arenaAlloc(&a.count, &a.withStatement)
 	*n = v
 	return n
 }
 
 //jslint:hotpath
 func (a *Arena) NewReturnStatement(v ReturnStatement) *ReturnStatement {
-	n := arenaAlloc(&a.returnStatement)
+	n := arenaAlloc(&a.count, &a.returnStatement)
 	*n = v
 	return n
 }
 
 //jslint:hotpath
 func (a *Arena) NewLabeledStatement(v LabeledStatement) *LabeledStatement {
-	n := arenaAlloc(&a.labeledStatement)
+	n := arenaAlloc(&a.count, &a.labeledStatement)
 	*n = v
 	return n
 }
 
 //jslint:hotpath
 func (a *Arena) NewBreakStatement(v BreakStatement) *BreakStatement {
-	n := arenaAlloc(&a.breakStatement)
+	n := arenaAlloc(&a.count, &a.breakStatement)
 	*n = v
 	return n
 }
 
 //jslint:hotpath
 func (a *Arena) NewContinueStatement(v ContinueStatement) *ContinueStatement {
-	n := arenaAlloc(&a.continueStatement)
+	n := arenaAlloc(&a.count, &a.continueStatement)
 	*n = v
 	return n
 }
 
 //jslint:hotpath
 func (a *Arena) NewIfStatement(v IfStatement) *IfStatement {
-	n := arenaAlloc(&a.ifStatement)
+	n := arenaAlloc(&a.count, &a.ifStatement)
 	*n = v
 	return n
 }
 
 //jslint:hotpath
 func (a *Arena) NewSwitchStatement(v SwitchStatement) *SwitchStatement {
-	n := arenaAlloc(&a.switchStatement)
+	n := arenaAlloc(&a.count, &a.switchStatement)
 	*n = v
 	return n
 }
 
 //jslint:hotpath
 func (a *Arena) NewSwitchCase(v SwitchCase) *SwitchCase {
-	n := arenaAlloc(&a.switchCase)
+	n := arenaAlloc(&a.count, &a.switchCase)
 	*n = v
 	return n
 }
 
 //jslint:hotpath
 func (a *Arena) NewThrowStatement(v ThrowStatement) *ThrowStatement {
-	n := arenaAlloc(&a.throwStatement)
+	n := arenaAlloc(&a.count, &a.throwStatement)
 	*n = v
 	return n
 }
 
 //jslint:hotpath
 func (a *Arena) NewTryStatement(v TryStatement) *TryStatement {
-	n := arenaAlloc(&a.tryStatement)
+	n := arenaAlloc(&a.count, &a.tryStatement)
 	*n = v
 	return n
 }
 
 //jslint:hotpath
 func (a *Arena) NewCatchClause(v CatchClause) *CatchClause {
-	n := arenaAlloc(&a.catchClause)
+	n := arenaAlloc(&a.count, &a.catchClause)
 	*n = v
 	return n
 }
 
 //jslint:hotpath
 func (a *Arena) NewWhileStatement(v WhileStatement) *WhileStatement {
-	n := arenaAlloc(&a.whileStatement)
+	n := arenaAlloc(&a.count, &a.whileStatement)
 	*n = v
 	return n
 }
 
 //jslint:hotpath
 func (a *Arena) NewDoWhileStatement(v DoWhileStatement) *DoWhileStatement {
-	n := arenaAlloc(&a.doWhileStatement)
+	n := arenaAlloc(&a.count, &a.doWhileStatement)
 	*n = v
 	return n
 }
 
 //jslint:hotpath
 func (a *Arena) NewForStatement(v ForStatement) *ForStatement {
-	n := arenaAlloc(&a.forStatement)
+	n := arenaAlloc(&a.count, &a.forStatement)
 	*n = v
 	return n
 }
 
 //jslint:hotpath
 func (a *Arena) NewForInStatement(v ForInStatement) *ForInStatement {
-	n := arenaAlloc(&a.forInStatement)
+	n := arenaAlloc(&a.count, &a.forInStatement)
 	*n = v
 	return n
 }
 
 //jslint:hotpath
 func (a *Arena) NewForOfStatement(v ForOfStatement) *ForOfStatement {
-	n := arenaAlloc(&a.forOfStatement)
+	n := arenaAlloc(&a.count, &a.forOfStatement)
 	*n = v
 	return n
 }
 
 //jslint:hotpath
 func (a *Arena) NewFunctionDeclaration(v FunctionDeclaration) *FunctionDeclaration {
-	n := arenaAlloc(&a.functionDeclaration)
+	n := arenaAlloc(&a.count, &a.functionDeclaration)
 	*n = v
 	return n
 }
 
 //jslint:hotpath
 func (a *Arena) NewVariableDeclaration(v VariableDeclaration) *VariableDeclaration {
-	n := arenaAlloc(&a.variableDeclaration)
+	n := arenaAlloc(&a.count, &a.variableDeclaration)
 	*n = v
 	return n
 }
 
 //jslint:hotpath
 func (a *Arena) NewVariableDeclarator(v VariableDeclarator) *VariableDeclarator {
-	n := arenaAlloc(&a.variableDeclarator)
+	n := arenaAlloc(&a.count, &a.variableDeclarator)
 	*n = v
 	return n
 }
 
 //jslint:hotpath
 func (a *Arena) NewClassDeclaration(v ClassDeclaration) *ClassDeclaration {
-	n := arenaAlloc(&a.classDeclaration)
+	n := arenaAlloc(&a.count, &a.classDeclaration)
 	*n = v
 	return n
 }
 
 //jslint:hotpath
 func (a *Arena) NewClassBody(v ClassBody) *ClassBody {
-	n := arenaAlloc(&a.classBody)
+	n := arenaAlloc(&a.count, &a.classBody)
 	*n = v
 	return n
 }
 
 //jslint:hotpath
 func (a *Arena) NewPropertyDefinition(v PropertyDefinition) *PropertyDefinition {
-	n := arenaAlloc(&a.propertyDefinition)
+	n := arenaAlloc(&a.count, &a.propertyDefinition)
 	*n = v
 	return n
 }
 
 //jslint:hotpath
 func (a *Arena) NewMethodDefinition(v MethodDefinition) *MethodDefinition {
-	n := arenaAlloc(&a.methodDefinition)
+	n := arenaAlloc(&a.count, &a.methodDefinition)
 	*n = v
 	return n
 }
 
 //jslint:hotpath
 func (a *Arena) NewImportDeclaration(v ImportDeclaration) *ImportDeclaration {
-	n := arenaAlloc(&a.importDeclaration)
+	n := arenaAlloc(&a.count, &a.importDeclaration)
 	*n = v
 	return n
 }
 
 //jslint:hotpath
 func (a *Arena) NewImportSpecifier(v ImportSpecifier) *ImportSpecifier {
-	n := arenaAlloc(&a.importSpecifier)
+	n := arenaAlloc(&a.count, &a.importSpecifier)
 	*n = v
 	return n
 }
 
 //jslint:hotpath
 func (a *Arena) NewImportDefaultSpecifier(v ImportDefaultSpecifier) *ImportDefaultSpecifier {
-	n := arenaAlloc(&a.importDefaultSpecifier)
+	n := arenaAlloc(&a.count, &a.importDefaultSpecifier)
 	*n = v
 	return n
 }
 
 //jslint:hotpath
 func (a *Arena) NewImportNamespaceSpecifier(v ImportNamespaceSpecifier) *ImportNamespaceSpecifier {
-	n := arenaAlloc(&a.importNamespaceSpecifier)
+	n := arenaAlloc(&a.count, &a.importNamespaceSpecifier)
 	*n = v
 	return n
 }
 
 //jslint:hotpath
 func (a *Arena) NewExportNamedDeclaration(v ExportNamedDeclaration) *ExportNamedDeclaration {
-	n := arenaAlloc(&a.exportNamedDeclaration)
+	n := arenaAlloc(&a.count, &a.exportNamedDeclaration)
 	*n = v
 	return n
 }
 
 //jslint:hotpath
 func (a *Arena) NewExportSpecifier(v ExportSpecifier) *ExportSpecifier {
-	n := arenaAlloc(&a.exportSpecifier)
+	n := arenaAlloc(&a.count, &a.exportSpecifier)
 	*n = v
 	return n
 }
 
 //jslint:hotpath
 func (a *Arena) NewExportDefaultDeclaration(v ExportDefaultDeclaration) *ExportDefaultDeclaration {
-	n := arenaAlloc(&a.exportDefaultDeclaration)
+	n := arenaAlloc(&a.count, &a.exportDefaultDeclaration)
 	*n = v
 	return n
 }
 
 //jslint:hotpath
 func (a *Arena) NewExportAllDeclaration(v ExportAllDeclaration) *ExportAllDeclaration {
-	n := arenaAlloc(&a.exportAllDeclaration)
+	n := arenaAlloc(&a.count, &a.exportAllDeclaration)
 	*n = v
 	return n
 }
 
 //jslint:hotpath
 func (a *Arena) NewIdentifier(v Identifier) *Identifier {
-	n := arenaAlloc(&a.identifier)
+	n := arenaAlloc(&a.count, &a.identifier)
 	*n = v
 	return n
 }
 
 //jslint:hotpath
 func (a *Arena) NewLiteral(v Literal) *Literal {
-	n := arenaAlloc(&a.literal)
+	n := arenaAlloc(&a.count, &a.literal)
 	*n = v
 	return n
 }
 
 //jslint:hotpath
 func (a *Arena) NewThisExpression(v ThisExpression) *ThisExpression {
-	n := arenaAlloc(&a.thisExpression)
+	n := arenaAlloc(&a.count, &a.thisExpression)
 	*n = v
 	return n
 }
 
 //jslint:hotpath
 func (a *Arena) NewSuper(v Super) *Super {
-	n := arenaAlloc(&a.super)
+	n := arenaAlloc(&a.count, &a.super)
 	*n = v
 	return n
 }
 
 //jslint:hotpath
 func (a *Arena) NewArrayExpression(v ArrayExpression) *ArrayExpression {
-	n := arenaAlloc(&a.arrayExpression)
+	n := arenaAlloc(&a.count, &a.arrayExpression)
 	*n = v
 	return n
 }
 
 //jslint:hotpath
 func (a *Arena) NewObjectExpression(v ObjectExpression) *ObjectExpression {
-	n := arenaAlloc(&a.objectExpression)
+	n := arenaAlloc(&a.count, &a.objectExpression)
 	*n = v
 	return n
 }
 
 //jslint:hotpath
 func (a *Arena) NewProperty(v Property) *Property {
-	n := arenaAlloc(&a.property)
+	n := arenaAlloc(&a.count, &a.property)
 	*n = v
 	return n
 }
 
 //jslint:hotpath
 func (a *Arena) NewFunctionExpression(v FunctionExpression) *FunctionExpression {
-	n := arenaAlloc(&a.functionExpression)
+	n := arenaAlloc(&a.count, &a.functionExpression)
 	*n = v
 	return n
 }
 
 //jslint:hotpath
 func (a *Arena) NewArrowFunctionExpression(v ArrowFunctionExpression) *ArrowFunctionExpression {
-	n := arenaAlloc(&a.arrowFunctionExpression)
+	n := arenaAlloc(&a.count, &a.arrowFunctionExpression)
 	*n = v
 	return n
 }
 
 //jslint:hotpath
 func (a *Arena) NewClassExpression(v ClassExpression) *ClassExpression {
-	n := arenaAlloc(&a.classExpression)
+	n := arenaAlloc(&a.count, &a.classExpression)
 	*n = v
 	return n
 }
 
 //jslint:hotpath
 func (a *Arena) NewTemplateLiteral(v TemplateLiteral) *TemplateLiteral {
-	n := arenaAlloc(&a.templateLiteral)
+	n := arenaAlloc(&a.count, &a.templateLiteral)
 	*n = v
 	return n
 }
 
 //jslint:hotpath
 func (a *Arena) NewTemplateElement(v TemplateElement) *TemplateElement {
-	n := arenaAlloc(&a.templateElement)
+	n := arenaAlloc(&a.count, &a.templateElement)
 	*n = v
 	return n
 }
 
 //jslint:hotpath
 func (a *Arena) NewTaggedTemplateExpression(v TaggedTemplateExpression) *TaggedTemplateExpression {
-	n := arenaAlloc(&a.taggedTemplateExpression)
+	n := arenaAlloc(&a.count, &a.taggedTemplateExpression)
 	*n = v
 	return n
 }
 
 //jslint:hotpath
 func (a *Arena) NewMemberExpression(v MemberExpression) *MemberExpression {
-	n := arenaAlloc(&a.memberExpression)
+	n := arenaAlloc(&a.count, &a.memberExpression)
 	*n = v
 	return n
 }
 
 //jslint:hotpath
 func (a *Arena) NewCallExpression(v CallExpression) *CallExpression {
-	n := arenaAlloc(&a.callExpression)
+	n := arenaAlloc(&a.count, &a.callExpression)
 	*n = v
 	return n
 }
 
 //jslint:hotpath
 func (a *Arena) NewNewExpression(v NewExpression) *NewExpression {
-	n := arenaAlloc(&a.newExpression)
+	n := arenaAlloc(&a.count, &a.newExpression)
 	*n = v
 	return n
 }
 
 //jslint:hotpath
 func (a *Arena) NewSpreadElement(v SpreadElement) *SpreadElement {
-	n := arenaAlloc(&a.spreadElement)
+	n := arenaAlloc(&a.count, &a.spreadElement)
 	*n = v
 	return n
 }
 
 //jslint:hotpath
 func (a *Arena) NewUnaryExpression(v UnaryExpression) *UnaryExpression {
-	n := arenaAlloc(&a.unaryExpression)
+	n := arenaAlloc(&a.count, &a.unaryExpression)
 	*n = v
 	return n
 }
 
 //jslint:hotpath
 func (a *Arena) NewUpdateExpression(v UpdateExpression) *UpdateExpression {
-	n := arenaAlloc(&a.updateExpression)
+	n := arenaAlloc(&a.count, &a.updateExpression)
 	*n = v
 	return n
 }
 
 //jslint:hotpath
 func (a *Arena) NewBinaryExpression(v BinaryExpression) *BinaryExpression {
-	n := arenaAlloc(&a.binaryExpression)
+	n := arenaAlloc(&a.count, &a.binaryExpression)
 	*n = v
 	return n
 }
 
 //jslint:hotpath
 func (a *Arena) NewLogicalExpression(v LogicalExpression) *LogicalExpression {
-	n := arenaAlloc(&a.logicalExpression)
+	n := arenaAlloc(&a.count, &a.logicalExpression)
 	*n = v
 	return n
 }
 
 //jslint:hotpath
 func (a *Arena) NewAssignmentExpression(v AssignmentExpression) *AssignmentExpression {
-	n := arenaAlloc(&a.assignmentExpression)
+	n := arenaAlloc(&a.count, &a.assignmentExpression)
 	*n = v
 	return n
 }
 
 //jslint:hotpath
 func (a *Arena) NewConditionalExpression(v ConditionalExpression) *ConditionalExpression {
-	n := arenaAlloc(&a.conditionalExpression)
+	n := arenaAlloc(&a.count, &a.conditionalExpression)
 	*n = v
 	return n
 }
 
 //jslint:hotpath
 func (a *Arena) NewSequenceExpression(v SequenceExpression) *SequenceExpression {
-	n := arenaAlloc(&a.sequenceExpression)
+	n := arenaAlloc(&a.count, &a.sequenceExpression)
 	*n = v
 	return n
 }
 
 //jslint:hotpath
 func (a *Arena) NewRestElement(v RestElement) *RestElement {
-	n := arenaAlloc(&a.restElement)
+	n := arenaAlloc(&a.count, &a.restElement)
 	*n = v
 	return n
 }
 
 //jslint:hotpath
 func (a *Arena) NewAssignmentPattern(v AssignmentPattern) *AssignmentPattern {
-	n := arenaAlloc(&a.assignmentPattern)
+	n := arenaAlloc(&a.count, &a.assignmentPattern)
 	*n = v
 	return n
 }
 
 //jslint:hotpath
 func (a *Arena) NewArrayPattern(v ArrayPattern) *ArrayPattern {
-	n := arenaAlloc(&a.arrayPattern)
+	n := arenaAlloc(&a.count, &a.arrayPattern)
 	*n = v
 	return n
 }
 
 //jslint:hotpath
 func (a *Arena) NewObjectPattern(v ObjectPattern) *ObjectPattern {
-	n := arenaAlloc(&a.objectPattern)
+	n := arenaAlloc(&a.count, &a.objectPattern)
 	*n = v
 	return n
 }
 
 //jslint:hotpath
 func (a *Arena) NewAwaitExpression(v AwaitExpression) *AwaitExpression {
-	n := arenaAlloc(&a.awaitExpression)
+	n := arenaAlloc(&a.count, &a.awaitExpression)
 	*n = v
 	return n
 }
 
 //jslint:hotpath
 func (a *Arena) NewYieldExpression(v YieldExpression) *YieldExpression {
-	n := arenaAlloc(&a.yieldExpression)
+	n := arenaAlloc(&a.count, &a.yieldExpression)
 	*n = v
 	return n
 }
 
 //jslint:hotpath
 func (a *Arena) NewMetaProperty(v MetaProperty) *MetaProperty {
-	n := arenaAlloc(&a.metaProperty)
+	n := arenaAlloc(&a.count, &a.metaProperty)
 	*n = v
 	return n
 }

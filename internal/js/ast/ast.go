@@ -31,11 +31,22 @@ type Node interface {
 	NodeKind() Kind
 	// Span returns the source range of the node.
 	Span() Span
+	// NodeID returns the dense pre-order ID assigned by StampIDs (see
+	// nodeid.go). It is 0 for the Program root and for nodes created after
+	// the tree was stamped; dense consumers rely on the root owning slot 0.
+	// (Named NodeID, not ID, because ESTree mandates an ID field on several
+	// node types — the same collision that named NodeKind.)
+	NodeID() NodeID
+	// SetNodeID records the node's dense ID. StampIDs is the intended
+	// caller; stamping by hand breaks the density and pre-order invariants
+	// every NodeID-indexed table depends on.
+	SetNodeID(NodeID)
 }
 
-// base carries the span shared by all concrete nodes.
+// base carries the span and dense ID shared by all concrete nodes.
 type base struct {
 	Loc Span
+	id  NodeID
 }
 
 func (b *base) Span() Span { return b.Loc }
@@ -43,6 +54,12 @@ func (b *base) Span() Span { return b.Loc }
 // SetSpan records the source range. It is exported through concrete types so
 // the parser and transformers can stamp locations.
 func (b *base) SetSpan(s Span) { b.Loc = s }
+
+// NodeID returns the node's dense pre-order ID (0 until StampIDs ran).
+func (b *base) NodeID() NodeID { return b.id }
+
+// SetNodeID records the node's dense pre-order ID.
+func (b *base) SetNodeID(id NodeID) { b.id = id }
 
 // ---------------------------------------------------------------------------
 // Program and statements
@@ -52,6 +69,11 @@ func (b *base) SetSpan(s Span) { b.Loc = s }
 type Program struct {
 	base
 	Body []Node // statements and declarations
+	// NodeCount is the number of nodes in the tree, set by StampIDs (zero
+	// until the tree is stamped). NodeID-indexed consumers pre-size their
+	// dense tables from it; a non-zero count is their license to trust the
+	// stamped IDs (see the ownership rules in DESIGN.md).
+	NodeCount uint32
 }
 
 func (*Program) Type() string { return "Program" }

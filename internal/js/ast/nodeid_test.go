@@ -1,0 +1,138 @@
+package ast_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/js/ast"
+	"repro/internal/js/parser"
+	"repro/internal/js/printer"
+	"repro/internal/transform"
+)
+
+// idFixtures builds the corpus the NodeID invariants are checked over:
+// generated regular files plus one output per monitored transformation
+// technique.
+func idFixtures(t *testing.T) []corpus.File {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	files := corpus.RegularSet(3, rng)
+	base := files[0]
+	for _, tech := range transform.Techniques {
+		out, err := corpus.Apply(base, rng, tech)
+		if err != nil {
+			t.Fatalf("apply %s: %v", tech, err)
+		}
+		files = append(files, out)
+	}
+	return files
+}
+
+// preorder collects the EachChild pre-order node sequence — the canonical
+// order the stamper assigns IDs in.
+func preorder(prog *ast.Program) []ast.Node {
+	var out []ast.Node
+	var visit func(ast.Node)
+	visit = func(n ast.Node) {
+		out = append(out, n)
+		ast.EachChild(n, visit)
+	}
+	visit(prog)
+	return out
+}
+
+// TestNodeIDsDensePreorder pins the tentpole invariant: after a parse, the
+// tree's NodeIDs are exactly 0..NodeCount-1 assigned in EachChild pre-order,
+// with the Program root at 0.
+func TestNodeIDsDensePreorder(t *testing.T) {
+	for _, f := range idFixtures(t) {
+		res, err := parser.ParseNoTokens(f.Source)
+		if err != nil {
+			t.Fatalf("%s: parse: %v", f.Name, err)
+		}
+		nodes := preorder(res.Program)
+		if got, want := res.Program.NodeCount, uint32(len(nodes)); got != want {
+			t.Fatalf("%s: NodeCount = %d, pre-order walk sees %d nodes", f.Name, got, want)
+		}
+		for i, n := range nodes {
+			if got := n.NodeID(); got != ast.NodeID(i) {
+				t.Fatalf("%s: pre-order node %d (%v) has NodeID %d", f.Name, i, n.NodeKind(), got)
+			}
+		}
+		if res.Program.NodeID() != 0 {
+			t.Fatalf("%s: Program NodeID = %d, want 0", f.Name, res.Program.NodeID())
+		}
+	}
+}
+
+// TestNodeIDsStableAcrossPrintReparse checks the stamping is a pure function
+// of tree shape: printing a tree and reparsing the output yields the same
+// (NodeID, kind) stream, so dense IDs can key cross-parse comparisons.
+func TestNodeIDsStableAcrossPrintReparse(t *testing.T) {
+	for _, f := range idFixtures(t) {
+		res, err := parser.ParseNoTokens(f.Source)
+		if err != nil {
+			t.Fatalf("%s: parse: %v", f.Name, err)
+		}
+		res2, err := parser.ParseNoTokens(printer.Compact(res.Program))
+		if err != nil {
+			t.Fatalf("%s: reparse: %v", f.Name, err)
+		}
+		a, b := preorder(res.Program), preorder(res2.Program)
+		if len(a) != len(b) {
+			t.Fatalf("%s: %d nodes, reparse has %d", f.Name, len(a), len(b))
+		}
+		for i := range a {
+			if a[i].NodeID() != b[i].NodeID() || a[i].NodeKind() != b[i].NodeKind() {
+				t.Fatalf("%s: node %d = (%d, %v), reparse (%d, %v)", f.Name, i,
+					a[i].NodeID(), a[i].NodeKind(), b[i].NodeID(), b[i].NodeKind())
+			}
+		}
+	}
+}
+
+// TestStamperKindStream checks the Kinds stream the stamper records during
+// parsing is the per-node kind of the same pre-order walk — the contract the
+// features n-gram path consumes the stream under.
+func TestStamperKindStream(t *testing.T) {
+	for _, f := range idFixtures(t) {
+		res, err := parser.ParseNoTokens(f.Source)
+		if err != nil {
+			t.Fatalf("%s: parse: %v", f.Name, err)
+		}
+		nodes := preorder(res.Program)
+		if len(res.Kinds) != len(nodes) {
+			t.Fatalf("%s: Kinds has %d entries, walk sees %d nodes", f.Name, len(res.Kinds), len(nodes))
+		}
+		for i, n := range nodes {
+			if res.Kinds[i] != uint16(n.NodeKind()) {
+				t.Fatalf("%s: Kinds[%d] = %d, node kind %v", f.Name, i, res.Kinds[i], n.NodeKind())
+			}
+		}
+	}
+}
+
+// TestStampIDsRestamps checks re-stamping after a mutation restores density:
+// the stamper is what scope.Session.Analyze leans on for mutated trees.
+func TestStampIDsRestamps(t *testing.T) {
+	res, err := parser.ParseNoTokens("var a = 1; function f(x) { return a + x; }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a transform wiping IDs on part of the tree.
+	for i, n := range preorder(res.Program) {
+		if i%2 == 1 {
+			n.SetNodeID(0)
+		}
+	}
+	n := ast.StampIDs(res.Program)
+	if n != res.Program.NodeCount {
+		t.Fatalf("StampIDs returned %d, NodeCount %d", n, res.Program.NodeCount)
+	}
+	for i, node := range preorder(res.Program) {
+		if node.NodeID() != ast.NodeID(i) {
+			t.Fatalf("after restamp, node %d has NodeID %d", i, node.NodeID())
+		}
+	}
+}

@@ -50,6 +50,13 @@ type Result struct {
 	NumTokens int
 	Comments  []lexer.Comment
 
+	// Kinds is the pre-order stream of interned node kinds, recorded while
+	// stamping dense NodeIDs onto the tree (Program.NodeCount is set by the
+	// same walk). The n-gram extractor consumes it directly instead of
+	// re-walking the tree; the stream is bit-identical to a fresh EachChild
+	// pre-order walk. It is owned by the Result.
+	Kinds []uint16
+
 	// arena owns the storage of every node reachable from Program. It
 	// lives in the Result (not the reusable parser) so a pooled parser
 	// cannot hand one file's nodes to the next.
@@ -70,13 +77,13 @@ type Session struct {
 func NewSession() *Session { return &Session{} }
 
 // Parse parses JavaScript source text, collecting all tokens.
-func (s *Session) Parse(src string) (*Result, error) { return s.p.parse(src, true) }
+func (s *Session) Parse(src string) (*Result, error) { return s.p.parse(src, true, true) }
 
 // ParseNoTokens parses without materializing the token slice. The feature
 // pipeline uses it: on megabyte-scale minified or JSFuck inputs, storing
 // every token costs more than parsing itself, and the features only need
 // the token count and the comments.
-func (s *Session) ParseNoTokens(src string) (*Result, error) { return s.p.parse(src, false) }
+func (s *Session) ParseNoTokens(src string) (*Result, error) { return s.p.parse(src, false, true) }
 
 // sessions recycles parser state for the package-level entry points, so
 // one-shot callers still amortize parser warm-up across files.
@@ -115,7 +122,7 @@ func (p *parser) reset(src string, collectTokens bool) {
 	p.arena = nil
 }
 
-func (p *parser) parse(src string, collectTokens bool) (res *Result, err error) {
+func (p *parser) parse(src string, collectTokens, collectKinds bool) (res *Result, err error) {
 	parses.Add(1)
 	p.reset(src, collectTokens)
 	out := &Result{}
@@ -150,6 +157,20 @@ func (p *parser) parse(src string, collectTokens bool) (res *Result, err error) 
 		return nil, err
 	}
 	out.Program = prog
+	// Stamp dense pre-order NodeIDs and collect the kind stream in the same
+	// walk. The arena's node count pre-sizes the stream exactly, so this is
+	// one traversal and (when the caller keeps the Result, and so can feed
+	// the stream to the feature extractor) one allocation per file;
+	// ParseProgram-style callers that drop the Result skip the allocation
+	// and get the stamping alone.
+	if p.stamper == nil {
+		p.stamper = ast.NewIDStamper()
+	}
+	if collectKinds {
+		out.Kinds = p.stamper.Stamp(prog, make([]uint16, 0, out.arena.NodeCount()))
+	} else {
+		p.stamper.StampIDs(prog)
+	}
 	// The token and comment buffers belong to the reusable parser; the
 	// Result must own its slices so the next parse cannot clobber them.
 	if p.collect {
@@ -161,9 +182,12 @@ func (p *parser) parse(src string, collectTokens bool) (res *Result, err error) 
 }
 
 // ParseProgram parses source and returns only the AST root (tokens are not
-// materialized).
+// materialized, and neither is the kind stream — callers that drop the
+// Result cannot use it).
 func ParseProgram(src string) (*ast.Program, error) {
-	res, err := ParseNoTokens(src)
+	s := sessions.Get().(*Session)
+	defer sessions.Put(s)
+	res, err := s.p.parse(src, false, false)
 	if err != nil {
 		return nil, err
 	}
@@ -197,6 +221,11 @@ type parser struct {
 	// gets a fresh arena so earlier Results keep sole ownership of their
 	// nodes.
 	arena *ast.Arena
+
+	// stamper assigns dense pre-order NodeIDs after a successful parse. It
+	// is reused across files (its pre-bound visit hook is the only state)
+	// and retains nothing between parses.
+	stamper *ast.IDStamper
 }
 
 const maxDepth = 2500

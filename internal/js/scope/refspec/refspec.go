@@ -1,0 +1,619 @@
+// Package refspec preserves the original map-based scope analyzer as an
+// executable reference spec. The production analyzer (internal/js/scope)
+// was rewritten as a fused single-walk pass over dense NodeIDs with pooled
+// slice-backed binding tables; this package is the slow, obviously-correct
+// implementation it is differential-tested against (binding, reference,
+// resolution, and unresolved sets must match exactly over the corpus plus
+// every transform — see internal/js/scope/differential_test.go).
+//
+// Maintenance rule: behavioral changes to the scope semantics land here
+// first, then in the production analyzer, never the other way around.
+package refspec
+
+import (
+	"repro/internal/js/ast"
+)
+
+// BindingKind classifies how a name was introduced.
+type BindingKind int
+
+// Binding kinds.
+const (
+	BindVar BindingKind = iota + 1
+	BindLet
+	BindConst
+	BindParam
+	BindFunction
+	BindClass
+	BindCatch
+	BindImport
+)
+
+// Binding is one declared name.
+type Binding struct {
+	Name string
+	// Decl is the declaring Identifier node (nil for synthetic bindings).
+	Decl *ast.Identifier
+	Kind BindingKind
+	// Scope is the scope owning the binding.
+	Scope *Scope
+	// Refs are all identifier nodes that reference this binding (reads and
+	// writes), excluding the declaration itself.
+	Refs []*ast.Identifier
+	// Init is the initializer expression when the binding came from a
+	// declarator with one (used by features: e.g. "fetched from a global
+	// array").
+	Init ast.Node
+}
+
+// Scope is one lexical scope.
+type Scope struct {
+	// Node is the AST node that owns the scope (Program, function, block,
+	// for statement, or catch clause).
+	Node ast.Node
+	// Parent is nil for the program scope.
+	Parent *Scope
+	// Children in source order.
+	Children []*Scope
+	// Bindings declared directly in this scope.
+	Bindings map[string]*Binding
+	// IsFunction marks scopes that host `var` declarations.
+	IsFunction bool
+}
+
+func (s *Scope) lookup(name string) *Binding {
+	for sc := s; sc != nil; sc = sc.Parent {
+		if b, ok := sc.Bindings[name]; ok {
+			return b
+		}
+	}
+	return nil
+}
+
+// hoistTarget walks up to the nearest function (or program) scope.
+func (s *Scope) hoistTarget() *Scope {
+	for sc := s; sc != nil; sc = sc.Parent {
+		if sc.IsFunction {
+			return sc
+		}
+	}
+	return s
+}
+
+// Info is the result of the analysis.
+type Info struct {
+	// Global is the program scope.
+	Global *Scope
+	// Resolved maps every reference identifier to its binding.
+	Resolved map[*ast.Identifier]*Binding
+	// Unresolved lists references to names with no binding in the file
+	// (browser/Node globals such as window, document, require).
+	Unresolved []*ast.Identifier
+	// Bindings lists every binding in declaration order.
+	Bindings []*Binding
+}
+
+// BindingOf returns the binding a reference resolves to, or nil.
+func (i *Info) BindingOf(id *ast.Identifier) *Binding { return i.Resolved[id] }
+
+// Analyze builds scope information for a program.
+func Analyze(prog *ast.Program) *Info {
+	a := &analyzer{
+		info: &Info{Resolved: make(map[*ast.Identifier]*Binding)},
+	}
+	global := a.pushScope(prog, true)
+	a.info.Global = global
+	// Pass 1: collect declarations so forward references resolve.
+	a.collectDecls(prog.Body, global)
+	// Pass 2: walk the tree resolving references and descending scopes.
+	for _, stmt := range prog.Body {
+		a.visit(stmt, global)
+	}
+	return a.info
+}
+
+type analyzer struct {
+	info *Info
+}
+
+func (a *analyzer) pushScope(node ast.Node, isFunc bool) *Scope {
+	return &Scope{Node: node, Bindings: make(map[string]*Binding), IsFunction: isFunc}
+}
+
+func (a *analyzer) newChild(parent *Scope, node ast.Node, isFunc bool) *Scope {
+	sc := a.pushScope(node, isFunc)
+	sc.Parent = parent
+	parent.Children = append(parent.Children, sc)
+	return sc
+}
+
+func (a *analyzer) declare(sc *Scope, id *ast.Identifier, kind BindingKind, init ast.Node) *Binding {
+	target := sc
+	if kind == BindVar || kind == BindFunction {
+		target = sc.hoistTarget()
+	}
+	if existing, ok := target.Bindings[id.Name]; ok {
+		// Redeclaration (legal for var/function, and tolerated for lexical
+		// kinds since the parser does not reject them): keep the first
+		// binding and treat this occurrence as a reference, so renames cover
+		// the redeclaration site too.
+		a.info.Resolved[id] = existing
+		existing.Refs = append(existing.Refs, id)
+		if existing.Init == nil {
+			existing.Init = init
+		}
+		return existing
+	}
+	b := &Binding{Name: id.Name, Decl: id, Kind: kind, Scope: target, Init: init}
+	target.Bindings[id.Name] = b
+	a.info.Bindings = append(a.info.Bindings, b)
+	return b
+}
+
+func (a *analyzer) reference(sc *Scope, id *ast.Identifier) {
+	if b := sc.lookup(id.Name); b != nil {
+		b.Refs = append(b.Refs, id)
+		a.info.Resolved[id] = b
+		return
+	}
+	a.info.Unresolved = append(a.info.Unresolved, id)
+}
+
+// collectDecls hoists declarations in a statement list into sc: `var` (into
+// function scope via declare), function declarations, and lexical let/const
+// and class declarations in the current block.
+func (a *analyzer) collectDecls(stmts []ast.Node, sc *Scope) {
+	for _, stmt := range stmts {
+		a.collectDecl(stmt, sc)
+	}
+}
+
+func (a *analyzer) collectDecl(stmt ast.Node, sc *Scope) {
+	switch v := stmt.(type) {
+	case *ast.VariableDeclaration:
+		kind := kindOf(v.Kind)
+		for _, d := range v.Declarations {
+			a.declarePattern(sc, d.ID, kind, d.Init)
+		}
+	case *ast.FunctionDeclaration:
+		if v.ID != nil {
+			a.declare(sc, v.ID, BindFunction, nil)
+		}
+	case *ast.ClassDeclaration:
+		if v.ID != nil {
+			a.declare(sc, v.ID, BindClass, nil)
+		}
+	case *ast.ImportDeclaration:
+		for _, s := range v.Specifiers {
+			switch sp := s.(type) {
+			case *ast.ImportSpecifier:
+				a.declare(sc, sp.Local, BindImport, nil)
+			case *ast.ImportDefaultSpecifier:
+				a.declare(sc, sp.Local, BindImport, nil)
+			case *ast.ImportNamespaceSpecifier:
+				a.declare(sc, sp.Local, BindImport, nil)
+			}
+		}
+	case *ast.ExportNamedDeclaration:
+		if v.Declaration != nil {
+			a.collectDecl(v.Declaration, sc)
+		}
+	case *ast.ExportDefaultDeclaration:
+		if fn, ok := v.Declaration.(*ast.FunctionDeclaration); ok && fn.ID != nil {
+			a.declare(sc, fn.ID, BindFunction, nil)
+		}
+	// `var` declarations nested inside blocks/loops hoist to the function
+	// scope; recurse into statement containers (but not into nested
+	// functions, whose vars belong to them).
+	case *ast.BlockStatement:
+		a.collectVarsOnly(v.Body, sc)
+	case *ast.IfStatement:
+		a.collectVarsOnlyOne(v.Consequent, sc)
+		a.collectVarsOnlyOne(v.Alternate, sc)
+	case *ast.ForStatement:
+		a.collectVarsOnlyOne(v.Init, sc)
+		a.collectVarsOnlyOne(v.Body, sc)
+	case *ast.ForInStatement:
+		a.collectVarsOnlyOne(v.Left, sc)
+		a.collectVarsOnlyOne(v.Body, sc)
+	case *ast.ForOfStatement:
+		a.collectVarsOnlyOne(v.Left, sc)
+		a.collectVarsOnlyOne(v.Body, sc)
+	case *ast.WhileStatement:
+		a.collectVarsOnlyOne(v.Body, sc)
+	case *ast.DoWhileStatement:
+		a.collectVarsOnlyOne(v.Body, sc)
+	case *ast.TryStatement:
+		if v.Block != nil {
+			a.collectVarsOnly(v.Block.Body, sc)
+		}
+		if v.Handler != nil && v.Handler.Body != nil {
+			a.collectVarsOnly(v.Handler.Body.Body, sc)
+		}
+		if v.Finalizer != nil {
+			a.collectVarsOnly(v.Finalizer.Body, sc)
+		}
+	case *ast.SwitchStatement:
+		for _, c := range v.Cases {
+			a.collectVarsOnly(c.Consequent, sc)
+		}
+	case *ast.LabeledStatement:
+		a.collectVarsOnlyOne(v.Body, sc)
+	case *ast.WithStatement:
+		a.collectVarsOnlyOne(v.Body, sc)
+	}
+}
+
+// collectVarsOnly hoists only `var` and function declarations from nested
+// statements (lexical declarations stay in their own block scope).
+func (a *analyzer) collectVarsOnly(stmts []ast.Node, sc *Scope) {
+	for _, s := range stmts {
+		a.collectVarsOnlyOne(s, sc)
+	}
+}
+
+func (a *analyzer) collectVarsOnlyOne(stmt ast.Node, sc *Scope) {
+	if stmt == nil {
+		return
+	}
+	switch v := stmt.(type) {
+	case *ast.VariableDeclaration:
+		if v.Kind == "var" {
+			for _, d := range v.Declarations {
+				a.declarePattern(sc, d.ID, BindVar, d.Init)
+			}
+		}
+	case *ast.FunctionDeclaration, *ast.ClassDeclaration, *ast.ImportDeclaration:
+		// Nested function/class declarations are block-scoped; they are
+		// declared by collectLexical when their block scope is built.
+	case *ast.BlockStatement:
+		a.collectVarsOnly(v.Body, sc)
+	case *ast.IfStatement:
+		a.collectVarsOnlyOne(v.Consequent, sc)
+		a.collectVarsOnlyOne(v.Alternate, sc)
+	case *ast.ForStatement:
+		a.collectVarsOnlyOne(v.Init, sc)
+		a.collectVarsOnlyOne(v.Body, sc)
+	case *ast.ForInStatement:
+		a.collectVarsOnlyOne(v.Left, sc)
+		a.collectVarsOnlyOne(v.Body, sc)
+	case *ast.ForOfStatement:
+		a.collectVarsOnlyOne(v.Left, sc)
+		a.collectVarsOnlyOne(v.Body, sc)
+	case *ast.WhileStatement:
+		a.collectVarsOnlyOne(v.Body, sc)
+	case *ast.DoWhileStatement:
+		a.collectVarsOnlyOne(v.Body, sc)
+	case *ast.TryStatement:
+		if v.Block != nil {
+			a.collectVarsOnly(v.Block.Body, sc)
+		}
+		if v.Handler != nil && v.Handler.Body != nil {
+			a.collectVarsOnly(v.Handler.Body.Body, sc)
+		}
+		if v.Finalizer != nil {
+			a.collectVarsOnly(v.Finalizer.Body, sc)
+		}
+	case *ast.SwitchStatement:
+		for _, c := range v.Cases {
+			a.collectVarsOnly(c.Consequent, sc)
+		}
+	case *ast.LabeledStatement:
+		a.collectVarsOnlyOne(v.Body, sc)
+	case *ast.WithStatement:
+		a.collectVarsOnlyOne(v.Body, sc)
+	}
+}
+
+func kindOf(s string) BindingKind {
+	switch s {
+	case "let":
+		return BindLet
+	case "const":
+		return BindConst
+	default:
+		return BindVar
+	}
+}
+
+// declarePattern declares every identifier bound by a binding pattern.
+func (a *analyzer) declarePattern(sc *Scope, pat ast.Node, kind BindingKind, init ast.Node) {
+	switch v := pat.(type) {
+	case *ast.Identifier:
+		a.declare(sc, v, kind, init)
+	case *ast.ArrayPattern:
+		for _, el := range v.Elements {
+			if el != nil {
+				a.declarePattern(sc, el, kind, nil)
+			}
+		}
+	case *ast.ObjectPattern:
+		for _, prop := range v.Properties {
+			switch pv := prop.(type) {
+			case *ast.Property:
+				a.declarePattern(sc, pv.Value, kind, nil)
+			case *ast.RestElement:
+				a.declarePattern(sc, pv.Argument, kind, nil)
+			}
+		}
+	case *ast.AssignmentPattern:
+		a.declarePattern(sc, v.Left, kind, nil)
+	case *ast.RestElement:
+		a.declarePattern(sc, v.Argument, kind, nil)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Reference resolution walk
+// ---------------------------------------------------------------------------
+
+// visit resolves references in stmt within scope sc, creating child scopes
+// as it descends.
+func (a *analyzer) visit(n ast.Node, sc *Scope) {
+	if n == nil {
+		return
+	}
+	switch v := n.(type) {
+	case *ast.Identifier:
+		a.reference(sc, v)
+	case *ast.VariableDeclaration:
+		for _, d := range v.Declarations {
+			a.visitPatternDefaults(d.ID, sc)
+			a.visit(d.Init, sc)
+		}
+	case *ast.FunctionDeclaration:
+		a.visitFunction(v, v.Params, bodyNode(v.Body), sc)
+	case *ast.FunctionExpression:
+		a.visitFunction(v, v.Params, bodyNode(v.Body), sc)
+	case *ast.ArrowFunctionExpression:
+		a.visitFunction(v, v.Params, v.Body, sc)
+	case *ast.ClassDeclaration:
+		a.visit(v.SuperClass, sc)
+		a.visitClassBody(v.Body, sc)
+	case *ast.ClassExpression:
+		a.visit(v.SuperClass, sc)
+		a.visitClassBody(v.Body, sc)
+	case *ast.BlockStatement:
+		child := a.newChild(sc, v, false)
+		a.collectLexical(v.Body, child)
+		for _, s := range v.Body {
+			a.visit(s, child)
+		}
+	case *ast.ForStatement:
+		child := a.newChild(sc, v, false)
+		if decl, ok := v.Init.(*ast.VariableDeclaration); ok && decl.Kind != "var" {
+			for _, d := range decl.Declarations {
+				a.declarePattern(child, d.ID, kindOf(decl.Kind), d.Init)
+			}
+		}
+		a.visit(v.Init, child)
+		a.visit(v.Test, child)
+		a.visit(v.Update, child)
+		a.visitBodyNoBlockScope(v.Body, child)
+	case *ast.ForInStatement:
+		a.visitForInOf(v.Left, v.Right, v.Body, v, sc)
+	case *ast.ForOfStatement:
+		a.visitForInOf(v.Left, v.Right, v.Body, v, sc)
+	case *ast.CatchClause:
+		child := a.newChild(sc, v, false)
+		if v.Param != nil {
+			a.declarePattern(child, v.Param, BindCatch, nil)
+			a.visitPatternDefaults(v.Param, child)
+		}
+		if v.Body != nil {
+			a.collectLexical(v.Body.Body, child)
+			for _, s := range v.Body.Body {
+				a.visit(s, child)
+			}
+		}
+	case *ast.MemberExpression:
+		a.visit(v.Object, sc)
+		if v.Computed {
+			a.visit(v.Property, sc)
+		}
+		// Non-computed property names are not variable references.
+	case *ast.Property:
+		if v.Computed {
+			a.visit(v.Key, sc)
+		}
+		a.visit(v.Value, sc)
+	case *ast.MethodDefinition:
+		if v.Computed {
+			a.visit(v.Key, sc)
+		}
+		if v.Value != nil {
+			a.visitFunction(v.Value, v.Value.Params, bodyNode(v.Value.Body), sc)
+		}
+	case *ast.LabeledStatement:
+		// The label is not a variable reference.
+		a.visit(v.Body, sc)
+	case *ast.BreakStatement, *ast.ContinueStatement:
+		// Labels are not variable references.
+	case *ast.ImportDeclaration:
+		// Specifier locals were declared in pass 1; nothing to resolve.
+	case *ast.ExportNamedDeclaration:
+		if v.Declaration != nil {
+			a.visit(v.Declaration, sc)
+		}
+		for _, s := range v.Specifiers {
+			if v.Source == nil {
+				a.reference(sc, s.Local)
+			}
+		}
+	case *ast.ExportDefaultDeclaration:
+		a.visit(v.Declaration, sc)
+	case *ast.VariableDeclarator:
+		a.visitPatternDefaults(v.ID, sc)
+		a.visit(v.Init, sc)
+	case *ast.AssignmentExpression:
+		a.visitAssignTarget(v.Left, sc)
+		a.visit(v.Right, sc)
+	default:
+		for _, c := range ast.Children(n) {
+			a.visit(c, sc)
+		}
+	}
+}
+
+func bodyNode(b *ast.BlockStatement) ast.Node {
+	if b == nil {
+		return nil
+	}
+	return b
+}
+
+func (a *analyzer) visitForInOf(left, right, body ast.Node, owner ast.Node, sc *Scope) {
+	child := a.newChild(sc, owner, false)
+	if decl, ok := left.(*ast.VariableDeclaration); ok {
+		if decl.Kind != "var" {
+			for _, d := range decl.Declarations {
+				a.declarePattern(child, d.ID, kindOf(decl.Kind), nil)
+			}
+		}
+		// var-declared loop variables were hoisted in pass 1; resolve the
+		// pattern as references for the data flow.
+	} else {
+		a.visitAssignTarget(left, child)
+	}
+	a.visit(right, child)
+	a.visitBodyNoBlockScope(body, child)
+}
+
+// visitBodyNoBlockScope visits a loop body. A block body still gets its own
+// scope; other statements are visited in the loop scope.
+func (a *analyzer) visitBodyNoBlockScope(body ast.Node, sc *Scope) {
+	a.visit(body, sc)
+}
+
+// visitAssignTarget resolves references in an assignment target (which may
+// be a pattern containing expressions).
+func (a *analyzer) visitAssignTarget(n ast.Node, sc *Scope) {
+	switch v := n.(type) {
+	case *ast.Identifier:
+		a.reference(sc, v)
+	case *ast.MemberExpression:
+		a.visit(v, sc)
+	case *ast.ArrayPattern:
+		for _, el := range v.Elements {
+			if el != nil {
+				a.visitAssignTarget(el, sc)
+			}
+		}
+	case *ast.ObjectPattern:
+		for _, prop := range v.Properties {
+			switch pv := prop.(type) {
+			case *ast.Property:
+				if pv.Computed {
+					a.visit(pv.Key, sc)
+				}
+				a.visitAssignTarget(pv.Value, sc)
+			case *ast.RestElement:
+				a.visitAssignTarget(pv.Argument, sc)
+			}
+		}
+	case *ast.AssignmentPattern:
+		a.visitAssignTarget(v.Left, sc)
+		a.visit(v.Right, sc)
+	case *ast.RestElement:
+		a.visitAssignTarget(v.Argument, sc)
+	default:
+		a.visit(n, sc)
+	}
+}
+
+// visitPatternDefaults resolves references inside pattern default values and
+// computed keys (the bound identifiers themselves are declarations).
+func (a *analyzer) visitPatternDefaults(pat ast.Node, sc *Scope) {
+	switch v := pat.(type) {
+	case *ast.ArrayPattern:
+		for _, el := range v.Elements {
+			if el != nil {
+				a.visitPatternDefaults(el, sc)
+			}
+		}
+	case *ast.ObjectPattern:
+		for _, prop := range v.Properties {
+			switch pv := prop.(type) {
+			case *ast.Property:
+				if pv.Computed {
+					a.visit(pv.Key, sc)
+				}
+				a.visitPatternDefaults(pv.Value, sc)
+			case *ast.RestElement:
+				a.visitPatternDefaults(pv.Argument, sc)
+			}
+		}
+	case *ast.AssignmentPattern:
+		a.visitPatternDefaults(v.Left, sc)
+		a.visit(v.Right, sc)
+	case *ast.RestElement:
+		a.visitPatternDefaults(v.Argument, sc)
+	}
+}
+
+// visitFunction builds the function scope, declares params and the function
+// expression's own name, hoists inner declarations, and visits the body.
+func (a *analyzer) visitFunction(fn ast.Node, params []ast.Node, body ast.Node, sc *Scope) {
+	child := a.newChild(sc, fn, true)
+	// A named function expression binds its own name inside itself.
+	if fe, ok := fn.(*ast.FunctionExpression); ok && fe.ID != nil {
+		a.declare(child, fe.ID, BindFunction, nil)
+	}
+	for _, param := range params {
+		a.declarePattern(child, param, BindParam, nil)
+	}
+	for _, param := range params {
+		a.visitPatternDefaults(param, child)
+	}
+	switch b := body.(type) {
+	case *ast.BlockStatement:
+		a.collectDecls(b.Body, child)
+		for _, s := range b.Body {
+			a.visit(s, child)
+		}
+	case nil:
+	default:
+		// Arrow expression body.
+		a.visit(b, child)
+	}
+}
+
+func (a *analyzer) visitClassBody(body *ast.ClassBody, sc *Scope) {
+	if body == nil {
+		return
+	}
+	for _, member := range body.Body {
+		switch m := member.(type) {
+		case *ast.MethodDefinition:
+			a.visit(m, sc)
+		case *ast.PropertyDefinition:
+			if m.Computed {
+				a.visit(m.Key, sc)
+			}
+			a.visit(m.Value, sc)
+		}
+	}
+}
+
+// collectLexical declares let/const/class/function bindings of a block into
+// its scope (vars were hoisted already).
+func (a *analyzer) collectLexical(stmts []ast.Node, sc *Scope) {
+	for _, stmt := range stmts {
+		switch v := stmt.(type) {
+		case *ast.VariableDeclaration:
+			if v.Kind != "var" {
+				for _, d := range v.Declarations {
+					a.declarePattern(sc, d.ID, kindOf(v.Kind), d.Init)
+				}
+			}
+		case *ast.FunctionDeclaration:
+			if v.ID != nil {
+				a.declare(sc, v.ID, BindFunction, nil)
+			}
+		case *ast.ClassDeclaration:
+			if v.ID != nil {
+				a.declare(sc, v.ID, BindClass, nil)
+			}
+		}
+	}
+}

@@ -148,6 +148,12 @@ if [ "${BENCH:-0}" = "1" ]; then
     # gate stays signal rather than coin flip.
     echo "== benchmark regression gate (StageParse, ±10%) =="
     BENCH_PATTERN='BenchmarkStageParse$' TOLERANCE=0.10 BENCH_COUNT=8 ./scripts/bench.sh
+    # The fused scope/flow plane gets the same focused treatment: the dense
+    # NodeID rewrite bought the stage its speedup, and a ±10% time+allocs
+    # gate on StageFlow is what keeps a stray allocation in the fused walk
+    # or a pool-discipline slip from quietly eating it back.
+    echo "== benchmark regression gate (StageFlow, ±10%) =="
+    BENCH_PATTERN='BenchmarkStageFlow$' TOLERANCE=0.10 BENCH_COUNT=8 ./scripts/bench.sh
 fi
 
 echo "OK"
